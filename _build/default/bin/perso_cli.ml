@@ -1,0 +1,297 @@
+(* perdb — command-line front end to the query-personalization library.
+
+   Subcommands:
+     demo          run the paper's Julie example end-to-end on the tiny DB
+     run-sql       execute ad-hoc SQL on a movie database
+     personalize   personalize and run a query under a profile file
+     gen-profile   write a synthetic profile (text format) to a file
+     learn-profile derive a profile from a file of logged queries
+     dump-data     write a database as schema.ddl + CSVs
+     dot           print a profile's personalization graph as Graphviz
+
+   Databases come from three sources: the built-in tiny example DB
+   (--movies 0), the synthetic generator (--movies N), or a directory of
+   schema.ddl + CSV files (--data-dir DIR). *)
+
+open Cmdliner
+
+let movies_arg =
+  let doc = "Number of movies in the synthetic database (0 = tiny example DB)." in
+  Arg.(value & opt int 2000 & info [ "movies" ] ~docv:"N" ~doc)
+
+let seed_arg =
+  let doc = "Random seed for data/profile generation." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let data_dir_arg =
+  let doc = "Load the database from this directory (schema.ddl + CSV files)." in
+  Arg.(value & opt (some dir) None & info [ "data-dir" ] ~docv:"DIR" ~doc)
+
+let db_of ?data_dir ~movies ~seed () =
+  match data_dir with
+  | Some dir -> Relal.Csv.load_db ~dir
+  | None ->
+      if movies <= 0 then Moviedb.Personas.tiny_db ()
+      else Moviedb.Datagen.(generate (scale ~seed movies))
+
+let print_result res = Format.printf "%a" (Relal.Exec.pp_result ~max_rows:25) res
+
+(* ---------------- demo ---------------- *)
+
+let demo () =
+  let db = Moviedb.Personas.tiny_db () in
+  let julie = Moviedb.Personas.julie () in
+  let q = Moviedb.Workload.tonight_query () in
+  Format.printf "== Original query ==@.%s@.@."
+    (Relal.Sql_print.query_to_pretty (Relal.Binder.bind db q));
+  let params =
+    { Perso.Personalize.default_params with k = Perso.Criteria.Top_r 3 }
+  in
+  let outcome = Perso.Personalize.personalize ~params db julie q in
+  print_string (Perso.Explain.outcome_report outcome);
+  Format.printf "@.== Ranked results (Julie) ==@.";
+  print_result (Perso.Personalize.execute db outcome);
+  0
+
+let demo_cmd =
+  Cmd.v (Cmd.info "demo" ~doc:"Run the paper's Julie example end-to-end")
+    Term.(const demo $ const ())
+
+(* ---------------- run-sql ---------------- *)
+
+let run_sql movies seed data_dir sql =
+  let db = db_of ?data_dir ~movies ~seed () in
+  match Relal.Engine.run_sql db sql with
+  | res ->
+      print_result res;
+      0
+  | exception Relal.Sql_parser.Parse_error e ->
+      Printf.eprintf "parse error: %s\n" e;
+      1
+  | exception Relal.Binder.Bind_error e ->
+      Printf.eprintf "bind error: %s\n" e;
+      1
+
+let sql_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"SQL text.")
+
+let run_sql_cmd =
+  Cmd.v (Cmd.info "run-sql" ~doc:"Execute SQL on a synthetic movie database")
+    Term.(const run_sql $ movies_arg $ seed_arg $ data_dir_arg $ sql_arg)
+
+(* ---------------- personalize ---------------- *)
+
+let personalize movies seed data_dir profile_path sql k l m method_ topn semantic =
+  let db = db_of ?data_dir ~movies ~seed () in
+  match Perso.Profile.load profile_path with
+  | Error e ->
+      Printf.eprintf "profile error: %s\n" e;
+      1
+  | Ok profile -> (
+      let params =
+        {
+          Perso.Personalize.k = Perso.Criteria.Top_r k;
+          m = `Count m;
+          l = `At_least l;
+          method_ = (if method_ = "sq" then `SQ else `MQ);
+          rank = method_ <> "sq";
+        }
+      in
+      match
+        let q = Relal.Sql_parser.parse sql in
+        let related =
+          if semantic then begin
+            let bound = Relal.Binder.bind db q in
+            let qg = Perso.Qgraph.of_query db bound in
+            Some (Perso.Semantic.instance_related db qg)
+          end
+          else None
+        in
+        let outcome = Perso.Personalize.personalize ~params ?related db profile q in
+        (outcome, Perso.Personalize.execute db outcome)
+      with
+      | outcome, res ->
+          print_string (Perso.Explain.outcome_report outcome);
+          (match topn with
+          | None ->
+              Format.printf "@.== Results ==@.";
+              print_result res
+          | Some n ->
+              let top =
+                Perso.Topn.top_n ~l ~n db
+                  (Perso.Qgraph.of_query db
+                     (Relal.Binder.bind db (Relal.Sql_parser.parse sql)))
+                  ~mandatory:outcome.Perso.Personalize.mandatory
+                  ~optional:outcome.Perso.Personalize.optional ()
+              in
+              Format.printf "@.== Top-%d results (%d/%d partials executed, %d probes) ==@."
+                n top.Perso.Topn.stats.Perso.Topn.partials_executed
+                top.Perso.Topn.stats.Perso.Topn.partials_total
+                top.Perso.Topn.stats.Perso.Topn.random_probes;
+              List.iter
+                (fun (row, deg) ->
+                  Format.printf "  %-40s doi=%s@."
+                    (String.concat ", "
+                       (Array.to_list (Array.map Relal.Value.to_string row)))
+                    (Perso.Degree.to_string deg))
+                top.Perso.Topn.rows);
+          0
+      | exception Relal.Sql_parser.Parse_error e ->
+          Printf.eprintf "parse error: %s\n" e;
+          1
+      | exception Relal.Binder.Bind_error e ->
+          Printf.eprintf "bind error: %s\n" e;
+          1
+      | exception Perso.Qgraph.Not_conjunctive e ->
+          Printf.eprintf "not a conjunctive SPJ query: %s\n" e;
+          1)
+
+let profile_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "profile" ] ~docv:"FILE" ~doc:"Profile file (text format).")
+
+let k_arg = Arg.(value & opt int 5 & info [ "k" ] ~doc:"Top-K preferences.")
+let l_arg = Arg.(value & opt int 1 & info [ "l" ] ~doc:"Minimum preferences per row.")
+let m_arg = Arg.(value & opt int 0 & info [ "m" ] ~doc:"Mandatory preferences.")
+
+let method_arg =
+  Arg.(
+    value
+    & opt (enum [ ("sq", "sq"); ("mq", "mq") ]) "mq"
+    & info [ "method" ] ~doc:"Integration method: sq or mq.")
+
+let topn_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "top" ] ~docv:"N"
+        ~doc:"Deliver only the N most interesting rows (early-terminating).")
+
+let semantic_arg =
+  Arg.(
+    value & flag
+    & info [ "semantic" ]
+        ~doc:
+          "Filter preferences at the semantic level: keep only those \
+           satisfiable together with the query on the current data.")
+
+let personalize_cmd =
+  Cmd.v
+    (Cmd.info "personalize" ~doc:"Personalize and execute a query under a profile")
+    Term.(
+      const personalize $ movies_arg $ seed_arg $ data_dir_arg $ profile_arg
+      $ sql_arg $ k_arg $ l_arg $ m_arg $ method_arg $ topn_arg $ semantic_arg)
+
+(* ---------------- gen-profile ---------------- *)
+
+let gen_profile movies seed size out =
+  let db = db_of ~movies ~seed () in
+  let cfg = { Moviedb.Profile_gen.default with seed; n_selections = size } in
+  let profile = Moviedb.Profile_gen.generate db cfg in
+  Perso.Profile.save out profile;
+  Printf.printf "wrote %d selections (+%d joins) to %s\n"
+    (Perso.Profile.size profile)
+    (Perso.Profile.cardinal profile - Perso.Profile.size profile)
+    out;
+  0
+
+let size_arg =
+  Arg.(value & opt int 20 & info [ "size" ] ~doc:"Number of atomic selections.")
+
+let out_arg =
+  Arg.(
+    required & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"Output file.")
+
+let gen_profile_cmd =
+  Cmd.v (Cmd.info "gen-profile" ~doc:"Generate a synthetic profile file")
+    Term.(const gen_profile $ movies_arg $ seed_arg $ size_arg $ out_arg)
+
+(* ---------------- learn-profile ---------------- *)
+
+let learn_profile movies seed data_dir log_path out =
+  let db = db_of ?data_dir ~movies ~seed () in
+  let lines =
+    In_channel.with_open_text log_path In_channel.input_lines
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+  in
+  let queries =
+    List.filter_map
+      (fun line ->
+        match Relal.Sql_parser.parse line with
+        | q -> Some q
+        | exception Relal.Sql_parser.Parse_error e ->
+            Printf.eprintf "skipping unparseable log line (%s): %s\n" e line;
+            None
+        | exception Relal.Sql_lexer.Lex_error (e, _) ->
+            Printf.eprintf "skipping unlexable log line (%s): %s\n" e line;
+            None)
+      lines
+  in
+  let profile = Perso.Learn.learn db queries in
+  Perso.Profile.save out profile;
+  Printf.printf "learned %d preferences from %d queries -> %s\n"
+    (Perso.Profile.cardinal profile)
+    (List.length queries) out;
+  0
+
+let log_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "log" ] ~docv:"FILE" ~doc:"Query log: one SQL statement per line.")
+
+let learn_profile_cmd =
+  Cmd.v
+    (Cmd.info "learn-profile"
+       ~doc:"Derive a profile from a query log (implicit profile creation)")
+    Term.(
+      const learn_profile $ movies_arg $ seed_arg $ data_dir_arg $ log_arg $ out_arg)
+
+(* ---------------- dump-data ---------------- *)
+
+let dump_data movies seed dir =
+  let db = db_of ~movies ~seed () in
+  Relal.Csv.save_db ~dir db;
+  Format.printf "%a" Relal.Database.pp_summary db;
+  Printf.printf "wrote schema.ddl + CSVs to %s\n" dir;
+  0
+
+let dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Output directory.")
+
+let dump_data_cmd =
+  Cmd.v
+    (Cmd.info "dump-data" ~doc:"Write a synthetic database as schema.ddl + CSVs")
+    Term.(const dump_data $ movies_arg $ seed_arg $ dir_arg)
+
+(* ---------------- dot ---------------- *)
+
+let dot profile_path =
+  match Perso.Profile.load profile_path with
+  | Error e ->
+      Printf.eprintf "profile error: %s\n" e;
+      1
+  | Ok profile ->
+      Format.printf "%a" Perso.Pgraph.pp_dot (Perso.Pgraph.of_profile profile);
+      0
+
+let dot_cmd =
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Print a profile's personalization graph as Graphviz")
+    Term.(const dot $ profile_arg)
+
+let () =
+  let info = Cmd.info "perso_cli" ~doc:"Query personalization (ICDE 2004) toolkit" in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            demo_cmd; run_sql_cmd; personalize_cmd; gen_profile_cmd;
+            learn_profile_cmd; dump_data_cmd; dot_cmd;
+          ]))

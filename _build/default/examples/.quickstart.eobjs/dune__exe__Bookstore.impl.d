@@ -1,0 +1,1 @@
+examples/bookstore.ml: Database Engine Format List Perso Relal Schema Value

@@ -1,0 +1,1 @@
+examples/context_aware.ml: Array Format List Moviedb Perso Relal

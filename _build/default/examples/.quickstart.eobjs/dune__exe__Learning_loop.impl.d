@@ -1,0 +1,1 @@
+examples/learning_loop.ml: Format List Moviedb Perso Relal

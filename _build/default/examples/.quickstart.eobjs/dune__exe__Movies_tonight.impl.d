@@ -1,0 +1,1 @@
+examples/movies_tonight.ml: Array Format List Moviedb Perso Relal String

@@ -1,0 +1,1 @@
+examples/movies_tonight.mli:

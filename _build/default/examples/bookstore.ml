@@ -1,0 +1,88 @@
+(* The introduction's bookseller, on a schema the library has never seen:
+   "When asking Lisa, your favourite bookseller, 'Are there any good new
+   books?', you would prefer to receive 'The Order of the Phoenix' and
+   'Matisse and Picasso' if you like author J.K. Rowling and you are also
+   a fan of 20th century art, instead of 'Essentials of Asian Cuisine'."
+
+   The personalization framework is schema-independent: everything it
+   needs — relations, attributes, key/foreign-key metadata — comes from
+   the catalog, so a four-table bookstore works exactly like the movie
+   database.
+
+   Run with: dune exec examples/bookstore.exe *)
+
+open Relal
+
+let build_bookstore () =
+  let db = Database.create () in
+  let t = Value.TStr and i = Value.TInt in
+  Database.add_table db
+    (Schema.make ~name:"book"
+       ~cols:[ ("bid", i); ("title", t); ("year", i) ]
+       ~key:[ "bid" ] ());
+  (* One author per book here, so book->wrote is to-one. *)
+  Database.add_table db
+    (Schema.make ~name:"wrote" ~cols:[ ("bid", i); ("auid", i) ] ~key:[ "bid" ] ());
+  Database.add_table db
+    (Schema.make ~name:"author" ~cols:[ ("auid", i); ("name", t) ] ~key:[ "auid" ] ());
+  (* A book covers many topics: to-many. *)
+  Database.add_table db
+    (Schema.make ~name:"topic"
+       ~cols:[ ("bid", i); ("subject", t) ]
+       ~key:[ "bid"; "subject" ] ());
+  Database.add_fk db ~from_:("wrote", "bid") ~to_:("book", "bid");
+  Database.add_fk db ~from_:("wrote", "auid") ~to_:("author", "auid");
+  Database.add_fk db ~from_:("topic", "bid") ~to_:("book", "bid");
+  let s x = Value.Str x and n x = Value.Int x in
+  List.iteri
+    (fun idx name -> Database.insert db "author" [ n idx; s name ])
+    [ "J.K. Rowling"; "H. Matisse"; "A. Chef"; "P. Historian" ];
+  List.iter
+    (fun (bid, title, year, auid, subjects) ->
+      Database.insert db "book" [ n bid; s title; n year ];
+      Database.insert db "wrote" [ n bid; n auid ];
+      List.iter (fun sub -> Database.insert db "topic" [ n bid; s sub ]) subjects)
+    [
+      (0, "The Order of the Phoenix", 2003, 0, [ "fantasy" ]);
+      (1, "Matisse and Picasso", 2003, 1, [ "art"; "20th century" ]);
+      (2, "Essentials of Asian Cuisine", 2003, 2, [ "cooking" ]);
+      (3, "Quidditch Through the Ages", 2001, 0, [ "fantasy"; "sports" ]);
+      (4, "A History of Rome", 1998, 3, [ "history" ]);
+    ];
+  db
+
+let () =
+  let db = build_bookstore () in
+  let d = Perso.Degree.of_float in
+
+  (* Your profile: Rowling and 20th-century art, definitely not cooking. *)
+  let profile =
+    Perso.Profile.of_list
+      [
+        (Perso.Atom.join ("book", "bid") ("wrote", "bid"), d 1.0);
+        (Perso.Atom.join ("wrote", "auid") ("author", "auid"), d 1.0);
+        (Perso.Atom.join ("book", "bid") ("topic", "bid"), d 0.9);
+        (Perso.Atom.sel "author" "name" (Value.Str "J.K. Rowling"), d 0.9);
+        (Perso.Atom.sel "topic" "subject" (Value.Str "20th century"), d 0.8);
+        (Perso.Atom.sel "topic" "subject" (Value.Str "cooking"), d 0.05);
+      ]
+  in
+
+  (* "Are there any good new books?" *)
+  let sql = "select b.title from book b where b.year = 2003" in
+  Format.printf "The question, as SQL: %s@.@." sql;
+
+  let params =
+    { Perso.Personalize.default_params with k = Perso.Criteria.Top_r 2 }
+  in
+  let outcome, results = Perso.Personalize.personalize_sql ~params db profile sql in
+  Format.printf "Lisa knows you like:@.";
+  print_string (Perso.Explain.selection_report outcome.Perso.Personalize.selected);
+  Format.printf "@.Lisa's answer:@.%a@." (Relal.Exec.pp_result ~max_rows:10) results;
+
+  (* The same question with no profile: the anonymous answer ('the new
+     releases are in aisles 4 and 5'). *)
+  let plain = Engine.run_sql db sql in
+  Format.printf "Without a profile, everyone gets:@.%a@."
+    (Relal.Exec.pp_result ~max_rows:10)
+    plain

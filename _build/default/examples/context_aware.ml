@@ -1,0 +1,57 @@
+(* Context-driven personalization (§4): "if the user sends a request
+   using her mobile phone, then the system may decide to consider a few
+   top preferences; when the user switches to her computer, then the
+   system may decide to consider all her preferences."
+
+   The same user, the same query, three devices — K/M/L are derived from
+   the query context by Personalize.Context policies, and the answers
+   shrink or grow accordingly.
+
+   Run with: dune exec examples/context_aware.exe *)
+
+let () =
+  let db = Moviedb.Datagen.(generate { default with movies = 1200 }) in
+  let profile =
+    Moviedb.Profile_gen.generate db
+      { Moviedb.Profile_gen.default with seed = 5; n_selections = 30 }
+  in
+  let query = Moviedb.Workload.tonight_query () in
+  let initial = Relal.Engine.run_query db query in
+  Format.printf
+    "Synthetic database: %d movies; profile: %d selection preferences.@."
+    1200
+    (Perso.Profile.size profile);
+  Format.printf "The unpersonalized query returns %d rows.@.@."
+    (List.length initial.Relal.Exec.rows);
+
+  List.iter
+    (fun (label, ctx) ->
+      let params = Perso.Personalize.Context.params_for ctx in
+      let outcome = Perso.Personalize.personalize ~params db profile query in
+      let res = Perso.Personalize.execute db outcome in
+      let k_desc = Perso.Criteria.to_string params.Perso.Personalize.k in
+      Format.printf "%-28s criterion: %-22s preferences used: %2d   rows: %4d@."
+        label k_desc
+        (List.length outcome.Perso.Personalize.selected)
+        (List.length res.Relal.Exec.rows);
+      (* Show the top three suggestions for this context. *)
+      let top = Perso.Personalize.top_n ~n:3 db outcome in
+      List.iter
+        (fun row ->
+          match (row.(0), row.(Array.length row - 1)) with
+          | Relal.Value.Str title, Relal.Value.Float doi ->
+              Format.printf "    %-30s (interest %.3f)@." title doi
+          | Relal.Value.Str title, _ -> Format.printf "    %s@." title
+          | _ -> ())
+        top.Relal.Exec.rows;
+      Format.printf "@.")
+    [
+      ( "Phone (tiny screen):",
+        { Perso.Personalize.Context.device = Mobile; latency_budget_ms = None } );
+      ( "Phone, flaky network:",
+        { Perso.Personalize.Context.device = Mobile; latency_budget_ms = Some 30. } );
+      ( "Desktop:",
+        { Perso.Personalize.Context.device = Desktop; latency_budget_ms = None } );
+      ( "Voice assistant:",
+        { Perso.Personalize.Context.device = Voice; latency_budget_ms = None } );
+    ]

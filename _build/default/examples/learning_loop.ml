@@ -1,0 +1,55 @@
+(* The full architecture of Figure 1, closed into a loop: the system
+   monitors a user's queries (Profile Creation), learns a structured
+   profile from them, and uses it to personalize the next request (Query
+   Personalization) — no explicit preference input at any point.
+
+   Run with: dune exec examples/learning_loop.exe *)
+
+let () =
+  let db = Moviedb.Personas.tiny_db () in
+
+  (* Week 1: the system only observes.  This user keeps asking about
+     comedies and about N. Kidman. *)
+  let monitored_queries =
+    List.map Relal.Sql_parser.parse
+      [
+        "select m.title from movie m, genre g where m.mid = g.mid and g.genre = 'comedy'";
+        "select m.title from movie m, genre g where m.mid = g.mid and g.genre = 'comedy' and m.year = 2003";
+        "select m.title from movie m, cast c, actor a where m.mid = c.mid and c.aid = a.aid and a.name = 'N. Kidman'";
+        "select m.title from movie m, genre g where m.mid = g.mid and g.genre = 'comedy'";
+        "select m.title from movie m, cast c, actor a where m.mid = c.mid and c.aid = a.aid and a.name = 'N. Kidman'";
+        "select t.name from theatre t where t.region = 'downtown'";
+      ]
+  in
+  Format.printf "The system monitored %d queries. Learning a profile...@.@."
+    (List.length monitored_queries);
+  let learned = Perso.Learn.learn db monitored_queries in
+  Format.printf "== Learned profile ==@.%s@." (Perso.Profile.to_string learned);
+
+  (* Week 2: the user asks the generic question; the learned profile
+     personalizes it. *)
+  let query = Moviedb.Workload.tonight_query () in
+  let outcome =
+    Perso.Personalize.personalize
+      ~params:{ Perso.Personalize.default_params with k = Perso.Criteria.Top_r 4 }
+      db learned query
+  in
+  Format.printf "== Preferences selected for 'what is shown tonight?' ==@.";
+  print_string (Perso.Explain.selection_report outcome.Perso.Personalize.selected);
+  let res = Perso.Personalize.execute db outcome in
+  Format.printf "@.== Ranked answer from the learned profile ==@.";
+  Format.printf "%a@." (Relal.Exec.pp_result ~max_rows:8) res;
+
+  (* The user later states one preference explicitly; explicit degrees
+     survive merging with observations. *)
+  let explicit =
+    Perso.Profile.of_list
+      [
+        ( Perso.Atom.sel "director" "name" (Relal.Value.Str "D. Lynch"),
+          Perso.Degree.of_float 0.95 );
+      ]
+  in
+  let merged = Perso.Learn.merge ~old_profile:explicit ~learned in
+  Format.printf "After merging one explicit preference (D. Lynch, 0.95):@.";
+  let outcome2 = Perso.Personalize.personalize db merged query in
+  print_string (Perso.Explain.selection_report outcome2.Perso.Personalize.selected)

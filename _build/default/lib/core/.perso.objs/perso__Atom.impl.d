@@ -1,0 +1,1 @@
+lib/core/atom.ml: Database Format Printf Relal Schema Sql_ast Stdlib String Table Value

@@ -1,0 +1,1 @@
+lib/core/brute.ml: Atom Conflict Criteria Degree Int List Path Pgraph Qgraph

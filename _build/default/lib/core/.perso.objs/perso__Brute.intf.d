@@ -1,0 +1,1 @@
+lib/core/brute.mli: Criteria Path Pgraph Qgraph Relal

@@ -1,0 +1,1 @@
+lib/core/conflict.ml: Atom Database List Path Qgraph Relal Sql_ast Value

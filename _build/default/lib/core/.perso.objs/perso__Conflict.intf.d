@@ -1,0 +1,1 @@
+lib/core/conflict.mli: Atom Path Qgraph Relal

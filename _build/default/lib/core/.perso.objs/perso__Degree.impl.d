@@ -1,0 +1,1 @@
+lib/core/degree.ml: Float Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/degree.mli: Format

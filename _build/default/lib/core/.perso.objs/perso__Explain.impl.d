@@ -1,0 +1,1 @@
+lib/core/explain.ml: Buffer Degree Format List Path Personalize Printf Relal Select String

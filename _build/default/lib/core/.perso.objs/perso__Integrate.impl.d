@@ -1,0 +1,1 @@
+lib/core/integrate.ml: Atom Buffer Conflict Database Degree Format Hashtbl List Path Printf Putil Qgraph Relal Schema Sql_ast Sql_print String Table Value

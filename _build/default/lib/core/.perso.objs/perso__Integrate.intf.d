@@ -1,0 +1,1 @@
+lib/core/integrate.mli: Degree Path Qgraph Relal

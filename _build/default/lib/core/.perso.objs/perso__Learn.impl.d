@@ -1,0 +1,1 @@
+lib/core/learn.ml: Atom Binder Degree Hashtbl List Option Profile Qgraph Relal Sql_ast

@@ -1,0 +1,1 @@
+lib/core/learn.mli: Atom Profile Relal

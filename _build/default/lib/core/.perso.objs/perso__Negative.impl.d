@@ -1,0 +1,1 @@
+lib/core/negative.ml: Array Binder Criteria Degree Engine Exec Float Hashtbl Integrate List Option Path Pgraph Qgraph Relal Select Sql_ast Value

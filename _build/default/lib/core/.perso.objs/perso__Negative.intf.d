@@ -1,0 +1,1 @@
+lib/core/negative.mli: Criteria Degree Integrate Path Profile Qgraph Relal

@@ -1,0 +1,1 @@
+lib/core/path.ml: Atom Degree Format List Printf String

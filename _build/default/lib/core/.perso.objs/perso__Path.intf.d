@@ -1,0 +1,1 @@
+lib/core/path.mli: Atom Degree Format

@@ -1,0 +1,1 @@
+lib/core/personalize.ml: Binder Criteria Engine Exec Integrate List Path Pgraph Qgraph Relal Select Sql_ast Sql_parser

@@ -1,0 +1,1 @@
+lib/core/personalize.mli: Criteria Integrate Path Profile Relal Select

@@ -1,0 +1,1 @@
+lib/core/pgraph.ml: Atom Degree Format Hashtbl List Option Printf Profile Relal String

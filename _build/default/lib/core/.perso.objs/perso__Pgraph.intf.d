@@ -1,0 +1,1 @@
+lib/core/pgraph.mli: Atom Degree Format Profile

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Atom Degree Format In_channel List Map Out_channel Printf Relal String

@@ -1,0 +1,1 @@
+lib/core/profile_store.ml: Array Atom Database Degree List Printf Profile Relal Schema Sql_lexer Sql_parser String Table Value

@@ -1,0 +1,1 @@
+lib/core/profile_store.mli: Profile Relal

@@ -1,0 +1,1 @@
+lib/core/qgraph.ml: Atom List Relal Sql_ast Sql_print String

@@ -1,0 +1,1 @@
+lib/core/qgraph.mli: Atom Relal

@@ -1,0 +1,1 @@
+lib/core/select.ml: Atom Conflict Criteria Degree List Path Pgraph Putil Qgraph

@@ -1,0 +1,1 @@
+lib/core/semantic.ml: Engine Exec Integrate List Qgraph Relal Sql_ast Value

@@ -1,0 +1,1 @@
+lib/core/semantic.mli: Path Qgraph Relal

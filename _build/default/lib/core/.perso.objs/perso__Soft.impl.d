@@ -1,0 +1,1 @@
+lib/core/soft.ml: Array Degree Engine Exec Float Hashtbl Integrate List Option Path Qgraph Relal Sql_ast String Value

@@ -1,0 +1,1 @@
+lib/core/soft.mli: Degree Integrate Path Qgraph Relal

@@ -1,0 +1,1 @@
+lib/core/topn.ml: Array Degree Engine Exec Hashtbl Integrate List Path Qgraph Relal Sql_ast Value

@@ -1,0 +1,1 @@
+lib/core/topn.mli: Degree Integrate Qgraph Relal

@@ -1,0 +1,130 @@
+open Relal
+
+type selection = {
+  s_rel : string;
+  s_att : string;
+  s_op : Sql_ast.cmp_op;
+  s_val : Value.t;
+}
+
+type join = {
+  j_from_rel : string;
+  j_from_att : string;
+  j_to_rel : string;
+  j_to_att : string;
+}
+
+type t = Sel of selection | Join of join
+
+let lc = String.lowercase_ascii
+
+let sel ?(op = Sql_ast.Eq) rel att v =
+  Sel { s_rel = lc rel; s_att = lc att; s_op = op; s_val = v }
+
+let join (r1, a1) (r2, a2) =
+  Join { j_from_rel = lc r1; j_from_att = lc a1; j_to_rel = lc r2; j_to_att = lc a2 }
+
+let reverse_join j =
+  {
+    j_from_rel = j.j_to_rel;
+    j_from_att = j.j_to_att;
+    j_to_rel = j.j_from_rel;
+    j_to_att = j.j_from_att;
+  }
+
+let equal a b =
+  match (a, b) with
+  | Sel s1, Sel s2 ->
+      s1.s_rel = s2.s_rel && s1.s_att = s2.s_att && s1.s_op = s2.s_op
+      && Value.equal s1.s_val s2.s_val
+  | Join j1, Join j2 -> j1 = j2
+  | _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Sel _, Join _ -> -1
+  | Join _, Sel _ -> 1
+  | Sel s1, Sel s2 ->
+      let c = String.compare s1.s_rel s2.s_rel in
+      if c <> 0 then c
+      else
+        let c = String.compare s1.s_att s2.s_att in
+        if c <> 0 then c
+        else
+          let c = Stdlib.compare s1.s_op s2.s_op in
+          if c <> 0 then c
+          else String.compare (Value.to_string s1.s_val) (Value.to_string s2.s_val)
+  | Join j1, Join j2 -> Stdlib.compare j1 j2
+
+let cmp_str = function
+  | Sql_ast.Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let to_string = function
+  | Sel s ->
+      Printf.sprintf "%s.%s %s %s" (String.uppercase_ascii s.s_rel) s.s_att
+        (cmp_str s.s_op) (Value.to_string s.s_val)
+  | Join j ->
+      Printf.sprintf "%s.%s = %s.%s"
+        (String.uppercase_ascii j.j_from_rel)
+        j.j_from_att
+        (String.uppercase_ascii j.j_to_rel)
+        j.j_to_att
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let validate db t =
+  let check_col rel att =
+    match Database.find_table db rel with
+    | None -> Error (Printf.sprintf "unknown relation %s" rel)
+    | Some tbl -> (
+        match Schema.col_type (Table.schema tbl) att with
+        | None -> Error (Printf.sprintf "unknown attribute %s.%s" rel att)
+        | Some ty -> Ok ty)
+  in
+  match t with
+  | Sel s -> (
+      match check_col s.s_rel s.s_att with
+      | Error e -> Error e
+      | Ok ty -> (
+          match Value.ty_of s.s_val with
+          | None -> Ok () (* NULL comparisons allowed *)
+          | Some vty ->
+              if Value.compatible ty vty then Ok ()
+              else if ty = Value.TDate && vty = Value.TStr then Ok ()
+              else
+                Error
+                  (Printf.sprintf "selection %s: %s column vs %s value"
+                     (to_string t) (Value.ty_name ty) (Value.ty_name vty))))
+  | Join j -> (
+      match (check_col j.j_from_rel j.j_from_att, check_col j.j_to_rel j.j_to_att) with
+      | Error e, _ | _, Error e -> Error e
+      | Ok t1, Ok t2 ->
+          if Value.compatible t1 t2 then Ok ()
+          else
+            Error
+              (Printf.sprintf "join %s: %s vs %s" (to_string t) (Value.ty_name t1)
+                 (Value.ty_name t2)))
+
+let of_pred = function
+  | Sql_ast.P_cmp (op, S_attr a, S_const v) when a.tv <> "" ->
+      Ok (Sel { s_rel = a.tv; s_att = a.col; s_op = op; s_val = v })
+  | Sql_ast.P_cmp (op, S_const v, S_attr a) when a.tv <> "" ->
+      let flip = function
+        | Sql_ast.Eq -> Sql_ast.Eq
+        | Ne -> Ne
+        | Lt -> Gt
+        | Le -> Ge
+        | Gt -> Lt
+        | Ge -> Le
+      in
+      Ok (Sel { s_rel = a.tv; s_att = a.col; s_op = flip op; s_val = v })
+  | Sql_ast.P_cmp (Eq, S_attr a, S_attr b) when a.tv <> "" && b.tv <> "" ->
+      Ok
+        (Join
+           { j_from_rel = a.tv; j_from_att = a.col; j_to_rel = b.tv; j_to_att = b.col })
+  | p -> Error ("not an atomic condition: " ^ Relal.Sql_print.pred_to_string p)

@@ -1,0 +1,46 @@
+let all_selection_paths ?(max_len = 12) db g qg =
+  let out = ref [] in
+  let rec dfs path =
+    if Path.length path < max_len then begin
+      List.iter
+        (fun (atom, d) ->
+          match atom with
+          | Atom.Sel s -> (
+              match Path.extend_sel path s d with
+              | Error _ -> ()
+              | Ok p ->
+                  if not (Conflict.conflicts_with_query db qg p) then
+                    out := p :: !out)
+          | Atom.Join j ->
+              if not (Qgraph.mem_relation qg j.Atom.j_to_rel) then (
+                match Path.extend_join path j d with
+                | Error _ -> ()
+                | Ok p -> dfs p))
+        (Pgraph.out_edges g (Path.end_rel path))
+    end
+  in
+  List.iter
+    (fun (tv, rel) -> dfs (Path.start ~anchor_tv:tv ~anchor_rel:rel))
+    (Qgraph.tvs qg);
+  !out
+
+let select db g qg ci =
+  let candidates = all_selection_paths db g qg in
+  (* Decreasing degree; shorter paths first among equal degrees (the
+     queue's tie-break in the best-first algorithm). *)
+  let sorted =
+    List.stable_sort
+      (fun p1 p2 ->
+        match Degree.compare_desc p1.Path.degree p2.Path.degree with
+        | 0 -> Int.compare (Path.length p1) (Path.length p2)
+        | c -> c)
+      candidates
+  in
+  let rec take acc degrees = function
+    | [] -> List.rev acc
+    | p :: rest ->
+        if Criteria.accepts ci ~current:(List.rev degrees) p.Path.degree then
+          take (p :: acc) (p.Path.degree :: degrees) rest
+        else List.rev acc
+  in
+  take [] [] sorted

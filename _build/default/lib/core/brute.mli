@@ -1,0 +1,19 @@
+(** Brute-force reference implementation of preference selection.
+
+    Exhaustively enumerates (by depth-first search) {e every} acyclic
+    transitive selection attached to the query graph, filters conflicts,
+    sorts by decreasing degree (shorter paths first among ties) and
+    applies the interest criterion greedily — the specification
+    {!Select.select} is tested against (Theorem 2, completeness).
+    Exponential in the profile's join fan-out; for tests and small
+    profiles only. *)
+
+val all_selection_paths :
+  ?max_len:int -> Relal.Database.t -> Pgraph.t -> Qgraph.t -> Path.t list
+(** Every syntactically related, non-conflicting transitive selection of
+    length at most [max_len] (default 12), unsorted. *)
+
+val select :
+  Relal.Database.t -> Pgraph.t -> Qgraph.t -> Criteria.t -> Path.t list
+(** Reference result: sorted candidates cut off by the criterion using
+    the same stop rule as the best-first algorithm. *)

@@ -1,0 +1,35 @@
+open Relal
+
+let joins_all_to_one db joins =
+  List.for_all
+    (fun (j : Atom.join) ->
+      Database.join_is_to_one db
+        ~from_:(j.Atom.j_from_rel, j.Atom.j_from_att)
+        ~to_:(j.Atom.j_to_rel, j.Atom.j_to_att))
+    joins
+
+let sels_contradict (s1 : Atom.selection) (s2 : Atom.selection) =
+  s1.Atom.s_rel = s2.Atom.s_rel
+  && s1.Atom.s_att = s2.Atom.s_att
+  && s1.Atom.s_op = Sql_ast.Eq
+  && s2.Atom.s_op = Sql_ast.Eq
+  && not (Value.equal s1.Atom.s_val s2.Atom.s_val)
+
+let paths_conflict db (p1 : Path.t) (p2 : Path.t) =
+  match (Path.selection p1, Path.selection p2) with
+  | Some (s1, _), Some (s2, _) ->
+      p1.Path.anchor_tv = p2.Path.anchor_tv
+      && Path.join_atoms p1 = Path.join_atoms p2
+      && sels_contradict s1 s2
+      && joins_all_to_one db (Path.join_atoms p1)
+  | _ -> false
+
+let conflicts_with_query db qg (p : Path.t) =
+  match Path.selection p with
+  | None -> false
+  | Some (s, _) ->
+      Path.join_atoms p = []
+      && joins_all_to_one db []
+      && List.exists
+           (fun qs -> sels_contradict s qs)
+           (Qgraph.selections_on qg p.Path.anchor_tv)

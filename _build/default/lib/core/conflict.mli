@@ -1,0 +1,36 @@
+(** Syntactic conflict detection (§5, §6(a)).
+
+    Two conditions are syntactically conflicting when they are comprised
+    of a {e common transitive join} plus atomic equality selections on the
+    {e same attribute} with different values, and every constituent atomic
+    join, in the direction of the selection, is {e to-one}: the chain then
+    pins a single row, which cannot carry two different values.
+
+    Examples over the movie schema:
+    - [THEATRE.region='uptown'] vs [THEATRE.region='downtown'] conflict
+      (no joins; a theatre is in one region);
+    - [PLAY→MOVIE.title='A'] vs [PLAY→MOVIE.title='B'] conflict
+      (PLAY.mid=MOVIE.mid is to-one: one movie per play);
+    - [MOVIE→GENRE.genre='comedy'] vs [MOVIE→GENRE.genre='thriller'] do
+      {e not} conflict (MOVIE.mid=GENRE.mid is to-many: a movie has many
+      genre rows, so both can hold via different tuple variables).
+
+    As in the paper's prototype, conflicts are handled {e pairwise};
+    multi-condition conflicts (the "one movie at a time" example) are out
+    of scope. *)
+
+val joins_all_to_one : Relal.Database.t -> Atom.join list -> bool
+(** Is every join of the chain to-one in the path direction? *)
+
+val paths_conflict : Relal.Database.t -> Path.t -> Path.t -> bool
+(** Pairwise conflict between two candidate preferences: both must be
+    selection paths anchored at the same query tuple variable, with
+    identical join sequences whose joins are all to-one, carrying
+    equality selections on the same attribute with different values. *)
+
+val conflicts_with_query : Relal.Database.t -> Qgraph.t -> Path.t -> bool
+(** Does the path's selection conflict with an atomic selection already
+    in the query's qualification?  A query condition has an empty
+    transitive join, so this triggers exactly for join-free paths whose
+    selection contradicts a query selection on the same tuple
+    variable. *)

@@ -1,0 +1,47 @@
+type t =
+  | Top_r of int
+  | Above of Degree.t
+  | Disj_above of Degree.t
+  | Conj_above of Degree.t
+
+let top_r r =
+  if r < 0 then invalid_arg "Criteria.top_r: negative" else Top_r r
+
+let above d = Above (Degree.of_float d)
+let disj_above d = Disj_above (Degree.of_float d)
+let conj_above d = Conj_above (Degree.of_float d)
+
+let holds c degrees =
+  match c with
+  | Top_r r -> List.length degrees <= r
+  | Above d -> (
+      (* Degrees are decreasing: only the last (smallest) one matters. *)
+      match List.rev degrees with
+      | [] -> true
+      | last :: _ -> Degree.compare last d > 0)
+  | Disj_above d -> (
+      match degrees with
+      | [] -> true
+      | _ -> Degree.compare (Degree.disj degrees) d > 0)
+  | Conj_above d -> (
+      match degrees with
+      | [] -> true
+      | _ -> Degree.compare (Degree.conj degrees) d > 0)
+
+let accepts c ~current d = holds c (current @ [ d ])
+
+let prefix_monotone = function
+  | Top_r _ | Above _ | Disj_above _ -> true
+  | Conj_above _ -> false
+
+let expansion_prunable = function
+  | Top_r _ | Above _ -> true
+  | Disj_above _ | Conj_above _ -> false
+
+let to_string = function
+  | Top_r r -> Printf.sprintf "top %d" r
+  | Above d -> Printf.sprintf "degree > %s" (Degree.to_string d)
+  | Disj_above d -> Printf.sprintf "disjunction degree > %s" (Degree.to_string d)
+  | Conj_above d -> Printf.sprintf "conjunction degree > %s" (Degree.to_string d)
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)

@@ -1,0 +1,36 @@
+type t = float
+
+let of_float_opt f =
+  if Float.is_nan f || f < 0. || f > 1. then None else Some f
+
+let of_float f =
+  match of_float_opt f with
+  | Some d -> d
+  | None -> invalid_arg (Printf.sprintf "Degree.of_float: %g not in [0,1]" f)
+
+let to_float d = d
+let zero = 0.
+let one = 1.
+let equal (a : t) b = a = b
+let compare (a : t) b = Float.compare a b
+let compare_desc (a : t) b = Float.compare b a
+
+let trans ds = List.fold_left (fun acc d -> acc *. d) 1. ds
+let trans2 a b = a *. b
+
+let conj = function
+  | [] -> invalid_arg "Degree.conj: empty"
+  | ds -> 1. -. List.fold_left (fun acc d -> acc *. (1. -. d)) 1. ds
+
+let disj = function
+  | [] -> invalid_arg "Degree.disj: empty"
+  | ds ->
+      List.fold_left (fun acc d -> acc +. d) 0. ds /. float_of_int (List.length ds)
+
+let to_string d =
+  let s = Printf.sprintf "%.4f" d in
+  (* Trim trailing zeros but keep at least one decimal. *)
+  let rec trim i = if i > 3 && s.[i - 1] = '0' then trim (i - 1) else i in
+  String.sub s 0 (trim (String.length s))
+
+let pp fmt d = Format.pp_print_string fmt (to_string d)

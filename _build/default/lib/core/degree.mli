@@ -1,0 +1,55 @@
+(** Degrees of interest and the paper's combination functions (§3).
+
+    A degree of interest is a real number in [\[0,1\]]: 0 means no
+    interest (never stored in a profile), 1 means extreme, "must-have"
+    interest.  Derived preferences combine degrees with three functions:
+
+    - transitive composition (directed path): [trans D = d1·d2·…·dN],
+      which satisfies the required bound [trans D <= min D];
+    - conjunction: [conj D = 1 − (1−d1)(1−d2)…(1−dN)], satisfying
+      [conj D >= max D];
+    - disjunction: [disj D = (d1+…+dN)/N], satisfying
+      [min D <= disj D <= max D].
+
+    The bounds are property-tested in the test suite, as is the paper's
+    subsumption theorem built on them. *)
+
+type t = private float
+(** A validated degree in [\[0,1\]]. *)
+
+val of_float : float -> t
+(** @raise Invalid_argument if outside [\[0,1\]] or NaN. *)
+
+val of_float_opt : float -> t option
+
+val to_float : t -> float
+
+val zero : t
+val one : t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(* Decreasing order — the order profiles, queues and selected preference
+   lists use throughout. *)
+val compare_desc : t -> t -> int
+
+val trans : t list -> t
+(** Degree of a transitive preference: product of the members.
+    [trans [] = one] (empty path = the anchor itself). *)
+
+val trans2 : t -> t -> t
+(** Binary case, used by incremental path expansion. *)
+
+val conj : t list -> t
+(** Degree of a conjunctive preference: [1 − Π(1−dᵢ)].
+    @raise Invalid_argument on an empty list. *)
+
+val disj : t list -> t
+(** Degree of a disjunctive preference: arithmetic mean.
+    @raise Invalid_argument on an empty list. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints with up to 4 significant decimals, e.g. [0.943]. *)
+
+val to_string : t -> string

@@ -1,0 +1,339 @@
+open Relal
+
+exception Integration_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Integration_error s)) fmt
+
+type instantiated = {
+  path : Path.t;
+  index : int;
+  pred : Sql_ast.pred;
+  trefs : Sql_ast.table_ref list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Tuple-variable allocation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let alias_base rel =
+  (* "directed" -> "dd"-style two-letter base, like the paper's examples
+     (MV, PL, GN, CA, AC, DD, DI). *)
+  if String.length rel >= 2 then String.sub rel 0 2 else rel
+
+let instantiate db qg paths =
+  let used = Hashtbl.create 16 in
+  List.iter (fun (tv, _) -> Hashtbl.replace used tv ()) (Qgraph.tvs qg);
+  let fresh rel =
+    let a =
+      Sql_ast.fresh_alias ~used:(fun c -> Hashtbl.mem used c) (alias_base rel)
+    in
+    Hashtbl.replace used a ();
+    a
+  in
+  (* Cache of shared to-one prefixes: key is the anchor tv plus the join
+     chain rendered textually. *)
+  let shared : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  List.mapi
+    (fun index path ->
+      let preds = ref [] in
+      let trefs = ref [] in
+      let current_tv = ref path.Path.anchor_tv in
+      let all_to_one = ref true in
+      let prefix = Buffer.create 32 in
+      Buffer.add_string prefix path.Path.anchor_tv;
+      List.iter
+        (fun ((j : Atom.join), _) ->
+          let to_one =
+            Database.join_is_to_one db
+              ~from_:(j.Atom.j_from_rel, j.Atom.j_from_att)
+              ~to_:(j.Atom.j_to_rel, j.Atom.j_to_att)
+          in
+          all_to_one := !all_to_one && to_one;
+          Buffer.add_string prefix ("|" ^ Atom.to_string (Join j));
+          let target_tv, is_new =
+            if !all_to_one then begin
+              let key = Buffer.contents prefix in
+              match Hashtbl.find_opt shared key with
+              | Some tv -> (tv, false)
+              | None ->
+                  let tv = fresh j.Atom.j_to_rel in
+                  Hashtbl.add shared key tv;
+                  (tv, true)
+            end
+            else (fresh j.Atom.j_to_rel, true)
+          in
+          if is_new then
+            trefs := { Sql_ast.rel = j.Atom.j_to_rel; alias = target_tv } :: !trefs
+          else
+            (* Shared variable: the tref must still be attached to this
+               instantiation so FROM collection remains per-preference. *)
+            trefs := { Sql_ast.rel = j.Atom.j_to_rel; alias = target_tv } :: !trefs;
+          preds :=
+            Sql_ast.P_cmp
+              ( Eq,
+                S_attr (Sql_ast.attr !current_tv j.Atom.j_from_att),
+                S_attr (Sql_ast.attr target_tv j.Atom.j_to_att) )
+            :: !preds;
+          current_tv := target_tv)
+        path.Path.joins;
+      (match path.Path.sel with
+      | None -> ()
+      | Some ((s : Atom.selection), _) ->
+          let v =
+            (* Dates in profiles are stored as strings; align with the
+               binder's coercion. *)
+            match s.Atom.s_val with
+            | Value.Str str as orig -> (
+                match Database.find_table db s.Atom.s_rel with
+                | Some t
+                  when Schema.col_type (Table.schema t) s.Atom.s_att
+                       = Some Value.TDate -> (
+                    match Value.parse_date str with Some d -> d | None -> orig)
+                | _ -> orig)
+            | v -> v
+          in
+          preds :=
+            Sql_ast.P_cmp
+              (s.Atom.s_op, S_attr (Sql_ast.attr !current_tv s.Atom.s_att), S_const v)
+            :: !preds);
+      { path; index; pred = Sql_ast.conj (List.rev !preds); trefs = List.rev !trefs })
+    paths
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let split_mandatory ~m prefs degree_of =
+  match m with
+  | `Count m ->
+      let rec go i acc = function
+        | rest when i = m -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | p :: rest -> go (i + 1) (p :: acc) rest
+      in
+      go 0 [] prefs
+  | `Min_degree d ->
+      List.partition (fun p -> Degree.to_float (degree_of p) >= d) prefs
+
+let dedup_conjuncts preds =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      let key = Sql_print.pred_to_string p in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    preds
+
+let dedup_trefs (trefs : Sql_ast.table_ref list) =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun (r : Sql_ast.table_ref) ->
+      if Hashtbl.mem seen r.Sql_ast.alias then false
+      else begin
+        Hashtbl.add seen r.Sql_ast.alias ();
+        true
+      end)
+    trefs
+
+let check_projection (q : Sql_ast.query) =
+  List.iter
+    (function
+      | Sql_ast.Sel_attr _ -> ()
+      | _ -> err "personalizable queries must project plain attributes")
+    q.Sql_ast.select
+
+(* Output names of the original projection, uniquified for use as the
+   derived-table columns of MQ. *)
+let uniquified_outputs (q : Sql_ast.query) =
+  let names = Sql_ast.select_output_names q in
+  let seen = Hashtbl.create 8 in
+  List.map
+    (fun n ->
+      match Hashtbl.find_opt seen n with
+      | None ->
+          Hashtbl.add seen n 1;
+          n
+      | Some k ->
+          Hashtbl.replace seen n (k + 1);
+          Printf.sprintf "%s_%d" n (k + 1))
+    names
+
+let conflicting_pair db p1 p2 = Conflict.paths_conflict db p1.path p2.path
+
+(* ------------------------------------------------------------------ *)
+(* SQ                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sq db qg ~mandatory ~optional ~l =
+  let q0 = Qgraph.query qg in
+  check_projection q0;
+  if l < 0 then err "SQ: negative L";
+  if l > List.length optional then
+    err "SQ: L = %d exceeds the %d optional preferences" l (List.length optional);
+  let mandatory_ok =
+    not
+      (List.exists
+         (fun (a, b) -> conflicting_pair db a b)
+         (Putil.Combin.pairs mandatory))
+  in
+  let combos =
+    if l = 0 then []
+    else
+      Putil.Combin.subsets optional l
+      |> List.filter (fun combo ->
+             not
+               (List.exists
+                  (fun (a, b) -> conflicting_pair db a b)
+                  (Putil.Combin.pairs combo)))
+  in
+  if l > 0 && combos = [] then
+    err "SQ: every %d-combination of the optional preferences conflicts" l;
+  let used_opt =
+    if l = 0 then []
+    else
+      let seen = Hashtbl.create 16 in
+      List.concat_map
+        (fun combo ->
+          List.filter
+            (fun inst ->
+              if Hashtbl.mem seen inst.index then false
+              else begin
+                Hashtbl.add seen inst.index ();
+                true
+              end)
+            combo)
+        combos
+  in
+  let disjunction =
+    if l = 0 then Sql_ast.P_true
+    else
+      Sql_ast.disj
+        (List.map
+           (fun combo ->
+             Sql_ast.conj (dedup_conjuncts (List.map (fun i -> i.pred) combo)))
+           combos)
+  in
+  let where =
+    if not mandatory_ok then Sql_ast.P_false
+    else
+      Sql_ast.conj
+        (dedup_conjuncts
+           (Sql_ast.conjuncts q0.Sql_ast.where
+           @ List.map (fun i -> i.pred) mandatory
+           @ [ disjunction ]))
+  in
+  let extra_trefs =
+    dedup_trefs (List.concat_map (fun i -> i.trefs) (mandatory @ used_opt))
+  in
+  {
+    q0 with
+    Sql_ast.distinct = true;
+    from = q0.Sql_ast.from @ List.map (fun r -> Sql_ast.F_rel r) extra_trefs;
+    where;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* MQ                                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let base_plus_mandatory db qg ~mandatory =
+  let q0 = Qgraph.query qg in
+  let mandatory_ok =
+    not
+      (List.exists
+         (fun (a, b) -> conflicting_pair db a b)
+         (Putil.Combin.pairs mandatory))
+  in
+  let where =
+    if not mandatory_ok then Sql_ast.P_false
+    else
+      Sql_ast.conj
+        (dedup_conjuncts
+           (Sql_ast.conjuncts q0.Sql_ast.where @ List.map (fun i -> i.pred) mandatory))
+  in
+  let extra = dedup_trefs (List.concat_map (fun i -> i.trefs) mandatory) in
+  {
+    q0 with
+    Sql_ast.distinct = true;
+    from = q0.Sql_ast.from @ List.map (fun r -> Sql_ast.F_rel r) extra;
+    where;
+  }
+
+let mq ?(rank = true) db qg ~mandatory ~optional ~l () =
+  let q0 = Qgraph.query qg in
+  check_projection q0;
+  (match l with
+  | `At_least n when n < 0 -> err "MQ: negative L"
+  | `At_least n when n > List.length optional && optional <> [] ->
+      err "MQ: L = %d exceeds the %d optional preferences" n (List.length optional)
+  | _ -> ());
+  match (optional, l) with
+  | [], _ | _, `At_least 0 ->
+      (* Degenerate: nothing optional to require. *)
+      base_plus_mandatory db qg ~mandatory
+  | _ ->
+      let out_names = uniquified_outputs q0 in
+      let proj_attrs =
+        List.map
+          (function
+            | Sql_ast.Sel_attr (a, _) -> a
+            | _ -> err "personalizable queries must project plain attributes")
+          q0.Sql_ast.select
+      in
+      let partial inst =
+        let select =
+          List.map2
+            (fun a name -> Sql_ast.Sel_attr (a, Some name))
+            proj_attrs out_names
+          @ [
+              Sql_ast.Sel_const
+                (Value.Float (Degree.to_float inst.path.Path.degree), "doi");
+              Sql_ast.Sel_const (Value.Int inst.index, "pref");
+            ]
+        in
+        let where =
+          Sql_ast.conj
+            (dedup_conjuncts
+               (Sql_ast.conjuncts q0.Sql_ast.where
+               @ List.map (fun i -> i.pred) mandatory
+               @ [ inst.pred ]))
+        in
+        let extra =
+          dedup_trefs (List.concat_map (fun i -> i.trefs) (mandatory @ [ inst ]))
+        in
+        Sql_ast.C_single
+          {
+            q0 with
+            Sql_ast.distinct = true;
+            select;
+            from = q0.Sql_ast.from @ List.map (fun r -> Sql_ast.F_rel r) extra;
+            where;
+            order_by = [];
+            limit = None;
+          }
+      in
+      let union = Sql_ast.C_union_all (List.map partial optional) in
+      let t = "temp" in
+      let group_by = List.map (fun n -> Sql_ast.attr t n) out_names in
+      let doi_agg =
+        Sql_ast.A_doi_conj (Sql_ast.attr t "doi", Sql_ast.attr t "pref")
+      in
+      let having =
+        match l with
+        | `At_least n ->
+            Sql_ast.H_cmp (Ge, H_agg Sql_ast.A_count_star, H_const (Value.Int n))
+        | `Min_doi d ->
+            Sql_ast.H_cmp (Gt, H_agg doi_agg, H_const (Value.Float d))
+      in
+      let select =
+        List.map (fun n -> Sql_ast.Sel_attr (Sql_ast.attr t n, Some n)) out_names
+        @ (if rank then [ Sql_ast.Sel_agg (doi_agg, "doi") ] else [])
+      in
+      Sql_ast.query ~distinct:false ~group_by ~having
+        ~order_by:(if rank then [ (Sql_ast.O_alias "doi", Sql_ast.Desc) ] else [])
+        ~select
+        ~from:[ Sql_ast.F_derived (union, t) ]
+        ~where:Sql_ast.P_true ()

@@ -1,0 +1,83 @@
+(** Preference integration (§6): build the personalized query.
+
+    Given the original query [Q], the selected preferences [P_K] (in
+    decreasing degree order), the number [M] of mandatory preferences and
+    the requirement [L] on the remaining [K−M], two equivalent
+    constructions are offered:
+
+    - {b SQ} (single query): one qualification — the original one, AND
+      the conjunction of the mandatory conditions, AND the disjunction of
+      all [C(K−M, L)] conjunctions of [L] optional conditions.
+      Conjunctions containing pairwise-conflicting conditions are
+      excluded (§6(a)); repeated conditions are removed; the result uses
+      [SELECT DISTINCT].
+    - {b MQ} (multiple queries): one partial query per optional
+      preference ([Q] AND mandatory AND that preference, [SELECT
+      DISTINCT], plus constant columns [doi] — the preference's degree —
+      and [pref] — its index), combined with [UNION ALL] in a derived
+      table, grouped by the original projection, kept when
+      [count( * ) >= L] — or, alternatively, when
+      [DEGREE_OF_CONJUNCTION(doi, pref) > d] — and optionally ranked by
+      that aggregate, descending (the paper's result-ranking mechanism).
+
+    Tuple variables (§6(b)): each preference path is instantiated once
+    with fresh tuple variables; a path prefix whose joins are all to-one
+    is shared between paths (sharing is forced there), and variables
+    branch at the first to-many join — "as close as possible to the start
+    of the paths". *)
+
+type instantiated = {
+  path : Path.t;
+  index : int;  (** position in [P_K]; the MQ [pref] identifier *)
+  pred : Relal.Sql_ast.pred;
+      (** the transitive condition over concrete tuple variables *)
+  trefs : Relal.Sql_ast.table_ref list;
+      (** table refs the condition introduces beyond the query's own *)
+}
+
+val instantiate :
+  Relal.Database.t -> Qgraph.t -> Path.t list -> instantiated list
+(** Allocate tuple variables for each selected path (with forced sharing
+    of to-one prefixes) and render its condition. *)
+
+val split_mandatory :
+  m:[ `Count of int | `Min_degree of float ] ->
+  'a list ->
+  ('a -> Degree.t) ->
+  'a list * 'a list
+(** Split a degree-decreasing preference list into (mandatory, optional):
+    [`Count m] takes the top [m]; [`Min_degree d] takes the prefix with
+    degree ≥ [d] (e.g. 1.0 for the paper's "degree equal to 1 means
+    mandatory" criterion). *)
+
+exception Integration_error of string
+
+val sq :
+  Relal.Database.t ->
+  Qgraph.t ->
+  mandatory:instantiated list ->
+  optional:instantiated list ->
+  l:int ->
+  Relal.Sql_ast.query
+(** The SQ personalized query.  [l = 0] yields [Q] AND the mandatory
+    conditions.  @raise Integration_error if [l] exceeds the number of
+    optional preferences or the projection is not attribute-only. *)
+
+val mq :
+  ?rank:bool ->
+  Relal.Database.t ->
+  Qgraph.t ->
+  mandatory:instantiated list ->
+  optional:instantiated list ->
+  l:[ `At_least of int | `Min_doi of float ] ->
+  unit ->
+  Relal.Sql_ast.query
+(** The MQ personalized query.  [rank] (default [true]) adds the
+    [DEGREE_OF_CONJUNCTION] output column and the descending ORDER BY.
+    With no optional preferences (or [`At_least 0]) the result degrades
+    to [Q] AND the mandatory conditions, as in SQ.
+    @raise Integration_error as for {!sq}. *)
+
+val dedup_conjuncts : Relal.Sql_ast.pred list -> Relal.Sql_ast.pred list
+(** Structural de-duplication preserving first occurrence — "any repeated
+    conditions are removed" (§6). *)

@@ -1,0 +1,77 @@
+open Relal
+
+type config = {
+  smoothing : float;
+  floor : float;
+  ceil : float;
+  min_count : int;
+}
+
+let default = { smoothing = 2.0; floor = 0.1; ceil = 0.95; min_count = 1 }
+
+let observe db q =
+  match Binder.bind db q with
+  | exception Binder.Bind_error e -> Error e
+  | bound -> (
+      match Qgraph.of_query db bound with
+      | exception Qgraph.Not_conjunctive e -> Error e
+      | qg ->
+          let rel_of tv =
+            match Qgraph.rel_of_tv qg tv with Some r -> r | None -> tv
+          in
+          let sels =
+            List.filter_map
+              (fun (_, (s : Atom.selection)) ->
+                (* Only equality selections are stored preferences in the
+                   paper's model. *)
+                if s.Atom.s_op = Sql_ast.Eq then Some (Atom.Sel s) else None)
+              (Qgraph.all_selections qg)
+          in
+          let joins =
+            List.filter_map
+              (fun p ->
+                match p with
+                | Sql_ast.P_cmp (Eq, S_attr a, S_attr b)
+                  when a.Sql_ast.tv <> b.Sql_ast.tv ->
+                    Some
+                      (Atom.join
+                         (rel_of a.Sql_ast.tv, a.Sql_ast.col)
+                         (rel_of b.Sql_ast.tv, b.Sql_ast.col))
+                | _ -> None)
+              (Sql_ast.conjuncts bound.Sql_ast.where)
+          in
+          Ok (sels @ joins))
+
+let learn ?(config = default) db log =
+  let counts : (Atom.t, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun q ->
+      match observe db q with
+      | Error _ -> ()
+      | Ok atoms ->
+          List.iter
+            (fun a ->
+              Hashtbl.replace counts a
+                (1 + Option.value ~default:0 (Hashtbl.find_opt counts a)))
+            atoms)
+    log;
+  Hashtbl.fold
+    (fun atom c acc ->
+      if c < config.min_count then acc
+      else begin
+        let saturating = float_of_int c /. (float_of_int c +. config.smoothing) in
+        let d = config.floor +. ((config.ceil -. config.floor) *. saturating) in
+        match Degree.of_float_opt d with
+        | Some deg when not (Degree.equal deg Degree.zero) ->
+            Profile.add acc atom deg
+        | _ -> acc
+      end)
+    counts Profile.empty
+
+let merge ~old_profile ~learned =
+  List.fold_left
+    (fun acc (atom, d) ->
+      match Profile.find acc atom with
+      | Some existing when Degree.compare existing d >= 0 -> acc
+      | _ -> Profile.add acc atom d)
+    old_profile (Profile.entries learned)

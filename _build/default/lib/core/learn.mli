@@ -1,0 +1,53 @@
+(** Implicit profile creation from query logs.
+
+    The paper's architecture (Figure 1) includes a {e Profile Creation}
+    module that collects preferences "implicitly by monitoring user
+    interaction with the system"; its construction is listed as future
+    work (§8: "the automatic construction of structured profiles").
+
+    This module implements the natural frequency-based learner: every
+    atomic condition a user writes into her queries is evidence of
+    interest.  Over a log of conjunctive queries we count, per atomic
+    element,
+    - equality selections (a direct statement of interest in a value),
+    - join conditions, in the direction the query used them (the relation
+      listed first is the one "already there" — matching the paper's
+      directed-join semantics);
+    and convert counts to degrees with the saturating map
+    [d = c / (c + smoothing)], so one-off conditions get modest degrees
+    and recurring ones approach (but never reach) 1.  Degrees are then
+    scaled into [\[floor, ceil\]].
+
+    The learned profile feeds straight into {!Personalize.personalize} —
+    there is no representational gap between learned and hand-written
+    profiles, which is the point of the paper's atomic-preference
+    format. *)
+
+type config = {
+  smoothing : float;  (** half-saturation count; default 2.0 *)
+  floor : float;  (** minimum emitted degree; default 0.1 *)
+  ceil : float;  (** maximum emitted degree; default 0.95 *)
+  min_count : int;  (** ignore atoms seen fewer times; default 1 *)
+}
+
+val default : config
+
+val observe :
+  Relal.Database.t -> Relal.Sql_ast.query -> (Atom.t list, string) result
+(** The atomic elements of one (bindable, conjunctive) query: equality
+    selections and directed joins.  Errors mirror binder /
+    {!Qgraph.Not_conjunctive} failures so callers can skip unparseable
+    log entries. *)
+
+val learn :
+  ?config:config ->
+  Relal.Database.t ->
+  Relal.Sql_ast.query list ->
+  Profile.t
+(** Build a profile from a query log, silently skipping queries that do
+    not bind or are not conjunctive. *)
+
+val merge : old_profile:Profile.t -> learned:Profile.t -> Profile.t
+(** Combine an existing profile with newly learned preferences: atoms in
+    both keep the {e maximum} of the two degrees (explicit statements are
+    never weakened by observation); atoms in either survive. *)

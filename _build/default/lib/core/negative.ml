@@ -1,0 +1,102 @@
+open Relal
+
+type scored_row = {
+  row : Value.t array;
+  positive : Degree.t;
+  penalty : float;
+  score : float;
+}
+
+module KH = Hashtbl.Make (struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1)) in
+    go 0
+
+  let hash a = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 a
+end)
+
+(* One partial query for an instantiated condition: the original query
+   plus that condition, DISTINCT over the original projection. *)
+let partial db qg inst =
+  ignore db;
+  let q0 = Qgraph.query qg in
+  {
+    q0 with
+    Sql_ast.distinct = true;
+    from =
+      q0.Sql_ast.from
+      @ List.map (fun r -> Sql_ast.F_rel r) inst.Integrate.trefs;
+    where =
+      Sql_ast.conj
+        (Integrate.dedup_conjuncts
+           (Sql_ast.conjuncts q0.Sql_ast.where @ [ inst.Integrate.pred ]));
+    order_by = [];
+    limit = None;
+  }
+
+let accumulate db qg insts =
+  let acc : Degree.t list KH.t = KH.create 64 in
+  List.iter
+    (fun inst ->
+      let res = Engine.run_query db (partial db qg inst) in
+      List.iter
+        (fun row ->
+          KH.replace acc row
+            (inst.Integrate.path.Path.degree
+            :: Option.value ~default:[] (KH.find_opt acc row)))
+        res.Exec.rows)
+    insts;
+  acc
+
+let rank ?(l = 1) db qg ~likes ~dislikes () =
+  let pos = accumulate db qg likes in
+  let neg = accumulate db qg dislikes in
+  let rows =
+    KH.fold
+      (fun row pos_degs acc ->
+        if List.length pos_degs < l then acc
+        else begin
+          let positive = Degree.conj pos_degs in
+          let penalty =
+            match KH.find_opt neg row with
+            | None | Some [] -> 0.
+            | Some neg_degs -> Degree.to_float (Degree.conj neg_degs)
+          in
+          if penalty >= 1. then acc (* hard veto *)
+          else begin
+            let score = Degree.to_float positive *. (1. -. penalty) in
+            { row; positive; penalty; score } :: acc
+          end
+        end)
+      pos []
+  in
+  List.sort
+    (fun a b ->
+      match Float.compare b.score a.score with
+      | 0 ->
+          compare
+            (Array.map Value.to_string a.row)
+            (Array.map Value.to_string b.row)
+      | c -> c)
+    rows
+
+type outcome = {
+  liked : Path.t list;
+  disliked : Path.t list;
+  rows : scored_row list;
+}
+
+let personalize ?(k = Criteria.Top_r 5) ?(k_neg = Criteria.Top_r 5) ?l db ~likes
+    ~dislikes q =
+  let q = Binder.bind db q in
+  let qg = Qgraph.of_query db q in
+  let liked = Select.select db (Pgraph.of_profile likes) qg k in
+  let disliked = Select.select db (Pgraph.of_profile dislikes) qg k_neg in
+  let like_insts = Integrate.instantiate db qg liked in
+  let dislike_insts = Integrate.instantiate db qg disliked in
+  let rows = rank ?l db qg ~likes:like_insts ~dislikes:dislike_insts () in
+  { liked; disliked; rows }

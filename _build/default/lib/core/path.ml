@@ -1,0 +1,81 @@
+type t = {
+  anchor_tv : string;
+  anchor_rel : string;
+  joins : (Atom.join * Degree.t) list;
+  sel : (Atom.selection * Degree.t) option;
+  degree : Degree.t;
+  rels : string list;
+}
+
+let start ~anchor_tv ~anchor_rel =
+  let anchor_rel = String.lowercase_ascii anchor_rel in
+  {
+    anchor_tv = String.lowercase_ascii anchor_tv;
+    anchor_rel;
+    joins = [];
+    sel = None;
+    degree = Degree.one;
+    rels = [ anchor_rel ];
+  }
+
+let end_rel t =
+  match t.sel with
+  | Some (s, _) -> s.Atom.s_rel
+  | None -> (
+      match t.rels with last :: _ -> last | [] -> t.anchor_rel)
+
+(* rels is kept most-recent-first. *)
+let visits t rel = List.mem (String.lowercase_ascii rel) t.rels
+
+let extend_join t (j : Atom.join) d =
+  if t.sel <> None then Error "path already terminated by a selection"
+  else if j.Atom.j_from_rel <> end_rel t then
+    Error
+      (Printf.sprintf "join %s does not start at path end %s" (Atom.to_string (Join j))
+         (end_rel t))
+  else if visits t j.Atom.j_to_rel then
+    Error (Printf.sprintf "cycle: relation %s already on path" j.Atom.j_to_rel)
+  else
+    Ok
+      {
+        t with
+        joins = t.joins @ [ (j, d) ];
+        degree = Degree.trans2 t.degree d;
+        rels = j.Atom.j_to_rel :: t.rels;
+      }
+
+let extend_sel t (s : Atom.selection) d =
+  if t.sel <> None then Error "path already terminated by a selection"
+  else if s.Atom.s_rel <> end_rel t then
+    Error
+      (Printf.sprintf "selection %s is not on path end %s"
+         (Atom.to_string (Sel s)) (end_rel t))
+  else Ok { t with sel = Some (s, d); degree = Degree.trans2 t.degree d }
+
+let is_selection t = t.sel <> None
+let length t = List.length t.joins + match t.sel with Some _ -> 1 | None -> 0
+
+let atoms t =
+  List.map (fun (j, d) -> (Atom.Join j, d)) t.joins
+  @ match t.sel with Some (s, d) -> [ (Atom.Sel s, d) ] | None -> []
+
+let join_atoms t = List.map fst t.joins
+let selection t = t.sel
+
+let equal a b =
+  a.anchor_tv = b.anchor_tv
+  && a.anchor_rel = b.anchor_rel
+  && List.length a.joins = List.length b.joins
+  && List.for_all2 (fun (j1, _) (j2, _) -> j1 = j2) a.joins b.joins
+  && (match (a.sel, b.sel) with
+     | None, None -> true
+     | Some (s1, _), Some (s2, _) -> Atom.equal (Sel s1) (Sel s2)
+     | _ -> false)
+
+let to_condition_string t =
+  let parts = List.map (fun (a, _) -> Atom.to_string a) (atoms t) in
+  match parts with [] -> "TRUE" | _ -> String.concat " and " parts
+
+let pp fmt t =
+  Format.fprintf fmt "%s  [doi %s, via %s]" (to_condition_string t)
+    (Degree.to_string t.degree) t.anchor_tv

@@ -1,0 +1,64 @@
+(** Transitive preferences as directed paths (§3.2).
+
+    A candidate preference under construction is a directed acyclic path
+    in the personalization graph that begins at a tuple variable of the
+    query graph (its {e anchor}) and expands outward: zero or more
+    composable join edges, optionally terminated by one selection edge.
+    A path ending in a selection is a {e transitive selection} — the only
+    kind the selection algorithm outputs; a path of joins only is a
+    {e transitive join}, an intermediate candidate.
+
+    The degree of interest of a path is the product of its constituent
+    atomic degrees ([Degree.trans]); it therefore only decreases as the
+    path grows — the monotonicity Theorem 1's proof rests on. *)
+
+type t = private {
+  anchor_tv : string;  (** query tuple variable the path attaches to *)
+  anchor_rel : string;  (** the relation that tuple variable ranges over *)
+  joins : (Atom.join * Degree.t) list;  (** in path order *)
+  sel : (Atom.selection * Degree.t) option;
+  degree : Degree.t;  (** product of constituent degrees *)
+  rels : string list;  (** relations visited, anchor first *)
+}
+
+val start : anchor_tv:string -> anchor_rel:string -> t
+(** Empty path at a query node; degree 1, no atoms. *)
+
+val extend_join : t -> Atom.join -> Degree.t -> (t, string) result
+(** Append a composable join edge.  Errors when the path already ends in
+    a selection, the edge's source relation is not the path's end, or the
+    edge's target relation is already on the path (cycle — §3.2 forbids
+    cyclic transitive preferences). *)
+
+val extend_sel : t -> Atom.selection -> Degree.t -> (t, string) result
+(** Terminate with a selection edge on the path's end relation.  Errors
+    when already terminated or on a relation mismatch. *)
+
+val is_selection : t -> bool
+(** Ends in a selection edge (an outputtable transitive selection). *)
+
+val end_rel : t -> string
+(** The relation the path currently ends at. *)
+
+val length : t -> int
+(** Number of atomic elements (joins + selection). *)
+
+val visits : t -> string -> bool
+(** Does the path pass through the given relation (anchor included)? *)
+
+val atoms : t -> (Atom.t * Degree.t) list
+(** Constituent atoms in order. *)
+
+val join_atoms : t -> Atom.join list
+
+val selection : t -> (Atom.selection * Degree.t) option
+
+val equal : t -> t -> bool
+(** Structural equality (anchor, atoms). *)
+
+val to_condition_string : t -> string
+(** The transitive query element as a SQL-ish conjunction, e.g.
+    ["MOVIE.mid = GENRE.mid and GENRE.genre = 'comedy'"]. *)
+
+val pp : Format.formatter -> t -> unit
+(** [to_condition_string] plus the degree. *)

@@ -1,0 +1,89 @@
+open Relal
+
+type params = {
+  k : Criteria.t;
+  m : [ `Count of int | `Min_degree of float ];
+  l : [ `At_least of int | `Min_doi of float ];
+  method_ : [ `SQ | `MQ ];
+  rank : bool;
+}
+
+let default_params =
+  { k = Criteria.Top_r 5; m = `Count 0; l = `At_least 1; method_ = `MQ; rank = true }
+
+type outcome = {
+  selected : Path.t list;
+  mandatory : Integrate.instantiated list;
+  optional : Integrate.instantiated list;
+  personalized : Sql_ast.query;
+  selection_stats : Select.stats;
+}
+
+let personalize ?(params = default_params) ?related db profile q =
+  let q = Binder.bind db q in
+  let qg = Qgraph.of_query db q in
+  let g = Pgraph.of_profile profile in
+  let stats = Select.fresh_stats () in
+  let selected = Select.select ~stats ?related db g qg params.k in
+  let instantiated = Integrate.instantiate db qg selected in
+  let mandatory, optional =
+    Integrate.split_mandatory ~m:params.m instantiated (fun i ->
+        i.Integrate.path.Path.degree)
+  in
+  (* Clamp L to the available optional preferences so interactive callers
+     get the best achievable requirement rather than an error. *)
+  let personalized =
+    match params.method_ with
+    | `SQ ->
+        let l =
+          match params.l with
+          | `At_least n -> min n (List.length optional)
+          | `Min_doi _ ->
+              invalid_arg "SQ integration does not support a minimum-degree L"
+        in
+        Integrate.sq db qg ~mandatory ~optional ~l
+    | `MQ ->
+        let l =
+          match params.l with
+          | `At_least n -> `At_least (min n (List.length optional))
+          | `Min_doi d -> `Min_doi d
+        in
+        Integrate.mq ~rank:params.rank db qg ~mandatory ~optional ~l ()
+  in
+  { selected; mandatory; optional; personalized; selection_stats = stats }
+
+let execute ?strategy db outcome = Engine.run_query ?strategy db outcome.personalized
+
+let personalize_sql ?params db profile sql =
+  let q = Sql_parser.parse sql in
+  let outcome = personalize ?params db profile q in
+  (outcome, execute db outcome)
+
+let top_n ?strategy ~n db outcome =
+  let res = execute ?strategy db outcome in
+  { res with Exec.rows = List.filteri (fun i _ -> i < n) res.Exec.rows }
+
+module Context = struct
+  type device = Mobile | Desktop | Voice
+
+  type t = { device : device; latency_budget_ms : float option }
+
+  let params_for t =
+    let base =
+      match t.device with
+      | Mobile -> { default_params with k = Criteria.Top_r 3 }
+      | Desktop -> { default_params with k = Criteria.Top_r 10 }
+      | Voice ->
+          {
+            default_params with
+            k = Criteria.Top_r 2;
+            l = `Min_doi 0.5;
+          }
+    in
+    match t.latency_budget_ms with
+    | Some ms when ms < 50. -> (
+        match base.k with
+        | Criteria.Top_r r -> { base with k = Criteria.Top_r (max 1 (r / 2)) }
+        | _ -> base)
+    | _ -> base
+end

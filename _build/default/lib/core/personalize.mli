@@ -1,0 +1,94 @@
+(** End-to-end query personalization (§4): the two-phase pipeline
+    — preference selection then preference integration — behind one
+    call.
+
+    Parameters follow the paper: an interest criterion determining [K]
+    (how many top preferences affect the query), a criterion for [M]
+    (how many of those are mandatory) and the requirement [L] on the
+    remaining [K−M] (a count, or a minimum degree of interest per result
+    row).  The {!Context} submodule derives parameter sets from a query
+    context (device, desired latency), the §4 discussion. *)
+
+type params = {
+  k : Criteria.t;  (** interest criterion bounding the selection *)
+  m : [ `Count of int | `Min_degree of float ];
+      (** mandatory split; the paper's example: degree = 1 means
+          mandatory *)
+  l : [ `At_least of int | `Min_doi of float ];
+      (** requirement on optional preferences *)
+  method_ : [ `SQ | `MQ ];  (** integration approach (§6) *)
+  rank : bool;  (** rank results by estimated degree (MQ only) *)
+}
+
+val default_params : params
+(** K: top 5; M: none; L: at least 1; MQ with ranking — sensible
+    interactive defaults. *)
+
+type outcome = {
+  selected : Path.t list;  (** [P_K], decreasing degree *)
+  mandatory : Integrate.instantiated list;
+  optional : Integrate.instantiated list;
+  personalized : Relal.Sql_ast.query;
+  selection_stats : Select.stats;
+}
+
+val personalize :
+  ?params:params ->
+  ?related:(Path.t -> bool) ->
+  Relal.Database.t ->
+  Profile.t ->
+  Relal.Sql_ast.query ->
+  outcome
+(** Bind the query, run preference selection against the profile's
+    personalization graph, and integrate.  The input query must be a
+    conjunctive SPJ query ({!Qgraph.Not_conjunctive} otherwise).
+    [related] is the selection algorithm's relatedness filter — pass
+    [Semantic.instance_related db qg] for semantic-level selection (the
+    facade builds the query graph itself, so the curried form
+    [fun p -> Semantic.instance_related db (Qgraph.of_query db q) p]
+    with a pre-bound [q] is the usual shape). *)
+
+val execute :
+  ?strategy:[ `Auto | `Naive | `Cost ] ->
+  Relal.Database.t ->
+  outcome ->
+  Relal.Exec.result
+(** Run the personalized query.  With [rank = true] the result carries a
+    final [doi] column and rows arrive most-interesting first. *)
+
+val personalize_sql :
+  ?params:params ->
+  Relal.Database.t ->
+  Profile.t ->
+  string ->
+  outcome * Relal.Exec.result
+(** Convenience: parse SQL text, personalize, execute. *)
+
+val top_n :
+  ?strategy:[ `Auto | `Naive | `Cost ] ->
+  n:int ->
+  Relal.Database.t ->
+  outcome ->
+  Relal.Exec.result
+(** Top-N delivery in order of estimated degree of interest (§8 future
+    work): execute and keep the [n] highest-ranked rows.  Requires an
+    outcome produced with [rank = true]. *)
+
+(** Context-driven parameter policies (§4): "if the user sends a request
+    using her mobile phone, then the system may decide to consider a few
+    top preferences; when the user switches to her computer, then the
+    system may decide to consider all her preferences." *)
+module Context : sig
+  type device = Mobile | Desktop | Voice
+
+  type t = {
+    device : device;
+    latency_budget_ms : float option;
+        (** tighter budgets mean fewer preferences *)
+  }
+
+  val params_for : t -> params
+  (** Mobile: top 3, L ≥ 1; Desktop: top 10, L ≥ 1; Voice: top 2 with
+      min-degree 0.5 (short, high-confidence answers).  A latency budget
+      under 50 ms halves K. *)
+end

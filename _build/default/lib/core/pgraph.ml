@@ -1,0 +1,106 @@
+type t = {
+  sels : (string, (Atom.selection * Degree.t) list) Hashtbl.t;
+  joins : (string, (Atom.join * Degree.t) list) Hashtbl.t;
+  edges : int;
+}
+
+let by_degree_desc d1 d2 = Degree.compare_desc d1 d2
+
+let of_profile p =
+  let sels = Hashtbl.create 16 and joins = Hashtbl.create 16 in
+  let push tbl key v =
+    Hashtbl.replace tbl key (v :: (Option.value ~default:[] (Hashtbl.find_opt tbl key)))
+  in
+  let count = ref 0 in
+  List.iter
+    (fun (a, d) ->
+      incr count;
+      match a with
+      | Atom.Sel s -> push sels s.Atom.s_rel (s, d)
+      | Atom.Join j -> push joins j.Atom.j_from_rel (j, d))
+    (Profile.entries p);
+  let sort_tbl tbl =
+    Hashtbl.iter
+      (fun k v ->
+        Hashtbl.replace tbl k
+          (List.stable_sort (fun (_, d1) (_, d2) -> by_degree_desc d1 d2) v))
+      (Hashtbl.copy tbl)
+  in
+  sort_tbl sels;
+  sort_tbl joins;
+  { sels; joins; edges = !count }
+
+let out_selections t rel =
+  Option.value ~default:[] (Hashtbl.find_opt t.sels (String.lowercase_ascii rel))
+
+let out_joins t rel =
+  Option.value ~default:[] (Hashtbl.find_opt t.joins (String.lowercase_ascii rel))
+
+let out_edges t rel =
+  let sels = List.map (fun (s, d) -> (Atom.Sel s, d)) (out_selections t rel) in
+  let joins = List.map (fun (j, d) -> (Atom.Join j, d)) (out_joins t rel) in
+  List.merge
+    (fun (_, d1) (_, d2) -> by_degree_desc d1 d2)
+    (List.stable_sort (fun (_, d1) (_, d2) -> by_degree_desc d1 d2) sels)
+    (List.stable_sort (fun (_, d1) (_, d2) -> by_degree_desc d1 d2) joins)
+
+let join_degree t j =
+  List.find_map
+    (fun (j', d) -> if j' = j then Some d else None)
+    (out_joins t j.Atom.j_from_rel)
+
+let selection_degree t s =
+  List.find_map
+    (fun (s', d) ->
+      if
+        s'.Atom.s_att = s.Atom.s_att
+        && s'.Atom.s_op = s.Atom.s_op
+        && Relal.Value.equal s'.Atom.s_val s.Atom.s_val
+      then Some d
+      else None)
+    (out_selections t s.Atom.s_rel)
+
+let relations t =
+  let set = Hashtbl.create 16 in
+  Hashtbl.iter (fun k _ -> Hashtbl.replace set k ()) t.sels;
+  Hashtbl.iter (fun k _ -> Hashtbl.replace set k ()) t.joins;
+  List.sort String.compare (Hashtbl.fold (fun k () acc -> k :: acc) set [])
+
+let edge_count t = t.edges
+
+let pp_dot fmt t =
+  Format.fprintf fmt "digraph personalization {@.";
+  Format.fprintf fmt "  rankdir=LR;@.";
+  let rel_node r = Printf.sprintf "rel_%s" r in
+  let seen_rel = Hashtbl.create 16 in
+  let emit_rel r =
+    if not (Hashtbl.mem seen_rel r) then begin
+      Hashtbl.add seen_rel r ();
+      Format.fprintf fmt "  %s [shape=box,label=%S];@." (rel_node r)
+        (String.uppercase_ascii r)
+    end
+  in
+  Hashtbl.iter
+    (fun rel edges ->
+      emit_rel rel;
+      List.iteri
+        (fun i (s, d) ->
+          let vnode = Printf.sprintf "val_%s_%d" rel i in
+          Format.fprintf fmt "  %s [shape=oval,label=%S];@." vnode
+            (Relal.Value.to_string s.Atom.s_val);
+          Format.fprintf fmt "  %s -> %s [label=\"%s=%s\"];@." (rel_node rel) vnode
+            s.Atom.s_att (Degree.to_string d))
+        edges)
+    t.sels;
+  Hashtbl.iter
+    (fun rel edges ->
+      emit_rel rel;
+      List.iter
+        (fun (j, d) ->
+          emit_rel j.Atom.j_to_rel;
+          Format.fprintf fmt "  %s -> %s [label=\"%s=%s.%s %s\"];@." (rel_node rel)
+            (rel_node j.Atom.j_to_rel) j.Atom.j_from_att j.Atom.j_to_rel
+            j.Atom.j_to_att (Degree.to_string d))
+        edges)
+    t.joins;
+  Format.fprintf fmt "}@."

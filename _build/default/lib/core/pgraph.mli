@@ -1,0 +1,43 @@
+(** The personalization graph (§3.1).
+
+    A directed graph over the database schema with relation, attribute and
+    value nodes; selection edges (attribute → value) and join edges
+    (attribute → attribute), labelled with the user's degrees of interest.
+    Only edges the user cares about exist — the graph {e is} the profile,
+    organised for traversal.
+
+    The representation is adjacency by relation: the preference-selection
+    algorithm repeatedly asks "which atomic elements leave relation R?",
+    i.e. all selection edges on R's attributes and all join edges whose
+    source attribute belongs to R, in decreasing order of degree (the
+    order §5.2's expansion step consumes them in). *)
+
+type t
+
+val of_profile : Profile.t -> t
+
+val out_selections : t -> string -> (Atom.selection * Degree.t) list
+(** Selection edges on attributes of the given relation, decreasing
+    degree. *)
+
+val out_joins : t -> string -> (Atom.join * Degree.t) list
+(** Join edges leaving the given relation, decreasing degree. *)
+
+val out_edges : t -> string -> (Atom.t * Degree.t) list
+(** All edges leaving the relation (selections and joins merged),
+    decreasing degree — exactly the candidate composable elements for a
+    path currently ending at that relation. *)
+
+val join_degree : t -> Atom.join -> Degree.t option
+(** Degree of a specific directed join edge, if stored. *)
+
+val selection_degree : t -> Atom.selection -> Degree.t option
+
+val relations : t -> string list
+(** Relations with at least one outgoing edge. *)
+
+val edge_count : t -> int
+
+val pp_dot : Format.formatter -> t -> unit
+(** Graphviz rendering (relation boxes, value ovals, degree-labelled
+    edges) — Figure 3 of the paper, for documentation and debugging. *)

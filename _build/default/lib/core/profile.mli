@@ -1,0 +1,63 @@
+(** User profiles: atomic preferences with degrees of interest (§3.1).
+
+    A profile is a set of [(atom, degree)] pairs — Figure 2 of the paper.
+    Zero-valued preferences are rejected (the paper: "in practice,
+    zero-valued preferences are not stored in a user profile").  The same
+    schema join may appear twice, once per direction, with different
+    degrees.
+
+    Profiles have a line-oriented text format mirroring Figure 2:
+    {v
+    # Julie
+    [ THEATRE.tid = PLAY.tid, 1 ]
+    [ GENRE.genre = 'comedy', 0.9 ]
+    v}
+    Blank lines and [#] comments are ignored. *)
+
+type t
+
+val empty : t
+
+val of_list : (Atom.t * Degree.t) list -> t
+(** @raise Invalid_argument on a duplicate atom or a zero degree. *)
+
+val add : t -> Atom.t -> Degree.t -> t
+(** Functional update; replaces the degree if the atom is present.
+    @raise Invalid_argument on a zero degree. *)
+
+val remove : t -> Atom.t -> t
+
+val find : t -> Atom.t -> Degree.t option
+
+val entries : t -> (Atom.t * Degree.t) list
+(** In decreasing order of degree (ties: atom order). *)
+
+val selections : t -> (Atom.selection * Degree.t) list
+val joins : t -> (Atom.join * Degree.t) list
+
+val size : t -> int
+(** Number of atomic {e selections} — the paper's notion of profile size
+    in the Figure 6 experiment. *)
+
+val cardinal : t -> int
+(** Total number of entries (selections + joins). *)
+
+val union : t -> t -> t
+(** Right-biased merge. *)
+
+val validate : Relal.Database.t -> t -> (unit, string list) result
+(** Validate every atom against the catalog; collects all errors. *)
+
+(** {1 Text format} *)
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Parse the text format; errors carry the offending line. *)
+
+val load : string -> (t, string) result
+(** Read a profile file. *)
+
+val save : string -> t -> unit
+
+val pp : Format.formatter -> t -> unit

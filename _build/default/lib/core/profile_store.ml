@@ -1,0 +1,85 @@
+open Relal
+
+let table_name = "profiles"
+
+let install db =
+  if not (Database.mem_table db table_name) then
+    Database.add_table db
+      (Schema.make ~name:table_name
+         ~cols:
+           [
+             ("username", Value.TStr); ("condition", Value.TStr);
+             ("degree", Value.TFloat);
+           ]
+         ())
+
+(* The table is append-only storage; user-level replace rewrites it.
+   Cardinalities are small (profiles), so the rebuild is cheap. *)
+let rewrite db keep_rows =
+  let t = Database.table db table_name in
+  Table.clear t;
+  List.iter (Table.insert t) keep_rows
+
+let rows_except db user =
+  match Database.find_table db table_name with
+  | None -> []
+  | Some t ->
+      List.filter
+        (fun row -> not (Value.equal row.(0) (Value.Str user)))
+        (Table.to_list t)
+
+let save db ~user profile =
+  install db;
+  let user = String.lowercase_ascii user in
+  let others = rows_except db user in
+  let mine =
+    List.map
+      (fun (atom, deg) ->
+        [|
+          Value.Str user;
+          Value.Str (Atom.to_string atom);
+          Value.Float (Degree.to_float deg);
+        |])
+      (Profile.entries profile)
+  in
+  rewrite db (others @ mine)
+
+let load db ~user =
+  let user = String.lowercase_ascii user in
+  match Database.find_table db table_name with
+  | None -> Ok Profile.empty
+  | Some t ->
+      let errors = ref [] in
+      let profile = ref Profile.empty in
+      Table.iter t (fun row ->
+          if Value.equal row.(0) (Value.Str user) then begin
+            match (row.(1), row.(2)) with
+            | Value.Str cond, Value.Float deg -> (
+                match
+                  ( Atom.of_pred (Sql_parser.parse_pred cond),
+                    Degree.of_float_opt deg )
+                with
+                | Ok atom, Some d when not (Degree.equal d Degree.zero) ->
+                    profile := Profile.add !profile atom d
+                | Ok _, _ ->
+                    errors := Printf.sprintf "bad degree %g for %s" deg cond :: !errors
+                | Error e, _ -> errors := e :: !errors
+                | exception Sql_parser.Parse_error e ->
+                    errors := Printf.sprintf "%s: %s" cond e :: !errors
+                | exception Sql_lexer.Lex_error (e, _) ->
+                    errors := Printf.sprintf "%s: %s" cond e :: !errors)
+            | _ -> errors := "malformed profile row" :: !errors
+          end);
+      if !errors = [] then Ok !profile else Error (List.rev !errors)
+
+let users db =
+  match Database.find_table db table_name with
+  | None -> []
+  | Some t ->
+      Table.fold t ~init:[] ~f:(fun acc row ->
+          match row.(0) with Value.Str u -> u :: acc | _ -> acc)
+      |> List.sort_uniq String.compare
+
+let delete db ~user =
+  let user = String.lowercase_ascii user in
+  if Database.mem_table db table_name then rewrite db (rows_except db user)

@@ -1,0 +1,33 @@
+(** Profiles stored inside the database — the paper's own storage model
+    ("User profiles are stored in a separate table", §7).
+
+    The store is an ordinary relation in the catalog,
+
+    {v PROFILES(username string, condition string, degree float) v}
+
+    with one row per atomic preference, the condition in the same SQL
+    syntax the text format uses.  Several users share the table; loading
+    a user reconstructs her {!Profile.t}.  Because the store is a plain
+    table, it travels with {!Relal.Csv.save_db}/[load_db] dumps and can
+    be inspected with ordinary queries. *)
+
+val table_name : string
+(** ["profiles"]. *)
+
+val install : Relal.Database.t -> unit
+(** Create the profiles table if absent (idempotent). *)
+
+val save : Relal.Database.t -> user:string -> Profile.t -> unit
+(** Replace the user's stored preferences with the given profile
+    ({!install}s the table if needed). *)
+
+val load : Relal.Database.t -> user:string -> (Profile.t, string list) result
+(** Reconstruct a user's profile; an unknown user yields an empty
+    profile.  Errors collect unparseable stored rows (e.g. after careless
+    hand edits of a CSV dump). *)
+
+val users : Relal.Database.t -> string list
+(** Distinct usernames with stored preferences, sorted. *)
+
+val delete : Relal.Database.t -> user:string -> unit
+(** Remove a user's preferences. *)

@@ -1,0 +1,80 @@
+open Relal
+
+exception Not_conjunctive of string
+
+type t = {
+  q : Sql_ast.query;
+  tv_rel : (string * string) list;
+  sels : (string * Atom.selection) list; (* (tv, selection-with-rel) *)
+  rels : string list;
+}
+
+let of_query _db (q : Sql_ast.query) =
+  let tv_rel =
+    List.map
+      (function
+        | Sql_ast.F_rel r -> (r.Sql_ast.alias, r.Sql_ast.rel)
+        | Sql_ast.F_derived _ ->
+            invalid_arg "Qgraph.of_query: derived tables not personalizable")
+      q.Sql_ast.from
+  in
+  let rel_of tv =
+    match List.assoc_opt tv tv_rel with
+    | Some r -> r
+    | None -> raise (Not_conjunctive ("unknown tuple variable " ^ tv))
+  in
+  let sels = ref [] in
+  let rec walk p =
+    match p with
+    | Sql_ast.P_true -> ()
+    | P_and ps -> List.iter walk ps
+    | P_cmp (op, S_attr a, S_const v) ->
+        sels :=
+          ( a.Sql_ast.tv,
+            { Atom.s_rel = rel_of a.Sql_ast.tv; s_att = a.Sql_ast.col; s_op = op; s_val = v } )
+          :: !sels
+    | P_cmp (op, S_const v, S_attr a) ->
+        let flip = function
+          | Sql_ast.Eq -> Sql_ast.Eq
+          | Ne -> Ne
+          | Lt -> Gt
+          | Le -> Ge
+          | Gt -> Lt
+          | Ge -> Le
+        in
+        sels :=
+          ( a.Sql_ast.tv,
+            {
+              Atom.s_rel = rel_of a.Sql_ast.tv;
+              s_att = a.Sql_ast.col;
+              s_op = flip op;
+              s_val = v;
+            } )
+          :: !sels
+    | P_cmp (_, S_attr _, S_attr _) -> () (* join conditions: graph edges *)
+    | P_cmp (_, S_const _, S_const _) -> ()
+    | P_or _ | P_not _ | P_false ->
+        raise (Not_conjunctive (Sql_print.pred_to_string p))
+  in
+  walk q.Sql_ast.where;
+  let rels =
+    List.sort_uniq String.compare (List.map snd tv_rel)
+  in
+  { q; tv_rel; sels = List.rev !sels; rels }
+
+let query t = t.q
+let tvs t = t.tv_rel
+let rel_of_tv t tv = List.assoc_opt (String.lowercase_ascii tv) t.tv_rel
+
+let tvs_of_rel t rel =
+  let rel = String.lowercase_ascii rel in
+  List.filter_map (fun (tv, r) -> if r = rel then Some tv else None) t.tv_rel
+
+let relations t = t.rels
+let mem_relation t rel = List.mem (String.lowercase_ascii rel) t.rels
+
+let selections_on t tv =
+  let tv = String.lowercase_ascii tv in
+  List.filter_map (fun (tv', s) -> if tv' = tv then Some s else None) t.sels
+
+let all_selections t = t.sels

@@ -1,0 +1,49 @@
+(** The query graph: a query represented as a sub-graph on top of the
+    personalization graph (§5).
+
+    From a (bound, conjunctive) SPJ query we extract:
+    - the tuple variables and the relations they range over (nodes,
+      replicated per tuple variable);
+    - the atomic selection conditions of the qualification, grouped by
+      tuple variable (needed for conflict checks);
+    - the set of relations appearing in the query (paths must not expand
+      back into it — §5.2 pruning rule (i)).
+
+    A preference path is {e syntactically related} to the query when it
+    attaches at one of these tuple variables and expands outward. *)
+
+type t
+
+exception Not_conjunctive of string
+(** Raised when the query's qualification is not a conjunction of atomic
+    conditions (the paper's personalization scope). *)
+
+val of_query : Relal.Database.t -> Relal.Sql_ast.query -> t
+(** Build the query graph of a bound query.  @raise Not_conjunctive if
+    the qualification contains OR / NOT, @raise Invalid_argument if the
+    FROM clause contains derived tables. *)
+
+val query : t -> Relal.Sql_ast.query
+(** The underlying (bound) query. *)
+
+val tvs : t -> (string * string) list
+(** (tuple variable, relation) pairs, FROM order. *)
+
+val rel_of_tv : t -> string -> string option
+
+val tvs_of_rel : t -> string -> string list
+(** Tuple variables ranging over the given relation. *)
+
+val relations : t -> string list
+(** Distinct relations in the query, sorted. *)
+
+val mem_relation : t -> string -> bool
+
+val selections_on : t -> string -> Atom.selection list
+(** Atomic equality selections of the qualification on the given tuple
+    variable (relation field of the returned selections is the tv's
+    relation). *)
+
+val all_selections : t -> (string * Atom.selection) list
+(** (tuple variable, selection) for every atomic selection in the
+    qualification. *)

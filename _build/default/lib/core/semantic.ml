@@ -1,0 +1,31 @@
+open Relal
+
+let probe_query db qg path =
+  let q0 = Qgraph.query qg in
+  match Integrate.instantiate db qg [ path ] with
+  | [ inst ] ->
+      {
+        Sql_ast.distinct = false;
+        select = [ Sql_ast.Sel_const (Value.Int 1, "probe") ];
+        from =
+          q0.Sql_ast.from
+          @ List.map (fun r -> Sql_ast.F_rel r) inst.Integrate.trefs;
+        where =
+          Sql_ast.conj
+            (Integrate.dedup_conjuncts
+               (Sql_ast.conjuncts q0.Sql_ast.where @ [ inst.Integrate.pred ]));
+        group_by = [];
+        having = None;
+        order_by = [];
+        limit = Some 1;
+      }
+  | _ -> assert false
+
+let instance_related db qg path =
+  let q = probe_query db qg path in
+  match Engine.run_query db q with
+  | { Exec.rows = []; _ } -> false
+  | _ -> true
+  | exception Exec.Exec_error _ -> false
+
+let filter db qg paths = List.filter (instance_related db qg) paths

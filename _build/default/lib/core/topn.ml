@@ -1,0 +1,251 @@
+open Relal
+
+type stats = {
+  partials_total : int;
+  partials_executed : int;
+  rows_tracked : int;
+  random_probes : int;
+}
+
+type result = {
+  rows : (Value.t array * Degree.t) list;
+  stats : stats;
+}
+
+module Key = struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i = i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1)) in
+    go 0
+
+  let hash a = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 a
+end
+
+module KH = Hashtbl.Make (Key)
+
+(* One partial query: the original query + mandatory + this preference,
+   DISTINCT, projecting only the original output columns. *)
+let partial_query db qg ~mandatory inst =
+  ignore db;
+  let q0 = Qgraph.query qg in
+  let where =
+    Sql_ast.conj
+      (Integrate.dedup_conjuncts
+         (Sql_ast.conjuncts q0.Sql_ast.where
+         @ List.map (fun i -> i.Integrate.pred) mandatory
+         @ [ inst.Integrate.pred ]))
+  in
+  let extra =
+    let seen = Hashtbl.create 8 in
+    List.filter
+      (fun (r : Sql_ast.table_ref) ->
+        if Hashtbl.mem seen r.Sql_ast.alias then false
+        else begin
+          Hashtbl.add seen r.Sql_ast.alias ();
+          true
+        end)
+      (List.concat_map (fun i -> i.Integrate.trefs) (mandatory @ [ inst ]))
+  in
+  {
+    q0 with
+    Sql_ast.distinct = true;
+    from = q0.Sql_ast.from @ List.map (fun r -> Sql_ast.F_rel r) extra;
+    where;
+    order_by = [];
+    limit = None;
+  }
+
+let conj_deg = function [] -> 0. | ds -> Degree.to_float (Degree.conj ds)
+
+let top_n ?(l = 1) ~n db qg ~mandatory ~optional () =
+  if n < 0 then invalid_arg "Topn.top_n: negative n";
+  let partials = Array.of_list optional in
+  let k = Array.length partials in
+  (* Degrees in partial order (decreasing). *)
+  let degs =
+    Array.map (fun i -> i.Integrate.path.Path.degree) partials
+  in
+  (* suffix_degrees.(i) = degrees of partials i..k-1 (the "remaining"
+     degrees before executing partial i). *)
+  let suffix i = Array.to_list (Array.sub degs i (k - i)) in
+  (* candidate rows: key -> (satisfied degrees, satisfied count) *)
+  let seen : (Degree.t list * int) KH.t = KH.create 64 in
+  (* Rows whose exact final score is already known, through random-access
+     probes against every remaining partial (Fagin's TA).  Such rows must
+     not be re-credited when those partials later execute. *)
+  let complete : unit KH.t = KH.create 16 in
+  let executed = ref 0 in
+  let probes = ref 0 in
+  let finished = ref false in
+  let i = ref 0 in
+  (* Lower bound (confirmed score) of a row: qualified rows score their
+     current conjunction, unqualified rows score 0. *)
+  let lower (ds, cnt) = if cnt >= l then conj_deg ds else 0. in
+  (* Upper bound: the row additionally satisfies every remaining partial
+     — unless its score is already exact. *)
+  let upper row remaining ((ds, cnt) as s) =
+    if KH.mem complete row then lower s
+    else begin
+      let all = ds @ remaining in
+      if cnt + List.length remaining >= l then conj_deg all else 0.
+    end
+  in
+  (* The current top-n candidate set by confirmed score, with a
+     deterministic tie-break, so the termination check can bound the
+     rows *outside* it (ties included) rather than everything below the
+     n-th score. *)
+  let row_key row = Array.map Value.to_string row in
+  let current_top_set () =
+    let scored = KH.fold (fun row s acc -> (row, lower s) :: acc) seen [] in
+    let sorted =
+      List.sort
+        (fun (r1, s1) (r2, s2) ->
+          match compare s2 s1 with 0 -> compare (row_key r1) (row_key r2) | c -> c)
+        scored
+    in
+    List.filteri (fun idx _ -> idx < n) sorted
+  in
+  (* Forward declaration of the random-access probe (defined with the
+     other query builders below). *)
+  let probe_row inst row =
+    incr probes;
+    let q0 = Qgraph.query qg in
+    let proj_attrs =
+      List.filter_map
+        (function Sql_ast.Sel_attr (a, _) -> Some a | _ -> None)
+        q0.Sql_ast.select
+    in
+    let pin =
+      List.mapi
+        (fun idx a -> Sql_ast.P_cmp (Eq, S_attr a, S_const row.(idx)))
+        proj_attrs
+    in
+    let q = partial_query db qg ~mandatory inst in
+    let q =
+      { q with Sql_ast.where = Sql_ast.conj (q.Sql_ast.where :: pin); limit = Some 1 }
+    in
+    (Engine.run_query db q).Exec.rows <> []
+  in
+  (* Complete a row's score exactly against the unexecuted partials. *)
+  let complete_row row =
+    if not (KH.mem complete row) then begin
+      let remaining_insts = Array.to_list (Array.sub partials !i (k - !i)) in
+      let ds, cnt = try KH.find seen row with Not_found -> ([], 0) in
+      let extra =
+        List.filter_map
+          (fun inst ->
+            if probe_row inst row then Some inst.Integrate.path.Path.degree
+            else None)
+          remaining_insts
+      in
+      KH.replace seen row (ds @ extra, cnt + List.length extra);
+      KH.replace complete row ()
+    end
+  in
+  (* Termination: the n-th best confirmed score must dominate the upper
+     bound of every row outside the candidate window and of unseen rows.
+     When only a handful of seen rows block termination, resolve them by
+     random access instead of executing more partials (TA's trade). *)
+  let rec try_finish () =
+    if n > 0 then begin
+      let remaining = suffix !i in
+      let top = current_top_set () in
+      if List.length top = n then begin
+        let nth = snd (List.nth top (n - 1)) in
+        let in_top row = List.exists (fun (r, _) -> row_key r = row_key row) top in
+        let unseen_upper =
+          if List.length remaining >= l then conj_deg remaining else 0.
+        in
+        if unseen_upper <= nth then begin
+          let blockers =
+            KH.fold
+              (fun row s acc ->
+                if (not (in_top row)) && upper row remaining s > nth then
+                  row :: acc
+                else acc)
+              seen []
+          in
+          if blockers = [] then finished := true
+          else if List.length blockers <= max 4 (2 * n) then begin
+            List.iter complete_row blockers;
+            (* Completion may promote a blocker into the window; recheck
+               with exact uppers.  Progress is guaranteed: completed rows
+               never block again. *)
+            try_finish ()
+          end
+        end
+      end
+    end
+  in
+  while (not !finished) && !i < k do
+    let inst = partials.(!i) in
+    let q = partial_query db qg ~mandatory inst in
+    let res = Engine.run_query db q in
+    incr executed;
+    List.iter
+      (fun row ->
+        if not (KH.mem complete row) then begin
+          let entry =
+            match KH.find_opt seen row with Some e -> e | None -> ([], 0)
+          in
+          let ds, cnt = entry in
+          KH.replace seen row (inst.Integrate.path.Path.degree :: ds, cnt + 1)
+        end)
+      res.Exec.rows;
+    incr i;
+    try_finish ();
+    if !i >= k then finished := true
+  done;
+  (* When the loop stopped early, the candidate window's membership is
+     settled but not every member's exact score; complete the window with
+     random-access probes (no-ops for rows already completed), then take
+     the qualified top-n. *)
+  let sort_scored scored =
+    List.sort
+      (fun (r1, d1) (r2, d2) ->
+        match Degree.compare_desc d1 d2 with
+        | 0 ->
+            (* Deterministic tie-break on row contents. *)
+            compare (Array.map Value.to_string r1) (Array.map Value.to_string r2)
+        | c -> c)
+      scored
+  in
+  let top =
+    if !i >= k then begin
+      (* Every partial ran: scores are exact, no probing needed. *)
+      let scored =
+        KH.fold
+          (fun row (ds, cnt) acc ->
+            if cnt >= l && ds <> [] then (row, Degree.conj ds) :: acc else acc)
+          seen []
+      in
+      List.filteri (fun idx _ -> idx < n) (sort_scored scored)
+    end
+    else begin
+      (* The candidate window includes rows that have not yet satisfied
+         [l] preferences, since the probes may still qualify them. *)
+      let candidates = current_top_set () in
+      List.iter (fun (row, _) -> complete_row row) candidates;
+      let completed =
+        List.filter_map
+          (fun (row, _) ->
+            let ds, cnt = KH.find seen row in
+            if cnt >= l && ds <> [] then Some (row, Degree.conj ds) else None)
+          candidates
+      in
+      List.filteri (fun idx _ -> idx < n) (sort_scored completed)
+    end
+  in
+  {
+    rows = top;
+    stats =
+      {
+        partials_total = k;
+        partials_executed = !executed;
+        rows_tracked = KH.length seen;
+        random_probes = !probes;
+      };
+  }

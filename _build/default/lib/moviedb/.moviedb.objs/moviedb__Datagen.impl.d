@@ -1,0 +1,1 @@
+lib/moviedb/datagen.ml: Array Database Hashtbl List Movie_schema Names Putil Relal Value

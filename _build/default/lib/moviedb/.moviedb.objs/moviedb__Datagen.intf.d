@@ -1,0 +1,1 @@
+lib/moviedb/datagen.mli: Relal

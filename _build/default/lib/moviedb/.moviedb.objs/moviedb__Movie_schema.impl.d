@@ -1,0 +1,1 @@
+lib/moviedb/movie_schema.ml: Database List Relal Schema Value

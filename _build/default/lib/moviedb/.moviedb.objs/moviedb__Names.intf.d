@@ -1,0 +1,1 @@
+lib/moviedb/names.mli:

@@ -1,0 +1,1 @@
+lib/moviedb/personas.ml: Database Datagen List Movie_schema Names Perso Relal Value

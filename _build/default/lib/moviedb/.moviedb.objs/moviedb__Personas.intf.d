@@ -1,0 +1,1 @@
+lib/moviedb/personas.mli: Perso Relal

@@ -1,0 +1,1 @@
+lib/moviedb/profile_gen.ml: Array Database Float List Movie_schema Perso Printf Putil Relal Schema Table Value

@@ -1,0 +1,1 @@
+lib/moviedb/profile_gen.mli: Perso Relal

@@ -1,0 +1,1 @@
+lib/moviedb/workload.ml: Array Database List Movie_schema Option Putil Relal Schema Sql_ast Sql_parser Table Value

@@ -1,0 +1,1 @@
+lib/moviedb/workload.mli: Putil Relal

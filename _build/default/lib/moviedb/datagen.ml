@@ -1,0 +1,129 @@
+open Relal
+
+type config = {
+  seed : int;
+  movies : int;
+  actors : int;
+  directors : int;
+  theatres : int;
+  days : int;
+  max_genres_per_movie : int;
+  max_cast_per_movie : int;
+  plays_per_theatre_day : int;
+  zipf_s : float;
+}
+
+let default =
+  {
+    seed = 42;
+    movies = 2_000;
+    actors = 800;
+    directors = 200;
+    theatres = 40;
+    days = 7;
+    max_genres_per_movie = 3;
+    max_cast_per_movie = 6;
+    plays_per_theatre_day = 3;
+    zipf_s = 1.0;
+  }
+
+let scale ?(seed = 42) n =
+  let ratio what = max 1 (what * n / default.movies) in
+  {
+    default with
+    seed;
+    movies = n;
+    actors = ratio default.actors;
+    directors = ratio default.directors;
+    theatres = ratio default.theatres;
+  }
+
+let example_date = Value.date_of_ymd 2003 7 2
+
+let base_date_days = (2003, 7, 1)
+
+let date_of_offset off =
+  (* The window never exceeds a month in practice; clamp to July's 31
+     days, spilling into August when a caller asks for more. *)
+  let y, m, d = base_date_days in
+  let d = d + off in
+  if d <= 31 then Value.date_of_ymd y m d else Value.date_of_ymd y (m + 1) (d - 31)
+
+let generate ?(index = true) cfg =
+  let db = Movie_schema.create () in
+  let rng = Putil.Rng.create cfg.seed in
+  let i x = Value.Int x and s x = Value.Str x in
+  (* Actors / directors / theatres. *)
+  for a = 0 to cfg.actors - 1 do
+    Database.insert db "actor" [ i a; s (Names.actor_name a) ]
+  done;
+  for d = 0 to cfg.directors - 1 do
+    Database.insert db "director" [ i d; s (Names.director_name d) ]
+  done;
+  for t = 0 to cfg.theatres - 1 do
+    Database.insert db "theatre"
+      [
+        i t;
+        s (Names.theatre_name t);
+        s (Names.phone t);
+        s Names.regions.(Putil.Rng.int rng (Array.length Names.regions));
+      ]
+  done;
+  (* Movies with genres, one director, and a cast. *)
+  let genre_z = Putil.Zipf.create ~n:(Array.length Names.genres) ~s:cfg.zipf_s in
+  let actor_z = Putil.Zipf.create ~n:cfg.actors ~s:cfg.zipf_s in
+  let director_z = Putil.Zipf.create ~n:cfg.directors ~s:cfg.zipf_s in
+  for m = 0 to cfg.movies - 1 do
+    Database.insert db "movie"
+      [ i m; s (Names.movie_title m); i (1950 + Putil.Rng.int rng 54) ];
+    (* 1..max distinct genres. *)
+    let n_genres = 1 + Putil.Rng.int rng cfg.max_genres_per_movie in
+    let chosen = Hashtbl.create 4 in
+    let attempts = ref 0 in
+    while Hashtbl.length chosen < n_genres && !attempts < 20 do
+      incr attempts;
+      Hashtbl.replace chosen (Putil.Zipf.sample genre_z rng) ()
+    done;
+    Hashtbl.iter
+      (fun g () -> Database.insert db "genre" [ i m; s Names.genres.(g) ])
+      chosen;
+    Database.insert db "directed" [ i m; i (Putil.Zipf.sample director_z rng) ];
+    let n_cast = 2 + Putil.Rng.int rng (max 1 (cfg.max_cast_per_movie - 1)) in
+    let cast = Hashtbl.create 8 in
+    let attempts = ref 0 in
+    while Hashtbl.length cast < n_cast && !attempts < 40 do
+      incr attempts;
+      Hashtbl.replace cast (Putil.Zipf.sample actor_z rng) ()
+    done;
+    Hashtbl.iter
+      (fun a () ->
+        let award =
+          (* Awards are rare: ~4% of cast rows. *)
+          if Putil.Rng.int rng 25 = 0 then
+            Names.awards.(1 + Putil.Rng.int rng (Array.length Names.awards - 1))
+          else Names.awards.(0)
+        in
+        Database.insert db "cast"
+          [
+            i m;
+            i a;
+            s award;
+            s Names.roles.(Putil.Rng.int rng (Array.length Names.roles));
+          ])
+      cast
+  done;
+  (* Screenings: distinct movies per theatre per day. *)
+  for t = 0 to cfg.theatres - 1 do
+    for day = 0 to cfg.days - 1 do
+      let picks =
+        Putil.Rng.sample_without_replacement rng
+          (min cfg.plays_per_theatre_day cfg.movies)
+          cfg.movies
+      in
+      List.iter
+        (fun m -> Database.insert db "play" [ i t; i m; date_of_offset day ])
+        picks
+    done
+  done;
+  if index then Database.index_all_columns db;
+  db

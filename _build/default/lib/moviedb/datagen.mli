@@ -1,0 +1,38 @@
+(** Deterministic synthetic data for the movie schema — the stand-in for
+    the paper's 340k-movie IMDb extract.
+
+    Skew matters for realistic experiments: genre, actor and director
+    popularity are Zipf-distributed (popular actors appear in many casts,
+    popular genres tag many movies), matching the heavy tails of the real
+    IMDb data the paper used.  Fan-outs reproduce the schema's
+    cardinalities: one DIRECTED row per movie (to-one), several GENRE and
+    CAST rows (to-many), theatres playing a handful of movies per day
+    over a date window containing the paper's example date. *)
+
+type config = {
+  seed : int;
+  movies : int;
+  actors : int;
+  directors : int;
+  theatres : int;
+  days : int;  (** date window starting 2003-07-01 *)
+  max_genres_per_movie : int;
+  max_cast_per_movie : int;
+  plays_per_theatre_day : int;
+  zipf_s : float;  (** popularity skew for genres/actors/directors *)
+}
+
+val default : config
+(** 2 000 movies, 800 actors, 200 directors, 40 theatres, 7 days —
+    laptop-quick while preserving the fan-outs. *)
+
+val scale : ?seed:int -> int -> config
+(** [scale n] keeps the default's proportions with [n] movies. *)
+
+val generate : ?index:bool -> config -> Relal.Database.t
+(** Build and populate a database; every column is hash-indexed unless
+    [index:false] (used by the access-path ablation benchmark). *)
+
+val example_date : Relal.Value.t
+(** 2003-07-02 — the paper's "what is shown tonight" date, guaranteed to
+    be inside the generated window. *)

@@ -1,0 +1,51 @@
+open Relal
+
+let relations =
+  [ "theatre"; "play"; "movie"; "cast"; "actor"; "directed"; "director"; "genre" ]
+
+let fk_joins =
+  [
+    ("play", "tid", "theatre", "tid");
+    ("play", "mid", "movie", "mid");
+    ("cast", "mid", "movie", "mid");
+    ("cast", "aid", "actor", "aid");
+    ("directed", "mid", "movie", "mid");
+    ("directed", "did", "director", "did");
+    ("genre", "mid", "movie", "mid");
+  ]
+
+let create () =
+  let db = Database.create () in
+  let t = Value.TStr and i = Value.TInt and d = Value.TDate in
+  Database.add_table db
+    (Schema.make ~name:"theatre"
+       ~cols:[ ("tid", i); ("name", t); ("phone", t); ("region", t) ]
+       ~key:[ "tid" ] ());
+  Database.add_table db
+    (Schema.make ~name:"play"
+       ~cols:[ ("tid", i); ("mid", i); ("date", d) ]
+       ~key:[ "tid"; "mid"; "date" ] ());
+  Database.add_table db
+    (Schema.make ~name:"movie"
+       ~cols:[ ("mid", i); ("title", t); ("year", i) ]
+       ~key:[ "mid" ] ());
+  Database.add_table db
+    (Schema.make ~name:"cast"
+       ~cols:[ ("mid", i); ("aid", i); ("award", t); ("role", t) ]
+       ~key:[ "mid"; "aid" ] ());
+  Database.add_table db
+    (Schema.make ~name:"actor" ~cols:[ ("aid", i); ("name", t) ] ~key:[ "aid" ] ());
+  Database.add_table db
+    (Schema.make ~name:"directed"
+       ~cols:[ ("mid", i); ("did", i) ]
+       ~key:[ "mid" ] ());
+  Database.add_table db
+    (Schema.make ~name:"director" ~cols:[ ("did", i); ("name", t) ] ~key:[ "did" ] ());
+  Database.add_table db
+    (Schema.make ~name:"genre"
+       ~cols:[ ("mid", i); ("genre", t) ]
+       ~key:[ "mid"; "genre" ] ());
+  List.iter
+    (fun (r1, a1, r2, a2) -> Database.add_fk db ~from_:(r1, a1) ~to_:(r2, a2))
+    fk_joins;
+  db

@@ -1,0 +1,29 @@
+(** The paper's movie database schema (§1, motivating example):
+
+    {v
+    THEATRE(tid, name, phone, region)
+    PLAY(tid, mid, date)
+    MOVIE(mid, title, year)
+    CAST(mid, aid, award, role)
+    ACTOR(aid, name)
+    DIRECTED(mid, did)
+    DIRECTOR(did, name)
+    GENRE(mid, genre)
+    v}
+
+    Cardinality choices (they drive conflicts and tuple-variable
+    policy): a play shows one movie ([PLAY.mid=MOVIE.mid] to-one), a
+    movie has one DIRECTED row ([MOVIE.mid=DIRECTED.mid] to-one, key on
+    [mid]) but many GENRE and CAST rows (to-many). *)
+
+val create : unit -> Relal.Database.t
+(** Fresh empty catalog with all eight tables and their foreign keys
+    registered (both directions of each join are meaningful to the
+    personalization graph; FKs are stored once, child → parent). *)
+
+val relations : string list
+(** The eight relation names, lower-case. *)
+
+val fk_joins : (string * string * string * string) list
+(** Every natural join as (rel1, att1, rel2, att2), one entry per FK;
+    profile generators emit both directions from these. *)

@@ -1,0 +1,71 @@
+let genres =
+  [|
+    "drama"; "comedy"; "thriller"; "action"; "romance"; "sci-fi"; "horror";
+    "adventure"; "crime"; "documentary"; "fantasy"; "mystery"; "animation";
+    "western"; "musical"; "war"; "film-noir"; "biography";
+  |]
+
+let regions = [| "downtown"; "uptown"; "midtown"; "suburbs"; "riverside"; "old town" |]
+
+let roles =
+  [|
+    "lead"; "villain"; "sidekick"; "mentor"; "love interest"; "detective";
+    "narrator"; "comic relief"; "antihero"; "batman";
+  |]
+
+let awards = [| ""; "oscar"; "golden globe"; "bafta"; "palme d'or" |]
+
+let first_names =
+  [|
+    "James"; "Mary"; "Nicole"; "Anthony"; "Isabella"; "Julia"; "David"; "Woody";
+    "Grace"; "Henry"; "Iris"; "Jack"; "Karen"; "Liam"; "Marta"; "Nora"; "Oscar";
+    "Paula"; "Quentin"; "Rita"; "Sam"; "Tina"; "Uma"; "Victor"; "Wendy";
+    "Xavier"; "Yara"; "Zoe"; "Alan"; "Bella"; "Carl"; "Dora";
+  |]
+
+let last_names =
+  [|
+    "Kidman"; "Hopkins"; "Rossellini"; "Roberts"; "Allen"; "Lynch"; "Smith";
+    "Jones"; "Brown"; "Garcia"; "Miller"; "Davis"; "Wilson"; "Moore"; "Taylor";
+    "Anderson"; "Thomas"; "Jackson"; "White"; "Harris"; "Martin"; "Thompson";
+    "Lee"; "Clark"; "Lewis"; "Walker"; "Hall"; "Young"; "King"; "Wright";
+    "Scott"; "Green";
+  |]
+
+let title_adjectives =
+  [|
+    "Last"; "Silent"; "Broken"; "Golden"; "Hidden"; "Crimson"; "Eternal";
+    "Forgotten"; "Midnight"; "Distant"; "Burning"; "Frozen"; "Sacred"; "Wild";
+    "Lonely"; "Electric";
+  |]
+
+let title_nouns =
+  [|
+    "Dictator"; "Garden"; "Mohican"; "Phoenix"; "River"; "Station"; "Mirror";
+    "Harbor"; "Empire"; "Voyage"; "Letter"; "Orchard"; "Covenant"; "Horizon";
+    "Carnival"; "Labyrinth";
+  |]
+
+let indexed_name first last i =
+  let nf = Array.length first and nl = Array.length last in
+  let f = first.(i mod nf) and l = last.(i / nf mod nl) in
+  let serial = i / (nf * nl) in
+  if serial = 0 then Printf.sprintf "%s %s" f l
+  else Printf.sprintf "%s %s %d" f l (serial + 1)
+
+let actor_name i = indexed_name first_names last_names i
+
+let director_name i =
+  (* Offset so director and actor pools do not coincide name-for-name. *)
+  indexed_name last_names first_names i
+
+let theatre_name i = Printf.sprintf "Cinema %s %d" regions.(i mod Array.length regions) i
+
+let phone i = Printf.sprintf "555-%04d" (i mod 10000)
+
+let movie_title i =
+  let na = Array.length title_adjectives and nn = Array.length title_nouns in
+  let a = title_adjectives.(i mod na) and n = title_nouns.(i / na mod nn) in
+  let serial = i / (na * nn) in
+  if serial = 0 then Printf.sprintf "The %s %s" a n
+  else Printf.sprintf "The %s %s %d" a n (serial + 1)

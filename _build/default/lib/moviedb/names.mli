@@ -1,0 +1,26 @@
+(** Name pools for the synthetic IMDb-like generator: realistic-looking
+    actors, directors, titles, genres, theatre names, regions and roles,
+    all deterministic. *)
+
+val genres : string array
+(** 18 genres, most-popular first (the Zipf sampler's rank order). *)
+
+val regions : string array
+
+val roles : string array
+
+val awards : string array
+(** Award labels; index 0 is the empty string (no award, the common
+    case). *)
+
+val actor_name : int -> string
+(** [actor_name i] is a unique, human-looking name for actor id [i]. *)
+
+val director_name : int -> string
+
+val theatre_name : int -> string
+
+val phone : int -> string
+
+val movie_title : int -> string
+(** Unique title per movie id, composed from word pools. *)

@@ -1,0 +1,117 @@
+open Relal
+
+let d = Perso.Degree.of_float
+let str s = Value.Str s
+
+let join_scaffold =
+  (* Figure 2's join preferences, extended to cover the whole schema so
+     preferences on any relation are reachable from any query. *)
+  [
+    (Perso.Atom.join ("theatre", "tid") ("play", "tid"), 1.0);
+    (Perso.Atom.join ("play", "tid") ("theatre", "tid"), 1.0);
+    (Perso.Atom.join ("play", "mid") ("movie", "mid"), 1.0);
+    (Perso.Atom.join ("movie", "mid") ("play", "mid"), 0.8);
+    (Perso.Atom.join ("movie", "mid") ("genre", "mid"), 0.9);
+    (Perso.Atom.join ("genre", "mid") ("movie", "mid"), 0.9);
+    (Perso.Atom.join ("movie", "mid") ("cast", "mid"), 0.8);
+    (Perso.Atom.join ("cast", "mid") ("movie", "mid"), 0.8);
+    (Perso.Atom.join ("cast", "aid") ("actor", "aid"), 1.0);
+    (Perso.Atom.join ("actor", "aid") ("cast", "aid"), 1.0);
+    (Perso.Atom.join ("movie", "mid") ("directed", "mid"), 1.0);
+    (Perso.Atom.join ("directed", "mid") ("movie", "mid"), 1.0);
+    (Perso.Atom.join ("directed", "did") ("director", "did"), 1.0);
+    (Perso.Atom.join ("director", "did") ("directed", "did"), 1.0);
+  ]
+
+let profile_of entries =
+  List.fold_left
+    (fun p (a, deg) -> Perso.Profile.add p a (d deg))
+    Perso.Profile.empty entries
+
+let julie () =
+  profile_of
+    (join_scaffold
+    @ [
+        (Perso.Atom.sel "theatre" "region" (str "downtown"), 0.8);
+        (Perso.Atom.sel "genre" "genre" (str "comedy"), 0.9);
+        (Perso.Atom.sel "genre" "genre" (str "thriller"), 0.7);
+        (Perso.Atom.sel "genre" "genre" (str "adventure"), 0.5);
+        (Perso.Atom.sel "director" "name" (str "D. Lynch"), 0.8);
+        (Perso.Atom.sel "director" "name" (str "W. Allen"), 0.7);
+        (Perso.Atom.sel "actor" "name" (str "N. Kidman"), 0.9);
+        (Perso.Atom.sel "actor" "name" (str "A. Hopkins"), 0.8);
+        (Perso.Atom.sel "actor" "name" (str "I. Rossellini"), 0.6);
+      ])
+
+let rob () =
+  profile_of
+    (join_scaffold
+    @ [
+        (Perso.Atom.sel "genre" "genre" (str "sci-fi"), 0.9);
+        (Perso.Atom.sel "actor" "name" (str "J. Roberts"), 0.8);
+        (Perso.Atom.sel "genre" "genre" (str "action"), 0.6);
+      ])
+
+let tiny_db () =
+  let db = Movie_schema.create () in
+  let i x = Value.Int x and s = str in
+  let date = Datagen.example_date in
+  let other_date = Value.date_of_ymd 2003 7 5 in
+  (* Directors. *)
+  List.iteri
+    (fun idx name -> Database.insert db "director" [ i idx; s name ])
+    [ "W. Allen"; "D. Lynch"; "S. Spielberg"; "A. Varda" ];
+  (* Actors. *)
+  List.iteri
+    (fun idx name -> Database.insert db "actor" [ i idx; s name ])
+    [
+      "N. Kidman"; "A. Hopkins"; "I. Rossellini"; "J. Roberts"; "G. Oldman";
+      "M. Streep";
+    ];
+  (* Movies: (mid, title, year, director, genres, cast). *)
+  let movies =
+    [
+      (0, "Sweet Chaos", 2002, 0, [ "comedy" ], [ 0; 5 ]);
+      (1, "Midnight Maze", 2001, 1, [ "thriller"; "mystery" ], [ 1 ]);
+      (2, "Laughing Waters", 2003, 0, [ "comedy"; "romance" ], [ 2; 5 ]);
+      (3, "Star Harbor", 2003, 2, [ "sci-fi" ], [ 3; 4 ]);
+      (4, "Blue Velvet Road", 1999, 1, [ "thriller" ], [ 0; 4 ]);
+      (5, "Garden of Glass", 2000, 3, [ "drama" ], [ 2 ]);
+      (6, "The Quiet Comet", 2002, 2, [ "sci-fi"; "adventure" ], [ 5 ]);
+      (7, "Double Take", 2003, 0, [ "comedy" ], [ 1; 3 ]);
+      (8, "Northern Lights", 1998, 3, [ "romance" ], [ 0 ]);
+      (9, "Iron Harvest", 2003, 2, [ "action" ], [ 4; 3 ]);
+      (10, "Dream Logic", 2001, 1, [ "mystery"; "thriller" ], [ 0; 2 ]);
+      (11, "Second Spring", 2000, 3, [ "comedy"; "drama" ], [ 5 ]);
+    ]
+  in
+  List.iter
+    (fun (mid, title, year, did, genres, cast) ->
+      Database.insert db "movie" [ i mid; s title; i year ];
+      Database.insert db "directed" [ i mid; i did ];
+      List.iter (fun g -> Database.insert db "genre" [ i mid; s g ]) genres;
+      List.iter
+        (fun aid -> Database.insert db "cast" [ i mid; i aid; s ""; s "lead" ])
+        cast)
+    movies;
+  (* Theatres. *)
+  List.iteri
+    (fun idx (name, region) ->
+      Database.insert db "theatre" [ i idx; s name; s (Names.phone idx); s region ])
+    [
+      ("Orpheum", "downtown"); ("Rialto", "uptown"); ("Lux", "downtown");
+      ("Astra", "suburbs");
+    ];
+  (* Tonight's screenings (2003-07-02): a mix covering every persona. *)
+  List.iter
+    (fun (tid, mid) -> Database.insert db "play" [ i tid; i mid; date ])
+    [
+      (0, 0); (0, 1); (0, 3); (1, 2); (1, 4); (1, 9); (2, 6); (2, 7); (2, 10);
+      (3, 5); (3, 8); (3, 11);
+    ];
+  (* Other nights, so date selections are selective. *)
+  List.iter
+    (fun (tid, mid) -> Database.insert db "play" [ i tid; i mid; other_date ])
+    [ (0, 5); (1, 0); (2, 3); (3, 1) ];
+  Database.index_all_columns db;
+  db

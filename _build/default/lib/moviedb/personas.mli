@@ -1,0 +1,24 @@
+(** The paper's running examples, made concrete: Julie's and Rob's
+    profiles (Figures 2–3 and the motivating example) and a small,
+    hand-authored movie database on which every example from the paper
+    plays out with predictable answers — used by the quickstart, the
+    documentation and the unit tests with known-good expectations. *)
+
+val julie : unit -> Perso.Profile.t
+(** Julie (§3.1): downtown theatres; comedies (0.9) > thrillers (0.7) >
+    adventures (0.5); directors D. Lynch (0.8) > W. Allen (0.7); actors
+    N. Kidman (0.9) > A. Hopkins (0.8) > I. Rossellini (0.6); join
+    scaffolding as in Figure 2, including the two directions of
+    MOVIE–PLAY with degrees 1 and 0.8, and MOVIE–GENRE at 0.9.  The
+    derived degrees reproduce the paper's worked numbers: movies starring
+    N. Kidman 0.8·1·0.9 = 0.72, comedies 0.9·0.9 = 0.81, comedies by
+    W. Allen 1−(1−0.7)(1−0.81) = 0.943. *)
+
+val rob : unit -> Perso.Profile.t
+(** Rob (§1): sci-fi movies and actress J. Roberts. *)
+
+val tiny_db : unit -> Relal.Database.t
+(** A 12-movie database containing the entities the examples name
+    (W. Allen and D. Lynch films, N. Kidman and J. Roberts casts, comedy
+    / thriller / sci-fi genres, downtown and uptown theatres, screenings
+    on 2003-07-02). *)

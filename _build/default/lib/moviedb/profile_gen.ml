@@ -1,0 +1,98 @@
+open Relal
+
+type config = {
+  seed : int;
+  n_selections : int;
+  sel_degree : float * float;
+  join_degree : float * float;
+  join_fraction : float;
+}
+
+let default =
+  {
+    seed = 7;
+    n_selections = 20;
+    sel_degree = (0.3, 1.0);
+    join_degree = (0.6, 1.0);
+    join_fraction = 1.0;
+  }
+
+let selectable_attributes =
+  [
+    ("theatre", "region");
+    ("movie", "year");
+    ("movie", "title");
+    ("genre", "genre");
+    ("actor", "name");
+    ("director", "name");
+    ("cast", "role");
+    ("cast", "award");
+  ]
+
+let uniform rng (lo, hi) = lo +. Putil.Rng.float rng (hi -. lo)
+
+(* Degrees are rounded to 3 decimals: profiles survive a text round-trip
+   bit-exactly, and accidental ties stay rare. *)
+let degree rng range =
+  Perso.Degree.of_float (Float.round (uniform rng range *. 1000.) /. 1000.)
+
+let sample_value db rng rel att =
+  let t = Database.table db rel in
+  let n = Table.cardinality t in
+  if n = 0 then None
+  else begin
+    let row = Table.get t (Putil.Rng.int rng n) in
+    match Schema.col_index (Table.schema t) att with
+    | None -> None
+    | Some i -> (
+        match row.(i) with
+        | Value.Null | Value.Str "" -> None (* unset awards etc. *)
+        | v -> Some v)
+  end
+
+let generate db cfg =
+  let rng = Putil.Rng.create cfg.seed in
+  (* Join scaffolding: both directions of each natural join. *)
+  let directed_joins =
+    List.concat_map
+      (fun (r1, a1, r2, a2) ->
+        [ Perso.Atom.join (r1, a1) (r2, a2); Perso.Atom.join (r2, a2) (r1, a1) ])
+      Movie_schema.fk_joins
+  in
+  let n_joins =
+    let total = List.length directed_joins in
+    max 2 (int_of_float (Float.round (cfg.join_fraction *. float_of_int total)))
+  in
+  let join_arr = Array.of_list directed_joins in
+  Putil.Rng.shuffle rng join_arr;
+  let joins =
+    Array.to_list (Array.sub join_arr 0 (min n_joins (Array.length join_arr)))
+  in
+  let profile = ref Perso.Profile.empty in
+  List.iter
+    (fun j -> profile := Perso.Profile.add !profile j (degree rng cfg.join_degree))
+    joins;
+  (* Distinct selections with values present in the data. *)
+  let attrs = Array.of_list selectable_attributes in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  let max_attempts = 200 * max 1 cfg.n_selections in
+  while !added < cfg.n_selections && !attempts < max_attempts do
+    incr attempts;
+    let rel, att = attrs.(Putil.Rng.int rng (Array.length attrs)) in
+    match sample_value db rng rel att with
+    | None -> ()
+    | Some v ->
+        let atom = Perso.Atom.sel rel att v in
+        if Perso.Profile.find !profile atom = None then begin
+          profile := Perso.Profile.add !profile atom (degree rng cfg.sel_degree);
+          incr added
+        end
+  done;
+  if !added < cfg.n_selections then
+    invalid_arg
+      (Printf.sprintf
+         "Profile_gen.generate: only found %d distinct selections (wanted %d); \
+          database too small"
+         !added cfg.n_selections);
+  !profile

@@ -1,0 +1,34 @@
+(** Synthetic user profiles over a movie database — the paper's profile
+    generator stand-in (§7: "synthetic profiles were automatically
+    produced with the use of a profile generator").
+
+    Profile {e size} is the number of atomic selections (the x-axis of
+    Figure 6).  Selections are drawn over the schema's describable
+    attributes (genres, actor/director names, regions, years, roles,
+    titles) with values sampled from the {e actual} database contents, so
+    personalized queries have matching rows.  Join preferences cover the
+    schema's natural joins in both directions with high degrees — the
+    scaffolding that lets selection preferences on distant relations be
+    reached from a query (Figure 2 rows 1–5). *)
+
+type config = {
+  seed : int;
+  n_selections : int;
+  sel_degree : float * float;  (** uniform range for selection degrees *)
+  join_degree : float * float;  (** uniform range for join degrees *)
+  join_fraction : float;
+      (** fraction of the 14 directed natural joins present in the
+          profile (1.0 = all; smaller profiles are sparser over the
+          schema graph, the effect Figure 6 discusses) *)
+}
+
+val default : config
+(** seed 7, 20 selections, selections in [0.3,1.0], joins in [0.6,1.0],
+    all joins present. *)
+
+val generate : Relal.Database.t -> config -> Perso.Profile.t
+(** @raise Invalid_argument if the database has no rows to sample
+    values from. *)
+
+val selectable_attributes : (string * string) list
+(** The (relation, attribute) pairs selections are drawn over. *)

@@ -1,0 +1,134 @@
+open Relal
+
+type config = {
+  max_extra_rels : int;
+  max_selections : int;
+  max_projections : int;
+}
+
+let default = { max_extra_rels = 3; max_selections = 2; max_projections = 2 }
+
+(* Schema join graph, both directions. *)
+let adjacency =
+  let add acc (r1, a1, r2, a2) =
+    let push rel edge acc =
+      let existing = Option.value ~default:[] (List.assoc_opt rel acc) in
+      (rel, edge :: existing) :: List.remove_assoc rel acc
+    in
+    acc |> push r1 (r1, a1, r2, a2) |> push r2 (r2, a2, r1, a1)
+  in
+  List.fold_left add [] Movie_schema.fk_joins
+
+(* Attributes worth projecting per relation (ids are uninteresting). *)
+let projectable =
+  [
+    ("theatre", [ "name"; "region" ]);
+    ("play", [ "date" ]);
+    ("movie", [ "title"; "year" ]);
+    ("cast", [ "role" ]);
+    ("actor", [ "name" ]);
+    ("directed", []);
+    ("director", [ "name" ]);
+    ("genre", [ "genre" ]);
+  ]
+
+let selectable =
+  [
+    ("theatre", [ "region" ]);
+    ("play", [ "date" ]);
+    ("movie", [ "year" ]);
+    ("cast", [ "role" ]);
+    ("actor", [ "name" ]);
+    ("director", [ "name" ]);
+    ("genre", [ "genre" ]);
+  ]
+
+let sample_value db rng rel att =
+  let t = Database.table db rel in
+  let n = Table.cardinality t in
+  if n = 0 then None
+  else begin
+    let row = Table.get t (Putil.Rng.int rng n) in
+    match Schema.col_index (Table.schema t) att with
+    | None -> None
+    | Some i -> ( match row.(i) with Value.Null -> None | v -> Some v)
+  end
+
+let random_query ?(cfg = default) db rng =
+  let rels = Array.of_list Movie_schema.relations in
+  let start = Putil.Rng.choice rng rels in
+  let in_query = ref [ start ] in
+  let join_preds = ref [] in
+  let extra = Putil.Rng.int rng (cfg.max_extra_rels + 1) in
+  for _ = 1 to extra do
+    (* Edges from any in-query relation to a fresh one. *)
+    let candidates =
+      List.concat_map
+        (fun r ->
+          List.filter
+            (fun (_, _, r2, _) -> not (List.mem r2 !in_query))
+            (Option.value ~default:[] (List.assoc_opt r adjacency)))
+        !in_query
+    in
+    if candidates <> [] then begin
+      let r1, a1, r2, a2 = List.nth candidates (Putil.Rng.int rng (List.length candidates)) in
+      in_query := r2 :: !in_query;
+      join_preds :=
+        Sql_ast.P_cmp
+          (Eq, S_attr (Sql_ast.attr r1 a1), S_attr (Sql_ast.attr r2 a2))
+        :: !join_preds
+    end
+  done;
+  let members = List.rev !in_query in
+  (* Projections. *)
+  let proj_candidates =
+    List.concat_map
+      (fun r ->
+        List.map (fun a -> (r, a)) (Option.value ~default:[] (List.assoc_opt r projectable)))
+      members
+  in
+  let n_proj = 1 + Putil.Rng.int rng cfg.max_projections in
+  let select =
+    if proj_candidates = [] then
+      (* Fall back to the first column of the start relation. *)
+      let t = Database.table db start in
+      let c = (Schema.columns (Table.schema t)).(0).Schema.cname in
+      [ Sql_ast.Sel_attr (Sql_ast.attr start c, None) ]
+    else begin
+      let arr = Array.of_list proj_candidates in
+      Putil.Rng.shuffle rng arr;
+      Array.to_list (Array.sub arr 0 (min n_proj (Array.length arr)))
+      |> List.map (fun (r, a) -> Sql_ast.Sel_attr (Sql_ast.attr r a, None))
+    end
+  in
+  (* Selections with live values. *)
+  let sel_preds = ref [] in
+  let n_sel = Putil.Rng.int rng (cfg.max_selections + 1) in
+  let sel_candidates =
+    List.concat_map
+      (fun r ->
+        List.map (fun a -> (r, a)) (Option.value ~default:[] (List.assoc_opt r selectable)))
+      members
+  in
+  if sel_candidates <> [] then
+    for _ = 1 to n_sel do
+      let r, a = List.nth sel_candidates (Putil.Rng.int rng (List.length sel_candidates)) in
+      match sample_value db rng r a with
+      | None -> ()
+      | Some v ->
+          sel_preds :=
+            Sql_ast.P_cmp (Eq, S_attr (Sql_ast.attr r a), S_const v) :: !sel_preds
+    done;
+  Sql_ast.simple ~distinct:false ~select
+    ~from:(List.map (fun r -> Sql_ast.F_rel (Sql_ast.tref r)) members)
+    ~where:(Sql_ast.conj (List.rev_append !join_preds (List.rev !sel_preds)))
+    ()
+
+let queries ?cfg db ~n ~seed =
+  let rng = Putil.Rng.create seed in
+  List.init n (fun _ -> random_query ?cfg db rng)
+
+let tonight_query () =
+  Sql_parser.parse
+    "select mv.title from movie mv, play pl where mv.mid = pl.mid and pl.date = \
+     '2003-07-02'"

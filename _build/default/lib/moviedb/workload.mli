@@ -1,0 +1,29 @@
+(** Random conjunctive SPJ queries over the movie schema — the "100
+    randomly created queries" the paper's experiments average over (§7).
+
+    A query is built by a random walk on the schema's join graph: start
+    at a random relation, attach 0–3 more relations through natural
+    joins, project one or two attributes, and add up to two equality
+    selections whose values are sampled from the live data (so queries
+    are satisfiable rather than vacuous). *)
+
+type config = {
+  max_extra_rels : int;  (** random-walk length beyond the start (0–n) *)
+  max_selections : int;
+  max_projections : int;
+}
+
+val default : config
+(** 3 extra relations, 2 selections, 2 projections. *)
+
+val random_query :
+  ?cfg:config -> Relal.Database.t -> Putil.Rng.t -> Relal.Sql_ast.query
+(** One random query (already bindable: aliases are relation names,
+    attributes qualified). *)
+
+val queries :
+  ?cfg:config -> Relal.Database.t -> n:int -> seed:int -> Relal.Sql_ast.query list
+(** A reproducible batch. *)
+
+val tonight_query : unit -> Relal.Sql_ast.query
+(** The paper's motivating query: movie titles playing on 2003-07-02. *)

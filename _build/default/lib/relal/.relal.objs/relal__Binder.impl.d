@@ -1,0 +1,1 @@
+lib/relal/binder.ml: Array Database Format Hashtbl List Option Schema Sql_ast String Table Value

@@ -1,0 +1,1 @@
+lib/relal/binder.mli: Database Sql_ast Value

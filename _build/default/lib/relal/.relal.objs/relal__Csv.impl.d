@@ -1,0 +1,1 @@
+lib/relal/csv.ml: Array Buffer Database Ddl Filename Format In_channel List Out_channel Printf Schema String Sys Table Value

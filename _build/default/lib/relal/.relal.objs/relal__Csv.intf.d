@@ -1,0 +1,1 @@
+lib/relal/csv.mli: Database Schema Table

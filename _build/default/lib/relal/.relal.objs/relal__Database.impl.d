@@ -1,0 +1,1 @@
+lib/relal/database.ml: Array Format Hashtbl List Printf Schema String Table Value

@@ -1,0 +1,1 @@
+lib/relal/database.mli: Format Schema Table Value

@@ -1,0 +1,1 @@
+lib/relal/ddl.ml: Array Buffer Database Format List Printf Schema Sql_lexer String Table Value

@@ -1,0 +1,1 @@
+lib/relal/ddl.mli: Database

@@ -1,0 +1,1 @@
+lib/relal/engine.ml: Binder Exec Sql_parser Sql_print

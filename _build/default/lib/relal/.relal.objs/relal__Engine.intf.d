@@ -1,0 +1,1 @@
+lib/relal/engine.mli: Database Exec Sql_ast

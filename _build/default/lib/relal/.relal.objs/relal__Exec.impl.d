@@ -1,0 +1,1 @@
+lib/relal/exec.ml: Array Database Format Hashtbl Lazy List Option Schema Sql_ast Stats String Table Value

@@ -1,0 +1,1 @@
+lib/relal/exec.mli: Database Format Sql_ast Stats Value

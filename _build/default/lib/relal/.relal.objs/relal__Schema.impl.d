@@ -1,0 +1,1 @@
+lib/relal/schema.ml: Array Format Hashtbl List Printf String Value

@@ -1,0 +1,1 @@
+lib/relal/sql_ast.ml: List String Value

@@ -1,0 +1,1 @@
+lib/relal/sql_ast.mli: Value

@@ -1,0 +1,1 @@
+lib/relal/sql_lexer.ml: Buffer Format List Printf String

@@ -1,0 +1,1 @@
+lib/relal/sql_lexer.mli: Format

@@ -1,0 +1,1 @@
+lib/relal/sql_parser.ml: Format List Printf Sql_ast Sql_lexer String Value

@@ -1,0 +1,1 @@
+lib/relal/sql_parser.mli: Sql_ast

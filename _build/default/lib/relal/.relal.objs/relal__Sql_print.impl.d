@@ -1,0 +1,1 @@
+lib/relal/sql_print.ml: Buffer Format List Sql_ast String Value

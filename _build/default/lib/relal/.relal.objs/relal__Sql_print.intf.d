@@ -1,0 +1,1 @@
+lib/relal/sql_print.mli: Format Sql_ast

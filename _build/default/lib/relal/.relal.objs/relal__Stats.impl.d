@@ -1,0 +1,1 @@
+lib/relal/stats.ml: Array Database Format Hashtbl List Printf Schema String Table Value

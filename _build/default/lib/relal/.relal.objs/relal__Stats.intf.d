@@ -1,0 +1,1 @@
+lib/relal/stats.mli: Database Format

@@ -1,0 +1,1 @@
+lib/relal/table.ml: Array Hashtbl List Printf Schema Value

@@ -1,0 +1,272 @@
+open Sql_ast
+
+exception Bind_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Bind_error s)) fmt
+
+(* Environment: one entry per FROM item, in order. *)
+type env_entry = { alias : string; cols : (string * Value.ty) list }
+type env = env_entry list
+
+let entry_col_ty (e : env_entry) col = List.assoc_opt col e.cols
+
+let lookup_qualified env (a : attr) =
+  match List.find_opt (fun e -> e.alias = a.tv) env with
+  | None -> err "unknown tuple variable %s" a.tv
+  | Some e -> (
+      match entry_col_ty e a.col with
+      | None -> err "tuple variable %s has no column %s" a.tv a.col
+      | Some ty -> ty)
+
+let resolve_attr env (a : attr) : attr * Value.ty =
+  if a.tv <> "" then (a, lookup_qualified env a)
+  else begin
+    let hits =
+      List.filter_map
+        (fun e ->
+          match entry_col_ty e a.col with
+          | Some ty -> Some (e.alias, ty)
+          | None -> None)
+        env
+    in
+    match hits with
+    | [ (alias, ty) ] -> ({ tv = alias; col = a.col }, ty)
+    | [] -> err "column %s does not appear in any FROM item" a.col
+    | _ -> err "column %s is ambiguous; qualify it" a.col
+  end
+
+(* Coerce a string literal to a date when compared against a date column. *)
+let coerce_const ty v =
+  match (ty, v) with
+  | Value.TDate, Value.Str s -> (
+      match Value.parse_date s with
+      | Some d -> d
+      | None -> err "string %S is not a valid date literal" s)
+  | _ -> v
+
+let check_cmp what lty rty =
+  if not (Value.compatible lty rty) then
+    err "%s compares %s with %s" what (Value.ty_name lty) (Value.ty_name rty)
+
+let bind_scalar env = function
+  | S_attr a ->
+      let a, ty = resolve_attr env a in
+      (S_attr a, Some ty)
+  | S_const v -> (S_const v, Value.ty_of v)
+
+let rec bind_pred env = function
+  | P_true -> P_true
+  | P_false -> P_false
+  | P_not p -> P_not (bind_pred env p)
+  | P_and ps -> P_and (List.map (bind_pred env) ps)
+  | P_or ps -> P_or (List.map (bind_pred env) ps)
+  | P_cmp (op, l, r) -> (
+      let l, lty = bind_scalar env l in
+      let r, rty = bind_scalar env r in
+      match (lty, rty) with
+      | Some lt, Some rt when Value.compatible lt rt -> P_cmp (op, l, r)
+      | Some lt, Some rt -> (
+          (* Try date coercion in either direction before failing. *)
+          match (l, r) with
+          | S_attr _, S_const v when lt = Value.TDate ->
+              P_cmp (op, l, S_const (coerce_const lt v))
+          | S_const v, S_attr _ when rt = Value.TDate ->
+              P_cmp (op, S_const (coerce_const rt v), r)
+          | _ ->
+              check_cmp "predicate" lt rt;
+              P_cmp (op, l, r))
+      | _ -> P_cmp (op, l, r) (* NULL literal comparisons are permitted *))
+
+let agg_attrs = function
+  | A_count_star -> []
+  | A_count a | A_sum a | A_min a | A_max a | A_avg a -> [ a ]
+  | A_doi_conj (a, b) -> [ a; b ]
+
+let rebuild_agg agg resolved =
+  match (agg, resolved) with
+  | A_count_star, [] -> A_count_star
+  | A_count _, [ a ] -> A_count a
+  | A_sum _, [ a ] -> A_sum a
+  | A_min _, [ a ] -> A_min a
+  | A_max _, [ a ] -> A_max a
+  | A_avg _, [ a ] -> A_avg a
+  | A_doi_conj _, [ a; b ] -> A_doi_conj (a, b)
+  | _ -> assert false
+
+let bind_agg env agg =
+  let resolved =
+    List.map
+      (fun a ->
+        let a, ty = resolve_attr env a in
+        (match agg with
+        | A_sum _ | A_avg _ ->
+            if ty <> Value.TInt && ty <> Value.TFloat then
+              err "aggregate over non-numeric column %s.%s" a.tv a.col
+        | A_doi_conj _ -> ()
+        | _ -> ());
+        a)
+      (agg_attrs agg)
+  in
+  rebuild_agg agg resolved
+
+let agg_ty env = function
+  | A_count_star | A_count _ -> Value.TInt
+  | A_sum a -> lookup_qualified env a
+  | A_min a | A_max a -> lookup_qualified env a
+  | A_avg _ -> Value.TFloat
+  | A_doi_conj _ -> Value.TFloat
+
+let rec bind_having env = function
+  | H_and hs -> H_and (List.map (bind_having env) hs)
+  | H_or hs -> H_or (List.map (bind_having env) hs)
+  | H_cmp (op, l, r) ->
+      let bind_h = function
+        | H_agg a -> H_agg (bind_agg env a)
+        | H_const v -> H_const v
+      in
+      let l = bind_h l and r = bind_h r in
+      let hty = function
+        | H_agg a -> Some (agg_ty env a)
+        | H_const v -> Value.ty_of v
+      in
+      (match (hty l, hty r) with
+      | Some lt, Some rt -> check_cmp "HAVING" lt rt
+      | _ -> ());
+      H_cmp (op, l, r)
+
+let rec build_env db (from : from_item list) : env =
+  let entries =
+    List.map
+      (fun item ->
+        match item with
+        | F_rel r -> (
+            match Database.find_table db r.rel with
+            | None -> err "unknown table %s" r.rel
+            | Some t ->
+                let cols =
+                  Array.to_list
+                    (Array.map
+                       (fun c ->
+                         (String.lowercase_ascii c.Schema.cname, c.Schema.cty))
+                       (Schema.columns (Table.schema t)))
+                in
+                { alias = r.alias; cols })
+        | F_derived (c, alias) -> { alias; cols = compound_schema db c })
+      from
+  in
+  (* Alias uniqueness. *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if Hashtbl.mem seen e.alias then err "duplicate tuple variable %s" e.alias;
+      Hashtbl.add seen e.alias ())
+    entries;
+  entries
+
+and compound_schema db = function
+  | C_single q -> output_schema db q
+  | C_union_all [] -> err "empty UNION ALL"
+  | C_union_all (c :: cs) ->
+      let first = compound_schema db c in
+      List.iter
+        (fun c' ->
+          let s = compound_schema db c' in
+          if List.length s <> List.length first then
+            err "UNION ALL branches have different arities";
+          List.iter2
+            (fun (_, t1) (_, t2) ->
+              if not (Value.compatible t1 t2) then
+                err "UNION ALL branches have incompatible column types")
+            first s)
+        cs;
+      first
+
+and output_schema db (q : query) : (string * Value.ty) list =
+  let env = build_env db q.from in
+  List.map
+    (fun item ->
+      match item with
+      | Sel_attr (a, alias) ->
+          let a, ty = resolve_attr env a in
+          ((match alias with Some al -> al | None -> a.col), ty)
+      | Sel_const (v, alias) ->
+          let ty = match Value.ty_of v with Some t -> t | None -> Value.TStr in
+          (alias, ty)
+      | Sel_agg (agg, alias) -> (alias, agg_ty env (bind_agg env agg)))
+    q.select
+
+let has_aggregates q =
+  List.exists (function Sel_agg _ -> true | _ -> false) q.select
+  || q.having <> None
+
+let rec bind db (q : query) : query =
+  let env = build_env db q.from in
+  let from =
+    List.map
+      (function
+        | F_rel r -> F_rel r
+        | F_derived (c, alias) -> F_derived (bind_compound db c, alias))
+      q.from
+  in
+  let select =
+    List.map
+      (fun item ->
+        match item with
+        | Sel_attr (a, alias) ->
+            let a, _ = resolve_attr env a in
+            Sel_attr (a, alias)
+        | Sel_const (v, alias) -> Sel_const (v, alias)
+        | Sel_agg (agg, alias) -> Sel_agg (bind_agg env agg, alias))
+      q.select
+  in
+  let where = bind_pred env q.where in
+  let group_by = List.map (fun a -> fst (resolve_attr env a)) q.group_by in
+  let having = Option.map (bind_having env) q.having in
+  (* Grouping discipline: under GROUP BY (or any aggregate), every plain
+     selected column must be a grouping column. *)
+  let grouped = group_by <> [] || has_aggregates q in
+  if grouped then
+    List.iter
+      (function
+        | Sel_attr (a, _) ->
+            if not (List.exists (equal_attr a) group_by) then
+              err "column %s.%s must appear in GROUP BY" a.tv a.col
+        | _ -> ())
+      select;
+  (* ORDER BY resolution: alias must name an output column, attr must be
+     either an output column or (when not grouped) any bound attr, agg
+     must match a selected aggregate or be computable (grouped only). *)
+  let out_names = select_output_names { q with select } in
+  let order_by =
+    List.map
+      (fun (k, d) ->
+        let k =
+          match k with
+          | O_alias s ->
+              if List.mem s out_names then O_alias s
+              else begin
+                (* Maybe it is a bare column reference. *)
+                let a, _ = resolve_attr env (attr "" s) in
+                O_attr a
+              end
+          | O_attr a ->
+              let a, _ = resolve_attr env a in
+              O_attr a
+          | O_agg agg ->
+              if not grouped then err "ORDER BY aggregate in ungrouped query";
+              O_agg (bind_agg env agg)
+        in
+        (k, d))
+      q.order_by
+  in
+  (match q.limit with
+  | Some n when n < 0 -> err "negative LIMIT"
+  | _ -> ());
+  { q with from; select; where; group_by; having; order_by }
+
+and bind_compound db = function
+  | C_single q -> C_single (bind db q)
+  | C_union_all cs ->
+      let bound = C_union_all (List.map (bind_compound db) cs) in
+      ignore (compound_schema db bound);
+      bound

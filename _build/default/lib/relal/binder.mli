@@ -1,0 +1,26 @@
+(** Name resolution and type checking.
+
+    [bind db q] validates a parsed query against the catalog and returns a
+    normalized query in which:
+    - every bare attribute ([title]) is qualified with the unique tuple
+      variable that provides it;
+    - string literals compared against [date] columns are converted to
+      [Value.Date] (accepting both ["YYYY-MM-DD"] and the paper's
+      ["D/M/YYYY"]);
+    - aggregate shorthand attributes (e.g. [DEGREE_OF_CONJUNCTION( * )])
+      are resolved against the input columns.
+
+    The executor ({!Exec}) requires its input to have passed this
+    function. *)
+
+exception Bind_error of string
+
+val bind : Database.t -> Sql_ast.query -> Sql_ast.query
+(** @raise Bind_error with a human-readable message on any violation:
+    unknown table/column/alias, duplicate alias, ambiguous bare column,
+    incomparable types, non-grouped select column under GROUP BY, ORDER BY
+    key that resolves to nothing, or mismatched UNION ALL branches. *)
+
+val output_schema : Database.t -> Sql_ast.query -> (string * Value.ty) list
+(** Output column names and types of a bound query, in SELECT order.
+    @raise Bind_error if the query does not bind. *)

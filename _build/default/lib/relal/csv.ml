@@ -1,0 +1,196 @@
+exception Csv_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Csv_error s)) fmt
+
+(* ------------------------------ writing ------------------------------ *)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let quote_field ?(force = false) s =
+  if (not force) && not (needs_quoting s) then s
+  else begin
+    let b = Buffer.create (String.length s + 2) in
+    Buffer.add_char b '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string b "\"\"" else Buffer.add_char b c)
+      s;
+    Buffer.add_char b '"';
+    Buffer.contents b
+  end
+
+(* Returns the field text and whether quoting is mandatory even when the
+   text needs none — the empty string must stay distinguishable from
+   NULL (an empty unquoted field). *)
+let field_of_value = function
+  | Value.Null -> ("", false)
+  | Value.Int i -> (string_of_int i, false)
+  | Value.Float f -> (Printf.sprintf "%.17g" f, false)
+  | Value.Bool b -> ((if b then "true" else "false"), false)
+  | Value.Date d ->
+      ( Printf.sprintf "%04d-%02d-%02d" (d / 10000) (d / 100 mod 100) (d mod 100),
+        false )
+  | Value.Str s -> (s, s = "")
+
+let table_to_string t =
+  let b = Buffer.create 4096 in
+  let cols = Schema.columns (Table.schema t) in
+  Buffer.add_string b
+    (String.concat ","
+       (Array.to_list (Array.map (fun c -> quote_field c.Schema.cname) cols)));
+  Buffer.add_char b '\n';
+  Table.iter t (fun row ->
+      let line =
+        String.concat ","
+          (Array.to_list
+             (Array.map
+                (fun v ->
+                  let text, force = field_of_value v in
+                  quote_field ~force text)
+                row))
+      in
+      Buffer.add_string b line;
+      Buffer.add_char b '\n');
+  Buffer.contents b
+
+(* ------------------------------ parsing ------------------------------ *)
+
+(* Split CSV text into records of (field, was_quoted) lists. *)
+let parse_records text =
+  let records = ref [] in
+  let fields = ref [] in
+  let buf = Buffer.create 32 in
+  let quoted = ref false in
+  let in_quotes = ref false in
+  let n = String.length text in
+  let flush_field () =
+    fields := (Buffer.contents buf, !quoted) :: !fields;
+    Buffer.clear buf;
+    quoted := false
+  in
+  let flush_record () =
+    flush_field ();
+    records := List.rev !fields :: !records;
+    fields := []
+  in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < n && text.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          i := !i + 2
+        end
+        else begin
+          in_quotes := false;
+          incr i
+        end
+      else begin
+        Buffer.add_char buf c;
+        incr i
+      end
+    end
+    else begin
+      (match c with
+      | '"' ->
+          in_quotes := true;
+          quoted := true
+      | ',' -> flush_field ()
+      | '\n' -> flush_record ()
+      | '\r' -> () (* tolerate CRLF *)
+      | c -> Buffer.add_char buf c);
+      incr i
+    end
+  done;
+  if !in_quotes then err "unterminated quoted field";
+  (* Final record without trailing newline. *)
+  if Buffer.length buf > 0 || !fields <> [] then flush_record ();
+  List.rev !records
+
+let value_of_field ty (s, was_quoted) =
+  if s = "" && not was_quoted then Value.Null
+  else
+    match ty with
+    | Value.TStr -> Value.Str s
+    | Value.TInt -> (
+        match int_of_string_opt s with
+        | Some i -> Value.Int i
+        | None -> err "bad int field %S" s)
+    | Value.TFloat -> (
+        match float_of_string_opt s with
+        | Some f -> Value.Float f
+        | None -> err "bad float field %S" s)
+    | Value.TBool -> (
+        match String.lowercase_ascii s with
+        | "true" | "t" | "1" -> Value.Bool true
+        | "false" | "f" | "0" -> Value.Bool false
+        | _ -> err "bad bool field %S" s)
+    | Value.TDate -> (
+        match Value.parse_date s with
+        | Some d -> d
+        | None -> err "bad date field %S" s)
+
+let table_of_string schema text =
+  match parse_records text with
+  | [] -> err "missing header line"
+  | header :: rows ->
+      let cols = Schema.columns schema in
+      let expected = Array.to_list (Array.map (fun c -> String.lowercase_ascii c.Schema.cname) cols) in
+      let got = List.map (fun (f, _) -> String.lowercase_ascii f) header in
+      if got <> expected then
+        err "header mismatch for %s: expected %s, got %s" (Schema.name schema)
+          (String.concat "," expected) (String.concat "," got);
+      let t = Table.create schema in
+      List.iteri
+        (fun lineno fields ->
+          if List.length fields <> Array.length cols then
+            err "row %d of %s has %d fields, expected %d" (lineno + 2)
+              (Schema.name schema) (List.length fields) (Array.length cols);
+          let row =
+            Array.of_list
+              (List.mapi
+                 (fun i f ->
+                   try value_of_field cols.(i).Schema.cty f
+                   with Csv_error e ->
+                     err "row %d of %s, column %s: %s" (lineno + 2)
+                       (Schema.name schema) cols.(i).Schema.cname e)
+                 fields)
+          in
+          try Table.insert t row
+          with Invalid_argument e -> err "row %d of %s: %s" (lineno + 2) (Schema.name schema) e)
+        rows;
+      t
+
+(* ----------------------------- databases ----------------------------- *)
+
+let save_db ~dir db =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  Out_channel.with_open_text (Filename.concat dir "schema.ddl") (fun oc ->
+      output_string oc (Ddl.to_string db));
+  List.iter
+    (fun t ->
+      let name = Schema.name (Table.schema t) in
+      Out_channel.with_open_text (Filename.concat dir (name ^ ".csv")) (fun oc ->
+          output_string oc (table_to_string t)))
+    (Database.tables db)
+
+let load_db ~dir =
+  let ddl_path = Filename.concat dir "schema.ddl" in
+  if not (Sys.file_exists ddl_path) then err "no schema.ddl in %s" dir;
+  let schema_db =
+    Ddl.parse (In_channel.with_open_text ddl_path In_channel.input_all)
+  in
+  List.iter
+    (fun t ->
+      let schema = Table.schema t in
+      let path = Filename.concat dir (Schema.name schema ^ ".csv") in
+      if Sys.file_exists path then begin
+        let text = In_channel.with_open_text path In_channel.input_all in
+        let parsed = table_of_string schema text in
+        Table.iter parsed (fun row -> Table.insert t (Array.copy row))
+      end)
+    (Database.tables schema_db);
+  Database.index_fk_columns schema_db;
+  schema_db

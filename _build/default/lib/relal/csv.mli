@@ -1,0 +1,31 @@
+(** CSV persistence for tables and whole databases.
+
+    Format: RFC-4180-style — fields separated by commas, quoted with
+    double quotes when they contain commas, quotes or newlines, embedded
+    quotes doubled.  The first line is a header of column names.  Values
+    are rendered type-faithfully ([Null] as the empty unquoted field,
+    dates as [YYYY-MM-DD]) and parsed back under the schema's column
+    types, so a round trip is value-exact.
+
+    A database directory holds [schema.ddl] (see {!Ddl}) plus one
+    [<table>.csv] per table — a human-editable on-disk database the CLI
+    can load with [--data-dir]. *)
+
+exception Csv_error of string
+
+val table_to_string : Table.t -> string
+(** Header plus one line per row. *)
+
+val table_of_string : Schema.t -> string -> Table.t
+(** Parse rows under the given schema (header validated).
+    @raise Csv_error on malformed CSV, a header mismatch, arity
+    mismatches, or unparseable typed fields. *)
+
+val save_db : dir:string -> Database.t -> unit
+(** Write [schema.ddl] and one CSV per table; creates [dir] if needed. *)
+
+val load_db : dir:string -> Database.t
+(** Read a directory written by {!save_db} (or by hand).  Tables listed
+    in the DDL but missing a CSV load empty.  Foreign-key columns are
+    hash-indexed after loading.
+    @raise Csv_error / @raise Ddl.Ddl_error on malformed input. *)

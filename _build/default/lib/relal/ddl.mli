@@ -1,0 +1,34 @@
+(** A CREATE TABLE subset, so databases can be described in plain text
+    files rather than OCaml code.
+
+    Grammar (case-insensitive, [--] comments to end of line):
+    {v
+    create table movie (
+      mid int primary key,
+      title string,
+      year int
+    );
+    create table genre (
+      mid int references movie(mid),
+      genre string,
+      primary key (mid, genre)
+    );
+    v}
+    Column types: [int], [float], [string], [bool], [date].  Column
+    constraints: [primary key], [unique], [references table(column)].
+    A table-level [primary key (c1, c2, …)] declares a composite key.
+
+    [references] clauses both register a foreign key and (through the
+    referenced column's uniqueness) determine the to-one/to-many
+    direction information the personalization layer depends on. *)
+
+exception Ddl_error of string
+
+val parse : string -> Database.t
+(** Parse a schema script into a fresh catalog (tables empty).
+    @raise Ddl_error on syntax errors, unknown types, references to
+    undeclared tables/columns, or duplicate declarations. *)
+
+val to_string : Database.t -> string
+(** Render a catalog back to DDL text; [parse (to_string db)] declares
+    the same tables, keys and foreign keys. *)

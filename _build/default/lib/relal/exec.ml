@@ -1,0 +1,928 @@
+open Sql_ast
+
+exception Exec_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Exec_error s)) fmt
+
+type result = { cols : string array; rows : Value.t array list }
+
+(* --------------------------------------------------------------------- *)
+(* Working relations                                                      *)
+(* --------------------------------------------------------------------- *)
+
+(* Intermediate relation: each column addressed as tuple-variable.column. *)
+type wrel = { header : (string * string) array; wrows : Value.t array list }
+
+(* A FROM item the join loop has not touched yet.  Base tables stay lazy
+   so the loop can pick index access paths (index-equality materialization
+   and index-nested-loop joins) instead of scanning. *)
+type source =
+  | S_mat of wrel
+  | S_base of { alias : string; tbl : Table.t }
+
+let base_header alias tbl =
+  Array.map
+    (fun c -> (alias, String.lowercase_ascii c.Schema.cname))
+    (Schema.columns (Table.schema tbl))
+
+let source_card = function
+  | S_mat w -> List.length w.wrows
+  | S_base { tbl; _ } -> Table.cardinality tbl
+
+let source_header = function
+  | S_mat w -> w.header
+  | S_base { alias; tbl } -> base_header alias tbl
+
+let col_idx w (a : attr) =
+  let n = Array.length w.header in
+  let rec go i =
+    if i >= n then None
+    else begin
+      let tv, c = w.header.(i) in
+      if tv = a.tv && c = a.col then Some i else go (i + 1)
+    end
+  in
+  go 0
+
+let col_idx_exn w a =
+  match col_idx w a with
+  | Some i -> i
+  | None -> err "executor: unresolved attribute %s.%s" a.tv a.col
+
+let _has_tv w tv = Array.exists (fun (t, _) -> t = tv) w.header
+
+(* --------------------------------------------------------------------- *)
+(* Row-key hash tables (for joins, distinct, grouping)                    *)
+(* --------------------------------------------------------------------- *)
+
+module Key = struct
+  type t = Value.t array
+
+  let equal a b =
+    Array.length a = Array.length b
+    &&
+    let rec go i =
+      i >= Array.length a || (Value.equal a.(i) b.(i) && go (i + 1))
+    in
+    go 0
+
+  let hash a = Array.fold_left (fun acc v -> (acc * 31) + Value.hash v) 17 a
+end
+
+module KH = Hashtbl.Make (Key)
+
+(* --------------------------------------------------------------------- *)
+(* Predicate evaluation                                                   *)
+(* --------------------------------------------------------------------- *)
+
+let eval_cmp op a b =
+  match op with
+  | Eq -> Value.equal a b
+  | Ne -> not (Value.equal a b)
+  | Lt -> Value.compare a b < 0
+  | Le -> Value.compare a b <= 0
+  | Gt -> Value.compare a b > 0
+  | Ge -> Value.compare a b >= 0
+
+(* Compile a predicate into a closure over rows of [w].  All attributes
+   must resolve in [w]'s header. *)
+let compile_pred w p =
+  let scalar = function
+    | S_const v -> fun _ -> v
+    | S_attr a ->
+        let i = col_idx_exn w a in
+        fun row -> row.(i)
+  in
+  let rec go = function
+    | P_true -> fun _ -> true
+    | P_false -> fun _ -> false
+    | P_not p ->
+        let f = go p in
+        fun row -> not (f row)
+    | P_and ps ->
+        let fs = List.map go ps in
+        fun row -> List.for_all (fun f -> f row) fs
+    | P_or ps ->
+        let fs = List.map go ps in
+        fun row -> List.exists (fun f -> f row) fs
+    | P_cmp (op, l, r) ->
+        let fl = scalar l and fr = scalar r in
+        fun row -> eval_cmp op (fl row) (fr row)
+  in
+  go p
+
+let rec pred_tvs acc = function
+  | P_true | P_false -> acc
+  | P_not p -> pred_tvs acc p
+  | P_and ps | P_or ps -> List.fold_left pred_tvs acc ps
+  | P_cmp (_, l, r) ->
+      let s acc = function S_attr a -> a.tv :: acc | S_const _ -> acc in
+      s (s acc l) r
+
+let tvs_of_pred p = List.sort_uniq String.compare (pred_tvs [] p)
+
+(* --------------------------------------------------------------------- *)
+(* FROM materialization                                                   *)
+(* --------------------------------------------------------------------- *)
+
+let rec source_of_from ?cost db item : string * source =
+  match item with
+  | F_rel r -> (
+      match Database.find_table db r.rel with
+      | None -> err "executor: unknown table %s" r.rel
+      | Some t -> (r.alias, S_base { alias = r.alias; tbl = t }))
+  | F_derived (c, alias) ->
+      let res = run_compound ?cost db c in
+      let header = Array.map (fun c -> (alias, c)) res.cols in
+      (alias, S_mat { header; wrows = res.rows })
+
+and materialize_from ?cost db item : wrel =
+  match source_of_from ?cost db item with
+  | _, S_mat w -> w
+  | _, S_base { alias; tbl } ->
+      { header = base_header alias tbl; wrows = Table.to_list tbl }
+
+(* --------------------------------------------------------------------- *)
+(* Conjunctive planning: pushdown + greedy hash joins                     *)
+(* --------------------------------------------------------------------- *)
+
+and filter_wrel w preds =
+  match preds with
+  | [] -> w
+  | _ ->
+      let f = compile_pred w (conj preds) in
+      { w with wrows = List.filter f w.wrows }
+
+and hash_join left right keys =
+  (* keys: (left_attr, right_attr) equi-join pairs. *)
+  let li = List.map (fun (a, _) -> col_idx_exn left a) keys in
+  let ri = List.map (fun (_, b) -> col_idx_exn right b) keys in
+  let key_of idxs row = Array.of_list (List.map (fun i -> row.(i)) idxs) in
+  (* Build on the smaller input. *)
+  let swap = List.length right.wrows < List.length left.wrows in
+  let build, bidx, probe, pidx =
+    if swap then (right, ri, left, li) else (left, li, right, ri)
+  in
+  let h = KH.create (max 16 (List.length build.wrows)) in
+  List.iter
+    (fun row ->
+      let k = key_of bidx row in
+      match KH.find_opt h k with
+      | Some l -> l := row :: !l
+      | None -> KH.add h k (ref [ row ]))
+    build.wrows;
+  let out = ref [] in
+  List.iter
+    (fun prow ->
+      let k = key_of pidx prow in
+      match KH.find_opt h k with
+      | None -> ()
+      | Some matches ->
+          List.iter
+            (fun brow ->
+              let lrow, rrow = if swap then (prow, brow) else (brow, prow) in
+              out := Array.append lrow rrow :: !out)
+            !matches)
+    probe.wrows;
+  { header = Array.append left.header right.header; wrows = !out }
+
+and cross_product left right =
+  let out = ref [] in
+  List.iter
+    (fun l ->
+      List.iter (fun r -> out := Array.append l r :: !out) right.wrows)
+    left.wrows;
+  { header = Array.append left.header right.header; wrows = !out }
+
+(* Materialize a base table under its local predicates, choosing an
+   access path: if some equality predicate lands on an indexed column the
+   matching rows are fetched through the index and the remaining
+   predicates are applied to them; otherwise a filtered scan. *)
+and materialize_base ~preds alias tbl : wrel =
+  let header = base_header alias tbl in
+  let index_probe =
+    List.find_map
+      (fun p ->
+        match p with
+        | P_cmp (Eq, S_attr a, S_const v) | P_cmp (Eq, S_const v, S_attr a)
+          when Table.has_index tbl a.col ->
+            Some (a.col, v, p)
+        | _ -> None)
+      preds
+  in
+  match index_probe with
+  | Some (col, v, used) ->
+      let rest = List.filter (fun p -> p != used) preds in
+      let w = { header; wrows = Table.lookup tbl col v } in
+      filter_wrel w rest
+  | None -> filter_wrel { header; wrows = Table.to_list tbl } preds
+
+(* Index-nested-loop join: [keys] are (probe-side, base-side) equi-join
+   attributes; rows of [current] probe the base table's index on the
+   first indexed base column, and the remaining key equalities are
+   checked on each match.  Cost is proportional to |current| plus the
+   output — never a scan of the base table. *)
+and index_nl_join current keys alias tbl : wrel option =
+  let indexed, others =
+    List.partition (fun ((_ : attr), (b : attr)) -> Table.has_index tbl b.col) keys
+  in
+  match indexed with
+  | [] -> None
+  | (pa, pb) :: rest_indexed ->
+      let others = rest_indexed @ others in
+      let pi = col_idx_exn current pa in
+      let bh = base_header alias tbl in
+      let base_idx (b : attr) =
+        match Schema.col_index (Table.schema tbl) b.col with
+        | Some i -> i
+        | None -> err "executor: no column %s in %s" b.col alias
+      in
+      let checks =
+        List.map (fun (a, b) -> (col_idx_exn current a, base_idx b)) others
+      in
+      let out = ref [] in
+      List.iter
+        (fun row ->
+          List.iter
+            (fun brow ->
+              if
+                List.for_all
+                  (fun (ci, bi) -> Value.equal row.(ci) brow.(bi))
+                  checks
+              then out := Array.append row brow :: !out)
+            (Table.lookup tbl pb.col row.(pi)))
+        current.wrows;
+      Some { header = Array.append current.header bh; wrows = !out }
+
+(* Evaluate a conjunctive block: [sources] is an association
+   (tv -> source) — base tables lazy, derived tables materialized;
+   [conjuncts] the predicate factors.  Returns the joined wrel covering
+   every tv in [sources].  With [?cost] statistics, the next join is the
+   one with the smallest estimated output (System-R containment formula);
+   without, the greedy smallest-input heuristic. *)
+and join_conjunctive ?cost (sources : (string * source) list) conjuncts : wrel =
+  (* Classify conjuncts. *)
+  let local, joins, residual =
+    List.fold_left
+      (fun (local, joins, residual) p ->
+        match p with
+        | P_cmp (Eq, S_attr a, S_attr b) when a.tv <> b.tv ->
+            (local, (a, b) :: joins, residual)
+        | _ -> (
+            match tvs_of_pred p with
+            | [ tv ] -> ((tv, p) :: local, joins, residual)
+            | [] -> (local, joins, p :: residual) (* constant predicate *)
+            | _ -> (local, joins, p :: residual)))
+      ([], [], []) conjuncts
+  in
+  (* Constant predicates: a constant FALSE empties everything. *)
+  let const_preds, residual =
+    List.partition (fun p -> tvs_of_pred p = []) residual
+  in
+  let const_ok =
+    List.for_all (fun p -> compile_pred { header = [||]; wrows = [] } p [||]) const_preds
+  in
+  (* Pushdown local filters: any tv carrying one is materialized through
+     its best access path; unfiltered base tables stay lazy so the join
+     loop can probe them with index-nested loops. *)
+  let sources =
+    List.map
+      (fun (tv, src) ->
+        let preds = List.filter_map (fun (t, p) -> if t = tv then Some p else None) local in
+        if not const_ok then
+          (tv, S_mat { header = source_header src; wrows = [] })
+        else
+          match (src, preds) with
+          | S_base _, [] -> (tv, src)
+          | S_base { alias; tbl }, preds ->
+              (tv, S_mat (materialize_base ~preds alias tbl))
+          | S_mat w, preds -> (tv, S_mat (filter_wrel w preds)))
+      sources
+  in
+  let force = function
+    | S_mat w -> w
+    | S_base { alias; tbl } ->
+        { header = base_header alias tbl; wrows = Table.to_list tbl }
+  in
+  match sources with
+  | [] -> err "executor: empty FROM"
+  | _ ->
+      let remaining = ref sources in
+      let joins = ref joins in
+      let residual = ref residual in
+      (* Start from the smallest (estimated) relation. *)
+      let smallest () =
+        List.fold_left
+          (fun best (tv, src) ->
+            match best with
+            | None -> Some (tv, src)
+            | Some (_, bsrc) ->
+                if source_card src < source_card bsrc then Some (tv, src)
+                else best)
+          None !remaining
+      in
+      let tv0, src0 = Option.get (smallest ()) in
+      remaining := List.remove_assoc tv0 !remaining;
+      let current = ref (force src0) in
+      let joined_tvs = ref [ tv0 ] in
+      let apply_ready_residuals () =
+        let ready, rest =
+          List.partition
+            (fun p ->
+              List.for_all (fun tv -> List.mem tv !joined_tvs) (tvs_of_pred p))
+            !residual
+        in
+        residual := rest;
+        if ready <> [] then current := filter_wrel !current ready
+      in
+      apply_ready_residuals ();
+      while !remaining <> [] do
+        (* Find join edges from the joined set to a single new tv. *)
+        let edge_groups = Hashtbl.create 8 in
+        List.iter
+          (fun (a, b) ->
+            let a_in = List.mem a.tv !joined_tvs
+            and b_in = List.mem b.tv !joined_tvs in
+            if a_in && not b_in then begin
+              let l = try Hashtbl.find edge_groups b.tv with Not_found -> [] in
+              Hashtbl.replace edge_groups b.tv ((a, b) :: l)
+            end
+            else if b_in && not a_in then begin
+              let l = try Hashtbl.find edge_groups a.tv with Not_found -> [] in
+              Hashtbl.replace edge_groups a.tv ((b, a) :: l)
+            end)
+          !joins;
+        let next =
+          (* Rank joinable relations: with statistics, by estimated join
+             output |cur|·|R| / max(ndv); otherwise by raw input size. *)
+          let score src keys =
+            match cost with
+            | None -> float_of_int (source_card src)
+            | Some stats -> (
+                let cur = float_of_int (List.length !current.wrows) in
+                match (src, keys) with
+                | S_base { tbl; _ }, (_, (b : attr)) :: _ -> (
+                    let tname = Schema.name (Table.schema tbl) in
+                    match Stats.ndv stats tname b.col with
+                    | n ->
+                        cur *. float_of_int (Table.cardinality tbl)
+                        /. float_of_int (max 1 n)
+                    | exception Invalid_argument _ ->
+                        cur *. float_of_int (Table.cardinality tbl))
+                | _ ->
+                    (* Materialized input: assume a key join (output ≈
+                       the current side). *)
+                    cur)
+          in
+          Hashtbl.fold
+            (fun tv keys best ->
+              match List.assoc_opt tv !remaining with
+              | None -> best
+              | Some src -> (
+                  let s = score src keys in
+                  match best with
+                  | Some (_, _, _, bs) when bs <= s -> best
+                  | _ -> Some (tv, src, keys, s)))
+            edge_groups None
+          |> Option.map (fun (tv, src, keys, _) -> (tv, src, keys))
+        in
+        (match next with
+        | Some (tv, src, keys) ->
+            (* keys are (already-joined attr, new attr) pairs.  Against a
+               lazy base table with an index on a join column, probe with
+               an index-nested loop; otherwise hash join the
+               materialization. *)
+            let joined =
+              match src with
+              | S_base { alias; tbl } -> (
+                  match index_nl_join !current keys alias tbl with
+                  | Some w -> w
+                  | None ->
+                      hash_join !current (force src)
+                        (List.map (fun (a, b) -> (a, b)) keys))
+              | S_mat w -> hash_join !current w keys
+            in
+            current := joined;
+            joined_tvs := tv :: !joined_tvs;
+            remaining := List.remove_assoc tv !remaining;
+            (* The join keys are now satisfied; drop them so the
+               internal-edge sweep below does not re-filter on them. *)
+            joins :=
+              List.filter
+                (fun (a, b) ->
+                  not
+                    (List.exists
+                       (fun (ka, kb) ->
+                         (equal_attr a ka && equal_attr b kb)
+                         || (equal_attr a kb && equal_attr b ka))
+                       keys))
+                !joins
+        | None ->
+            (* No connecting edge: cartesian step with the smallest rest. *)
+            let tv, src = Option.get (smallest ()) in
+            current := cross_product !current (force src);
+            joined_tvs := tv :: !joined_tvs;
+            remaining := List.remove_assoc tv !remaining);
+        (* Enforce any join edge that has become internal (both sides
+           joined) but was not one of the hash keys. *)
+        let internal, external_ =
+          List.partition
+            (fun (a, b) ->
+              List.mem a.tv !joined_tvs && List.mem b.tv !joined_tvs)
+            !joins
+        in
+        joins := external_;
+        if internal <> [] then
+          current :=
+            filter_wrel !current
+              (List.map (fun (a, b) -> P_cmp (Eq, S_attr a, S_attr b)) internal);
+        apply_ready_residuals ()
+      done;
+      apply_ready_residuals ();
+      if !residual <> [] then
+        err "executor: residual predicates with unknown tuple variables";
+      !current
+
+(* --------------------------------------------------------------------- *)
+(* Aggregation                                                            *)
+(* --------------------------------------------------------------------- *)
+
+and agg_of_rows w agg rows =
+  match agg with
+  | A_count_star -> Value.Int (List.length rows)
+  | A_count a ->
+      let i = col_idx_exn w a in
+      Value.Int
+        (List.length (List.filter (fun r -> r.(i) <> Value.Null) rows))
+  | A_sum a ->
+      let i = col_idx_exn w a in
+      let fsum, is_float =
+        List.fold_left
+          (fun (acc, isf) r ->
+            match r.(i) with
+            | Value.Int v -> (acc +. float_of_int v, isf)
+            | Value.Float v -> (acc +. v, true)
+            | Value.Null -> (acc, isf)
+            | v -> err "sum over non-numeric value %s" (Value.to_string v))
+          (0., false) rows
+      in
+      if is_float then Value.Float fsum else Value.Int (int_of_float fsum)
+  | A_min a ->
+      let i = col_idx_exn w a in
+      List.fold_left
+        (fun acc r ->
+          if r.(i) = Value.Null then acc
+          else
+            match acc with
+            | Value.Null -> r.(i)
+            | m -> if Value.compare r.(i) m < 0 then r.(i) else m)
+        Value.Null rows
+  | A_max a ->
+      let i = col_idx_exn w a in
+      List.fold_left
+        (fun acc r ->
+          if r.(i) = Value.Null then acc
+          else
+            match acc with
+            | Value.Null -> r.(i)
+            | m -> if Value.compare r.(i) m > 0 then r.(i) else m)
+        Value.Null rows
+  | A_avg a ->
+      let i = col_idx_exn w a in
+      let sum, n =
+        List.fold_left
+          (fun (acc, n) r ->
+            match r.(i) with
+            | Value.Int v -> (acc +. float_of_int v, n + 1)
+            | Value.Float v -> (acc +. v, n + 1)
+            | Value.Null -> (acc, n)
+            | v -> err "avg over non-numeric value %s" (Value.to_string v))
+          (0., 0) rows
+      in
+      if n = 0 then Value.Null else Value.Float (sum /. float_of_int n)
+  | A_doi_conj (doi_a, pref_a) ->
+      (* The paper's aggregate: combine, with the conjunctive function
+         1 - prod(1 - d_i), the degrees of the *distinct* preferences the
+         group satisfies (a preference can reach a row through several
+         partial queries only once). *)
+      let di = col_idx_exn w doi_a and pi = col_idx_exn w pref_a in
+      let seen = KH.create 8 in
+      let prod = ref 1.0 in
+      List.iter
+        (fun r ->
+          let key = [| r.(pi) |] in
+          if not (KH.mem seen key) then begin
+            KH.add seen key ();
+            let d =
+              match r.(di) with
+              | Value.Float f -> f
+              | Value.Int i -> float_of_int i
+              | v -> err "degree_of_conjunction over non-numeric %s" (Value.to_string v)
+            in
+            prod := !prod *. (1. -. d)
+          end)
+        rows;
+      Value.Float (1. -. !prod)
+
+and eval_having w rows h =
+  let rec go = function
+    | H_and hs -> List.for_all go hs
+    | H_or hs -> List.exists go hs
+    | H_cmp (op, l, r) ->
+        let v = function
+          | H_agg a -> agg_of_rows w a rows
+          | H_const c -> c
+        in
+        eval_cmp op (v l) (v r)
+  in
+  go h
+
+(* --------------------------------------------------------------------- *)
+(* Post-pipeline: group / having / order / project / distinct / limit     *)
+(* --------------------------------------------------------------------- *)
+
+and post_pipeline (q : query) (w : wrel) : result =
+  let has_aggs =
+    List.exists (function Sel_agg _ -> true | _ -> false) q.select
+    || q.having <> None
+    || List.exists (function O_agg _, _ -> true | _ -> false) q.order_by
+  in
+  let grouped = q.group_by <> [] || has_aggs in
+  let out_names = Array.of_list (select_output_names q) in
+  let projected_with_keys =
+    if grouped then begin
+      (* Group rows. *)
+      let key_idxs = List.map (col_idx_exn w) q.group_by in
+      let groups = KH.create 64 in
+      let order = ref [] in
+      List.iter
+        (fun row ->
+          let k = Array.of_list (List.map (fun i -> row.(i)) key_idxs) in
+          match KH.find_opt groups k with
+          | Some l -> l := row :: !l
+          | None ->
+              KH.add groups k (ref [ row ]);
+              order := k :: !order)
+        w.wrows;
+      let keys_in_order = List.rev !order in
+      List.filter_map
+        (fun k ->
+          let rows = !(KH.find groups k) in
+          let keep =
+            match q.having with
+            | None -> true
+            | Some h -> eval_having w rows h
+          in
+          if not keep then None
+          else begin
+            (* Lazy: an all-aggregate projection over an empty group (the
+               GROUP-BY-less aggregate case) never touches a row. *)
+            let rep = lazy (List.hd rows) in
+            let out =
+              Array.of_list
+                (List.map
+                   (function
+                     | Sel_attr (a, _) -> (Lazy.force rep).(col_idx_exn w a)
+                     | Sel_const (v, _) -> v
+                     | Sel_agg (agg, _) -> agg_of_rows w agg rows)
+                   q.select)
+            in
+            let sort_key =
+              List.map
+                (fun (k, d) ->
+                  let v =
+                    match k with
+                    | O_attr a -> (Lazy.force rep).(col_idx_exn w a)
+                    | O_agg agg -> agg_of_rows w agg rows
+                    | O_alias name -> (
+                        match
+                          Array.to_list out_names
+                          |> List.mapi (fun i n -> (n, i))
+                          |> List.assoc_opt name
+                        with
+                        | Some i -> out.(i)
+                        | None -> err "ORDER BY alias %s not in output" name)
+                  in
+                  (v, d))
+                q.order_by
+            in
+            Some (out, sort_key)
+          end)
+        keys_in_order
+    end
+    else
+      List.map
+        (fun row ->
+          let out =
+            Array.of_list
+              (List.map
+                 (function
+                   | Sel_attr (a, _) -> row.(col_idx_exn w a)
+                   | Sel_const (v, _) -> v
+                   | Sel_agg _ -> err "aggregate in ungrouped projection")
+                 q.select)
+          in
+          let sort_key =
+            List.map
+              (fun (k, d) ->
+                let v =
+                  match k with
+                  | O_attr a -> row.(col_idx_exn w a)
+                  | O_agg _ -> err "ORDER BY aggregate in ungrouped query"
+                  | O_alias name -> (
+                      match
+                        Array.to_list out_names
+                        |> List.mapi (fun i n -> (n, i))
+                        |> List.assoc_opt name
+                      with
+                      | Some i -> out.(i)
+                      | None -> err "ORDER BY alias %s not in output" name)
+                in
+                (v, d))
+              q.order_by
+          in
+          (out, sort_key))
+        w.wrows
+  in
+  (* DISTINCT before ORDER BY (SQL evaluation order). *)
+  let projected_with_keys =
+    if q.distinct then begin
+      let seen = KH.create 64 in
+      List.filter
+        (fun (out, _) ->
+          if KH.mem seen out then false
+          else begin
+            KH.add seen out ();
+            true
+          end)
+        projected_with_keys
+    end
+    else projected_with_keys
+  in
+  let sorted =
+    match q.order_by with
+    | [] -> projected_with_keys
+    | _ ->
+        List.stable_sort
+          (fun (_, k1) (_, k2) ->
+            let rec cmp ks1 ks2 =
+              match (ks1, ks2) with
+              | [], [] -> 0
+              | (v1, d) :: r1, (v2, _) :: r2 ->
+                  let c = Value.compare v1 v2 in
+                  let c = match d with Asc -> c | Desc -> -c in
+                  if c <> 0 then c else cmp r1 r2
+              | _ -> 0
+            in
+            cmp k1 k2)
+          projected_with_keys
+  in
+  let rows = List.map fst sorted in
+  let rows =
+    match q.limit with
+    | None -> rows
+    | Some n -> List.filteri (fun i _ -> i < n) rows
+  in
+  { cols = out_names; rows }
+
+(* --------------------------------------------------------------------- *)
+(* DNF splitting (for DISTINCT + disjunctive qualifications, i.e. SQ)     *)
+(* --------------------------------------------------------------------- *)
+
+and dnf_branches cap p : pred list list option =
+  (* Returns up to [cap] conjunctions of "literal" predicates, or None if
+     the expansion would exceed [cap]. *)
+  let product l1 l2 =
+    List.concat_map (fun c1 -> List.map (fun c2 -> c1 @ c2) l2) l1
+  in
+  let rec go p : pred list list option =
+    match p with
+    | P_true -> Some [ [] ]
+    | P_false -> Some []
+    | P_cmp _ | P_not _ -> Some [ [ p ] ]
+    | P_or ps ->
+        List.fold_left
+          (fun acc p ->
+            match (acc, go p) with
+            | Some a, Some b when List.length a + List.length b <= cap ->
+                Some (a @ b)
+            | _ -> None)
+          (Some []) ps
+    | P_and ps ->
+        List.fold_left
+          (fun acc p ->
+            match (acc, go p) with
+            | Some a, Some b when List.length a * List.length b <= cap ->
+                Some (product a b)
+            | _ -> None)
+          (Some [ [] ]) ps
+  in
+  go p
+
+and contains_or = function
+  | P_or _ -> true
+  | P_and ps -> List.exists contains_or ps
+  | P_not p -> contains_or p
+  | _ -> false
+
+and select_attrs q =
+  List.filter_map (function Sel_attr (a, _) -> Some a | _ -> None) q.select
+
+(* --------------------------------------------------------------------- *)
+(* Top-level evaluation                                                   *)
+(* --------------------------------------------------------------------- *)
+
+and run_auto ?cost db (q : query) : result =
+  let wrels = List.map (source_of_from ?cost db) q.from in
+  let has_aggs =
+    List.exists (function Sel_agg _ -> true | _ -> false) q.select
+    || q.having <> None
+  in
+  let dnf_eligible =
+    q.distinct && q.group_by = [] && (not has_aggs) && contains_or q.where
+  in
+  let dnf =
+    if dnf_eligible then dnf_branches 4096 q.where else None
+  in
+  match dnf with
+  | Some branches ->
+      (* Evaluate each conjunctive branch over only the tuple variables it
+         (or the output) references; unreferenced FROM entries must merely
+         be non-empty (sound because DISTINCT erases multiplicities). *)
+      let needed_base =
+        List.sort_uniq String.compare
+          (List.map (fun (a : attr) -> a.tv) (select_attrs q)
+          @ List.concat_map
+              (fun (k, _) ->
+                match k with O_attr a -> [ a.tv ] | _ -> [])
+              q.order_by)
+      in
+      let all_rows = ref [] in
+      List.iter
+        (fun branch ->
+          let branch_tvs =
+            List.sort_uniq String.compare
+              (needed_base @ List.concat_map tvs_of_pred branch)
+          in
+          let used, unused =
+            List.partition (fun (tv, _) -> List.mem tv branch_tvs) wrels
+          in
+          let nonempty_unused =
+            List.for_all (fun (_, src) -> source_card src > 0) unused
+          in
+          if nonempty_unused && used <> [] then begin
+            let joined = join_conjunctive ?cost used branch in
+            let res =
+              post_pipeline
+                { q with where = P_true; order_by = []; limit = None }
+                joined
+            in
+            all_rows := List.rev_append res.rows !all_rows
+          end)
+        branches;
+      let merged =
+        {
+          header =
+            Array.of_list
+              (List.map (fun n -> ("", n)) (select_output_names q));
+          wrows = List.rev !all_rows;
+        }
+      in
+      (* Re-run the tail of the pipeline on the merged projection for
+         distinct / order / limit.  Column references now address the
+         projected names: an ORDER BY attribute must map to the output
+         name of the select item that produced it. *)
+      let output_name_of (a : attr) =
+        let rec go = function
+          | [] -> err "ORDER BY column %s.%s not in DISTINCT output" a.tv a.col
+          | Sel_attr (a', alias) :: _ when equal_attr a a' -> (
+              match alias with Some al -> al | None -> a'.col)
+          | _ :: rest -> go rest
+        in
+        go q.select
+      in
+      let q' =
+        {
+          q with
+          from = [];
+          where = P_true;
+          select =
+            List.map
+              (function
+                | Sel_attr (a, alias) ->
+                    let name =
+                      match alias with Some al -> al | None -> a.col
+                    in
+                    Sel_attr ({ tv = ""; col = name }, Some name)
+                | item -> item)
+              q.select;
+          order_by =
+            List.map
+              (fun (k, d) ->
+                ( (match k with
+                  | O_attr a -> O_attr { tv = ""; col = output_name_of a }
+                  | k -> k),
+                  d ))
+              q.order_by;
+        }
+      in
+      post_pipeline q' merged
+  | None ->
+      let conjuncts = conjuncts q.where in
+      (* Keep disjunctions and other non-splittable factors as residual
+         filters inside the conjunctive join. *)
+      let joined = join_conjunctive ?cost wrels conjuncts in
+      post_pipeline { q with where = P_true } joined
+
+and run_naive db (q : query) : result =
+  let wrels = List.map (materialize_from db) q.from in
+  let joined =
+    match wrels with
+    | [] -> err "executor: empty FROM"
+    | w :: rest -> List.fold_left cross_product w rest
+  in
+  let filtered = filter_wrel joined [ q.where ] in
+  post_pipeline { q with where = P_true } filtered
+
+and run_compound ?cost db (c : compound) : result =
+  match c with
+  | C_single q -> run_auto ?cost db q
+  | C_union_all [] -> err "executor: empty UNION ALL"
+  | C_union_all (c :: cs) ->
+      let first = run_compound ?cost db c in
+      let rows =
+        List.fold_left
+          (fun acc c' ->
+            let r = run_compound ?cost db c' in
+            List.rev_append (List.rev r.rows) acc)
+          first.rows cs
+      in
+      { first with rows }
+
+let run ?(strategy = `Auto) ?stats db q =
+  match strategy with
+  | `Auto -> run_auto db q
+  | `Naive -> run_naive db q
+  | `Cost ->
+      let stats = match stats with Some s -> s | None -> Stats.create db in
+      run_auto ~cost:stats db q
+
+(* --------------------------------------------------------------------- *)
+(* Result helpers                                                         *)
+(* --------------------------------------------------------------------- *)
+
+let compare_rows (a : Value.t array) (b : Value.t array) =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = Value.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let sort_rows r = { r with rows = List.sort compare_rows r.rows }
+
+let result_equal_list a b =
+  List.length a.rows = List.length b.rows
+  && List.for_all2 (fun x y -> Key.equal x y) a.rows b.rows
+
+let result_equal_bag a b = result_equal_list (sort_rows a) (sort_rows b)
+
+let pp_result ?(max_rows = 20) fmt r =
+  let shown = List.filteri (fun i _ -> i < max_rows) r.rows in
+  let cells = List.map (fun row -> Array.map Value.to_string row) shown in
+  let ncols = Array.length r.cols in
+  let width = Array.make ncols 0 in
+  Array.iteri (fun i c -> width.(i) <- String.length c) r.cols;
+  List.iter
+    (fun row ->
+      Array.iteri (fun i s -> width.(i) <- max width.(i) (String.length s)) row)
+    cells;
+  let line sep =
+    Format.pp_print_string fmt sep;
+    Array.iteri
+      (fun i _ ->
+        Format.pp_print_string fmt (String.make (width.(i) + 2) '-');
+        Format.pp_print_string fmt sep)
+      width;
+    Format.pp_print_newline fmt ()
+  in
+  let row_out (cells : string array) =
+    Format.pp_print_string fmt "|";
+    Array.iteri
+      (fun i s -> Format.fprintf fmt " %-*s |" width.(i) s)
+      cells;
+    Format.pp_print_newline fmt ()
+  in
+  line "+";
+  row_out r.cols;
+  line "+";
+  List.iter row_out cells;
+  line "+";
+  let total = List.length r.rows in
+  if total > max_rows then
+    Format.fprintf fmt "... (%d of %d rows shown)@." max_rows total
+  else Format.fprintf fmt "(%d rows)@." total

@@ -1,0 +1,54 @@
+(** Query evaluation.
+
+    The executor consumes {e bound} queries (see {!Binder.bind}) and
+    produces materialized results.  Two strategies are available:
+
+    - [`Auto] (default): per-table selection pushdown, greedy hash-join
+      ordering over the equi-join conjuncts, residual predicates applied
+      as soon as their tuple variables are joined.  For DISTINCT queries
+      whose qualification contains disjunctions — the shape the SQ
+      integration method produces (paper §6) — the qualification is split
+      into DNF branches, each executed as a conjunctive plan, and the
+      branch results are unioned and de-duplicated; this is semantically
+      equivalent under DISTINCT and avoids the cross-product blow-up a
+      naive evaluation of SQ's FROM list would suffer.
+    - [`Naive]: textbook semantics — cross product of the FROM list,
+      filter, then the same post-pipeline.  Exponential; used as the test
+      oracle on small data.
+
+    Post-pipeline (both strategies): GROUP BY / aggregates (including
+    [DEGREE_OF_CONJUNCTION]) / HAVING, ORDER BY, projection, DISTINCT,
+    LIMIT. *)
+
+exception Exec_error of string
+
+type result = { cols : string array; rows : Value.t array list }
+(** Output column names (SELECT order) and rows. *)
+
+val run :
+  ?strategy:[ `Auto | `Naive | `Cost ] ->
+  ?stats:Stats.t ->
+  Database.t ->
+  Sql_ast.query ->
+  result
+(** Evaluate a bound query.  [`Cost] behaves like [`Auto] but chooses the
+    next join by estimated output size ([Stats.join_size]'s containment
+    formula) instead of smallest input; pass a cached [?stats] to avoid
+    recomputing statistics per query (one is created ad hoc otherwise).
+    @raise Exec_error on internal violations (which indicate an unbound
+    query or an engine bug). *)
+
+val result_equal_bag : result -> result -> bool
+(** Bag equality of rows (column names ignored); the test oracle's notion
+    of equivalence for unordered queries. *)
+
+val result_equal_list : result -> result -> bool
+(** Ordered row-list equality (for ORDER BY tests). *)
+
+val sort_rows : result -> result
+(** Rows sorted lexicographically — normalization helper for comparing
+    unordered results. *)
+
+val pp_result : ?max_rows:int -> Format.formatter -> result -> unit
+(** Column-aligned textual table; prints at most [max_rows] rows
+    (default 20) followed by an ellipsis line. *)

@@ -1,0 +1,35 @@
+(** Tokenizer for the SQL subset.
+
+    Keywords are case-insensitive; identifiers are lower-cased (the whole
+    engine is case-insensitive, like the paper's Oracle prototype).
+    String literals use single quotes with [''] escaping. *)
+
+type token =
+  | IDENT of string  (** lower-cased identifier *)
+  | INT of int
+  | FLOAT of float
+  | STRING of string  (** unescaped contents *)
+  | KW of string  (** lower-cased keyword, e.g. "select" *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | STAR
+  | EQ
+  | NE
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Lex_error of string * int
+(** Message and byte offset. *)
+
+val keywords : string list
+(** The reserved words recognised as [KW]. *)
+
+val tokenize : string -> token list
+(** @raise Lex_error on an illegal character or unterminated string. *)
+
+val pp_token : Format.formatter -> token -> unit

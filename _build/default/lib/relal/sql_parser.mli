@@ -1,0 +1,18 @@
+(** Recursive-descent parser for the SQL subset of {!Sql_ast}.
+
+    Attribute references may be written qualified ([MV.title]) or bare
+    ([title]); bare references carry an empty tuple variable and are
+    resolved later by {!Binder}.  The parser is the inverse of
+    {!Sql_print}: [parse (Sql_print.query_to_string q)] re-reads any query
+    the engine prints (a property-tested round trip). *)
+
+exception Parse_error of string
+(** Human-readable message, including the offending token. *)
+
+val parse : string -> Sql_ast.query
+(** Parse a single SELECT statement (an optional trailing [';'] is
+    allowed).  @raise Parse_error on syntax errors,
+    @raise Sql_lexer.Lex_error on lexical errors. *)
+
+val parse_pred : string -> Sql_ast.pred
+(** Parse a bare predicate (used by the profile text format and tests). *)

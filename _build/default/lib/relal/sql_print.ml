@@ -1,0 +1,202 @@
+open Sql_ast
+
+let attr_to_string (a : attr) =
+  if a.tv = "" then a.col else a.tv ^ "." ^ a.col
+
+let cmp_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let scalar_to_string = function
+  | S_attr a -> attr_to_string a
+  | S_const v -> Value.to_string v
+
+(* Precedence: OR(1) < AND(2) < NOT/atom(3).  Parenthesize a child that
+   binds looser than its context; children of AND/OR are printed at one
+   level above the operator's own so that a directly nested same-operator
+   node keeps its parentheses and the parse→print→parse trip is exact
+   (the parser would otherwise flatten it). *)
+let rec pred_prec ctx p =
+  match p with
+  | P_true -> "TRUE"
+  | P_false -> "FALSE"
+  | P_cmp (op, a, b) ->
+      scalar_to_string a ^ " " ^ cmp_to_string op ^ " " ^ scalar_to_string b
+  | P_not p -> "NOT " ^ pred_prec 3 p
+  | P_and ps ->
+      let s = String.concat " and " (List.map (pred_prec 3) ps) in
+      if ctx > 2 then "(" ^ s ^ ")" else s
+  | P_or ps ->
+      let s = String.concat " or " (List.map (pred_prec 2) ps) in
+      if ctx > 1 then "(" ^ s ^ ")" else s
+
+let pred_to_string p = pred_prec 0 p
+
+let agg_to_string = function
+  | A_count_star -> "count(*)"
+  | A_count a -> "count(" ^ attr_to_string a ^ ")"
+  | A_sum a -> "sum(" ^ attr_to_string a ^ ")"
+  | A_min a -> "min(" ^ attr_to_string a ^ ")"
+  | A_max a -> "max(" ^ attr_to_string a ^ ")"
+  | A_avg a -> "avg(" ^ attr_to_string a ^ ")"
+  | A_doi_conj (a, b) ->
+      "degree_of_conjunction(" ^ attr_to_string a ^ ", " ^ attr_to_string b ^ ")"
+
+let hscalar_to_string = function
+  | H_agg a -> agg_to_string a
+  | H_const v -> Value.to_string v
+
+let rec having_prec ctx h =
+  match h with
+  | H_cmp (op, a, b) ->
+      hscalar_to_string a ^ " " ^ cmp_to_string op ^ " " ^ hscalar_to_string b
+  | H_and hs ->
+      let s = String.concat " and " (List.map (having_prec 3) hs) in
+      if ctx > 2 then "(" ^ s ^ ")" else s
+  | H_or hs ->
+      let s = String.concat " or " (List.map (having_prec 2) hs) in
+      if ctx > 1 then "(" ^ s ^ ")" else s
+
+let having_to_string h = having_prec 0 h
+
+let select_item_to_string = function
+  | Sel_attr (a, None) -> attr_to_string a
+  | Sel_attr (a, Some al) -> attr_to_string a ^ " as " ^ al
+  | Sel_const (v, al) -> Value.to_string v ^ " as " ^ al
+  | Sel_agg (a, al) -> agg_to_string a ^ " as " ^ al
+
+let order_key_to_string = function
+  | O_attr a -> attr_to_string a
+  | O_alias s -> s
+  | O_agg a -> agg_to_string a
+
+let rec query_to_string (q : query) =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "select ";
+  if q.distinct then Buffer.add_string b "distinct ";
+  Buffer.add_string b
+    (String.concat ", " (List.map select_item_to_string q.select));
+  Buffer.add_string b " from ";
+  Buffer.add_string b (String.concat ", " (List.map from_item_to_string q.from));
+  (match q.where with
+  | P_true -> ()
+  | w ->
+      Buffer.add_string b " where ";
+      Buffer.add_string b (pred_to_string w));
+  (match q.group_by with
+  | [] -> ()
+  | gs ->
+      Buffer.add_string b " group by ";
+      Buffer.add_string b (String.concat ", " (List.map attr_to_string gs)));
+  (match q.having with
+  | None -> ()
+  | Some h ->
+      Buffer.add_string b " having ";
+      Buffer.add_string b (having_to_string h));
+  (match q.order_by with
+  | [] -> ()
+  | os ->
+      Buffer.add_string b " order by ";
+      Buffer.add_string b
+        (String.concat ", "
+           (List.map
+              (fun (k, d) ->
+                order_key_to_string k ^ match d with Asc -> " asc" | Desc -> " desc")
+              os)));
+  (match q.limit with
+  | None -> ()
+  | Some n -> Buffer.add_string b (" limit " ^ string_of_int n));
+  Buffer.contents b
+
+and from_item_to_string = function
+  | F_rel r -> if r.alias = r.rel then r.rel else r.rel ^ " " ^ r.alias
+  | F_derived (c, alias) -> "(" ^ compound_to_string c ^ ") " ^ alias
+
+and compound_to_string = function
+  | C_single q -> query_to_string q
+  | C_union_all cs ->
+      String.concat " union all "
+        (List.map (fun c -> "(" ^ compound_to_string c ^ ")") cs)
+
+(* --- pretty (indented) rendering --- *)
+
+let indent n = String.make (2 * n) ' '
+
+let rec pretty_query depth (q : query) =
+  let b = Buffer.create 512 in
+  let pad = indent depth in
+  Buffer.add_string b (pad ^ "select ");
+  if q.distinct then Buffer.add_string b "distinct ";
+  Buffer.add_string b
+    (String.concat ", " (List.map select_item_to_string q.select));
+  Buffer.add_string b ("\n" ^ pad ^ "from ");
+  Buffer.add_string b
+    (String.concat (",\n" ^ pad ^ "     ")
+       (List.map (pretty_from_item depth) q.from));
+  (match q.where with
+  | P_true -> ()
+  | w -> Buffer.add_string b ("\n" ^ pad ^ "where " ^ pretty_pred depth w));
+  (match q.group_by with
+  | [] -> ()
+  | gs ->
+      Buffer.add_string b
+        ("\n" ^ pad ^ "group by "
+        ^ String.concat ", " (List.map attr_to_string gs)));
+  (match q.having with
+  | None -> ()
+  | Some h -> Buffer.add_string b ("\n" ^ pad ^ "having " ^ having_to_string h));
+  (match q.order_by with
+  | [] -> ()
+  | os ->
+      Buffer.add_string b
+        ("\n" ^ pad ^ "order by "
+        ^ String.concat ", "
+            (List.map
+               (fun (k, d) ->
+                 order_key_to_string k
+                 ^ match d with Asc -> " asc" | Desc -> " desc")
+               os)));
+  (match q.limit with
+  | None -> ()
+  | Some n -> Buffer.add_string b ("\n" ^ pad ^ "limit " ^ string_of_int n));
+  Buffer.contents b
+
+and pretty_from_item depth = function
+  | F_rel r -> if r.alias = r.rel then r.rel else r.rel ^ " " ^ r.alias
+  | F_derived (c, alias) ->
+      "(\n" ^ pretty_compound (depth + 1) c ^ "\n" ^ indent depth ^ ") " ^ alias
+
+and pretty_compound depth = function
+  | C_single q -> pretty_query depth q
+  | C_union_all cs ->
+      String.concat ("\n" ^ indent depth ^ "union all\n")
+        (List.map
+           (fun c ->
+             indent depth ^ "(\n"
+             ^ pretty_compound (depth + 1) c
+             ^ "\n" ^ indent depth ^ ")")
+           cs)
+
+and pretty_pred depth p =
+  (* Disjunctions of conjunctions (the SQ shape) read better one disjunct
+     per line. *)
+  match p with
+  | P_and ps when List.exists (function P_or _ -> true | _ -> false) ps ->
+      String.concat (" and\n" ^ indent depth ^ "      ")
+        (List.map
+           (function P_or _ as p -> pretty_pred depth p | p -> pred_prec 3 p)
+           ps)
+  | P_and ps -> String.concat " and " (List.map (pred_prec 3) ps)
+  | P_or ps when List.length ps > 1 ->
+      "(" ^ String.concat ("\n" ^ indent depth ^ "   or ")
+              (List.map (pred_prec 2) ps)
+      ^ ")"
+  | p -> pred_to_string p
+
+let query_to_pretty q = pretty_query 0 q
+
+let pp_query fmt q = Format.pp_print_string fmt (query_to_pretty q)

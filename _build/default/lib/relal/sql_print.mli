@@ -1,0 +1,21 @@
+(** Pretty-printer producing SQL text for {!Sql_ast} values.
+
+    Personalized queries are regular SQL statements a user (or the paper's
+    Oracle backend) could read and execute; this module renders them.  The
+    output re-parses to an equal AST via {!Sql_parser} (property-tested),
+    modulo predicate-tree flattening performed by the smart constructors. *)
+
+val attr_to_string : Sql_ast.attr -> string
+val pred_to_string : Sql_ast.pred -> string
+val agg_to_string : Sql_ast.agg -> string
+val having_to_string : Sql_ast.having -> string
+
+val query_to_string : Sql_ast.query -> string
+(** Single-line rendering. *)
+
+val query_to_pretty : Sql_ast.query -> string
+(** Multi-line, indented rendering for human consumption (examples, CLI,
+    EXPERIMENTS.md excerpts). *)
+
+val pp_query : Format.formatter -> Sql_ast.query -> unit
+(** [query_to_pretty] through a formatter. *)

@@ -1,0 +1,72 @@
+module VH = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type table_stats = {
+  at_cardinality : int;  (** cache validity token *)
+  ndvs : (string, int) Hashtbl.t;
+}
+
+type t = { db : Database.t; cache : (string, table_stats) Hashtbl.t }
+
+let create db = { db; cache = Hashtbl.create 16 }
+
+let compute_table_stats tbl =
+  let schema = Table.schema tbl in
+  let cols = Schema.columns schema in
+  let sets = Array.map (fun _ -> VH.create 64) cols in
+  Table.iter tbl (fun row ->
+      Array.iteri (fun i v -> VH.replace sets.(i) v ()) row);
+  let ndvs = Hashtbl.create (Array.length cols) in
+  Array.iteri
+    (fun i c ->
+      Hashtbl.replace ndvs
+        (String.lowercase_ascii c.Schema.cname)
+        (max 1 (VH.length sets.(i))))
+    cols;
+  { at_cardinality = Table.cardinality tbl; ndvs }
+
+let table_stats t name =
+  let name = String.lowercase_ascii name in
+  let tbl =
+    match Database.find_table t.db name with
+    | Some tbl -> tbl
+    | None -> invalid_arg ("Stats: unknown table " ^ name)
+  in
+  match Hashtbl.find_opt t.cache name with
+  | Some ts when ts.at_cardinality = Table.cardinality tbl -> ts
+  | _ ->
+      let ts = compute_table_stats tbl in
+      Hashtbl.replace t.cache name ts;
+      ts
+
+let row_count t name =
+  match Database.find_table t.db name with
+  | Some tbl -> Table.cardinality tbl
+  | None -> invalid_arg ("Stats: unknown table " ^ name)
+
+let ndv t tname cname =
+  let ts = table_stats t tname in
+  match Hashtbl.find_opt ts.ndvs (String.lowercase_ascii cname) with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Stats: unknown column %s.%s" tname cname)
+
+let eq_selectivity t tname cname = 1. /. float_of_int (ndv t tname cname)
+
+let join_size t ~left_rows (lt, lc) (rt, rc) =
+  let nl = ndv t lt lc and nr = ndv t rt rc in
+  let right_rows = float_of_int (row_count t rt) in
+  left_rows *. right_rows /. float_of_int (max nl nr)
+
+let pp fmt t =
+  List.iter
+    (fun tbl ->
+      let name = Schema.name (Table.schema tbl) in
+      let ts = table_stats t name in
+      Format.fprintf fmt "%s: %d rows;" name (Table.cardinality tbl);
+      Hashtbl.iter (fun c n -> Format.fprintf fmt " ndv(%s)=%d" c n) ts.ndvs;
+      Format.fprintf fmt "@.")
+    (Database.tables t.db)

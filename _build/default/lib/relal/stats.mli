@@ -1,0 +1,45 @@
+(** Table and column statistics, and the cardinality estimates built on
+    them.
+
+    The executor's join-order decisions need sizes: the greedy heuristic
+    (pick the smallest materialized input) is blind to how much a join
+    will {e produce}.  These statistics give the planner the textbook
+    estimates:
+
+    - selectivity of an equality selection on column [c]:
+      [1 / ndv(c)] (uniformity assumption);
+    - output of an equi-join [L.a = R.b]:
+      [|L|·|R| / max(ndv(a), ndv(b))] (containment assumption).
+
+    Statistics are computed exactly (a hash pass per column), cached per
+    table, and invalidated by cardinality change — adequate for an
+    in-memory engine, and the estimates still follow the classical
+    System-R formulas so the planner code reads like the literature. *)
+
+type t
+(** Statistics for one catalog. *)
+
+val create : Database.t -> t
+(** Empty cache bound to a database; statistics are computed lazily on
+    first use and recomputed when a table's cardinality has changed. *)
+
+val row_count : t -> string -> int
+(** Rows in the named table. *)
+
+val ndv : t -> string -> string -> int
+(** Number of distinct values in table.column (at least 1 for a
+    non-empty table; 1 for an empty one to keep divisions safe).
+    @raise Invalid_argument on unknown table/column. *)
+
+val eq_selectivity : t -> string -> string -> float
+(** [1 / ndv] — the fraction of rows an equality selection on the column
+    keeps. *)
+
+val join_size : t -> left_rows:float -> (string * string) -> (string * string) -> float
+(** [join_size t ~left_rows (lt, lc) (rt, rc)] estimates the output of an
+    equi-join whose left input currently has [left_rows] rows (already
+    filtered) of table [lt]'s distribution joined on [lt.lc = rt.rc]
+    against the whole table [rt]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Dump the cached statistics (tables, row counts, per-column ndv). *)

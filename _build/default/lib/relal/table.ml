@@ -1,0 +1,126 @@
+module H = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type index = { col : int; buckets : int list ref H.t }
+(* Buckets store row ids (positions in [rows]) most-recent first. *)
+
+type t = {
+  sch : Schema.t;
+  mutable rows : Value.t array array;
+  mutable size : int;
+  mutable indexes : index list;
+}
+
+let create sch = { sch; rows = [||]; size = 0; indexes = [] }
+let schema t = t.sch
+let cardinality t = t.size
+
+let check_row t row =
+  let cols = Schema.columns t.sch in
+  if Array.length row <> Array.length cols then
+    invalid_arg
+      (Printf.sprintf "Table.insert: arity %d, expected %d in %s"
+         (Array.length row) (Array.length cols)
+         (Schema.name t.sch));
+  Array.iteri
+    (fun i v ->
+      match Value.ty_of v with
+      | None -> ()
+      | Some ty ->
+          if not (Value.compatible ty cols.(i).Schema.cty) then
+            invalid_arg
+              (Printf.sprintf "Table.insert: %s.%s expects %s, got %s"
+                 (Schema.name t.sch) cols.(i).Schema.cname
+                 (Value.ty_name cols.(i).Schema.cty)
+                 (Value.ty_name ty)))
+    row
+
+let grow t row =
+  let cap = Array.length t.rows in
+  let ncap = if cap = 0 then 64 else 2 * cap in
+  let nr = Array.make ncap row in
+  Array.blit t.rows 0 nr 0 t.size;
+  t.rows <- nr
+
+let index_add idx rowid v =
+  match H.find_opt idx.buckets v with
+  | Some l -> l := rowid :: !l
+  | None -> H.add idx.buckets v (ref [ rowid ])
+
+let insert t row =
+  check_row t row;
+  if t.size = Array.length t.rows then grow t row;
+  t.rows.(t.size) <- row;
+  List.iter (fun idx -> index_add idx t.size row.(idx.col)) t.indexes;
+  t.size <- t.size + 1
+
+let insert_values t vs = insert t (Array.of_list vs)
+
+let get t i =
+  if i < 0 || i >= t.size then invalid_arg "Table.get: row id out of bounds";
+  t.rows.(i)
+
+let iter t f =
+  for i = 0 to t.size - 1 do
+    f t.rows.(i)
+  done
+
+let fold t ~init ~f =
+  let acc = ref init in
+  iter t (fun r -> acc := f !acc r);
+  !acc
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.size - 1 downto 0 do
+    acc := t.rows.(i) :: !acc
+  done;
+  !acc
+
+let build_index t col =
+  match Schema.col_index t.sch col with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Table.build_index: no column %s in %s" col
+           (Schema.name t.sch))
+  | Some ci ->
+      if not (List.exists (fun idx -> idx.col = ci) t.indexes) then begin
+        let idx = { col = ci; buckets = H.create (max 16 t.size) } in
+        for i = 0 to t.size - 1 do
+          index_add idx i t.rows.(i).(ci)
+        done;
+        t.indexes <- idx :: t.indexes
+      end
+
+let has_index t col =
+  match Schema.col_index t.sch col with
+  | None -> false
+  | Some ci -> List.exists (fun idx -> idx.col = ci) t.indexes
+
+let lookup t col v =
+  match Schema.col_index t.sch col with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Table.lookup: no column %s in %s" col
+           (Schema.name t.sch))
+  | Some ci -> (
+      match List.find_opt (fun idx -> idx.col = ci) t.indexes with
+      | Some idx -> (
+          match H.find_opt idx.buckets v with
+          | None -> []
+          | Some ids -> List.rev_map (fun i -> t.rows.(i)) !ids)
+      | None ->
+          let acc = ref [] in
+          for i = t.size - 1 downto 0 do
+            if Value.equal t.rows.(i).(ci) v then acc := t.rows.(i) :: !acc
+          done;
+          !acc)
+
+let clear t =
+  t.rows <- [||];
+  t.size <- 0;
+  t.indexes <- List.map (fun idx -> { idx with buckets = H.create 16 }) t.indexes

@@ -1,0 +1,51 @@
+(** A stored relation: a schema plus a mutable bag of rows, with optional
+    hash indexes for equality lookups.
+
+    Rows are [Value.t array]s positionally matching the schema.  The table
+    validates arity and column types on insert, so downstream operators
+    can trust stored data. *)
+
+type t
+
+val create : Schema.t -> t
+(** Empty table. *)
+
+val schema : t -> Schema.t
+
+val cardinality : t -> int
+(** Number of stored rows. *)
+
+val insert : t -> Value.t array -> unit
+(** Append a row.  @raise Invalid_argument on wrong arity or a value
+    whose type contradicts the schema ([Null] is accepted anywhere). *)
+
+val insert_values : t -> Value.t list -> unit
+(** List convenience around {!insert}. *)
+
+val get : t -> int -> Value.t array
+(** [get t i] is row [i] (0-based).  The returned array must not be
+    mutated.  @raise Invalid_argument if out of bounds. *)
+
+val iter : t -> (Value.t array -> unit) -> unit
+(** Iterate all rows in insertion order. *)
+
+val fold : t -> init:'a -> f:('a -> Value.t array -> 'a) -> 'a
+
+val to_list : t -> Value.t array list
+(** All rows, insertion order.  Shares row arrays with the table. *)
+
+val build_index : t -> string -> unit
+(** Ensure a hash index exists on the named column.  Indexes stay in sync
+    with subsequent inserts.  @raise Invalid_argument on unknown column. *)
+
+val has_index : t -> string -> bool
+(** Does a hash index exist on the named column?  (The executor only
+    chooses index access paths — selection pushdown into an index probe,
+    index-nested-loop joins — where one exists.) *)
+
+val lookup : t -> string -> Value.t -> Value.t array list
+(** [lookup t col v] returns the rows with [col = v], using an index when
+    one exists (building is the caller's choice), otherwise scanning. *)
+
+val clear : t -> unit
+(** Remove all rows (indexes retained but emptied). *)

@@ -1,0 +1,119 @@
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Date of int
+
+type ty = TInt | TFloat | TStr | TBool | TDate
+
+let ty_of = function
+  | Null -> None
+  | Int _ -> Some TInt
+  | Float _ -> Some TFloat
+  | Str _ -> Some TStr
+  | Bool _ -> Some TBool
+  | Date _ -> Some TDate
+
+let ty_name = function
+  | TInt -> "int"
+  | TFloat -> "float"
+  | TStr -> "string"
+  | TBool -> "bool"
+  | TDate -> "date"
+
+let compatible a b =
+  match (a, b) with
+  | TInt, TFloat | TFloat, TInt -> true
+  | _ -> a = b
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Null, _ -> -1
+  | _, Null -> 1
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | Bool x, Bool y -> Bool.compare x y
+  | Date x, Date y -> Int.compare x y
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Value.compare: incompatible values (%s, %s)"
+           (match ty_of a with Some t -> ty_name t | None -> "null")
+           (match ty_of b with Some t -> ty_name t | None -> "null"))
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Int x, Float y | Float y, Int x -> float_of_int x = y
+  | Str x, Str y -> String.equal x y
+  | Bool x, Bool y -> x = y
+  | Date x, Date y -> x = y
+  | _ -> false
+
+let hash = function
+  | Null -> 0
+  | Int x -> Hashtbl.hash (Float.of_int x)
+  | Float x -> Hashtbl.hash x
+  | Str s -> Hashtbl.hash s
+  | Bool b -> Hashtbl.hash b
+  | Date d -> Hashtbl.hash (`Date d)
+
+let days_in_month y m =
+  match m with
+  | 1 | 3 | 5 | 7 | 8 | 10 | 12 -> 31
+  | 4 | 6 | 9 | 11 -> 30
+  | 2 -> if (y mod 4 = 0 && y mod 100 <> 0) || y mod 400 = 0 then 29 else 28
+  | _ -> invalid_arg "Value.days_in_month"
+
+let date_of_ymd y m d =
+  if m < 1 || m > 12 then invalid_arg "Value.date_of_ymd: month out of range";
+  if d < 1 || d > days_in_month y m then
+    invalid_arg "Value.date_of_ymd: day out of range";
+  Date ((y * 10000) + (m * 100) + d)
+
+let parse_date s =
+  let try_ints l = try Some (List.map int_of_string l) with Failure _ -> None in
+  match String.split_on_char '-' s with
+  | [ y; m; d ] -> (
+      match try_ints [ y; m; d ] with
+      | Some [ y; m; d ] -> ( try Some (date_of_ymd y m d) with Invalid_argument _ -> None)
+      | _ -> None)
+  | _ -> (
+      match String.split_on_char '/' s with
+      | [ d; m; y ] -> (
+          match try_ints [ d; m; y ] with
+          | Some [ d; m; y ] -> (
+              try Some (date_of_ymd y m d) with Invalid_argument _ -> None)
+          | _ -> None)
+      | _ -> None)
+
+let to_string = function
+  | Null -> "NULL"
+  | Int i -> string_of_int i
+  | Float f ->
+      (* Keep a trailing ".0" so the value re-parses as a float. *)
+      let s = Printf.sprintf "%.12g" f in
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'n'
+      then s
+      else s ^ ".0"
+  | Str s ->
+      let buf = Buffer.create (String.length s + 2) in
+      Buffer.add_char buf '\'';
+      String.iter
+        (fun c ->
+          if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+        s;
+      Buffer.add_char buf '\'';
+      Buffer.contents buf
+  | Bool b -> if b then "TRUE" else "FALSE"
+  | Date d ->
+      Printf.sprintf "'%04d-%02d-%02d'" (d / 10000) (d / 100 mod 100) (d mod 100)
+
+let pp fmt v = Format.pp_print_string fmt (to_string v)

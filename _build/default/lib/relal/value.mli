@@ -1,0 +1,52 @@
+(** Typed atomic values stored in relations and appearing in queries.
+
+    The engine is dynamically typed at the row level (a row is an array of
+    [Value.t]) but statically checked by the binder: every column has a
+    declared {!ty} and comparisons must be between compatible types. *)
+
+type t =
+  | Null
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+  | Date of int  (** days encoded as [yyyymmdd]; ordered chronologically *)
+
+type ty = TInt | TFloat | TStr | TBool | TDate
+
+val ty_of : t -> ty option
+(** [ty_of v] is [None] for [Null], otherwise the value's type. *)
+
+val ty_name : ty -> string
+(** Lower-case SQL-ish name ("int", "float", "string", "bool", "date"). *)
+
+val compatible : ty -> ty -> bool
+(** Can values of these types be compared?  Equal types are compatible,
+    and so are [TInt]/[TFloat] (numeric widening). *)
+
+val compare : t -> t -> int
+(** Total order used by ORDER BY and DISTINCT.  [Null] sorts first;
+    numeric values compare by magnitude across [Int]/[Float]; comparing
+    other mixed types raises [Invalid_argument] (the binder prevents it
+    for well-typed queries). *)
+
+val equal : t -> t -> bool
+(** SQL-style equality except that [Null] equals [Null] (the engine uses
+    two-valued logic; the personalization framework never relies on
+    three-valued NULL semantics). *)
+
+val hash : t -> int
+(** Hash consistent with {!equal} (numeric values hash by float value). *)
+
+val date_of_ymd : int -> int -> int -> t
+(** [date_of_ymd y m d] builds a [Date].  @raise Invalid_argument on an
+    impossible month/day. *)
+
+val parse_date : string -> t option
+(** Accepts ["YYYY-MM-DD"] and the paper's ["D/M/YYYY"] format. *)
+
+val to_string : t -> string
+(** SQL literal syntax: strings and dates quoted, others bare. *)
+
+val pp : Format.formatter -> t -> unit
+(** Formatter version of {!to_string}. *)

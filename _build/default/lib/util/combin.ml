@@ -1,0 +1,29 @@
+let choose n k =
+  if k < 0 || k > n then 0
+  else begin
+    let k = min k (n - k) in
+    let acc = ref 1 in
+    for i = 1 to k do
+      (* Multiply before dividing; the running product after dividing by i!
+         is always an integer (it is C(n - k + i, i)). *)
+      acc := !acc * (n - k + i) / i
+    done;
+    !acc
+  end
+
+let rec subsets xs k =
+  if k = 0 then [ [] ]
+  else
+    match xs with
+    | [] -> []
+    | x :: rest ->
+        let with_x = List.map (fun s -> x :: s) (subsets rest (k - 1)) in
+        let without_x = subsets rest k in
+        with_x @ without_x
+
+let pairs xs =
+  let rec go = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ go rest
+  in
+  go xs

@@ -1,0 +1,80 @@
+(* Binary max-heap over (priority, sequence) pairs.  The sequence number
+   makes ties pop FIFO, which the selection algorithm's pruning proof
+   relies on (shorter paths first among equal degrees). *)
+
+type 'a entry = { prio : float; seq : int; v : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array; (* heap.(0) unused when size = 0 *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = [||]; size = 0; next_seq = 0 }
+
+let is_empty q = q.size = 0
+let length q = q.size
+
+(* [before a b]: should a pop before b? *)
+let before a b = a.prio > b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+(* [grow q fill] doubles capacity, padding fresh slots with [fill] (any
+   value of the right type keeps the array monomorphic without resorting
+   to options or unsafe tricks). *)
+let grow q fill =
+  let cap = Array.length q.heap in
+  let ncap = if cap = 0 then 16 else 2 * cap in
+  let nh = Array.make ncap fill in
+  Array.blit q.heap 0 nh 0 q.size;
+  q.heap <- nh
+
+let rec sift_up q i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before q.heap.(i) q.heap.(parent) then begin
+      let tmp = q.heap.(i) in
+      q.heap.(i) <- q.heap.(parent);
+      q.heap.(parent) <- tmp;
+      sift_up q parent
+    end
+  end
+
+let rec sift_down q i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < q.size && before q.heap.(l) q.heap.(!best) then best := l;
+  if r < q.size && before q.heap.(r) q.heap.(!best) then best := r;
+  if !best <> i then begin
+    let tmp = q.heap.(i) in
+    q.heap.(i) <- q.heap.(!best);
+    q.heap.(!best) <- tmp;
+    sift_down q !best
+  end
+
+let push q prio v =
+  let e = { prio; seq = q.next_seq; v } in
+  if q.size = Array.length q.heap then grow q e;
+  q.heap.(q.size) <- e;
+  q.next_seq <- q.next_seq + 1;
+  q.size <- q.size + 1;
+  sift_up q (q.size - 1)
+
+let peek q = if q.size = 0 then None else Some (q.heap.(0).prio, q.heap.(0).v)
+
+let pop q =
+  if q.size = 0 then None
+  else begin
+    let top = q.heap.(0) in
+    q.size <- q.size - 1;
+    if q.size > 0 then begin
+      q.heap.(0) <- q.heap.(q.size);
+      sift_down q 0
+    end;
+    Some (top.prio, top.v)
+  end
+
+let to_sorted_list q =
+  let entries = Array.sub q.heap 0 q.size in
+  let l = Array.to_list entries in
+  let l = List.sort (fun a b -> if before a b then -1 else if before b a then 1 else 0) l in
+  List.map (fun e -> (e.prio, e.v)) l

@@ -1,0 +1,33 @@
+(** Stable max-priority queue keyed by float priority.
+
+    The preference-selection algorithm (paper §5.2) keeps candidate paths
+    "in order of decreasing degree of interest", and inserts each new path
+    *after the last path with degree greater than or equal to its degree*,
+    "to favour the selection of preferences that correspond to shorter
+    paths among those with the same degree of interest".  That is exactly
+    FIFO tie-breaking on a max-priority queue, which this module provides
+    via an insertion-sequence secondary key. *)
+
+type 'a t
+(** Mutable queue of ['a] elements with float priorities. *)
+
+val create : unit -> 'a t
+(** Fresh empty queue. *)
+
+val is_empty : 'a t -> bool
+
+val length : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q prio x] enqueues [x].  Among equal priorities, elements pop in
+    insertion order. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the highest-priority (earliest-inserted among ties)
+    element, or [None] when empty. *)
+
+val peek : 'a t -> (float * 'a) option
+(** Like {!pop} without removing. *)
+
+val to_sorted_list : 'a t -> (float * 'a) list
+(** Non-destructive: contents in pop order.  O(n log n). *)

@@ -1,0 +1,80 @@
+(* SplitMix64: public-domain algorithm by Sebastiano Vigna.  Chosen for
+   determinism across platforms and OCaml releases, trivial state (one
+   int64) and cheap splitting. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = s }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let rec go () =
+    let r = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem r n64 in
+    if Int64.(sub r v > sub (sub max_int n64) 1L) then go () else Int64.to_int v
+  in
+  go ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: hi < lo";
+  lo + int t (hi - lo + 1)
+
+let float t x =
+  (* 53 random bits -> [0,1) *)
+  let r = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float r /. 9007199254740992.0 *. x
+
+let bool t = Int64.(logand (bits64 t) 1L) = 1L
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Rng.choice: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k < 0 || k > n then invalid_arg "Rng.sample_without_replacement";
+  if k * 3 >= n then begin
+    (* Dense case: shuffle a full index array. *)
+    let a = Array.init n Fun.id in
+    shuffle t a;
+    Array.to_list (Array.sub a 0 k)
+  end
+  else begin
+    (* Sparse case: rejection into a hash set. *)
+    let seen = Hashtbl.create (2 * k) in
+    let acc = ref [] in
+    while Hashtbl.length seen < k do
+      let v = int t n in
+      if not (Hashtbl.mem seen v) then begin
+        Hashtbl.add seen v ();
+        acc := v :: !acc
+      end
+    done;
+    !acc
+  end

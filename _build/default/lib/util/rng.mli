@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, fast, splittable PRNG (SplitMix64) used everywhere randomness
+    is needed — data generation, synthetic profiles, random workloads —
+    so that every experiment in the repository is reproducible from a
+    seed.  The interface mirrors the parts of [Random.State] we need, but
+    the sequence is stable across OCaml versions. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator deterministically derived
+    from [seed]. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of [t]'s continuation. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)].  @raise Invalid_argument if
+    [n <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] (inclusive).
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement t k n] draws [k] distinct integers from
+    [\[0, n)], in random order.  @raise Invalid_argument if [k > n] or
+    [k < 0]. *)

@@ -1,0 +1,35 @@
+type t = { n : int; s : float; cdf : float array }
+
+let create ~n ~s =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if s < 0. then invalid_arg "Zipf.create: s must be non-negative";
+  let cdf = Array.make n 0. in
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    acc := !acc +. (1. /. Float.pow (float_of_int (i + 1)) s);
+    cdf.(i) <- !acc
+  done;
+  let total = !acc in
+  for i = 0 to n - 1 do
+    cdf.(i) <- cdf.(i) /. total
+  done;
+  (* Guard against floating-point shortfall at the top end. *)
+  cdf.(n - 1) <- 1.0;
+  { n; s; cdf }
+
+let n t = t.n
+let exponent t = t.s
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  (* Binary search for the first index with cdf >= u. *)
+  let lo = ref 0 and hi = ref (t.n - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let pmf t i =
+  if i < 0 || i >= t.n then invalid_arg "Zipf.pmf: rank out of range";
+  if i = 0 then t.cdf.(0) else t.cdf.(i) -. t.cdf.(i - 1)

@@ -1,0 +1,28 @@
+(** Zipf-distributed sampling.
+
+    Popularity in the movie database (genres, actors, directors and the
+    values users put in their profiles) follows a heavy-tailed
+    distribution; a Zipf sampler reproduces the skew the paper's IMDb
+    extract exhibits. *)
+
+type t
+(** A sampler over ranks [0 .. n-1] with P(rank = i) proportional to
+    [1 / (i+1)^s]. *)
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] precomputes the cumulative distribution for [n] ranks
+    with exponent [s].  [s = 0.] degenerates to uniform.
+    @raise Invalid_argument if [n <= 0] or [s < 0.]. *)
+
+val n : t -> int
+(** Number of ranks. *)
+
+val exponent : t -> float
+(** The skew exponent [s]. *)
+
+val sample : t -> Rng.t -> int
+(** Draw a rank in [\[0, n)]; rank 0 is the most popular. *)
+
+val pmf : t -> int -> float
+(** [pmf t i] is the probability of rank [i].
+    @raise Invalid_argument if [i] is out of range. *)

@@ -1,0 +1,24 @@
+  $ perso_cli demo | head -12
+  $ perso_cli run-sql --movies 0 "select count(*) as n from movie m"
+  $ perso_cli run-sql --movies 0 "select g.genre, count(*) as n from genre g group by g.genre having count(*) >= 3 order by n desc, g.genre asc"
+  $ perso_cli run-sql --movies 0 "select nope"
+  $ perso_cli run-sql --movies 0 "select m.title from missing m"
+  $ perso_cli dump-data --movies 0 --dir data > /dev/null
+  $ ls data | head -3
+  $ perso_cli run-sql --data-dir data "select count(*) as n from play p"
+  $ cat > log.sql <<'SQL'
+  > select m.title from movie m, genre g where m.mid = g.mid and g.genre = 'comedy'
+  > select m.title from movie m, genre g where m.mid = g.mid and g.genre = 'comedy'
+  > select m.title from movie m, cast c, actor a where m.mid = c.mid and c.aid = a.aid and a.name = 'N. Kidman'
+  > SQL
+  $ perso_cli learn-profile --movies 0 --log log.sql --out learned.profile
+  $ cat learned.profile
+  $ perso_cli personalize --movies 0 --profile learned.profile -k 2 --top 3 "select mv.title from movie mv, play pl where mv.mid = pl.mid and pl.date = '2/7/2003'" | tail -5
+  $ cat > julie.profile <<'PROFILE'
+  > [ MOVIE.mid = GENRE.mid, 0.9 ]
+  > [ MOVIE.mid = DIRECTED.mid, 1 ]
+  > [ DIRECTED.did = DIRECTOR.did, 1 ]
+  > [ GENRE.genre = 'comedy', 0.9 ]
+  > [ DIRECTOR.name = 'D. Lynch', 0.8 ]
+  > PROFILE
+  $ perso_cli personalize --movies 0 --profile julie.profile -k 5 --semantic "select m.title from movie m, genre g where m.mid = g.mid and g.genre = 'comedy'" | head -4

@@ -1,0 +1,15 @@
+  $ perso_repl <<'SESSION'
+  > .help
+  > .like [ GENRE.genre = 'comedy', 0.9 ]
+  > .like [ MOVIE.mid = GENRE.mid, 0.9 ]
+  > select mv.title from movie mv, play pl where mv.mid = pl.mid and pl.date = '2/7/2003'
+  > .unlike [ MOVIE.title = 'Double Take', 1 ]
+  > select mv.title from movie mv, play pl where mv.mid = pl.mid and pl.date = '2/7/2003'
+  > .k 3
+  > .show
+  > .plain select count(*) as n from play p
+  > .explain select mv.title from movie mv where mv.year = 2003
+  > .badcmd
+  > select nonsense
+  > .quit
+  > SESSION

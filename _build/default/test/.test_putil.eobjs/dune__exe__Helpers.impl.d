@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Database List Perso Relal Schema Value

@@ -1,0 +1,1 @@
+test/test_degree.ml: Alcotest Degree Float Gen Helpers List Perso Putil QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Binder Database Engine Exec Helpers List Moviedb Printf Putil QCheck QCheck_alcotest Relal Sql_parser Sql_print String Value

@@ -1,0 +1,1 @@
+test/test_moviedb.ml: Alcotest Array Binder Database Engine Exec Hashtbl Helpers List Moviedb Option Perso Relal Schema Sql_ast Sql_print Table Value

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Array Csv Database Ddl Engine Exec Filename Format Helpers List Moviedb Perso Printf QCheck QCheck_alcotest Relal Schema Sys Table Value

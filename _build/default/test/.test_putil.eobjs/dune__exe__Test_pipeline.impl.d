@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Array Atom Criteria Engine Exec Explain Helpers List Moviedb Path Perso Personalize Profile Qgraph Relal Sql_ast Sql_parser String Value

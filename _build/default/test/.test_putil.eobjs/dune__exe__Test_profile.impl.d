@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Array Atom Degree Filename Format Helpers List Moviedb Perso Pgraph Profile Profile_store Relal Result Sql_ast Sql_parser String Value

@@ -1,0 +1,1 @@
+test/test_putil.ml: Alcotest Array Combin Fun Gen List Option Pqueue Printf Putil QCheck QCheck_alcotest Rng Zipf

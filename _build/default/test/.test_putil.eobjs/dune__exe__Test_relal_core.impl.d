@@ -1,0 +1,1 @@
+test/test_relal_core.ml: Alcotest Array Database Helpers List Moviedb Option Relal Schema Table Value

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest List Printf QCheck QCheck_alcotest Relal Sql_ast Sql_lexer Sql_parser Sql_print Value

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Binder Database Exec Format Helpers Moviedb Perso Putil QCheck QCheck_alcotest Relal Schema Sql_print Stats String Value

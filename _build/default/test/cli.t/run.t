@@ -1,0 +1,100 @@
+End-to-end CLI transcripts: the demo, SQL execution, profile generation
+and learning, database dump/load, and personalization with top-N.
+
+The paper's Julie example on the tiny database:
+
+  $ perso_cli demo | head -12
+  == Original query ==
+  select mv.title
+  from movie mv,
+       play pl
+  where mv.mid = pl.mid and pl.date = '2003-07-02'
+  
+  == Selected preferences (P_K) ==
+   1. MOVIE.mid = GENRE.mid and GENRE.genre = 'comedy'                       doi=0.81  (via mv)
+   2. PLAY.tid = THEATRE.tid and THEATRE.region = 'downtown'                 doi=0.8  (via pl)
+   3. MOVIE.mid = DIRECTED.mid and DIRECTED.did = DIRECTOR.did and DIRECTOR.name = 'D. Lynch' doi=0.8  (via mv)
+  mandatory: 0, optional: 3
+  selection stats: 9 pops, 12 pushes, 5 expansions, 0 conflicts discarded, 7 cycles pruned, max queue 7
+
+Ad-hoc SQL on the tiny database (--movies 0):
+
+  $ perso_cli run-sql --movies 0 "select count(*) as n from movie m"
+  +----+
+  | n  |
+  +----+
+  | 12 |
+  +----+
+  (1 rows)
+
+  $ perso_cli run-sql --movies 0 "select g.genre, count(*) as n from genre g group by g.genre having count(*) >= 3 order by n desc, g.genre asc"
+  +------------+---+
+  | genre      | n |
+  +------------+---+
+  | 'comedy'   | 4 |
+  | 'thriller' | 3 |
+  +------------+---+
+  (2 rows)
+
+Errors are reported, not crashes:
+
+  $ perso_cli run-sql --movies 0 "select nope"
+  parse error: expected keyword FROM (at EOF)
+  [1]
+
+  $ perso_cli run-sql --movies 0 "select m.title from missing m"
+  bind error: unknown table missing
+  [1]
+
+Dump the tiny database to disk and query the on-disk copy:
+
+  $ perso_cli dump-data --movies 0 --dir data > /dev/null
+  $ ls data | head -3
+  actor.csv
+  cast.csv
+  directed.csv
+  $ perso_cli run-sql --data-dir data "select count(*) as n from play p"
+  +----+
+  | n  |
+  +----+
+  | 16 |
+  +----+
+  (1 rows)
+
+Learn a profile from a query log and personalize with it:
+
+  $ cat > log.sql <<'SQL'
+  > select m.title from movie m, genre g where m.mid = g.mid and g.genre = 'comedy'
+  > select m.title from movie m, genre g where m.mid = g.mid and g.genre = 'comedy'
+  > select m.title from movie m, cast c, actor a where m.mid = c.mid and c.aid = a.aid and a.name = 'N. Kidman'
+  > SQL
+  $ perso_cli learn-profile --movies 0 --log log.sql --out learned.profile
+  learned 5 preferences from 3 queries -> learned.profile
+  $ cat learned.profile
+  [ GENRE.genre = 'comedy', 0.525 ]
+  [ MOVIE.mid = GENRE.mid, 0.525 ]
+  [ ACTOR.name = 'N. Kidman', 0.3833 ]
+  [ CAST.aid = ACTOR.aid, 0.3833 ]
+  [ MOVIE.mid = CAST.mid, 0.3833 ]
+
+  $ perso_cli personalize --movies 0 --profile learned.profile -k 2 --top 3 "select mv.title from movie mv, play pl where mv.mid = pl.mid and pl.date = '2/7/2003'" | tail -5
+  
+  == Top-3 results (1/2 partials executed, 4 probes) ==
+    'Sweet Chaos'                            doi=0.3164
+    'Double Take'                            doi=0.2756
+    'Laughing Waters'                        doi=0.2756
+
+A hand-written Figure-2-style profile with the semantic filter:
+
+  $ cat > julie.profile <<'PROFILE'
+  > [ MOVIE.mid = GENRE.mid, 0.9 ]
+  > [ MOVIE.mid = DIRECTED.mid, 1 ]
+  > [ DIRECTED.did = DIRECTOR.did, 1 ]
+  > [ GENRE.genre = 'comedy', 0.9 ]
+  > [ DIRECTOR.name = 'D. Lynch', 0.8 ]
+  > PROFILE
+  $ perso_cli personalize --movies 0 --profile julie.profile -k 5 --semantic "select m.title from movie m, genre g where m.mid = g.mid and g.genre = 'comedy'" | head -4
+  == Selected preferences (P_K) ==
+   1. GENRE.genre = 'comedy'                                                 doi=0.9  (via g)
+  mandatory: 0, optional: 1
+  selection stats: 4 pops, 4 pushes, 2 expansions, 0 conflicts discarded, 1 cycles pruned, max queue 2

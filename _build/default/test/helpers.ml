@@ -1,0 +1,65 @@
+(* Shared helpers for the test suites. *)
+
+let deg = Perso.Degree.of_float
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let degree_testable =
+  Alcotest.testable
+    (fun fmt d -> Perso.Degree.pp fmt d)
+    (fun a b -> abs_float (Perso.Degree.to_float a -. Perso.Degree.to_float b) < 1e-9)
+
+let value_testable =
+  Alcotest.testable Relal.Value.pp Relal.Value.equal
+
+let rows_to_list (r : Relal.Exec.result) =
+  List.map Array.to_list r.Relal.Exec.rows
+
+let sorted_rows r = rows_to_list (Relal.Exec.sort_rows r)
+
+let run db sql = Relal.Engine.run_sql db sql
+
+let string_cell = function
+  | Relal.Value.Str s -> s
+  | v -> Alcotest.failf "expected string cell, got %s" (Relal.Value.to_string v)
+
+let first_col (r : Relal.Exec.result) = List.map (fun row -> row.(0)) r.Relal.Exec.rows
+
+let titles r = List.map string_cell (first_col r)
+
+(* A 3-table schema unrelated to movies, for schema-independence tests:
+   the intro's bookstore. *)
+let bookstore_db () =
+  let open Relal in
+  let db = Database.create () in
+  let t = Value.TStr and i = Value.TInt in
+  Database.add_table db
+    (Schema.make ~name:"book" ~cols:[ ("bid", i); ("title", t); ("year", i) ]
+       ~key:[ "bid" ] ());
+  Database.add_table db
+    (Schema.make ~name:"wrote" ~cols:[ ("bid", i); ("auid", i) ] ~key:[ "bid" ] ());
+  Database.add_table db
+    (Schema.make ~name:"author" ~cols:[ ("auid", i); ("name", t) ] ~key:[ "auid" ] ());
+  Database.add_table db
+    (Schema.make ~name:"topic" ~cols:[ ("bid", i); ("subject", t) ]
+       ~key:[ "bid"; "subject" ] ());
+  Database.add_fk db ~from_:("wrote", "bid") ~to_:("book", "bid");
+  Database.add_fk db ~from_:("wrote", "auid") ~to_:("author", "auid");
+  Database.add_fk db ~from_:("topic", "bid") ~to_:("book", "bid");
+  let s x = Value.Str x and n x = Value.Int x in
+  List.iteri
+    (fun idx name -> Database.insert db "author" [ n idx; s name ])
+    [ "J.K. Rowling"; "H. Matisse"; "A. Chef"; "P. Historian" ];
+  List.iter
+    (fun (bid, title, year, auid, subjects) ->
+      Database.insert db "book" [ n bid; s title; n year ];
+      Database.insert db "wrote" [ n bid; n auid ];
+      List.iter (fun sub -> Database.insert db "topic" [ n bid; s sub ]) subjects)
+    [
+      (0, "The Order of the Phoenix", 2003, 0, [ "fantasy" ]);
+      (1, "Matisse and Picasso", 2003, 1, [ "art"; "20th century" ]);
+      (2, "Essentials of Asian Cuisine", 2003, 2, [ "cooking" ]);
+      (3, "Quidditch Through the Ages", 2001, 0, [ "fantasy"; "sports" ]);
+      (4, "A History of Rome", 1998, 3, [ "history" ]);
+    ];
+  db

@@ -1,0 +1,80 @@
+Scripted session of the interactive personalized-SQL shell.
+
+  $ perso_repl <<'SESSION'
+  > .help
+  > .like [ GENRE.genre = 'comedy', 0.9 ]
+  > .like [ MOVIE.mid = GENRE.mid, 0.9 ]
+  > select mv.title from movie mv, play pl where mv.mid = pl.mid and pl.date = '2/7/2003'
+  > .unlike [ MOVIE.title = 'Double Take', 1 ]
+  > select mv.title from movie mv, play pl where mv.mid = pl.mid and pl.date = '2/7/2003'
+  > .k 3
+  > .show
+  > .plain select count(*) as n from play p
+  > .explain select mv.title from movie mv where mv.year = 2003
+  > .badcmd
+  > select nonsense
+  > .quit
+  > SESSION
+  perdb personalized-SQL shell — .help for commands
+  perdb> commands: .help .load DIR .tiny .gen N .profile FILE .like [COND, D]
+            .unlike [COND, D] .k N .l N .m N .method sq|mq .plain SQL
+            .show .explain SQL .quit — anything else runs as personalized SQL
+  perdb> added GENRE.genre = 'comedy' (0.9)
+  perdb> added MOVIE.mid = GENRE.mid (0.9)
+  perdb> preferences used: 1
+  +-------------------+------+
+  | title             | doi  |
+  +-------------------+------+
+  | 'Second Spring'   | 0.81 |
+  | 'Double Take'     | 0.81 |
+  | 'Laughing Waters' | 0.81 |
+  | 'Sweet Chaos'     | 0.81 |
+  +-------------------+------+
+  (4 rows)
+  perdb> added dislike MOVIE.title = 'Double Take' (1.0)
+  perdb> likes used: 1, dislikes used: 1
+    'Laughing Waters'                        score=0.8100
+    'Second Spring'                          score=0.8100
+    'Sweet Chaos'                            score=0.8100
+  (3 rows)
+  perdb> perdb> database: tiny example database
+  theatre             4 rows
+  play               16 rows
+  movie              12 rows
+  cast               19 rows
+  actor               6 rows
+  directed           12 rows
+  director            4 rows
+  genre              17 rows
+  profile: 2 preferences (1 selections)
+  [ GENRE.genre = 'comedy', 0.9 ]
+  [ MOVIE.mid = GENRE.mid, 0.9 ]
+  dislikes:
+  [ MOVIE.title = 'Double Take', 1.0 ]
+  params: K=3 L=1 M=0 method=mq
+  perdb> +----+
+  | n  |
+  +----+
+  | 16 |
+  +----+
+  (1 rows)
+  perdb> == Selected preferences (P_K) ==
+   1. MOVIE.mid = GENRE.mid and GENRE.genre = 'comedy'                       doi=0.81  (via mv)
+  mandatory: 0, optional: 1
+  selection stats: 2 pops, 2 pushes, 1 expansions, 0 conflicts discarded, 0 cycles pruned, max queue 1
+  == Personalized query ==
+  select temp.title as title, degree_of_conjunction(temp.doi, temp.pref) as doi
+  from (
+    (
+      select distinct mv.title as title, 0.81 as doi, 0 as pref
+      from movie mv,
+           genre ge
+      where mv.year = 2003 and mv.mid = ge.mid and ge.genre = 'comedy'
+    )
+  ) temp
+  group by temp.title
+  having count(*) >= 1
+  order by doi desc
+  perdb> unknown command .badcmd (try .help)
+  perdb> parse error: expected keyword FROM (at EOF)
+  perdb> 

@@ -1,0 +1,386 @@
+(* Executor tests: binder diagnostics, every operator, the DNF path, and
+   an oracle property — the optimized executor must agree with naive
+   cross-product semantics on random queries over a small database. *)
+
+open Relal
+
+let db () = Moviedb.Personas.tiny_db ()
+let run = Helpers.run
+
+let check_titles name expected res =
+  Alcotest.(check (slist string String.compare)) name expected (Helpers.titles res)
+
+(* ------------------------------ Binder ------------------------------ *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let bind_fails sql fragment =
+  let db = db () in
+  match Engine.run_sql db sql with
+  | _ -> Alcotest.failf "expected bind error (%s)" fragment
+  | exception Binder.Bind_error e ->
+      if not (contains e fragment) then
+        Alcotest.failf "error %S does not mention %S" e fragment
+
+let test_bind_errors () =
+  bind_fails "select m.title from nosuch m" "unknown table";
+  bind_fails "select m.nope from movie m" "no column";
+  bind_fails "select x.title from movie m" "unknown tuple variable";
+  bind_fails "select m.title from movie m, movie m" "duplicate tuple variable";
+  bind_fails "select mid from movie m, play p" "ambiguous";
+  bind_fails "select m.title from movie m where m.title = 3" "compares";
+  bind_fails "select m.title from movie m, play p where p.date = 'gibberish'"
+    "not a valid date";
+  bind_fails "select m.title, count(*) as n from movie m" "GROUP BY";
+  bind_fails "select sum(m.title) as s from movie m group by m.title"
+    "non-numeric"
+
+let test_bind_resolves_bare_columns () =
+  let res = run (db ()) "select title from movie where year = 2003" in
+  Alcotest.(check int) "four 2003 movies" 4 (List.length res.Exec.rows)
+
+let test_bind_date_coercion () =
+  let r1 = run (db ()) "select m.title from movie m, play p where m.mid = p.mid and p.date = '2003-07-02'" in
+  let r2 = run (db ()) "select m.title from movie m, play p where m.mid = p.mid and p.date = '2/7/2003'" in
+  Alcotest.(check int) "12 screenings tonight" 12 (List.length r1.Exec.rows);
+  Alcotest.(check bool) "paper date format equivalent" true
+    (Exec.result_equal_bag r1 r2)
+
+(* ---------------------------- Operators ----------------------------- *)
+
+let test_select_where () =
+  check_titles "year filter" [ "Garden of Glass"; "Second Spring" ]
+    (run (db ()) "select m.title from movie m where m.year = 2000")
+
+let test_projection_const () =
+  let res = run (db ()) "select m.title, 1 as tag from movie m where m.year = 1998" in
+  Alcotest.(check int) "one row" 1 (List.length res.Exec.rows);
+  Alcotest.(check (array string)) "cols" [| "title"; "tag" |] res.Exec.cols
+
+let test_join_hash () =
+  check_titles "Lynch movies"
+    [ "Midnight Maze"; "Blue Velvet Road"; "Dream Logic" ]
+    (run (db ())
+       "select m.title from movie m, directed d, director r where m.mid = d.mid \
+        and d.did = r.did and r.name = 'D. Lynch'")
+
+let test_join_self () =
+  (* Movies sharing a director with 'Sweet Chaos' (self-join on movie). *)
+  let res =
+    run (db ())
+      "select distinct m2.title from movie m1, directed d1, directed d2, movie m2 \
+       where m1.title = 'Sweet Chaos' and m1.mid = d1.mid and d1.did = d2.did and \
+       d2.mid = m2.mid"
+  in
+  check_titles "Allen movies" [ "Sweet Chaos"; "Laughing Waters"; "Double Take" ] res
+
+let test_cross_product_when_no_join () =
+  let res = run (db ()) "select m.title, d.name from movie m, director d where m.year = 1998" in
+  (* 1 movie from 1998 x 4 directors *)
+  Alcotest.(check int) "cartesian" 4 (List.length res.Exec.rows)
+
+let test_distinct () =
+  let with_dup = run (db ()) "select g.genre from genre g" in
+  let without = run (db ()) "select distinct g.genre from genre g" in
+  Alcotest.(check bool) "duplicates removed" true
+    (List.length without.Exec.rows < List.length with_dup.Exec.rows);
+  let uniq = List.sort_uniq compare (Helpers.titles with_dup) in
+  Alcotest.(check int) "distinct = set size" (List.length uniq)
+    (List.length without.Exec.rows)
+
+let test_or_dnf_path () =
+  (* DISTINCT + OR triggers the DNF split; verify against known data. *)
+  let res =
+    run (db ())
+      "select distinct m.title from movie m, genre g where m.mid = g.mid and \
+       (g.genre = 'sci-fi' or g.genre = 'action')"
+  in
+  check_titles "sci-fi or action"
+    [ "Star Harbor"; "The Quiet Comet"; "Iron Harvest" ]
+    res
+
+let test_or_without_distinct () =
+  (* No DISTINCT: the generic path must still be correct (with duplicates
+     from the to-many genre join when both disjuncts hold). *)
+  let res =
+    run (db ())
+      "select m.title from movie m, genre g where m.mid = g.mid and (g.genre = \
+       'mystery' or g.genre = 'thriller')"
+  in
+  (* Midnight Maze (thriller+mystery) twice, Blue Velvet Road once,
+     Dream Logic (mystery+thriller) twice. *)
+  Alcotest.(check int) "bag semantics" 5 (List.length res.Exec.rows)
+
+let test_group_having_count () =
+  let res =
+    run (db ())
+      "select g.genre, count(*) as n from genre g group by g.genre having \
+       count(*) >= 3 order by n desc, g.genre asc"
+  in
+  List.iter
+    (fun row ->
+      match row.(1) with
+      | Value.Int n -> Alcotest.(check bool) "count >= 3" true (n >= 3)
+      | _ -> Alcotest.fail "count type")
+    res.Exec.rows;
+  (* comedy appears 4 times in tiny_db, thriller 3. *)
+  Alcotest.(check bool) "comedy present" true
+    (List.mem "comedy" (Helpers.titles res))
+
+let test_aggregates () =
+  let res =
+    run (db ())
+      "select d.name, count(*) as n, min(m.year) as lo, max(m.year) as hi, \
+       avg(m.year) as mean, sum(m.year) as total from director d, directed dd, \
+       movie m where d.did = dd.did and dd.mid = m.mid group by d.name order by \
+       d.name asc"
+  in
+  Alcotest.(check int) "four directors" 4 (List.length res.Exec.rows);
+  let allen = List.find (fun r -> r.(0) = Value.Str "W. Allen") res.Exec.rows in
+  Alcotest.(check Helpers.value_testable) "count" (Value.Int 3) allen.(1);
+  Alcotest.(check Helpers.value_testable) "min" (Value.Int 2002) allen.(2);
+  Alcotest.(check Helpers.value_testable) "max" (Value.Int 2003) allen.(3);
+  (match allen.(4) with
+  | Value.Float f -> Helpers.check_float "avg" ((2002. +. 2003. +. 2003.) /. 3.) f
+  | _ -> Alcotest.fail "avg type");
+  Alcotest.(check Helpers.value_testable) "sum" (Value.Int 6008) allen.(5)
+
+let test_aggregate_empty_group_by () =
+  let res = run (db ()) "select count(*) as n from movie m where m.year = 1800" in
+  (* SQL says one row with count 0 — our engine returns no groups from an
+     empty input, a documented deviation... unless it does return 0. *)
+  match res.Exec.rows with
+  | [] -> ()
+  | [ [| Value.Int 0 |] ] -> ()
+  | _ -> Alcotest.fail "empty aggregate shape"
+
+let test_union_all () =
+  let res =
+    run (db ())
+      "select t.title from ((select m.title from movie m where m.year = 2000) \
+       union all (select m.title from movie m where m.year = 2000)) t group by \
+       t.title having count(*) >= 2"
+  in
+  check_titles "same branch twice" [ "Garden of Glass"; "Second Spring" ] res
+
+let test_union_having_threshold () =
+  let res =
+    run (db ())
+      "select t.title from ((select distinct m.title from movie m, genre g where \
+       m.mid = g.mid and g.genre = 'comedy') union all (select distinct m.title \
+       from movie m, genre g where m.mid = g.mid and g.genre = 'drama')) t group \
+       by t.title having count(*) >= 2"
+  in
+  (* Only 'Second Spring' is both comedy and drama. *)
+  check_titles "intersection via having" [ "Second Spring" ] res
+
+let test_degree_of_conjunction_aggregate () =
+  let res =
+    run (db ())
+      "select t.title, degree_of_conjunction(t.doi, t.pref) as doi from ((select \
+       distinct m.title as title, 0.8 as doi, 0 as pref from movie m, genre g \
+       where m.mid = g.mid and g.genre = 'comedy') union all (select distinct \
+       m.title as title, 0.5 as doi, 1 as pref from movie m, genre g where m.mid \
+       = g.mid and g.genre = 'drama')) t group by t.title order by doi desc, \
+       t.title asc"
+  in
+  let first = List.hd res.Exec.rows in
+  Alcotest.(check Helpers.value_testable) "both prefs first" (Value.Str "Second Spring")
+    first.(0);
+  (match first.(1) with
+  | Value.Float f -> Helpers.check_float "1-(1-0.8)(1-0.5)" 0.9 f
+  | _ -> Alcotest.fail "doi type");
+  (* A comedy-only row scores 0.8. *)
+  let comedy_only = List.nth res.Exec.rows 1 in
+  match comedy_only.(1) with
+  | Value.Float f -> Helpers.check_float "single pref" 0.8 f
+  | _ -> Alcotest.fail "doi type"
+
+let test_doi_dedupes_pref_ids () =
+  (* The same preference reaching a row through two partials must count
+     once: duplicate branch with identical pref id. *)
+  let res =
+    run (db ())
+      "select t.title, degree_of_conjunction(t.doi, t.pref) as doi from ((select \
+       distinct m.title as title, 0.5 as doi, 0 as pref from movie m where m.year \
+       = 2000) union all (select distinct m.title as title, 0.5 as doi, 0 as pref \
+       from movie m where m.year = 2000)) t group by t.title"
+  in
+  List.iter
+    (fun row ->
+      match row.(1) with
+      | Value.Float f -> Helpers.check_float "deduped" 0.5 f
+      | _ -> Alcotest.fail "doi type")
+    res.Exec.rows
+
+let test_order_by_limit () =
+  let res =
+    run (db ()) "select m.title, m.year from movie m order by m.year desc, m.title asc limit 3"
+  in
+  Alcotest.(check int) "limit" 3 (List.length res.Exec.rows);
+  match res.Exec.rows with
+  | [ r1; r2; r3 ] ->
+      Alcotest.(check Helpers.value_testable) "2003 first" (Value.Int 2003) r1.(1);
+      Alcotest.(check Helpers.value_testable) "tie alpha" (Value.Str "Double Take") r1.(0);
+      Alcotest.(check Helpers.value_testable) "then" (Value.Str "Iron Harvest") r2.(0);
+      Alcotest.(check Helpers.value_testable) "then" (Value.Str "Laughing Waters") r3.(0)
+  | _ -> Alcotest.fail "row count"
+
+let test_empty_results () =
+  let res = run (db ()) "select m.title from movie m where m.year = 1800" in
+  Alcotest.(check int) "empty" 0 (List.length res.Exec.rows);
+  let res = run (db ()) "select m.title from movie m where false" in
+  Alcotest.(check int) "constant false" 0 (List.length res.Exec.rows)
+
+let test_constant_true () =
+  let res = run (db ()) "select m.title from movie m where true" in
+  Alcotest.(check int) "all rows" 12 (List.length res.Exec.rows)
+
+let test_not_predicate () =
+  let res = run (db ()) "select m.title from movie m where not m.year = 2003 and not m.year = 2002" in
+  Alcotest.(check int) "negation" 6 (List.length res.Exec.rows)
+
+let test_dnf_with_order_and_limit () =
+  (* The DNF path must still honour ORDER BY and LIMIT applied after the
+     branch union. *)
+  let res =
+    run (db ())
+      "select distinct m.title, m.year from movie m, genre g where m.mid = g.mid \
+       and (g.genre = 'comedy' or g.genre = 'thriller') order by m.year desc, \
+       m.title asc limit 3"
+  in
+  Alcotest.(check int) "limit applied" 3 (List.length res.Exec.rows);
+  (match res.Exec.rows with
+  | first :: _ ->
+      Alcotest.(check Helpers.value_testable) "newest first" (Value.Int 2003)
+        first.(1)
+  | [] -> Alcotest.fail "rows expected");
+  (* Compare the full ordered list against the naive oracle. *)
+  let sql =
+    "select distinct m.title, m.year from movie m, genre g where m.mid = g.mid \
+     and (g.genre = 'comedy' or g.genre = 'thriller') order by m.year desc, \
+     m.title asc"
+  in
+  let d = db () in
+  let bound = Binder.bind d (Sql_parser.parse sql) in
+  Alcotest.(check bool) "ordered rows equal naive" true
+    (Exec.result_equal_list
+       (Exec.run ~strategy:`Auto d bound)
+       (Exec.run ~strategy:`Naive d bound))
+
+let test_unused_from_table_semantics () =
+  (* SQL cross-product semantics: an unreferenced FROM table multiplies
+     rows (bag) and gates results on non-emptiness (distinct). *)
+  let d = db () in
+  let bag = run d "select m.title from movie m, director r where m.year = 1998" in
+  Alcotest.(check int) "multiplied by |director|" 4 (List.length bag.Exec.rows);
+  (* With an empty unreferenced table, even DISTINCT queries return
+     nothing. *)
+  let d2 = db () in
+  Relal.Table.clear (Database.table d2 "director");
+  let empty =
+    run d2
+      "select distinct m.title from movie m, director r where m.year = 1998 and \
+       (m.year = 1998 or m.year = 1999)"
+  in
+  Alcotest.(check int) "empty unreferenced table empties result" 0
+    (List.length empty.Exec.rows)
+
+let test_inequality_joins_as_residual () =
+  (* Non-equi cross-tv predicate must be enforced even though it is not a
+     hash-join key. *)
+  let res =
+    run (db ())
+      "select distinct m1.title from movie m1, movie m2 where m1.year < m2.year \
+       and m2.title = 'Sweet Chaos'"
+  in
+  (* Movies strictly older than 2002. *)
+  Alcotest.(check int) "older movies" 6 (List.length res.Exec.rows)
+
+(* --------------------------- Oracle property --------------------------- *)
+
+(* Random SPJ queries on a reduced tiny db: Auto must equal Naive. *)
+let prop_auto_equals_naive =
+  let db = db () in
+  let gen =
+    QCheck.make
+      ~print:(fun q -> Sql_print.query_to_string q)
+      (QCheck.Gen.map
+         (fun seed ->
+           let rng = Putil.Rng.create seed in
+           Moviedb.Workload.random_query db rng)
+         QCheck.Gen.small_int)
+  in
+  QCheck.Test.make ~name:"auto strategy = naive semantics" ~count:60 gen
+    (fun q ->
+      let bound = Binder.bind db q in
+      let a = Exec.run ~strategy:`Auto db bound in
+      let n = Exec.run ~strategy:`Naive db bound in
+      Exec.result_equal_bag a n)
+
+(* Disjunctive DISTINCT queries: DNF path vs naive. *)
+let prop_dnf_equals_naive =
+  let db = db () in
+  let genres = [ "comedy"; "thriller"; "sci-fi"; "drama"; "romance"; "mystery" ] in
+  let gen =
+    QCheck.make
+      ~print:(fun (a, b, c) -> Printf.sprintf "%s|%s|%s" a b c)
+      QCheck.Gen.(
+        map3 (fun a b c -> (a, b, c)) (oneofl genres) (oneofl genres) (oneofl genres))
+  in
+  QCheck.Test.make ~name:"DNF split = naive on disjunctions" ~count:40 gen
+    (fun (a, b, c) ->
+      let sql =
+        Printf.sprintf
+          "select distinct m.title from movie m, genre g, directed dd where m.mid \
+           = g.mid and m.mid = dd.mid and (g.genre = '%s' or g.genre = '%s' or \
+           (g.genre = '%s' and m.year = 2003))"
+          a b c
+      in
+      let bound = Binder.bind db (Sql_parser.parse sql) in
+      Exec.result_equal_bag
+        (Exec.run ~strategy:`Auto db bound)
+        (Exec.run ~strategy:`Naive db bound))
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "binder",
+        [
+          Alcotest.test_case "errors" `Quick test_bind_errors;
+          Alcotest.test_case "bare columns" `Quick test_bind_resolves_bare_columns;
+          Alcotest.test_case "date coercion" `Quick test_bind_date_coercion;
+        ] );
+      ( "operators",
+        [
+          Alcotest.test_case "select/where" `Quick test_select_where;
+          Alcotest.test_case "projection const" `Quick test_projection_const;
+          Alcotest.test_case "hash join" `Quick test_join_hash;
+          Alcotest.test_case "self join" `Quick test_join_self;
+          Alcotest.test_case "cross product" `Quick test_cross_product_when_no_join;
+          Alcotest.test_case "distinct" `Quick test_distinct;
+          Alcotest.test_case "or (dnf path)" `Quick test_or_dnf_path;
+          Alcotest.test_case "or (generic path)" `Quick test_or_without_distinct;
+          Alcotest.test_case "group/having" `Quick test_group_having_count;
+          Alcotest.test_case "aggregates" `Quick test_aggregates;
+          Alcotest.test_case "aggregate over empty" `Quick test_aggregate_empty_group_by;
+          Alcotest.test_case "union all" `Quick test_union_all;
+          Alcotest.test_case "union having threshold" `Quick test_union_having_threshold;
+          Alcotest.test_case "degree_of_conjunction" `Quick
+            test_degree_of_conjunction_aggregate;
+          Alcotest.test_case "doi dedup" `Quick test_doi_dedupes_pref_ids;
+          Alcotest.test_case "order by / limit" `Quick test_order_by_limit;
+          Alcotest.test_case "empty results" `Quick test_empty_results;
+          Alcotest.test_case "constant true" `Quick test_constant_true;
+          Alcotest.test_case "not" `Quick test_not_predicate;
+          Alcotest.test_case "non-equi residual" `Quick test_inequality_joins_as_residual;
+          Alcotest.test_case "dnf order/limit" `Quick test_dnf_with_order_and_limit;
+          Alcotest.test_case "unused FROM table" `Quick test_unused_from_table_semantics;
+        ] );
+      ( "oracle",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_auto_equals_naive; prop_dnf_equals_naive ] );
+    ]

@@ -1,0 +1,365 @@
+(* Preference integration (§6): tuple-variable allocation, SQ and MQ
+   construction, and — crucially — semantic equivalence of the two
+   approaches on live data. *)
+
+open Perso
+open Relal
+
+let d = Helpers.deg
+let str s = Value.Str s
+
+let setting ?(profile = Moviedb.Personas.julie ()) ?(k = 5) () =
+  let db = Moviedb.Personas.tiny_db () in
+  let q = Binder.bind db (Moviedb.Workload.tonight_query ()) in
+  let qg = Qgraph.of_query db q in
+  let pk = Select.select db (Pgraph.of_profile profile) qg (Criteria.top_r k) in
+  (db, qg, Integrate.instantiate db qg pk)
+
+(* -------------------------- instantiate --------------------------- *)
+
+let test_instantiate_fresh_variables () =
+  let db, qg, insts = setting () in
+  ignore qg;
+  (* No introduced alias may collide with the query's (mv, pl). *)
+  List.iter
+    (fun inst ->
+      List.iter
+        (fun (r : Sql_ast.table_ref) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "alias %s fresh" r.Sql_ast.alias)
+            false
+            (List.mem r.Sql_ast.alias [ "mv"; "pl" ]))
+        inst.Integrate.trefs)
+    insts;
+  ignore db
+
+let test_instantiate_to_one_prefix_shared () =
+  (* Two director-name preferences must share the DIRECTED/DIRECTOR
+     variables (all-to-one prefix), making them explicitly conflicting. *)
+  let profile =
+    Profile.of_list
+      [
+        (Atom.join ("movie", "mid") ("directed", "mid"), d 1.0);
+        (Atom.join ("directed", "did") ("director", "did"), d 1.0);
+        (Atom.sel "director" "name" (str "W. Allen"), d 0.7);
+        (Atom.sel "director" "name" (str "D. Lynch"), d 0.8);
+      ]
+  in
+  let _, _, insts = setting ~profile () in
+  Alcotest.(check int) "two preferences" 2 (List.length insts);
+  let aliases inst =
+    List.map (fun (r : Sql_ast.table_ref) -> r.Sql_ast.alias) inst.Integrate.trefs
+    |> List.sort compare
+  in
+  match insts with
+  | [ a; b ] ->
+      Alcotest.(check (list string)) "same variables" (aliases a) (aliases b)
+  | _ -> Alcotest.fail "two expected"
+
+let test_instantiate_to_many_branches () =
+  (* Two actor-name preferences reach ACTOR through the to-many CAST
+     join: each must get its own CAST/ACTOR variables (§6(b) case 2). *)
+  let profile =
+    Profile.of_list
+      [
+        (Atom.join ("movie", "mid") ("cast", "mid"), d 0.8);
+        (Atom.join ("cast", "aid") ("actor", "aid"), d 1.0);
+        (Atom.sel "actor" "name" (str "I. Rossellini"), d 0.6);
+        (Atom.sel "actor" "name" (str "A. Hopkins"), d 0.8);
+      ]
+  in
+  let _, _, insts = setting ~profile () in
+  match insts with
+  | [ a; b ] ->
+      let aliases inst =
+        List.map (fun (r : Sql_ast.table_ref) -> r.Sql_ast.alias) inst.Integrate.trefs
+      in
+      List.iter
+        (fun al ->
+          Alcotest.(check bool)
+            (Printf.sprintf "alias %s not shared" al)
+            false
+            (List.mem al (aliases b)))
+        (aliases a)
+  | _ -> Alcotest.fail "two expected"
+
+let test_instantiate_date_coercion () =
+  let profile =
+    Profile.of_list
+      [
+        (Atom.join ("movie", "mid") ("play", "mid"), d 0.9);
+        (Atom.sel "play" "date" (str "2003-07-05"), d 0.5);
+      ]
+  in
+  let db = Moviedb.Personas.tiny_db () in
+  (* Query over MOVIE only so the PLAY preference needs the join. *)
+  let q = Binder.bind db (Sql_parser.parse "select m.title from movie m") in
+  let qg = Qgraph.of_query db q in
+  let pk = Select.select db (Pgraph.of_profile profile) qg (Criteria.top_r 5) in
+  let insts = Integrate.instantiate db qg pk in
+  match insts with
+  | [ inst ] ->
+      let sql = Sql_print.pred_to_string inst.Integrate.pred in
+      Alcotest.(check bool) "date literal coerced" true
+        (let rec contains i =
+           i + 12 <= String.length sql
+           && (String.sub sql i 12 = "'2003-07-05'" || contains (i + 1))
+         in
+         contains 0)
+  | _ -> Alcotest.fail "one preference expected"
+
+(* ------------------------------ SQ ------------------------------- *)
+
+let test_sq_structure () =
+  let db, qg, insts = setting ~k:3 () in
+  let sq = Integrate.sq db qg ~mandatory:[] ~optional:insts ~l:2 in
+  Alcotest.(check bool) "distinct" true sq.Sql_ast.distinct;
+  (* C(3,2) = 3 disjuncts unless conflicts removed some. *)
+  (match sq.Sql_ast.where with
+  | Sql_ast.P_and ps -> (
+      match List.rev ps with
+      | Sql_ast.P_or disjuncts :: _ ->
+          Alcotest.(check bool) "at most C(3,2) disjuncts" true
+            (List.length disjuncts <= 3)
+      | _ -> Alcotest.fail "disjunction last")
+  | _ -> Alcotest.fail "conjunction at top");
+  (* The SQ query must bind and run. *)
+  ignore (Engine.run_query db sq)
+
+let test_sq_l0_is_query_plus_mandatory () =
+  let db, qg, insts = setting ~k:2 () in
+  let sq = Integrate.sq db qg ~mandatory:insts ~optional:[] ~l:0 in
+  let base = Engine.run_query db sq in
+  (* All mandatory: every returned movie satisfies both preferences. *)
+  Alcotest.(check bool) "runs" true (base.Exec.cols <> [||])
+
+let test_sq_errors () =
+  let db, qg, insts = setting ~k:2 () in
+  Alcotest.(check bool) "l too large" true
+    (try
+       ignore (Integrate.sq db qg ~mandatory:[] ~optional:insts ~l:5);
+       false
+     with Integrate.Integration_error _ -> true)
+
+let test_sq_conflicting_combos_dropped () =
+  (* Two shared-variable director preferences conflict; with L=2 every
+     combination contains the conflicting pair, which must raise. *)
+  let profile =
+    Profile.of_list
+      [
+        (Atom.join ("movie", "mid") ("directed", "mid"), d 1.0);
+        (Atom.join ("directed", "did") ("director", "did"), d 1.0);
+        (Atom.sel "director" "name" (str "W. Allen"), d 0.7);
+        (Atom.sel "director" "name" (str "D. Lynch"), d 0.8);
+      ]
+  in
+  let db, qg, insts = setting ~profile () in
+  Alcotest.(check bool) "all-conflicting combos rejected" true
+    (try
+       ignore (Integrate.sq db qg ~mandatory:[] ~optional:insts ~l:2);
+       false
+     with Integrate.Integration_error _ -> true);
+  (* With L=1 both are usable as alternatives. *)
+  let sq = Integrate.sq db qg ~mandatory:[] ~optional:insts ~l:1 in
+  let res = Engine.run_query db sq in
+  Alcotest.(check (slist string String.compare)) "Lynch or Allen tonight"
+    [
+      "Sweet Chaos"; "Midnight Maze"; "Laughing Waters"; "Blue Velvet Road";
+      "Double Take"; "Dream Logic";
+    ]
+    (Helpers.titles res)
+
+let test_dedup_conjuncts () =
+  let p1 = Sql_parser.parse_pred "a.x = 1" in
+  let p2 = Sql_parser.parse_pred "a.y = 2" in
+  Alcotest.(check int) "dedup" 2
+    (List.length (Integrate.dedup_conjuncts [ p1; p2; p1; p1 ]))
+
+(* ------------------------------ MQ ------------------------------- *)
+
+let test_mq_structure () =
+  let db, qg, insts = setting ~k:3 () in
+  let mq = Integrate.mq db qg ~mandatory:[] ~optional:insts ~l:(`At_least 1) () in
+  (match mq.Sql_ast.from with
+  | [ Sql_ast.F_derived (C_union_all branches, "temp") ] ->
+      Alcotest.(check int) "one partial per optional pref" 3 (List.length branches)
+  | _ -> Alcotest.fail "derived union-all");
+  Alcotest.(check bool) "grouped" true (mq.Sql_ast.group_by <> []);
+  Alcotest.(check bool) "ranked" true (mq.Sql_ast.order_by <> []);
+  ignore (Engine.run_query db mq)
+
+let test_mq_unranked () =
+  let db, qg, insts = setting ~k:3 () in
+  let mq = Integrate.mq ~rank:false db qg ~mandatory:[] ~optional:insts ~l:(`At_least 1) () in
+  Alcotest.(check int) "only the projection" 1 (List.length mq.Sql_ast.select);
+  Alcotest.(check bool) "no order" true (mq.Sql_ast.order_by = [])
+
+let test_mq_min_doi () =
+  let db, qg, insts = setting ~k:5 () in
+  let mq = Integrate.mq db qg ~mandatory:[] ~optional:insts ~l:(`Min_doi 0.85) () in
+  let res = Engine.run_query db mq in
+  List.iter
+    (fun row ->
+      match row.(Array.length row - 1) with
+      | Value.Float f -> Alcotest.(check bool) "row doi above threshold" true (f > 0.85)
+      | _ -> Alcotest.fail "doi column expected")
+    res.Exec.rows
+
+let test_mq_mandatory_in_every_partial () =
+  let db, qg, insts = setting ~k:3 () in
+  match insts with
+  | top :: rest ->
+      let mq = Integrate.mq db qg ~mandatory:[ top ] ~optional:rest ~l:(`At_least 1) () in
+      let sql = Sql_print.query_to_string mq in
+      let needle = Sql_print.pred_to_string top.Integrate.pred in
+      let count_occurrences s sub =
+        let n = String.length s and m = String.length sub in
+        let c = ref 0 in
+        for i = 0 to n - m do
+          if String.sub s i m = sub then incr c
+        done;
+        !c
+      in
+      Alcotest.(check int) "mandatory condition in both partials" 2
+        (count_occurrences sql needle)
+  | _ -> Alcotest.fail "need preferences"
+
+(* --------------------- SQ ≡ MQ (live equivalence) --------------------- *)
+
+let titles_set res = List.sort_uniq compare (Helpers.titles res)
+
+let equivalence_case profile k l () =
+  let db, qg, insts = setting ~profile ~k () in
+  let l = min l (List.length insts) in
+  let sq = Integrate.sq db qg ~mandatory:[] ~optional:insts ~l in
+  let mq = Integrate.mq ~rank:false db qg ~mandatory:[] ~optional:insts ~l:(`At_least l) () in
+  let rs = Engine.run_query db sq and rm = Engine.run_query db mq in
+  Alcotest.(check (list string))
+    (Printf.sprintf "SQ = MQ for K=%d L=%d" k l)
+    (titles_set rs) (titles_set rm)
+
+let test_sq_mq_equivalence_julie () =
+  List.iter
+    (fun (k, l) -> equivalence_case (Moviedb.Personas.julie ()) k l ())
+    [ (1, 1); (3, 1); (3, 2); (5, 1); (5, 2); (5, 3); (8, 2) ]
+
+let test_sq_mq_equivalence_rob () =
+  List.iter
+    (fun (k, l) -> equivalence_case (Moviedb.Personas.rob ()) k l ())
+    [ (2, 1); (3, 1); (3, 2) ]
+
+let test_sq_mq_equivalence_with_mandatory () =
+  let db, qg, insts = setting ~k:4 () in
+  match insts with
+  | top :: rest when List.length rest >= 2 ->
+      let sq = Integrate.sq db qg ~mandatory:[ top ] ~optional:rest ~l:1 in
+      let mq =
+        Integrate.mq ~rank:false db qg ~mandatory:[ top ] ~optional:rest
+          ~l:(`At_least 1) ()
+      in
+      Alcotest.(check (list string)) "SQ = MQ with M=1"
+        (titles_set (Engine.run_query db sq))
+        (titles_set (Engine.run_query db mq))
+  | _ -> Alcotest.fail "need at least 3 preferences"
+
+(* MQ ranking respects the conjunctive degree ordering. *)
+let test_mq_rank_order () =
+  let db, qg, insts = setting ~k:5 () in
+  let mq = Integrate.mq db qg ~mandatory:[] ~optional:insts ~l:(`At_least 1) () in
+  let res = Engine.run_query db mq in
+  let dois =
+    List.map
+      (fun row ->
+        match row.(Array.length row - 1) with
+        | Value.Float f -> f
+        | _ -> Alcotest.fail "doi expected")
+      res.Exec.rows
+  in
+  let rec decreasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-12 && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "ranked descending" true (decreasing dois)
+
+(* Randomized SQ-vs-MQ relation over synthetic databases, profiles and
+   queries.  For L = 1 the two approaches coincide.  For L >= 2 they are
+   equivalent only when the projection determines the query's tuple
+   variables (the paper's implicit setting — project MV.title, prefer
+   movies): SQ requires a single witness assignment of the original
+   query's variables to satisfy all L conditions, while MQ's UNION lets
+   each preference be witnessed by a different base-query row agreeing on
+   the projection.  Hence the general law: rows(SQ) ⊆ rows(MQ), with
+   equality at L = 1.  (See DESIGN.md, "SQ vs MQ equivalence".) *)
+let prop_sq_mq_random =
+  let db =
+    Moviedb.Datagen.generate
+      { Moviedb.Datagen.default with movies = 150; actors = 60; directors = 15; theatres = 6 }
+  in
+  QCheck.Test.make ~name:"SQ = MQ on random settings" ~count:30
+    QCheck.(pair small_int (int_range 1 2))
+    (fun (seed, l) ->
+      let profile =
+        Moviedb.Profile_gen.generate db
+          { Moviedb.Profile_gen.default with seed = seed + 50; n_selections = 10 }
+      in
+      let rng = Putil.Rng.create (seed + 99) in
+      let q = Binder.bind db (Moviedb.Workload.random_query db rng) in
+      let qg = Qgraph.of_query db q in
+      let pk = Select.select db (Pgraph.of_profile profile) qg (Criteria.top_r 6) in
+      let insts = Integrate.instantiate db qg pk in
+      let l = min l (List.length insts) in
+      if insts = [] then true
+      else
+        match Integrate.sq db qg ~mandatory:[] ~optional:insts ~l with
+        | exception Integrate.Integration_error _ -> true (* all combos conflict *)
+        | sq ->
+            let mq =
+              Integrate.mq ~rank:false db qg ~mandatory:[] ~optional:insts
+                ~l:(`At_least l) ()
+            in
+            let rows q' =
+              (Engine.run_query db q').Exec.rows
+              |> List.map (fun r -> Array.map Value.to_string r |> Array.to_list)
+              |> List.sort_uniq compare
+            in
+            let rs = rows sq and rm = rows mq in
+            if l <= 1 then rs = rm
+            else List.for_all (fun r -> List.mem r rm) rs)
+
+let () =
+  Alcotest.run "integrate"
+    [
+      ( "instantiate",
+        [
+          Alcotest.test_case "fresh variables" `Quick test_instantiate_fresh_variables;
+          Alcotest.test_case "to-one prefix shared" `Quick
+            test_instantiate_to_one_prefix_shared;
+          Alcotest.test_case "to-many branches" `Quick test_instantiate_to_many_branches;
+          Alcotest.test_case "date coercion" `Quick test_instantiate_date_coercion;
+        ] );
+      ( "sq",
+        [
+          Alcotest.test_case "structure" `Quick test_sq_structure;
+          Alcotest.test_case "L=0 degenerate" `Quick test_sq_l0_is_query_plus_mandatory;
+          Alcotest.test_case "errors" `Quick test_sq_errors;
+          Alcotest.test_case "conflicting combos" `Quick test_sq_conflicting_combos_dropped;
+          Alcotest.test_case "dedup conjuncts" `Quick test_dedup_conjuncts;
+        ] );
+      ( "mq",
+        [
+          Alcotest.test_case "structure" `Quick test_mq_structure;
+          Alcotest.test_case "unranked" `Quick test_mq_unranked;
+          Alcotest.test_case "min-doi having" `Quick test_mq_min_doi;
+          Alcotest.test_case "mandatory in partials" `Quick
+            test_mq_mandatory_in_every_partial;
+          Alcotest.test_case "rank order" `Quick test_mq_rank_order;
+        ] );
+      ( "equivalence",
+        [
+          Alcotest.test_case "SQ=MQ (Julie)" `Quick test_sq_mq_equivalence_julie;
+          Alcotest.test_case "SQ=MQ (Rob)" `Quick test_sq_mq_equivalence_rob;
+          Alcotest.test_case "SQ=MQ with mandatory" `Quick
+            test_sq_mq_equivalence_with_mandatory;
+          QCheck_alcotest.to_alcotest prop_sq_mq_random;
+        ] );
+    ]

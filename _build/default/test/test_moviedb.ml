@@ -1,0 +1,221 @@
+(* The synthetic-data substrate: generator invariants (integrity, skew,
+   determinism), profile generation, workload generation. *)
+
+open Relal
+
+let small_cfg seed =
+  { Moviedb.Datagen.default with seed; movies = 300; actors = 120; directors = 30; theatres = 10 }
+
+let test_datagen_cardinalities () =
+  let cfg = small_cfg 1 in
+  let db = Moviedb.Datagen.generate cfg in
+  let card t = Table.cardinality (Database.table db t) in
+  Alcotest.(check int) "movies" 300 (card "movie");
+  Alcotest.(check int) "actors" 120 (card "actor");
+  Alcotest.(check int) "directors" 30 (card "director");
+  Alcotest.(check int) "theatres" 10 (card "theatre");
+  Alcotest.(check int) "one directed row per movie" 300 (card "directed");
+  Alcotest.(check bool) "genres within 1..3 per movie" true
+    (card "genre" >= 300 && card "genre" <= 900);
+  Alcotest.(check bool) "cast at least 2 per movie" true (card "cast" >= 600);
+  Alcotest.(check int) "plays per theatre-day" (10 * 7 * 3) (card "play")
+
+let test_datagen_fk_integrity () =
+  let db = Moviedb.Datagen.generate (small_cfg 2) in
+  List.iter
+    (fun { Schema.from_table; from_col; to_table; to_col } ->
+      let parent = Database.table db to_table in
+      let child = Database.table db from_table in
+      let pidx = Option.get (Schema.col_index (Table.schema parent) to_col) in
+      let cidx = Option.get (Schema.col_index (Table.schema child) from_col) in
+      let keys = Hashtbl.create 64 in
+      Table.iter parent (fun r -> Hashtbl.replace keys r.(pidx) ());
+      Table.iter child (fun r ->
+          if not (Hashtbl.mem keys r.(cidx)) then
+            Alcotest.failf "dangling %s.%s -> %s.%s" from_table from_col to_table
+              to_col))
+    (Database.fks db)
+
+let test_datagen_deterministic () =
+  let q = "select g.genre, count(*) as n from genre g group by g.genre order by n desc, g.genre asc" in
+  let r1 = Helpers.run (Moviedb.Datagen.generate (small_cfg 3)) q in
+  let r2 = Helpers.run (Moviedb.Datagen.generate (small_cfg 3)) q in
+  Alcotest.(check bool) "same seed, same data" true (Exec.result_equal_list r1 r2);
+  let r3 = Helpers.run (Moviedb.Datagen.generate (small_cfg 4)) q in
+  Alcotest.(check bool) "different seed differs" false (Exec.result_equal_list r1 r3)
+
+let test_datagen_zipf_skew () =
+  let db = Moviedb.Datagen.generate (small_cfg 5) in
+  let res =
+    Helpers.run db "select g.genre, count(*) as n from genre g group by g.genre order by n desc"
+  in
+  match (res.Exec.rows, List.rev res.Exec.rows) with
+  | top :: _, bottom :: _ ->
+      let n = function Value.Int i -> i | _ -> 0 in
+      Alcotest.(check bool) "head much heavier than tail" true
+        (n top.(1) > 3 * n bottom.(1))
+  | _ -> Alcotest.fail "no genres"
+
+let test_datagen_dates_in_window () =
+  let db = Moviedb.Datagen.generate (small_cfg 6) in
+  let res = Helpers.run db "select distinct p.date from play p order by p.date asc" in
+  Alcotest.(check int) "seven distinct days" 7 (List.length res.Exec.rows);
+  let example = Moviedb.Datagen.example_date in
+  Alcotest.(check bool) "example date present" true
+    (List.exists (fun r -> Value.equal r.(0) example) res.Exec.rows)
+
+let test_datagen_play_movies_distinct_per_slot () =
+  let db = Moviedb.Datagen.generate (small_cfg 7) in
+  let res =
+    Helpers.run db
+      "select p.tid, count(*) as n from play p where p.date = '2003-07-01' group \
+       by p.tid"
+  in
+  List.iter
+    (fun r ->
+      match r.(1) with
+      | Value.Int n -> Alcotest.(check int) "three distinct movies" 3 n
+      | _ -> Alcotest.fail "count")
+    res.Exec.rows
+
+let test_scale_proportions () =
+  let cfg = Moviedb.Datagen.scale 4000 in
+  Alcotest.(check int) "movies" 4000 cfg.Moviedb.Datagen.movies;
+  Alcotest.(check int) "actors scale" 1600 cfg.Moviedb.Datagen.actors;
+  Alcotest.(check int) "directors scale" 400 cfg.Moviedb.Datagen.directors
+
+(* --------------------------- Profile_gen --------------------------- *)
+
+let test_profile_gen_size_and_validity () =
+  let db = Moviedb.Datagen.generate (small_cfg 8) in
+  let cfg = { Moviedb.Profile_gen.default with seed = 9; n_selections = 25 } in
+  let p = Moviedb.Profile_gen.generate db cfg in
+  Alcotest.(check int) "requested size" 25 (Perso.Profile.size p);
+  Alcotest.(check bool) "validates" true (Perso.Profile.validate db p = Ok ());
+  (* Degrees within configured ranges. *)
+  List.iter
+    (fun (atom, deg) ->
+      let f = Perso.Degree.to_float deg in
+      match atom with
+      | Perso.Atom.Sel _ ->
+          Alcotest.(check bool) "sel range" true (f >= 0.3 && f <= 1.0)
+      | Perso.Atom.Join _ ->
+          Alcotest.(check bool) "join range" true (f >= 0.6 && f <= 1.0))
+    (Perso.Profile.entries p)
+
+let test_profile_gen_deterministic () =
+  let db = Moviedb.Datagen.generate (small_cfg 8) in
+  let cfg = { Moviedb.Profile_gen.default with seed = 10; n_selections = 15 } in
+  let p1 = Moviedb.Profile_gen.generate db cfg in
+  let p2 = Moviedb.Profile_gen.generate db cfg in
+  Alcotest.(check string) "same profile text" (Perso.Profile.to_string p1)
+    (Perso.Profile.to_string p2)
+
+let test_profile_gen_join_fraction () =
+  let db = Moviedb.Datagen.generate (small_cfg 8) in
+  let cfg =
+    { Moviedb.Profile_gen.default with seed = 11; n_selections = 5; join_fraction = 0.5 }
+  in
+  let p = Moviedb.Profile_gen.generate db cfg in
+  let joins = Perso.Profile.cardinal p - Perso.Profile.size p in
+  Alcotest.(check int) "half the 14 directed joins" 7 joins
+
+(* ---------------------------- Workload ----------------------------- *)
+
+let test_workload_queries_bind_and_run () =
+  let db = Moviedb.Datagen.generate (small_cfg 12) in
+  let qs = Moviedb.Workload.queries db ~n:100 ~seed:13 in
+  Alcotest.(check int) "one hundred" 100 (List.length qs);
+  List.iter
+    (fun q ->
+      let bound = Binder.bind db q in
+      (* Conjunctive SPJ by construction. *)
+      ignore (Perso.Qgraph.of_query db bound);
+      ignore (Exec.run db bound))
+    qs
+
+let test_workload_connected () =
+  (* Every multi-relation query must have enough join predicates to
+     connect its FROM list (walk construction guarantees |joins| =
+     |rels| - 1). *)
+  let db = Moviedb.Datagen.generate (small_cfg 12) in
+  let qs = Moviedb.Workload.queries db ~n:50 ~seed:14 in
+  List.iter
+    (fun q ->
+      let n_rels = List.length q.Sql_ast.from in
+      let joins =
+        List.filter
+          (function
+            | Sql_ast.P_cmp (Sql_ast.Eq, Sql_ast.S_attr a, Sql_ast.S_attr b) ->
+                a.Sql_ast.tv <> b.Sql_ast.tv
+            | _ -> false)
+          (Sql_ast.conjuncts q.Sql_ast.where)
+      in
+      Alcotest.(check int) "spanning joins" (n_rels - 1) (List.length joins))
+    qs
+
+let test_workload_deterministic () =
+  let db = Moviedb.Datagen.generate (small_cfg 12) in
+  let s q = Sql_print.query_to_string q in
+  let q1 = List.map s (Moviedb.Workload.queries db ~n:20 ~seed:15) in
+  let q2 = List.map s (Moviedb.Workload.queries db ~n:20 ~seed:15) in
+  Alcotest.(check (list string)) "same batch" q1 q2
+
+let test_tonight_query_shape () =
+  let q = Moviedb.Workload.tonight_query () in
+  Alcotest.(check int) "movie+play" 2 (List.length q.Sql_ast.from);
+  let db = Moviedb.Personas.tiny_db () in
+  let res = Engine.run_query db q in
+  Alcotest.(check int) "twelve screenings" 12 (List.length res.Exec.rows)
+
+(* ----------------------------- Personas ---------------------------- *)
+
+let test_personas_validate () =
+  let db = Moviedb.Personas.tiny_db () in
+  Alcotest.(check bool) "julie valid" true
+    (Perso.Profile.validate db (Moviedb.Personas.julie ()) = Ok ());
+  Alcotest.(check bool) "rob valid" true
+    (Perso.Profile.validate db (Moviedb.Personas.rob ()) = Ok ())
+
+let test_tiny_db_contents () =
+  let db = Moviedb.Personas.tiny_db () in
+  let res =
+    Helpers.run db
+      "select m.title from movie m, directed d, director r where m.mid = d.mid and \
+       d.did = r.did and r.name = 'W. Allen'"
+  in
+  Alcotest.(check int) "three Allen movies" 3 (List.length res.Exec.rows)
+
+let () =
+  Alcotest.run "moviedb"
+    [
+      ( "datagen",
+        [
+          Alcotest.test_case "cardinalities" `Quick test_datagen_cardinalities;
+          Alcotest.test_case "fk integrity" `Quick test_datagen_fk_integrity;
+          Alcotest.test_case "deterministic" `Quick test_datagen_deterministic;
+          Alcotest.test_case "zipf skew" `Quick test_datagen_zipf_skew;
+          Alcotest.test_case "date window" `Quick test_datagen_dates_in_window;
+          Alcotest.test_case "plays distinct" `Quick
+            test_datagen_play_movies_distinct_per_slot;
+          Alcotest.test_case "scale proportions" `Quick test_scale_proportions;
+        ] );
+      ( "profile-gen",
+        [
+          Alcotest.test_case "size/validity" `Quick test_profile_gen_size_and_validity;
+          Alcotest.test_case "deterministic" `Quick test_profile_gen_deterministic;
+          Alcotest.test_case "join fraction" `Quick test_profile_gen_join_fraction;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "bind and run x100" `Quick test_workload_queries_bind_and_run;
+          Alcotest.test_case "connected" `Quick test_workload_connected;
+          Alcotest.test_case "deterministic" `Quick test_workload_deterministic;
+          Alcotest.test_case "tonight query" `Quick test_tonight_query_shape;
+        ] );
+      ( "personas",
+        [
+          Alcotest.test_case "profiles validate" `Quick test_personas_validate;
+          Alcotest.test_case "tiny db contents" `Quick test_tiny_db_contents;
+        ] );
+    ]

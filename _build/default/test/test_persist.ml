@@ -1,0 +1,243 @@
+(* Persistence: the DDL subset and CSV storage. *)
+
+open Relal
+
+let tmpdir () = Filename.temp_file "perdb" "" |> fun f -> Sys.remove f; f
+
+(* ------------------------------ DDL ------------------------------- *)
+
+let movie_ddl =
+  {|
+-- the paper's schema, in DDL form
+create table theatre (
+  tid int primary key,
+  name string,
+  phone string,
+  region string
+);
+create table movie (mid int primary key, title string, year int);
+create table play (
+  tid int references theatre(tid),
+  mid int references movie(mid),
+  date date,
+  primary key (tid, mid, date)
+);
+create table genre (
+  mid int references movie(mid),
+  genre string,
+  primary key (mid, genre)
+);
+|}
+
+(* Alcotest has no testable for Value.ty; build one locally. *)
+let ty_testable =
+  Alcotest.testable
+    (fun fmt t -> Format.pp_print_string fmt (Value.ty_name t))
+    ( = )
+
+let test_ddl_parse_types () =
+  let db = Ddl.parse movie_ddl in
+  Alcotest.(check int) "four tables" 4 (List.length (Database.tables db));
+  Alcotest.(check int) "three fks" 3 (List.length (Database.fks db));
+  Alcotest.(check bool) "movie.mid unique" true
+    (Schema.is_unique_col (Table.schema (Database.table db "movie")) "mid");
+  Alcotest.(check bool) "genre.mid not unique (composite)" false
+    (Schema.is_unique_col (Table.schema (Database.table db "genre")) "mid");
+  Alcotest.(check bool) "to-one derived from ddl" true
+    (Database.join_is_to_one db ~from_:("play", "mid") ~to_:("movie", "mid"));
+  Alcotest.(check (option ty_testable)) "date column type" (Some Value.TDate)
+    (Schema.col_type (Table.schema (Database.table db "play")) "date")
+
+let test_ddl_unique_and_aliases () =
+  let db =
+    Ddl.parse
+      "create table u (a integer primary key, b varchar unique, c real, d boolean)"
+  in
+  let s = Table.schema (Database.table db "u") in
+  Alcotest.(check bool) "b unique" true (Schema.is_unique_col s "b");
+  Alcotest.(check (option ty_testable)) "varchar -> string" (Some Value.TStr)
+    (Schema.col_type s "b");
+  Alcotest.(check (option ty_testable)) "real -> float" (Some Value.TFloat)
+    (Schema.col_type s "c");
+  Alcotest.(check (option ty_testable)) "boolean -> bool" (Some Value.TBool)
+    (Schema.col_type s "d")
+
+let test_ddl_errors () =
+  let expect_err what text =
+    Alcotest.(check bool) what true
+      (try
+         ignore (Ddl.parse text);
+         false
+       with Ddl.Ddl_error _ -> true)
+  in
+  expect_err "unknown type" "create table t (a blob)";
+  expect_err "duplicate table" "create table t (a int); create table t (a int)";
+  expect_err "bad references" "create table t (a int references missing(x))";
+  expect_err "trailing garbage" "create table t (a int) extra";
+  expect_err "missing paren" "create table t a int";
+  expect_err "duplicate column" "create table t (a int, a string)"
+
+let test_ddl_roundtrip () =
+  let db = Moviedb.Movie_schema.create () in
+  let text = Ddl.to_string db in
+  let db2 = Ddl.parse text in
+  Alcotest.(check int) "same table count" (List.length (Database.tables db))
+    (List.length (Database.tables db2));
+  Alcotest.(check int) "same fk count" (List.length (Database.fks db))
+    (List.length (Database.fks db2));
+  (* Uniqueness (hence join directions) survives. *)
+  List.iter
+    (fun (r1, a1, r2, a2) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "to-one %s.%s->%s.%s preserved" r1 a1 r2 a2)
+        (Database.join_is_to_one db ~from_:(r1, a1) ~to_:(r2, a2))
+        (Database.join_is_to_one db2 ~from_:(r1, a1) ~to_:(r2, a2)))
+    Moviedb.Movie_schema.fk_joins
+
+(* ------------------------------ CSV ------------------------------- *)
+
+let test_csv_table_roundtrip () =
+  let schema =
+    Schema.make ~name:"t"
+      ~cols:
+        [
+          ("i", Value.TInt); ("f", Value.TFloat); ("s", Value.TStr);
+          ("b", Value.TBool); ("d", Value.TDate);
+        ]
+      ()
+  in
+  let t = Table.create schema in
+  Table.insert_values t
+    [ Value.Int 1; Value.Float 2.5; Value.Str "plain"; Value.Bool true;
+      Value.date_of_ymd 2003 7 2 ];
+  Table.insert_values t
+    [ Value.Int (-7); Value.Float 1e-9; Value.Str "comma, \"quote\"\nnewline";
+      Value.Bool false; Value.Null ];
+  Table.insert_values t
+    [ Value.Null; Value.Null; Value.Str ""; Value.Null; Value.Null ];
+  let text = Csv.table_to_string t in
+  let t2 = Csv.table_of_string schema text in
+  Alcotest.(check int) "row count" (Table.cardinality t) (Table.cardinality t2);
+  for i = 0 to Table.cardinality t - 1 do
+    let r1 = Table.get t i and r2 = Table.get t2 i in
+    Array.iteri
+      (fun j v ->
+        Alcotest.(check Helpers.value_testable)
+          (Printf.sprintf "row %d col %d" i j)
+          v r2.(j))
+      r1
+  done
+
+let test_csv_null_vs_empty_string () =
+  let schema = Schema.make ~name:"t" ~cols:[ ("s", Value.TStr) ] () in
+  let t = Table.create schema in
+  Table.insert_values t [ Value.Str "" ];
+  Table.insert_values t [ Value.Null ];
+  let t2 = Csv.table_of_string schema (Csv.table_to_string t) in
+  Alcotest.(check Helpers.value_testable) "empty string" (Value.Str "") (Table.get t2 0).(0);
+  Alcotest.(check Helpers.value_testable) "null" Value.Null (Table.get t2 1).(0)
+
+let test_csv_errors () =
+  let schema = Schema.make ~name:"t" ~cols:[ ("i", Value.TInt) ] () in
+  let expect_err what text =
+    Alcotest.(check bool) what true
+      (try
+         ignore (Csv.table_of_string schema text);
+         false
+       with Csv.Csv_error _ -> true)
+  in
+  expect_err "header mismatch" "wrong\n1\n";
+  expect_err "bad int" "i\nnotanint\n";
+  expect_err "arity" "i\n1,2\n";
+  expect_err "unterminated quote" "i\n\"1\n"
+
+let test_db_roundtrip_on_disk () =
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "perdb_csv_test" in
+  let db = Moviedb.Personas.tiny_db () in
+  Csv.save_db ~dir db;
+  let db2 = Csv.load_db ~dir in
+  (* Same cardinalities... *)
+  List.iter
+    (fun t ->
+      let name = Schema.name (Table.schema t) in
+      Alcotest.(check int) (name ^ " cardinality") (Table.cardinality t)
+        (Table.cardinality (Database.table db2 name)))
+    (Database.tables db);
+  (* ... and the same query answers, including through the whole
+     personalization pipeline. *)
+  let q = "select m.title from movie m, directed d, director r where m.mid = d.mid and d.did = r.did and r.name = 'W. Allen'" in
+  Alcotest.(check bool) "same query answers" true
+    (Exec.result_equal_bag (Engine.run_sql db q) (Engine.run_sql db2 q));
+  let outcome, res =
+    Perso.Personalize.personalize_sql db2 (Moviedb.Personas.julie ())
+      "select mv.title from movie mv, play pl where mv.mid = pl.mid and pl.date = '2/7/2003'"
+  in
+  Alcotest.(check bool) "personalization works on loaded db" true
+    (outcome.Perso.Personalize.selected <> [] && res.Exec.rows <> [])
+
+(* Randomized CSV round-trip over generated tables of every type. *)
+let prop_csv_roundtrip =
+  let gen_value ty =
+    let open QCheck.Gen in
+    match ty with
+    | Value.TInt -> map (fun i -> Value.Int i) small_signed_int
+    | Value.TFloat -> map (fun f -> Value.Float f) (float_range (-1e6) 1e6)
+    | Value.TBool -> map (fun b -> Value.Bool b) bool
+    | Value.TDate ->
+        map2
+          (fun m d -> Value.date_of_ymd 2003 (1 + (m mod 12)) (1 + (d mod 28)))
+          small_nat small_nat
+    | Value.TStr ->
+        oneof
+          [
+            map (fun s -> Value.Str s) (string_size ~gen:printable (0 -- 12));
+            oneofl
+              [
+                Value.Str ""; Value.Str "a,b"; Value.Str "say \"hi\"";
+                Value.Str "line\nbreak"; Value.Null;
+              ];
+          ]
+  in
+  let tys = [| Value.TInt; Value.TFloat; Value.TStr; Value.TBool; Value.TDate |] in
+  let gen_table =
+    let open QCheck.Gen in
+    list_size (0 -- 20)
+      (map (fun xs -> xs) (flatten_l (List.map gen_value (Array.to_list tys))))
+  in
+  QCheck.Test.make ~name:"CSV round-trip on random tables" ~count:100
+    (QCheck.make gen_table)
+    (fun rows ->
+      let schema =
+        Schema.make ~name:"t"
+          ~cols:(Array.to_list (Array.mapi (fun i ty -> (Printf.sprintf "c%d" i, ty)) tys))
+          ()
+      in
+      let t = Table.create schema in
+      List.iter (fun r -> Table.insert t (Array.of_list r)) rows;
+      let t2 = Csv.table_of_string schema (Csv.table_to_string t) in
+      Table.cardinality t = Table.cardinality t2
+      && List.for_all2
+           (fun a b -> List.for_all2 Value.equal a b)
+           (List.map Array.to_list (Table.to_list t))
+           (List.map Array.to_list (Table.to_list t2)))
+
+let () =
+  ignore tmpdir;
+  Alcotest.run "persist"
+    [
+      ( "ddl",
+        [
+          Alcotest.test_case "parse types" `Quick test_ddl_parse_types;
+          Alcotest.test_case "unique/aliases" `Quick test_ddl_unique_and_aliases;
+          Alcotest.test_case "errors" `Quick test_ddl_errors;
+          Alcotest.test_case "round-trip" `Quick test_ddl_roundtrip;
+        ] );
+      ( "csv",
+        [
+          Alcotest.test_case "table round-trip" `Quick test_csv_table_roundtrip;
+          Alcotest.test_case "null vs empty" `Quick test_csv_null_vs_empty_string;
+          Alcotest.test_case "errors" `Quick test_csv_errors;
+          Alcotest.test_case "db round-trip on disk" `Quick test_db_roundtrip_on_disk;
+          QCheck_alcotest.to_alcotest prop_csv_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,265 @@
+(* End-to-end personalization (§4): the two-phase pipeline, ranking,
+   top-N, context policies, and schema independence (the bookstore). *)
+
+open Perso
+open Relal
+
+let d = Helpers.deg
+
+let tiny = Moviedb.Personas.tiny_db
+
+let test_julie_end_to_end () =
+  let db = tiny () in
+  let params = { Personalize.default_params with k = Criteria.Top_r 3 } in
+  let outcome =
+    Personalize.personalize ~params db (Moviedb.Personas.julie ())
+      (Moviedb.Workload.tonight_query ())
+  in
+  Alcotest.(check int) "three selected" 3 (List.length outcome.Personalize.selected);
+  let res = Personalize.execute db outcome in
+  Alcotest.(check (array string)) "title + doi" [| "title"; "doi" |] res.Exec.cols;
+  (* Top row: a downtown comedy — 1-(1-0.81)(1-0.8) = 0.962. *)
+  (match res.Exec.rows with
+  | first :: _ -> (
+      match first.(1) with
+      | Value.Float f -> Helpers.check_float "top doi" 0.962 f
+      | _ -> Alcotest.fail "doi type")
+  | [] -> Alcotest.fail "no results");
+  (* Every returned movie satisfies at least one preference (L=1). *)
+  Alcotest.(check bool) "nonempty" true (res.Exec.rows <> [])
+
+let test_rob_end_to_end () =
+  let db = tiny () in
+  let outcome =
+    Personalize.personalize db (Moviedb.Personas.rob ())
+      (Moviedb.Workload.tonight_query ())
+  in
+  let res = Personalize.execute db outcome in
+  let titles = Helpers.titles res in
+  (* Rob's sci-fi picks must surface; Star Harbor and The Quiet Comet play
+     tonight. *)
+  Alcotest.(check bool) "sci-fi present" true
+    (List.mem "Star Harbor" titles && List.mem "The Quiet Comet" titles);
+  Alcotest.(check bool) "ranked first is sci-fi" true
+    (match titles with
+    | first :: _ -> List.mem first [ "Star Harbor"; "The Quiet Comet"; "Iron Harvest" ]
+    | [] -> false)
+
+let test_personalized_results_subset_of_initial () =
+  let db = tiny () in
+  let q = Moviedb.Workload.tonight_query () in
+  let initial = Engine.run_query db q in
+  let outcome = Personalize.personalize db (Moviedb.Personas.julie ()) q in
+  let personalized = Personalize.execute db outcome in
+  let initial_titles = List.sort_uniq compare (Helpers.titles initial) in
+  List.iter
+    (fun row ->
+      match row.(0) with
+      | Value.Str t ->
+          Alcotest.(check bool) (t ^ " in initial results") true
+            (List.mem t initial_titles)
+      | _ -> Alcotest.fail "title type")
+    personalized.Exec.rows
+
+let test_top_n () =
+  let db = tiny () in
+  let outcome =
+    Personalize.personalize db (Moviedb.Personas.julie ())
+      (Moviedb.Workload.tonight_query ())
+  in
+  let full = Personalize.execute db outcome in
+  let top2 = Personalize.top_n ~n:2 db outcome in
+  Alcotest.(check int) "two rows" 2 (List.length top2.Exec.rows);
+  Alcotest.(check bool) "prefix of full ranking" true
+    (List.for_all2 Relal.Value.equal
+       (Array.to_list (List.hd top2.Exec.rows))
+       (Array.to_list (List.hd full.Exec.rows)))
+
+let test_sq_params () =
+  let db = tiny () in
+  let params =
+    {
+      Personalize.default_params with
+      method_ = `SQ;
+      rank = false;
+      k = Criteria.Top_r 3;
+      l = `At_least 2;
+    }
+  in
+  let outcome =
+    Personalize.personalize ~params db (Moviedb.Personas.julie ())
+      (Moviedb.Workload.tonight_query ())
+  in
+  Alcotest.(check bool) "SQ has no derived tables" true
+    (List.for_all
+       (function Sql_ast.F_rel _ -> true | _ -> false)
+       outcome.Personalize.personalized.Sql_ast.from);
+  ignore (Personalize.execute db outcome)
+
+let test_mandatory_min_degree () =
+  (* Julie's join to THEATRE has degree 1; her top selection paths don't
+     reach 1, so with `Min_degree 1.0 nothing is mandatory; with 0.8 the
+     two top preferences become mandatory. *)
+  let db = tiny () in
+  let params =
+    { Personalize.default_params with k = Criteria.Top_r 3; m = `Min_degree 0.8 }
+  in
+  let outcome =
+    Personalize.personalize ~params db (Moviedb.Personas.julie ())
+      (Moviedb.Workload.tonight_query ())
+  in
+  Alcotest.(check int) "two mandatory (0.81, 0.8, 0.8)" 3
+    (List.length outcome.Personalize.mandatory);
+  let res = Personalize.execute db outcome in
+  (* Mandatory-only personalization: downtown Lynch comedies tonight. *)
+  Alcotest.(check bool) "runs" true (res.Exec.cols <> [||])
+
+let test_l_clamped () =
+  let db = tiny () in
+  let params =
+    { Personalize.default_params with k = Criteria.Top_r 2; l = `At_least 10 }
+  in
+  let outcome =
+    Personalize.personalize ~params db (Moviedb.Personas.julie ())
+      (Moviedb.Workload.tonight_query ())
+  in
+  (* L clamps to the 2 available preferences rather than erroring. *)
+  ignore (Personalize.execute db outcome);
+  Alcotest.(check pass) "clamped" () ()
+
+let test_not_conjunctive_rejected () =
+  let db = tiny () in
+  Alcotest.(check bool) "OR query rejected" true
+    (try
+       ignore
+         (Personalize.personalize db (Moviedb.Personas.julie ())
+            (Sql_parser.parse
+               "select m.title from movie m where m.year = 2000 or m.year = 2001"));
+       false
+     with Qgraph.Not_conjunctive _ -> true)
+
+let test_empty_profile_noop () =
+  let db = tiny () in
+  let q = Moviedb.Workload.tonight_query () in
+  let outcome = Personalize.personalize db Profile.empty q in
+  let res = Personalize.execute db outcome in
+  let initial = Engine.run_query db q in
+  (* No preferences: the personalized query degrades to the initial one
+     (distinct). *)
+  Alcotest.(check (slist string String.compare)) "same titles"
+    (List.sort_uniq compare (Helpers.titles initial))
+    (Helpers.titles res)
+
+let test_personalize_sql_wrapper () =
+  let db = tiny () in
+  let outcome, res =
+    Personalize.personalize_sql db (Moviedb.Personas.julie ())
+      "select mv.title from movie mv, play pl where mv.mid = pl.mid and pl.date \
+       = '2/7/2003'"
+  in
+  Alcotest.(check bool) "selected something" true (outcome.Personalize.selected <> []);
+  Alcotest.(check bool) "produced rows" true (res.Exec.rows <> [])
+
+let test_profile_evolution () =
+  (* §3.1: "the query personalization process is not affected by changes
+     in the profiles" — re-running after an update uses the new degrees
+     with no other machinery. *)
+  let db = tiny () in
+  let q = Moviedb.Workload.tonight_query () in
+  let p1 = Moviedb.Personas.rob () in
+  let o1 = Personalize.personalize db p1 q in
+  let p2 = Profile.add p1 (Atom.sel "genre" "genre" (Value.Str "drama")) (d 0.95) in
+  let o2 = Personalize.personalize db p2 q in
+  let top o =
+    match o.Personalize.selected with
+    | p :: _ -> Path.to_condition_string p
+    | [] -> ""
+  in
+  Alcotest.(check bool) "drama now ranks first for Rob" true (top o1 <> top o2)
+
+let test_context_policies () =
+  let open Personalize.Context in
+  let mobile = params_for { device = Mobile; latency_budget_ms = None } in
+  let desktop = params_for { device = Desktop; latency_budget_ms = None } in
+  let rushed = params_for { device = Desktop; latency_budget_ms = Some 10. } in
+  let voice = params_for { device = Voice; latency_budget_ms = None } in
+  let k_of p = match p.Personalize.k with Criteria.Top_r r -> r | _ -> -1 in
+  Alcotest.(check int) "mobile small" 3 (k_of mobile);
+  Alcotest.(check int) "desktop larger" 10 (k_of desktop);
+  Alcotest.(check int) "latency halves" 5 (k_of rushed);
+  Alcotest.(check bool) "voice uses min-doi" true
+    (match voice.Personalize.l with `Min_doi _ -> true | _ -> false)
+
+let test_explain_report () =
+  let db = tiny () in
+  let outcome =
+    Personalize.personalize db (Moviedb.Personas.julie ())
+      (Moviedb.Workload.tonight_query ())
+  in
+  let report = Explain.outcome_report outcome in
+  List.iter
+    (fun needle ->
+      let contains s sub =
+        let n = String.length s and m = String.length sub in
+        let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+        m = 0 || go 0
+      in
+      Alcotest.(check bool) ("report mentions " ^ needle) true (contains report needle))
+    [ "Selected preferences"; "Personalized query"; "union all"; "doi" ]
+
+(* ------------------- Schema independence: books -------------------- *)
+
+let test_bookstore_personalization () =
+  (* The intro's bookseller scenario on a completely different schema:
+     'Are there any good new books?' personalized by a Rowling +
+     20th-century-art profile. *)
+  let db = Helpers.bookstore_db () in
+  let profile =
+    Profile.of_list
+      [
+        (Atom.join ("book", "bid") ("wrote", "bid"), d 1.0);
+        (Atom.join ("wrote", "auid") ("author", "auid"), d 1.0);
+        (Atom.join ("book", "bid") ("topic", "bid"), d 0.9);
+        (Atom.sel "author" "name" (Value.Str "J.K. Rowling"), d 0.9);
+        (Atom.sel "topic" "subject" (Value.Str "20th century"), d 0.8);
+        (Atom.sel "topic" "subject" (Value.Str "cooking"), d 0.1);
+      ]
+  in
+  let outcome, res =
+    Personalize.personalize_sql
+      ~params:{ Personalize.default_params with k = Criteria.Top_r 2 }
+      db profile "select b.title from book b where b.year = 2003"
+  in
+  Alcotest.(check int) "two preferences" 2 (List.length outcome.Personalize.selected);
+  let titles = Helpers.titles res in
+  Alcotest.(check (slist string String.compare)) "Lisa's answer"
+    [ "The Order of the Phoenix"; "Matisse and Picasso" ]
+    titles;
+  (* And the cooking book is exactly what she does NOT get. *)
+  Alcotest.(check bool) "no cuisine" true
+    (not (List.mem "Essentials of Asian Cuisine" titles))
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "Julie" `Quick test_julie_end_to_end;
+          Alcotest.test_case "Rob" `Quick test_rob_end_to_end;
+          Alcotest.test_case "subset of initial" `Quick
+            test_personalized_results_subset_of_initial;
+          Alcotest.test_case "top-N" `Quick test_top_n;
+          Alcotest.test_case "SQ params" `Quick test_sq_params;
+          Alcotest.test_case "mandatory by degree" `Quick test_mandatory_min_degree;
+          Alcotest.test_case "L clamped" `Quick test_l_clamped;
+          Alcotest.test_case "rejects non-conjunctive" `Quick
+            test_not_conjunctive_rejected;
+          Alcotest.test_case "empty profile no-op" `Quick test_empty_profile_noop;
+          Alcotest.test_case "sql wrapper" `Quick test_personalize_sql_wrapper;
+          Alcotest.test_case "profile evolution" `Quick test_profile_evolution;
+          Alcotest.test_case "context policies" `Quick test_context_policies;
+          Alcotest.test_case "explain report" `Quick test_explain_report;
+        ] );
+      ( "bookstore",
+        [ Alcotest.test_case "schema independence" `Quick test_bookstore_personalization ] );
+    ]

@@ -1,0 +1,332 @@
+(* Atoms, profiles (including the Figure 2 text format) and the
+   personalization graph. *)
+
+open Perso
+open Relal
+
+let d = Helpers.deg
+
+(* ------------------------------ Atom ------------------------------ *)
+
+let test_atom_construction () =
+  let a = Atom.sel "GENRE" "Genre" (Value.Str "comedy") in
+  Alcotest.(check string) "lower-cased, printed upper"
+    "GENRE.genre = 'comedy'" (Atom.to_string a);
+  let j = Atom.join ("MOVIE", "mid") ("PLAY", "mid") in
+  Alcotest.(check string) "join rendering" "MOVIE.mid = PLAY.mid" (Atom.to_string j)
+
+let test_atom_equal_directionality () =
+  let j1 = Atom.join ("movie", "mid") ("play", "mid") in
+  let j2 = Atom.join ("play", "mid") ("movie", "mid") in
+  Alcotest.(check bool) "directions are distinct atoms" false (Atom.equal j1 j2);
+  match (j1, j2) with
+  | Atom.Join j1', Atom.Join j2' ->
+      Alcotest.(check bool) "reverse matches" true
+        (Atom.equal (Atom.Join (Atom.reverse_join j1')) (Atom.Join j2'))
+  | _ -> Alcotest.fail "joins expected"
+
+let test_atom_validate () =
+  let db = Moviedb.Movie_schema.create () in
+  Alcotest.(check bool) "valid selection" true
+    (Atom.validate db (Atom.sel "genre" "genre" (Value.Str "comedy")) = Ok ());
+  Alcotest.(check bool) "valid join" true
+    (Atom.validate db (Atom.join ("movie", "mid") ("play", "mid")) = Ok ());
+  Alcotest.(check bool) "unknown relation" true
+    (Result.is_error (Atom.validate db (Atom.sel "nope" "x" (Value.Int 1))));
+  Alcotest.(check bool) "unknown attribute" true
+    (Result.is_error (Atom.validate db (Atom.sel "movie" "nope" (Value.Int 1))));
+  Alcotest.(check bool) "type mismatch" true
+    (Result.is_error (Atom.validate db (Atom.sel "movie" "year" (Value.Str "x"))));
+  Alcotest.(check bool) "date string ok for date column" true
+    (Atom.validate db (Atom.sel "play" "date" (Value.Str "2003-07-02")) = Ok ())
+
+let test_atom_of_pred () =
+  (match Atom.of_pred (Sql_parser.parse_pred "GENRE.genre = 'comedy'") with
+  | Ok (Atom.Sel s) ->
+      Alcotest.(check string) "rel" "genre" s.Atom.s_rel;
+      Alcotest.(check Helpers.value_testable) "value" (Value.Str "comedy") s.Atom.s_val
+  | _ -> Alcotest.fail "selection expected");
+  (match Atom.of_pred (Sql_parser.parse_pred "MOVIE.mid = PLAY.mid") with
+  | Ok (Atom.Join j) ->
+      Alcotest.(check string) "from" "movie" j.Atom.j_from_rel;
+      Alcotest.(check string) "to" "play" j.Atom.j_to_rel
+  | _ -> Alcotest.fail "join expected");
+  (match Atom.of_pred (Sql_parser.parse_pred "2000 < MOVIE.year") with
+  | Ok (Atom.Sel s) -> Alcotest.(check bool) "flipped op" true (s.Atom.s_op = Sql_ast.Gt)
+  | _ -> Alcotest.fail "flipped selection expected");
+  Alcotest.(check bool) "non-atomic rejected" true
+    (Result.is_error (Atom.of_pred (Sql_parser.parse_pred "a.x = 1 and a.y = 2")))
+
+(* ----------------------------- Profile ----------------------------- *)
+
+let sample_profile () =
+  Profile.of_list
+    [
+      (Atom.join ("theatre", "tid") ("play", "tid"), d 1.0);
+      (Atom.join ("movie", "mid") ("genre", "mid"), d 0.9);
+      (Atom.sel "genre" "genre" (Value.Str "comedy"), d 0.9);
+      (Atom.sel "genre" "genre" (Value.Str "thriller"), d 0.7);
+      (Atom.sel "actor" "name" (Value.Str "A. Hopkins"), d 0.8);
+    ]
+
+let test_profile_basics () =
+  let p = sample_profile () in
+  Alcotest.(check int) "cardinal" 5 (Profile.cardinal p);
+  Alcotest.(check int) "size counts selections" 3 (Profile.size p);
+  Alcotest.(check (option Helpers.degree_testable)) "find" (Some (d 0.7))
+    (Profile.find p (Atom.sel "genre" "genre" (Value.Str "thriller")));
+  let entries = Profile.entries p in
+  let degs = List.map (fun (_, deg) -> Degree.to_float deg) entries in
+  Alcotest.(check (list (float 1e-9))) "decreasing order"
+    [ 1.0; 0.9; 0.9; 0.8; 0.7 ] degs
+
+let test_profile_zero_rejected () =
+  Alcotest.(check bool) "zero degree rejected" true
+    (try
+       ignore (Profile.add Profile.empty (Atom.sel "a" "b" (Value.Int 1)) (d 0.));
+       false
+     with Invalid_argument _ -> true)
+
+let test_profile_duplicate_rejected () =
+  let a = Atom.sel "genre" "genre" (Value.Str "comedy") in
+  Alcotest.(check bool) "of_list duplicate" true
+    (try
+       ignore (Profile.of_list [ (a, d 0.5); (a, d 0.6) ]);
+       false
+     with Invalid_argument _ -> true);
+  (* add replaces silently. *)
+  let p = Profile.add (Profile.add Profile.empty a (d 0.5)) a (d 0.6) in
+  Alcotest.(check (option Helpers.degree_testable)) "add replaces" (Some (d 0.6))
+    (Profile.find p a)
+
+let test_profile_remove_union () =
+  let p = sample_profile () in
+  let a = Atom.sel "genre" "genre" (Value.Str "comedy") in
+  Alcotest.(check int) "remove" 4 (Profile.cardinal (Profile.remove p a));
+  let q = Profile.of_list [ (a, d 0.1) ] in
+  Alcotest.(check (option Helpers.degree_testable)) "union right-biased"
+    (Some (d 0.1))
+    (Profile.find (Profile.union p q) a)
+
+let test_profile_text_roundtrip () =
+  let p = sample_profile () in
+  let s = Profile.to_string p in
+  match Profile.of_string s with
+  | Error e -> Alcotest.failf "re-parse failed: %s" e
+  | Ok p2 ->
+      Alcotest.(check int) "same cardinal" (Profile.cardinal p) (Profile.cardinal p2);
+      List.iter2
+        (fun (a1, d1) (a2, d2) ->
+          Alcotest.(check bool) "same atom" true (Atom.equal a1 a2);
+          Alcotest.(check Helpers.degree_testable) "same degree" d1 d2)
+        (Profile.entries p) (Profile.entries p2)
+
+let test_profile_figure2_format () =
+  (* Literal lines from Figure 2 of the paper. *)
+  let text =
+    {|# Julie's profile (Figure 2)
+[ THEATRE.tid = PLAY.tid,  1 ]
+[ PLAY.tid = THEATRE.tid,  1 ]
+[ PLAY.mid = MOVIE.mid,  1 ]
+[ MOVIE.mid = PLAY.mid,  0.8 ]
+[ MOVIE.mid = GENRE.mid, 0.9 ]
+[ ACTOR.name = 'A. Hopkins',  0.8 ]
+[ GENRE.genre = 'comedy',  0.9 ]
+[ GENRE.genre = 'thriller',  0.7 ]
+|}
+  in
+  match Profile.of_string text with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok p ->
+      Alcotest.(check int) "eight entries" 8 (Profile.cardinal p);
+      Alcotest.(check int) "three selections" 3 (Profile.size p);
+      Alcotest.(check (option Helpers.degree_testable)) "directed join degree"
+        (Some (d 0.8))
+        (Profile.find p (Atom.join ("movie", "mid") ("play", "mid")));
+      Alcotest.(check (option Helpers.degree_testable)) "other direction"
+        (Some (d 1.0))
+        (Profile.find p (Atom.join ("play", "mid") ("movie", "mid")))
+
+let test_profile_parse_errors () =
+  let expect_err text =
+    match Profile.of_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse error for %S" text
+  in
+  expect_err "[ GENRE.genre = 'comedy' ]";
+  expect_err "[ GENRE.genre = 'comedy', nan ]";
+  expect_err "[ GENRE.genre = 'comedy', 1.5 ]";
+  expect_err "[ GENRE.genre = 'comedy', 0 ]";
+  expect_err "GENRE.genre = 'comedy', 0.5";
+  expect_err "[ not a condition at all, 0.5 ]"
+
+let test_profile_validate () =
+  let db = Moviedb.Movie_schema.create () in
+  Alcotest.(check bool) "valid profile" true
+    (Profile.validate db (sample_profile ()) = Ok ());
+  let bad = Profile.add (sample_profile ()) (Atom.sel "nope" "x" (Value.Int 1)) (d 0.5) in
+  match Profile.validate db bad with
+  | Error [ e ] ->
+      Alcotest.(check bool) "mentions relation" true
+        (String.length e > 0)
+  | _ -> Alcotest.fail "one error expected"
+
+(* ------------------------------ Pgraph ------------------------------ *)
+
+let test_pgraph_adjacency () =
+  let g = Pgraph.of_profile (sample_profile ()) in
+  Alcotest.(check int) "edge count" 5 (Pgraph.edge_count g);
+  let genre_sels = Pgraph.out_selections g "genre" in
+  Alcotest.(check int) "two genre selections" 2 (List.length genre_sels);
+  (* Decreasing degree. *)
+  (match genre_sels with
+  | [ (_, d1); (_, d2) ] ->
+      Alcotest.(check bool) "sorted" true (Degree.compare d1 d2 >= 0)
+  | _ -> Alcotest.fail "two expected");
+  Alcotest.(check int) "theatre out joins" 1
+    (List.length (Pgraph.out_joins g "theatre"));
+  Alcotest.(check int) "no actor out joins" 0
+    (List.length (Pgraph.out_joins g "actor"))
+
+let test_pgraph_out_edges_merged_order () =
+  let g = Pgraph.of_profile (sample_profile ()) in
+  let edges = Pgraph.out_edges g "movie" in
+  (* movie has one join edge (0.9); selections live on genre/actor. *)
+  Alcotest.(check int) "movie edges" 1 (List.length edges);
+  let degs = List.map (fun (_, deg) -> Degree.to_float deg) (Pgraph.out_edges g "genre") in
+  Alcotest.(check (list (float 1e-9))) "genre edges decreasing" [ 0.9; 0.7 ] degs
+
+let test_pgraph_lookup () =
+  let g = Pgraph.of_profile (sample_profile ()) in
+  (match Atom.join ("movie", "mid") ("genre", "mid") with
+  | Atom.Join j ->
+      Alcotest.(check (option Helpers.degree_testable)) "join degree" (Some (d 0.9))
+        (Pgraph.join_degree g j)
+  | _ -> assert false);
+  match Atom.sel "actor" "name" (Value.Str "A. Hopkins") with
+  | Atom.Sel s ->
+      Alcotest.(check (option Helpers.degree_testable)) "sel degree" (Some (d 0.8))
+        (Pgraph.selection_degree g s)
+  | _ -> assert false
+
+let test_pgraph_relations_and_dot () =
+  let g = Pgraph.of_profile (sample_profile ()) in
+  Alcotest.(check (list string)) "relations with out-edges"
+    [ "actor"; "genre"; "movie"; "theatre" ]
+    (Pgraph.relations g);
+  let dot = Format.asprintf "%a" Pgraph.pp_dot g in
+  Alcotest.(check bool) "dot mentions GENRE" true
+    (let rec contains i =
+       i + 5 <= String.length dot && (String.sub dot i 5 = "GENRE" || contains (i + 1))
+     in
+     contains 0)
+
+(* --------------------------- Profile_store -------------------------- *)
+
+let test_store_roundtrip () =
+  let db = Moviedb.Personas.tiny_db () in
+  let julie = Moviedb.Personas.julie () in
+  let rob = Moviedb.Personas.rob () in
+  Profile_store.save db ~user:"Julie" julie;
+  Profile_store.save db ~user:"rob" rob;
+  Alcotest.(check (list string)) "users" [ "julie"; "rob" ] (Profile_store.users db);
+  (match Profile_store.load db ~user:"JULIE" with
+  | Ok p ->
+      Alcotest.(check string) "julie round-trips" (Profile.to_string julie)
+        (Profile.to_string p)
+  | Error es -> Alcotest.failf "load errors: %s" (String.concat "; " es));
+  match Profile_store.load db ~user:"rob" with
+  | Ok p ->
+      Alcotest.(check string) "rob round-trips" (Profile.to_string rob)
+        (Profile.to_string p)
+  | Error es -> Alcotest.failf "load errors: %s" (String.concat "; " es)
+
+let test_store_replace_and_delete () =
+  let db = Moviedb.Personas.tiny_db () in
+  Profile_store.save db ~user:"u" (Moviedb.Personas.julie ());
+  let smaller =
+    Profile.of_list [ (Atom.sel "genre" "genre" (Value.Str "comedy"), d 0.5) ]
+  in
+  Profile_store.save db ~user:"u" smaller;
+  (match Profile_store.load db ~user:"u" with
+  | Ok p -> Alcotest.(check int) "replaced, not merged" 1 (Profile.cardinal p)
+  | Error _ -> Alcotest.fail "load");
+  Profile_store.delete db ~user:"u";
+  Alcotest.(check (list string)) "deleted" [] (Profile_store.users db);
+  match Profile_store.load db ~user:"u" with
+  | Ok p -> Alcotest.(check int) "empty after delete" 0 (Profile.cardinal p)
+  | Error _ -> Alcotest.fail "load after delete"
+
+let test_store_unknown_user_and_bad_rows () =
+  let db = Moviedb.Personas.tiny_db () in
+  Profile_store.install db;
+  (match Profile_store.load db ~user:"nobody" with
+  | Ok p -> Alcotest.(check int) "unknown user empty" 0 (Profile.cardinal p)
+  | Error _ -> Alcotest.fail "unknown user should not error");
+  (* A hand-corrupted row surfaces as an error, not an exception. *)
+  Relal.Database.insert db Profile_store.table_name
+    [ Relal.Value.Str "broken"; Relal.Value.Str "((not sql"; Relal.Value.Float 0.5 ];
+  match Profile_store.load db ~user:"broken" with
+  | Error [ _ ] -> ()
+  | _ -> Alcotest.fail "expected one parse error"
+
+let test_store_queryable_and_survives_dump () =
+  (* The store is an ordinary table: SQL sees it, and it travels with
+     CSV dumps. *)
+  let db = Moviedb.Personas.tiny_db () in
+  Profile_store.save db ~user:"julie" (Moviedb.Personas.julie ());
+  let res =
+    Helpers.run db
+      "select count(*) as n from profiles p where p.username = 'julie'"
+  in
+  Alcotest.(check Helpers.value_testable) "sql count"
+    (Relal.Value.Int (Profile.cardinal (Moviedb.Personas.julie ())))
+    (List.hd res.Relal.Exec.rows).(0);
+  let dir = Filename.concat (Filename.get_temp_dir_name ()) "perdb_store_test" in
+  Relal.Csv.save_db ~dir db;
+  let db2 = Relal.Csv.load_db ~dir in
+  match Profile_store.load db2 ~user:"julie" with
+  | Ok p ->
+      Alcotest.(check string) "profile survives dump/load"
+        (Profile.to_string (Moviedb.Personas.julie ()))
+        (Profile.to_string p)
+  | Error es -> Alcotest.failf "load errors: %s" (String.concat "; " es)
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "atom",
+        [
+          Alcotest.test_case "construction" `Quick test_atom_construction;
+          Alcotest.test_case "directionality" `Quick test_atom_equal_directionality;
+          Alcotest.test_case "validate" `Quick test_atom_validate;
+          Alcotest.test_case "of_pred" `Quick test_atom_of_pred;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "basics" `Quick test_profile_basics;
+          Alcotest.test_case "zero rejected" `Quick test_profile_zero_rejected;
+          Alcotest.test_case "duplicates" `Quick test_profile_duplicate_rejected;
+          Alcotest.test_case "remove/union" `Quick test_profile_remove_union;
+          Alcotest.test_case "text round-trip" `Quick test_profile_text_roundtrip;
+          Alcotest.test_case "figure 2 format" `Quick test_profile_figure2_format;
+          Alcotest.test_case "parse errors" `Quick test_profile_parse_errors;
+          Alcotest.test_case "validate" `Quick test_profile_validate;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "round-trip" `Quick test_store_roundtrip;
+          Alcotest.test_case "replace/delete" `Quick test_store_replace_and_delete;
+          Alcotest.test_case "unknown user / bad rows" `Quick
+            test_store_unknown_user_and_bad_rows;
+          Alcotest.test_case "queryable + dumps" `Quick
+            test_store_queryable_and_survives_dump;
+        ] );
+      ( "pgraph",
+        [
+          Alcotest.test_case "adjacency" `Quick test_pgraph_adjacency;
+          Alcotest.test_case "edge order" `Quick test_pgraph_out_edges_merged_order;
+          Alcotest.test_case "degree lookup" `Quick test_pgraph_lookup;
+          Alcotest.test_case "relations/dot" `Quick test_pgraph_relations_and_dot;
+        ] );
+    ]

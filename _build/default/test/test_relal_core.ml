@@ -1,0 +1,226 @@
+(* Unit tests for the storage layer: values, schemas, tables, catalog. *)
+
+open Relal
+
+let v = Helpers.value_testable
+
+(* ------------------------------ Value ------------------------------ *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "int order" true (Value.compare (Int 1) (Int 2) < 0);
+  Alcotest.(check bool) "mixed numeric" true
+    (Value.compare (Int 1) (Float 1.5) < 0);
+  Alcotest.(check bool) "numeric equal across types" true
+    (Value.compare (Float 2.0) (Int 2) = 0);
+  Alcotest.(check bool) "string order" true
+    (Value.compare (Str "a") (Str "b") < 0);
+  Alcotest.(check bool) "null first" true (Value.compare Null (Int (-100)) < 0);
+  Alcotest.(check bool) "date order" true
+    (Value.compare (Value.date_of_ymd 2003 7 1) (Value.date_of_ymd 2003 7 2) < 0)
+
+let test_value_compare_incompatible () =
+  Alcotest.check_raises "str vs int"
+    (Invalid_argument "Value.compare: incompatible values (string, int)")
+    (fun () -> ignore (Value.compare (Str "x") (Int 1)))
+
+let test_value_equal () =
+  Alcotest.(check bool) "int/float eq" true (Value.equal (Int 3) (Float 3.));
+  Alcotest.(check bool) "null eq null" true (Value.equal Null Null);
+  Alcotest.(check bool) "null ne int" false (Value.equal Null (Int 0));
+  Alcotest.(check bool) "case-sensitive strings" false
+    (Value.equal (Str "A") (Str "a"))
+
+let test_value_hash_consistent () =
+  Alcotest.(check bool) "equal values hash equal" true
+    (Value.hash (Int 3) = Value.hash (Float 3.))
+
+let test_value_dates () =
+  Alcotest.(check v) "iso parse" (Value.date_of_ymd 2003 7 2)
+    (Option.get (Value.parse_date "2003-07-02"));
+  Alcotest.(check v) "paper format parse" (Value.date_of_ymd 2003 7 2)
+    (Option.get (Value.parse_date "2/7/2003"));
+  Alcotest.(check (option v)) "garbage" None (Value.parse_date "not-a-date");
+  Alcotest.(check (option v)) "impossible date" None (Value.parse_date "2003-02-30");
+  Alcotest.check_raises "month 13"
+    (Invalid_argument "Value.date_of_ymd: month out of range") (fun () ->
+      ignore (Value.date_of_ymd 2003 13 1));
+  (* Leap years. *)
+  Alcotest.(check bool) "2004-02-29 valid" true
+    (Value.parse_date "2004-02-29" <> None);
+  Alcotest.(check (option v)) "1900-02-29 invalid" None (Value.parse_date "1900-02-29")
+
+let test_value_to_string () =
+  Alcotest.(check string) "string quoting" "'O''Hara'" (Value.to_string (Str "O'Hara"));
+  Alcotest.(check string) "int" "42" (Value.to_string (Int 42));
+  Alcotest.(check string) "float keeps dot" "2.0" (Value.to_string (Float 2.));
+  Alcotest.(check string) "date iso" "'2003-07-02'"
+    (Value.to_string (Value.date_of_ymd 2003 7 2));
+  Alcotest.(check string) "null" "NULL" (Value.to_string Null);
+  Alcotest.(check string) "bool" "TRUE" (Value.to_string (Bool true))
+
+(* ------------------------------ Schema ------------------------------ *)
+
+let movie_schema () =
+  Schema.make ~name:"movie"
+    ~cols:[ ("mid", Value.TInt); ("title", Value.TStr); ("year", Value.TInt) ]
+    ~key:[ "mid" ] ()
+
+let test_schema_basics () =
+  let s = movie_schema () in
+  Alcotest.(check string) "name" "movie" (Schema.name s);
+  Alcotest.(check int) "arity" 3 (Schema.arity s);
+  Alcotest.(check (option int)) "col index" (Some 1) (Schema.col_index s "title");
+  Alcotest.(check (option int)) "case-insensitive" (Some 1) (Schema.col_index s "TITLE");
+  Alcotest.(check (option int)) "missing col" None (Schema.col_index s "nope");
+  Alcotest.(check bool) "mid unique (single pk)" true (Schema.is_unique_col s "mid");
+  Alcotest.(check bool) "title not unique" false (Schema.is_unique_col s "title")
+
+let test_schema_composite_key_not_unique () =
+  let s =
+    Schema.make ~name:"genre"
+      ~cols:[ ("mid", Value.TInt); ("genre", Value.TStr) ]
+      ~key:[ "mid"; "genre" ] ()
+  in
+  Alcotest.(check bool) "composite key column not unique alone" false
+    (Schema.is_unique_col s "mid")
+
+let test_schema_unique_constraint () =
+  let s =
+    Schema.make ~name:"u"
+      ~cols:[ ("a", Value.TInt); ("b", Value.TStr) ]
+      ~key:[ "a" ] ~unique:[ "b" ] ()
+  in
+  Alcotest.(check bool) "declared unique" true (Schema.is_unique_col s "b")
+
+let test_schema_validation () =
+  Alcotest.check_raises "duplicate column"
+    (Invalid_argument "Schema.make: duplicate column t.a") (fun () ->
+      ignore (Schema.make ~name:"t" ~cols:[ ("a", Value.TInt); ("A", Value.TStr) ] ()));
+  Alcotest.check_raises "key not a column"
+    (Invalid_argument "Schema.make: key column z not in table t") (fun () ->
+      ignore (Schema.make ~name:"t" ~cols:[ ("a", Value.TInt) ] ~key:[ "z" ] ()))
+
+(* ------------------------------ Table ------------------------------ *)
+
+let test_table_insert_scan () =
+  let t = Table.create (movie_schema ()) in
+  Table.insert_values t [ Int 1; Str "A"; Int 2000 ];
+  Table.insert_values t [ Int 2; Str "B"; Int 2001 ];
+  Alcotest.(check int) "cardinality" 2 (Table.cardinality t);
+  Alcotest.(check v) "get row" (Str "B") (Table.get t 1).(1);
+  let sum = Table.fold t ~init:0 ~f:(fun acc r -> acc + match r.(0) with Int i -> i | _ -> 0) in
+  Alcotest.(check int) "fold" 3 sum
+
+let test_table_type_checks () =
+  let t = Table.create (movie_schema ()) in
+  Alcotest.check_raises "wrong arity"
+    (Invalid_argument "Table.insert: arity 2, expected 3 in movie") (fun () ->
+      Table.insert_values t [ Int 1; Str "A" ]);
+  Alcotest.check_raises "wrong type"
+    (Invalid_argument "Table.insert: movie.title expects string, got int")
+    (fun () -> Table.insert_values t [ Int 1; Int 2; Int 3 ]);
+  (* Nulls accepted anywhere; int widens into float column but not vice versa. *)
+  Table.insert_values t [ Int 1; Null; Int 2000 ];
+  Alcotest.(check int) "null ok" 1 (Table.cardinality t)
+
+let test_table_lookup_scan_vs_index () =
+  let t = Table.create (movie_schema ()) in
+  for i = 0 to 99 do
+    Table.insert_values t [ Int i; Str (if i mod 10 = 0 then "round" else "x"); Int i ]
+  done;
+  let without_index = Table.lookup t "title" (Str "round") in
+  Table.build_index t "title";
+  let with_index = Table.lookup t "title" (Str "round") in
+  Alcotest.(check int) "scan finds 10" 10 (List.length without_index);
+  Alcotest.(check int) "index finds same" 10 (List.length with_index);
+  (* Index stays in sync with later inserts. *)
+  Table.insert_values t [ Int 100; Str "round"; Int 100 ];
+  Alcotest.(check int) "index updated" 11 (List.length (Table.lookup t "title" (Str "round")))
+
+let test_table_clear () =
+  let t = Table.create (movie_schema ()) in
+  Table.build_index t "mid";
+  Table.insert_values t [ Int 1; Str "A"; Int 2000 ];
+  Table.clear t;
+  Alcotest.(check int) "empty" 0 (Table.cardinality t);
+  Alcotest.(check int) "index emptied" 0 (List.length (Table.lookup t "mid" (Int 1)))
+
+(* ----------------------------- Database ----------------------------- *)
+
+let test_database_catalog () =
+  let db = Moviedb.Movie_schema.create () in
+  Alcotest.(check int) "eight tables" 8 (List.length (Database.tables db));
+  Alcotest.(check bool) "mem" true (Database.mem_table db "MOVIE");
+  Alcotest.(check bool) "not mem" false (Database.mem_table db "nope");
+  Alcotest.(check int) "seven fks" 7 (List.length (Database.fks db))
+
+let test_database_duplicate_table () =
+  let db = Database.create () in
+  Database.add_table db (movie_schema ());
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Database.add_table: duplicate table movie") (fun () ->
+      Database.add_table db (movie_schema ()))
+
+let test_database_fk_validation () =
+  let db = Database.create () in
+  Database.add_table db (movie_schema ());
+  Alcotest.(check bool) "unknown table rejected" true
+    (try
+       Database.add_fk db ~from_:("movie", "mid") ~to_:("nope", "x");
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "type mismatch rejected" true
+    (try
+       Database.add_fk db ~from_:("movie", "title") ~to_:("movie", "mid");
+       false
+     with Invalid_argument _ -> true)
+
+let test_join_cardinality () =
+  let db = Moviedb.Movie_schema.create () in
+  (* play.mid -> movie.mid: movie.mid is a single-column key, so to-one. *)
+  Alcotest.(check bool) "play->movie to-one" true
+    (Database.join_is_to_one db ~from_:("play", "mid") ~to_:("movie", "mid"));
+  (* movie.mid -> genre.mid: genre's key is composite, so to-many. *)
+  Alcotest.(check bool) "movie->genre to-many" false
+    (Database.join_is_to_one db ~from_:("movie", "mid") ~to_:("genre", "mid"));
+  Alcotest.(check bool) "movie->directed to-one" true
+    (Database.join_is_to_one db ~from_:("movie", "mid") ~to_:("directed", "mid"));
+  Alcotest.(check bool) "movie->cast to-many" false
+    (Database.join_is_to_one db ~from_:("movie", "mid") ~to_:("cast", "mid"));
+  Alcotest.(check bool) "cast->actor to-one" true
+    (Database.join_is_to_one db ~from_:("cast", "aid") ~to_:("actor", "aid"))
+
+let () =
+  Alcotest.run "relal-core"
+    [
+      ( "value",
+        [
+          Alcotest.test_case "compare" `Quick test_value_compare;
+          Alcotest.test_case "compare incompatible" `Quick test_value_compare_incompatible;
+          Alcotest.test_case "equal" `Quick test_value_equal;
+          Alcotest.test_case "hash" `Quick test_value_hash_consistent;
+          Alcotest.test_case "dates" `Quick test_value_dates;
+          Alcotest.test_case "to_string" `Quick test_value_to_string;
+        ] );
+      ( "schema",
+        [
+          Alcotest.test_case "basics" `Quick test_schema_basics;
+          Alcotest.test_case "composite key" `Quick test_schema_composite_key_not_unique;
+          Alcotest.test_case "unique constraint" `Quick test_schema_unique_constraint;
+          Alcotest.test_case "validation" `Quick test_schema_validation;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "insert/scan" `Quick test_table_insert_scan;
+          Alcotest.test_case "type checks" `Quick test_table_type_checks;
+          Alcotest.test_case "lookup scan vs index" `Quick test_table_lookup_scan_vs_index;
+          Alcotest.test_case "clear" `Quick test_table_clear;
+        ] );
+      ( "database",
+        [
+          Alcotest.test_case "catalog" `Quick test_database_catalog;
+          Alcotest.test_case "duplicate table" `Quick test_database_duplicate_table;
+          Alcotest.test_case "fk validation" `Quick test_database_fk_validation;
+          Alcotest.test_case "join cardinality" `Quick test_join_cardinality;
+        ] );
+    ]

@@ -1,0 +1,236 @@
+(* Lexer, parser, printer: unit tests plus a generator-based print→parse
+   round-trip property. *)
+
+open Relal
+
+(* ------------------------------ Lexer ------------------------------ *)
+
+let test_lexer_basic () =
+  let toks = Sql_lexer.tokenize "SELECT a.b, 'it''s' <> 3.5 <= >= < > != ()" in
+  let open Sql_lexer in
+  Alcotest.(check int) "token count" 16 (List.length toks);
+  Alcotest.(check bool) "keyword lowered" true (List.hd toks = KW "select");
+  Alcotest.(check bool) "string unescaped" true
+    (List.exists (function STRING "it's" -> true | _ -> false) toks);
+  Alcotest.(check bool) "ne from !=" true
+    (List.filter (function NE -> true | _ -> false) toks |> List.length = 2)
+
+let test_lexer_numbers () =
+  let open Sql_lexer in
+  (match tokenize "12 3.5 0.81 1e3" with
+  | [ INT 12; FLOAT a; FLOAT b; FLOAT c; EOF ] ->
+      Alcotest.(check (float 1e-9)) "3.5" 3.5 a;
+      Alcotest.(check (float 1e-9)) "0.81" 0.81 b;
+      Alcotest.(check (float 1e-9)) "1e3" 1000. c
+  | _ -> Alcotest.fail "unexpected tokenization")
+
+let test_lexer_errors () =
+  Alcotest.(check bool) "unterminated string" true
+    (try
+       ignore (Sql_lexer.tokenize "select 'oops");
+       false
+     with Sql_lexer.Lex_error _ -> true);
+  Alcotest.(check bool) "illegal char" true
+    (try
+       ignore (Sql_lexer.tokenize "select #");
+       false
+     with Sql_lexer.Lex_error _ -> true)
+
+(* ------------------------------ Parser ------------------------------ *)
+
+let parse = Sql_parser.parse
+
+let test_parse_simple () =
+  let q = parse "select mv.title from movie mv, play pl where mv.mid = pl.mid" in
+  Alcotest.(check int) "two from items" 2 (List.length q.Sql_ast.from);
+  Alcotest.(check bool) "not distinct" false q.Sql_ast.distinct;
+  Alcotest.(check (list string)) "output names" [ "title" ]
+    (Sql_ast.select_output_names q)
+
+let test_parse_precedence () =
+  let q = parse "select a.x from t a where a.x = 1 and a.y = 2 or a.z = 3" in
+  (match q.Sql_ast.where with
+  | Sql_ast.P_or [ P_and [ _; _ ]; _ ] -> ()
+  | p -> Alcotest.failf "AND should bind tighter: %s" (Sql_print.pred_to_string p));
+  let q2 = parse "select a.x from t a where a.x = 1 and (a.y = 2 or a.z = 3)" in
+  match q2.Sql_ast.where with
+  | Sql_ast.P_and [ _; P_or [ _; _ ] ] -> ()
+  | p -> Alcotest.failf "parens respected: %s" (Sql_print.pred_to_string p)
+
+let test_parse_not () =
+  let q = parse "select a.x from t a where not a.x = 1" in
+  match q.Sql_ast.where with
+  | Sql_ast.P_not (P_cmp (Eq, _, _)) -> ()
+  | _ -> Alcotest.fail "NOT parsed"
+
+let test_parse_group_having_order () =
+  let q =
+    parse
+      "select t.title, count(*) as n from plays t group by t.title having \
+       count(*) >= 2 and min(t.year) > 1990 order by n desc, t.title asc limit 5"
+  in
+  Alcotest.(check bool) "distinct off" false q.Sql_ast.distinct;
+  Alcotest.(check int) "group by one col" 1 (List.length q.Sql_ast.group_by);
+  Alcotest.(check bool) "having parsed" true (q.Sql_ast.having <> None);
+  Alcotest.(check int) "two order keys" 2 (List.length q.Sql_ast.order_by);
+  Alcotest.(check (option int)) "limit" (Some 5) q.Sql_ast.limit
+
+let test_parse_union_all_derived () =
+  let q =
+    parse
+      "select t.title from ((select m.title from movie m) union all (select \
+       m.title from movie m where m.year = 2000)) t group by t.title having \
+       count(*) >= 2"
+  in
+  match q.Sql_ast.from with
+  | [ Sql_ast.F_derived (C_union_all [ _; _ ], "t") ] -> ()
+  | _ -> Alcotest.fail "derived union-all FROM"
+
+let test_parse_doi_aggregate () =
+  let q =
+    parse
+      "select t.title, degree_of_conjunction(t.doi, t.pref) as doi from temp t \
+       group by t.title order by doi desc"
+  in
+  match q.Sql_ast.select with
+  | [ _; Sql_ast.Sel_agg (A_doi_conj (a, b), "doi") ] ->
+      Alcotest.(check string) "doi col" "doi" a.Sql_ast.col;
+      Alcotest.(check string) "pref col" "pref" b.Sql_ast.col
+  | _ -> Alcotest.fail "degree_of_conjunction parsed"
+
+let test_parse_const_select_items () =
+  let q = parse "select m.title, 0.81 as doi, 3 as pref from movie m" in
+  match q.Sql_ast.select with
+  | [ Sql_ast.Sel_attr _; Sel_const (Value.Float f, "doi"); Sel_const (Value.Int 3, "pref") ]
+    ->
+      Alcotest.(check (float 1e-9)) "const float" 0.81 f
+  | _ -> Alcotest.fail "const select items"
+
+let test_parse_bare_columns () =
+  let q = parse "select title from movie where year = 2000" in
+  match q.Sql_ast.select with
+  | [ Sql_ast.Sel_attr (a, None) ] -> Alcotest.(check string) "bare tv" "" a.Sql_ast.tv
+  | _ -> Alcotest.fail "bare column"
+
+let test_parse_errors () =
+  List.iter
+    (fun sql ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" sql)
+        true
+        (try
+           ignore (parse sql);
+           false
+         with Sql_parser.Parse_error _ -> true))
+    [
+      "select from movie";
+      "select m.title from";
+      "select m.title from movie m where";
+      "select m.title from (select m.title from movie m)";
+      (* derived without alias *)
+      "select m.title from movie m trailing junk = 1";
+      "select m.title from movie m limit x";
+    ]
+
+let test_parse_trailing_semicolon () =
+  ignore (parse "select m.title from movie m;");
+  Alcotest.(check pass) "semicolon tolerated" () ()
+
+(* --------------------------- Print→parse --------------------------- *)
+
+(* Structural equality modulo nothing: the printer must re-parse to the
+   exact same AST for bound-style queries. *)
+let roundtrip_case name sql =
+  Alcotest.test_case name `Quick (fun () ->
+      let q = parse sql in
+      let printed = Sql_print.query_to_string q in
+      let q2 = parse printed in
+      if q <> q2 then
+        Alcotest.failf "round-trip mismatch:\n%s\n---\n%s" printed
+          (Sql_print.query_to_string q2);
+      (* Pretty printer must also re-parse. *)
+      let q3 = parse (Sql_print.query_to_pretty q) in
+      if q <> q3 then Alcotest.failf "pretty round-trip mismatch for %s" name)
+
+let roundtrip_cases =
+  [
+    roundtrip_case "spj" "select mv.title from movie mv, play pl where mv.mid = pl.mid and pl.date = '2003-07-02'";
+    roundtrip_case "distinct or"
+      "select distinct mv.title from movie mv, genre gn where mv.mid = gn.mid and (gn.genre = 'comedy' or gn.genre = 'thriller')";
+    roundtrip_case "not" "select m.title from movie m where not m.year = 2000";
+    roundtrip_case "union having"
+      "select t.title from ((select m.title from movie m) union all (select m.title from movie m where m.year = 1999)) t group by t.title having count(*) >= 2";
+    roundtrip_case "rank"
+      "select t.title as title, degree_of_conjunction(t.doi, t.pref) as doi from ((select m.title as title, 0.81 as doi, 0 as pref from movie m)) t group by t.title order by doi desc";
+    roundtrip_case "comparisons"
+      "select m.title from movie m where m.year >= 1990 and m.year <= 2000 and m.title <> 'X' and m.year < 2005 and m.year > 1900";
+    roundtrip_case "limit" "select m.title from movie m order by m.title asc limit 10";
+    roundtrip_case "quoting" "select m.title from movie m where m.title = 'O''Hara''s luck'";
+    roundtrip_case "nested bool"
+      "select m.title from movie m where (m.year = 1 or m.year = 2) and (m.year = 3 or m.year = 4 and m.title = 'x')";
+  ]
+
+(* Generator-based round-trip over random predicate trees. *)
+let gen_pred =
+  let open QCheck.Gen in
+  let attr_g = map2 Sql_ast.attr (oneofl [ "a"; "b" ]) (oneofl [ "x"; "y"; "z" ]) in
+  let scalar_g =
+    oneof
+      [
+        map (fun a -> Sql_ast.S_attr a) attr_g;
+        map (fun i -> Sql_ast.S_const (Value.Int i)) small_int;
+        map (fun s -> Sql_ast.S_const (Value.Str s)) (oneofl [ "v"; "it's"; "" ]);
+      ]
+  in
+  let cmp_g = oneofl [ Sql_ast.Eq; Ne; Lt; Le; Gt; Ge ] in
+  let leaf = map3 (fun op a b -> Sql_ast.P_cmp (op, a, b)) cmp_g scalar_g scalar_g in
+  fix
+    (fun self n ->
+      if n = 0 then leaf
+      else
+        frequency
+          [
+            (3, leaf);
+            (1, map (fun p -> Sql_ast.P_not p) (self (n - 1)));
+            ( 2,
+              map
+                (fun ps -> Sql_ast.P_and ps)
+                (list_size (2 -- 3) (self (n / 2))) );
+            ( 2,
+              map
+                (fun ps -> Sql_ast.P_or ps)
+                (list_size (2 -- 3) (self (n / 2))) );
+          ])
+    3
+
+let prop_pred_roundtrip =
+  QCheck.Test.make ~name:"pred print→parse round-trip" ~count:300
+    (QCheck.make gen_pred)
+    (fun p ->
+      let s = Sql_print.pred_to_string p in
+      Sql_parser.parse_pred s = p)
+
+let () =
+  Alcotest.run "sql"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "basic" `Quick test_lexer_basic;
+          Alcotest.test_case "numbers" `Quick test_lexer_numbers;
+          Alcotest.test_case "errors" `Quick test_lexer_errors;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "simple" `Quick test_parse_simple;
+          Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "not" `Quick test_parse_not;
+          Alcotest.test_case "group/having/order" `Quick test_parse_group_having_order;
+          Alcotest.test_case "union all derived" `Quick test_parse_union_all_derived;
+          Alcotest.test_case "doi aggregate" `Quick test_parse_doi_aggregate;
+          Alcotest.test_case "const select items" `Quick test_parse_const_select_items;
+          Alcotest.test_case "bare columns" `Quick test_parse_bare_columns;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "trailing semicolon" `Quick test_parse_trailing_semicolon;
+        ] );
+      ("roundtrip", roundtrip_cases @ [ QCheck_alcotest.to_alcotest prop_pred_roundtrip ]);
+    ]

@@ -1,0 +1,122 @@
+(* Statistics and the cost-based join-ordering strategy. *)
+
+open Relal
+
+let db () = Moviedb.Personas.tiny_db ()
+
+let test_row_counts () =
+  let db = db () in
+  let s = Stats.create db in
+  Alcotest.(check int) "movies" 12 (Stats.row_count s "movie");
+  Alcotest.(check int) "actors" 6 (Stats.row_count s "actor");
+  Alcotest.(check bool) "unknown table" true
+    (try
+       ignore (Stats.row_count s "nope");
+       false
+     with Invalid_argument _ -> true)
+
+let test_ndv () =
+  let db = db () in
+  let s = Stats.create db in
+  (* mid is the movie key: ndv = row count. *)
+  Alcotest.(check int) "key column ndv" 12 (Stats.ndv s "movie" "mid");
+  (* director ids in DIRECTED: four directors used. *)
+  Alcotest.(check int) "did ndv" 4 (Stats.ndv s "directed" "did");
+  (* theatre regions: downtown, uptown, suburbs. *)
+  Alcotest.(check int) "region ndv" 3 (Stats.ndv s "theatre" "region");
+  Alcotest.(check bool) "unknown column" true
+    (try
+       ignore (Stats.ndv s "movie" "nope");
+       false
+     with Invalid_argument _ -> true)
+
+let test_eq_selectivity () =
+  let db = db () in
+  let s = Stats.create db in
+  Helpers.check_float "1/ndv" (1. /. 3.) (Stats.eq_selectivity s "theatre" "region")
+
+let test_join_size_estimate () =
+  let db = db () in
+  let s = Stats.create db in
+  (* directed ⋈ director on did: |directed| * |director| / max(4,4) = 12. *)
+  let est = Stats.join_size s ~left_rows:12. ("directed", "did") ("director", "did") in
+  Helpers.check_float "containment formula" 12. est
+
+let test_cache_invalidation () =
+  let db = db () in
+  let s = Stats.create db in
+  Alcotest.(check int) "before" 4 (Stats.ndv s "director" "did");
+  Database.insert db "director" [ Value.Int 99; Value.Str "New Person" ];
+  Alcotest.(check int) "after insert, recomputed" 5 (Stats.ndv s "director" "did")
+
+let test_empty_table_safe () =
+  let db = Database.create () in
+  Database.add_table db
+    (Schema.make ~name:"e" ~cols:[ ("a", Value.TInt) ] ());
+  let s = Stats.create db in
+  Alcotest.(check int) "ndv of empty table is 1" 1 (Stats.ndv s "e" "a");
+  Helpers.check_float "selectivity defined" 1.0 (Stats.eq_selectivity s "e" "a")
+
+(* The cost-based strategy must agree with naive semantics on random
+   queries — same oracle as the greedy strategy. *)
+let prop_cost_equals_naive =
+  let db = db () in
+  let stats = Stats.create db in
+  let gen =
+    QCheck.make
+      ~print:(fun q -> Sql_print.query_to_string q)
+      (QCheck.Gen.map
+         (fun seed ->
+           let rng = Putil.Rng.create seed in
+           Moviedb.Workload.random_query db rng)
+         QCheck.Gen.small_int)
+  in
+  QCheck.Test.make ~name:"cost strategy = naive semantics" ~count:50 gen (fun q ->
+      let bound = Binder.bind db q in
+      Exec.result_equal_bag
+        (Exec.run ~strategy:`Cost ~stats db bound)
+        (Exec.run ~strategy:`Naive db bound))
+
+let test_cost_on_personalized_query () =
+  (* The whole personalization pipeline under the cost-based strategy
+     must return the same ranked answer as the default one. *)
+  let db = db () in
+  let outcome =
+    Perso.Personalize.personalize db (Moviedb.Personas.julie ())
+      (Moviedb.Workload.tonight_query ())
+  in
+  let a = Perso.Personalize.execute ~strategy:`Auto db outcome in
+  let c = Perso.Personalize.execute ~strategy:`Cost db outcome in
+  Alcotest.(check bool) "same ranked rows" true (Exec.result_equal_list a c)
+
+let test_pp_stats () =
+  let db = db () in
+  let s = Stats.create db in
+  let text = Format.asprintf "%a" Stats.pp s in
+  Alcotest.(check bool) "dump mentions movie" true
+    (let rec contains i =
+       i + 5 <= String.length text
+       && (String.sub text i 5 = "movie" || contains (i + 1))
+     in
+     contains 0)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "stats",
+        [
+          Alcotest.test_case "row counts" `Quick test_row_counts;
+          Alcotest.test_case "ndv" `Quick test_ndv;
+          Alcotest.test_case "eq selectivity" `Quick test_eq_selectivity;
+          Alcotest.test_case "join size" `Quick test_join_size_estimate;
+          Alcotest.test_case "cache invalidation" `Quick test_cache_invalidation;
+          Alcotest.test_case "empty table" `Quick test_empty_table_safe;
+          Alcotest.test_case "pp" `Quick test_pp_stats;
+        ] );
+      ( "cost-strategy",
+        QCheck_alcotest.to_alcotest prop_cost_equals_naive
+        :: [
+             Alcotest.test_case "personalized query" `Quick
+               test_cost_on_personalized_query;
+           ] );
+    ]
