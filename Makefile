@@ -1,0 +1,26 @@
+# Developer entry points.  `make check` is the PR gate: full build, the
+# whole test suite, and a quick-scale smoke run of the executor benchmark
+# that must exit 0 and leave valid JSON behind.
+
+BENCH_JSON := /tmp/bench_exec_smoke.json
+
+.PHONY: all build test bench check clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+bench: build
+	dune exec bench/main.exe
+
+check: build test
+	BENCH_SCALE=quick BENCH_EXEC_OUT=$(BENCH_JSON) dune exec bench/main.exe -- exec
+	python3 -m json.tool $(BENCH_JSON) > /dev/null
+	@echo "check: OK ($(BENCH_JSON) is valid JSON)"
+
+clean:
+	dune clean

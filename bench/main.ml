@@ -573,13 +573,111 @@ let ablation_planner () =
   Printf.printf "%-36s %12.3f\n%!" "cost-based (estimated join output)" (run `Cost)
 
 (* --------------------------------------------------------------------- *)
+(* Executor benchmark — machine-readable baseline (BENCH_EXEC.json)      *)
+(* --------------------------------------------------------------------- *)
+
+(* Times the relational executor alone (queries pre-built outside the
+   timed region) on the §7 figure workloads, and writes per-figure
+   timings to BENCH_EXEC.json so perf PRs are judged against recorded
+   numbers rather than folklore.  Override the output path with
+   BENCH_EXEC_OUT. *)
+
+let bench_exec () =
+  let db = Lazy.force db in
+  let personalized ~method_ ~k ~l ~size ~seed0 =
+    let queries = queries_for 210 scale.queries in
+    let profiles = profiles_for ~seed0 ~size scale.profiles in
+    List.concat_map
+      (fun profile ->
+        List.filter_map
+          (fun q ->
+            let bound = Relal.Binder.bind db q in
+            let qg = Qgraph.of_query db bound in
+            let g = Pgraph.of_profile profile in
+            let selected = Select.select db g qg (Criteria.Top_r k) in
+            let insts = Integrate.instantiate db qg selected in
+            let l = min l (List.length insts) in
+            match method_ with
+            | `SQ -> (
+                match Integrate.sq db qg ~mandatory:[] ~optional:insts ~l with
+                | q' -> Some q'
+                | exception Integrate.Integration_error _ -> None)
+            | `MQ ->
+                Some
+                  (Integrate.mq ~rank:false db qg ~mandatory:[] ~optional:insts
+                     ~l:(`At_least l) ()))
+          queries)
+      profiles
+  in
+  let figures =
+    [
+      (* Multi-join SPJ workload, no personalization: the raw executor. *)
+      ("workload_spj", queries_for 210 (4 * scale.queries));
+      (* §7 figure workloads: MQ/SQ personalized queries. *)
+      ("fig7_mq_k10_l1", personalized ~method_:`MQ ~k:10 ~l:1 ~size:70 ~seed0:600);
+      ("fig7_mq_k30_l1", personalized ~method_:`MQ ~k:30 ~l:1 ~size:70 ~seed0:600);
+      ("fig7_mq_k60_l1", personalized ~method_:`MQ ~k:60 ~l:1 ~size:70 ~seed0:600);
+      ("fig8_sq_k10_l1", personalized ~method_:`SQ ~k:10 ~l:1 ~size:70 ~seed0:600);
+      ("fig9_mq_k10_l5", personalized ~method_:`MQ ~k:10 ~l:5 ~size:20 ~seed0:700);
+    ]
+  in
+  let reps = 3 in
+  Printf.printf "\n## Executor benchmark (avg of %d reps; queries pre-built)\n" reps;
+  Printf.printf "%-18s %8s %12s %14s %10s\n" "figure" "queries" "ms_total"
+    "ms_per_query" "rows";
+  let results =
+    List.map
+      (fun (name, qs) ->
+        (* Warm-up pass, then timed repetitions. *)
+        let run_all () =
+          List.fold_left
+            (fun acc q ->
+              acc + List.length (Relal.Engine.run_query db q).Relal.Exec.rows)
+            0 qs
+        in
+        let rows = run_all () in
+        let times =
+          List.init reps (fun _ -> snd (time (fun () -> ignore (run_all ()))))
+        in
+        let ms = avg times in
+        let n = List.length qs in
+        Printf.printf "%-18s %8d %12.3f %14.4f %10d\n%!" name n ms
+          (ms /. float_of_int (max 1 n))
+          rows;
+        (name, n, ms, rows))
+      figures
+  in
+  let total_ms = List.fold_left (fun a (_, _, ms, _) -> a +. ms) 0. results in
+  let path =
+    Option.value ~default:"BENCH_EXEC.json" (Sys.getenv_opt "BENCH_EXEC_OUT")
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "{\n  \"bench\": \"exec\",\n  \"scale\": %S,\n  \"reps\": %d,\n"
+    scale.label reps;
+  Printf.fprintf oc "  \"figures\": [\n";
+  List.iteri
+    (fun i (name, n, ms, rows) ->
+      Printf.fprintf oc
+        "    {\"name\": %S, \"queries\": %d, \"ms_total\": %.3f, \
+         \"ms_per_query\": %.4f, \"rows\": %d}%s\n"
+        name n ms
+        (ms /. float_of_int (max 1 n))
+        rows
+        (if i = List.length results - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  ],\n  \"total_ms\": %.3f\n}\n" total_ms;
+  close_out oc;
+  Printf.printf "# wrote %s (total %.3f ms)\n%!" path total_ms
+
+(* --------------------------------------------------------------------- *)
 (* Driver                                                                *)
 (* --------------------------------------------------------------------- *)
 
 let all_figs =
   [
     ("fig6", fig6); ("fig7a", fig7a); ("fig7b", fig7b); ("fig7c", fig7c);
-    ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("kernels", kernels);
+    ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("exec", bench_exec);
+    ("kernels", kernels);
     ("ablation-funcs", ablation_funcs); ("ablation-topn", ablation_topn);
     ("ablation-index", ablation_index); ("ablation-planner", ablation_planner);
   ]

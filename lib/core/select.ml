@@ -17,8 +17,6 @@ let fresh_stats () =
     max_queue = 0;
   }
 
-let no_stats = fresh_stats ()
-
 (* Build the extension of [path] by one atomic element, applying pruning
    rules (i) and (ii).  Returns None when pruned. *)
 let try_extend db qg st path (atom, d) =
@@ -48,7 +46,10 @@ let try_extend db qg st path (atom, d) =
       end
 
 let select ?stats ?(related = fun _ -> true) db g qg ci =
-  let st = match stats with Some s -> s | None -> no_stats in
+  (* A discarded per-call record, not a module-level one: a shared
+     [no_stats] silently accumulated counts across every stats-less call,
+     so any later reader saw garbage totals. *)
+  let st = match stats with Some s -> s | None -> fresh_stats () in
   let qp : Path.t Putil.Pqueue.t = Putil.Pqueue.create () in
   let push p =
     Putil.Pqueue.push qp (Degree.to_float p.Path.degree) p;

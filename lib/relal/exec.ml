@@ -7,52 +7,180 @@ let err fmt = Format.kasprintf (fun s -> raise (Exec_error s)) fmt
 type result = { cols : string array; rows : Value.t array list }
 
 (* --------------------------------------------------------------------- *)
-(* Working relations                                                      *)
+(* Working relations: array-backed views with late materialization        *)
 (* --------------------------------------------------------------------- *)
 
-(* Intermediate relation: each column addressed as tuple-variable.column. *)
-type wrel = { header : (string * string) array; wrows : Value.t array list }
+(* An intermediate relation is a *view* over source batches: [parts] are
+   the underlying storage batches (base-table storage shared in place, or
+   batches materialized for derived tables / DNF merges), and [rids]
+   holds, per part, the row id each output row takes in that part's
+   batch.  Joins therefore only produce int row-id columns; tuple values
+   are touched when a predicate, grouping key or the final projection
+   reads them — never re-copied at every join step. *)
 
-(* A FROM item the join loop has not touched yet.  Base tables stay lazy
-   so the loop can pick index access paths (index-equality materialization
-   and index-nested-loop joins) instead of scanning. *)
-type source =
-  | S_mat of wrel
-  | S_base of { alias : string; tbl : Table.t }
+type part = { batch : Batch.t; off : int; width : int }
+
+type vrel = {
+  header : (string * string) array;  (* tuple-variable.column per column *)
+  parts : part array;
+  nrows : int;  (* cached count — no List.length anywhere *)
+  rids : int array array;  (* rids.(p).(r): row id of output row r in parts.(p) *)
+}
 
 let base_header alias tbl =
   Array.map
     (fun c -> (alias, String.lowercase_ascii c.Schema.cname))
     (Schema.columns (Table.schema tbl))
 
-let source_card = function
-  | S_mat w -> List.length w.wrows
-  | S_base { tbl; _ } -> Table.cardinality tbl
+let vrel_of_batch header batch =
+  let n = Batch.length batch in
+  {
+    header;
+    parts = [| { batch; off = 0; width = Array.length header } |];
+    nrows = n;
+    rids = [| Array.init n Fun.id |];
+  }
 
-let source_header = function
-  | S_mat w -> w.header
-  | S_base { alias; tbl } -> base_header alias tbl
+(* A single-part view whose rows are the given batch row ids — how an
+   index probe materializes: ids only, no row copies. *)
+let vrel_of_ids header batch ids =
+  {
+    header;
+    parts = [| { batch; off = 0; width = Array.length header } |];
+    nrows = Array.length ids;
+    rids = [| ids |];
+  }
 
-let col_idx w (a : attr) =
-  let n = Array.length w.header in
+let vrel_of_table alias tbl =
+  vrel_of_batch (base_header alias tbl) (Table.batch tbl)
+
+let empty_vrel header =
+  {
+    header;
+    parts = [| { batch = Batch.create (); off = 0; width = Array.length header } |];
+    nrows = 0;
+    rids = [| [||] |];
+  }
+
+let col_idx v (a : attr) =
+  let n = Array.length v.header in
   let rec go i =
     if i >= n then None
     else begin
-      let tv, c = w.header.(i) in
+      let tv, c = v.header.(i) in
       if tv = a.tv && c = a.col then Some i else go (i + 1)
     end
   in
   go 0
 
-let col_idx_exn w a =
-  match col_idx w a with
+let col_idx_exn v a =
+  match col_idx v a with
   | Some i -> i
   | None -> err "executor: unresolved attribute %s.%s" a.tv a.col
 
-let _has_tv w tv = Array.exists (fun (t, _) -> t = tv) w.header
+(* Compiled column accessor: resolves the part and local column once and
+   returns a closure reading the value of output row [r].  This is the
+   cached form of the seed's per-row [col_idx] + [Array.append]-widened
+   row indexing. *)
+let reader v gi =
+  let np = Array.length v.parts in
+  let rec find p =
+    if p >= np then err "executor: column %d out of range" gi
+    else begin
+      let { batch; off; width } = v.parts.(p) in
+      if gi >= off && gi < off + width then begin
+        let rows = Batch.unsafe_rows batch in
+        let rid = v.rids.(p) in
+        let lc = gi - off in
+        fun r -> rows.(rid.(r)).(lc)
+      end
+      else find (p + 1)
+    end
+  in
+  find 0
+
+let attr_reader v a = reader v (col_idx_exn v a)
+
+(* Keep output rows whose index is in [sel] (in [sel] order). *)
+let select_rows v sel =
+  let n = Array.length sel in
+  {
+    v with
+    nrows = n;
+    rids = Array.map (fun rid -> Array.init n (fun i -> rid.(sel.(i)))) v.rids;
+  }
+
+(* Concatenate two views row-wise under selection vectors: output row i
+   is left row lsel.(i) widened with right row rsel.(i) — except nothing
+   is widened; both sides' rid columns are gathered and the right part
+   offsets shifted.  This is the join "materialization" step: O(parts)
+   int-array gathers, no value copies. *)
+let join_vrels left lsel right rsel =
+  let lw = Array.length left.header in
+  let n = Array.length lsel in
+  let gather rid sel = Array.init n (fun i -> rid.(sel.(i))) in
+  {
+    header = Array.append left.header right.header;
+    parts =
+      Array.append left.parts
+        (Array.map (fun p -> { p with off = p.off + lw }) right.parts);
+    nrows = n;
+    rids =
+      Array.append
+        (Array.map (fun rid -> gather rid lsel) left.rids)
+        (Array.map (fun rid -> gather rid rsel) right.rids);
+  }
+
+(* Like [join_vrels] but the right side is a raw base batch whose row ids
+   are already the selection vector (index-nested-loop output). *)
+let append_base left lsel bh batch bsel =
+  let lw = Array.length left.header in
+  let n = Array.length lsel in
+  let gather rid = Array.init n (fun i -> rid.(lsel.(i))) in
+  {
+    header = Array.append left.header bh;
+    parts =
+      Array.append left.parts
+        [| { batch; off = lw; width = Array.length bh } |];
+    nrows = n;
+    rids = Array.append (Array.map gather left.rids) [| bsel |];
+  }
+
+(* Growable int array for selection vectors and rid-pair output. *)
+module Ibuf = struct
+  type t = { mutable a : int array; mutable n : int }
+
+  let create () = { a = Array.make 64 0; n = 0 }
+
+  let add b i =
+    if b.n = Array.length b.a then begin
+      let na = Array.make (2 * b.n) 0 in
+      Array.blit b.a 0 na 0 b.n;
+      b.a <- na
+    end;
+    b.a.(b.n) <- i;
+    b.n <- b.n + 1
+
+  let to_array b = Array.sub b.a 0 b.n
+end
+
+(* A FROM item the join loop has not touched yet.  Base tables stay lazy
+   so the loop can pick index access paths (index-equality materialization
+   and index-nested-loop joins) instead of scanning. *)
+type source =
+  | S_mat of vrel
+  | S_base of { alias : string; tbl : Table.t }
+
+let source_card = function
+  | S_mat v -> v.nrows
+  | S_base { tbl; _ } -> Table.cardinality tbl
+
+let source_header = function
+  | S_mat v -> v.header
+  | S_base { alias; tbl } -> base_header alias tbl
 
 (* --------------------------------------------------------------------- *)
-(* Row-key hash tables (for joins, distinct, grouping)                    *)
+(* Row-key hash tables (for distinct, grouping)                           *)
 (* --------------------------------------------------------------------- *)
 
 module Key = struct
@@ -71,6 +199,16 @@ end
 
 module KH = Hashtbl.Make (Key)
 
+(* Int-keyed table for the join build side: keys are combined value
+   hashes (no boxed key arrays); collisions are resolved by comparing the
+   actual key columns at probe time. *)
+module IH = Hashtbl.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
 (* --------------------------------------------------------------------- *)
 (* Predicate evaluation                                                   *)
 (* --------------------------------------------------------------------- *)
@@ -84,27 +222,26 @@ let eval_cmp op a b =
   | Gt -> Value.compare a b > 0
   | Ge -> Value.compare a b >= 0
 
-(* Compile a predicate into a closure over rows of [w].  All attributes
-   must resolve in [w]'s header. *)
-let compile_pred w p =
+(* Compile a predicate into a closure over row indices of [v].  Column
+   positions are resolved once here, not per row.  All attributes must
+   resolve in [v]'s header. *)
+let compile_pred v p =
   let scalar = function
-    | S_const v -> fun _ -> v
-    | S_attr a ->
-        let i = col_idx_exn w a in
-        fun row -> row.(i)
+    | S_const c -> fun _ -> c
+    | S_attr a -> attr_reader v a
   in
   let rec go = function
     | P_true -> fun _ -> true
     | P_false -> fun _ -> false
     | P_not p ->
         let f = go p in
-        fun row -> not (f row)
+        fun r -> not (f r)
     | P_and ps ->
         let fs = List.map go ps in
-        fun row -> List.for_all (fun f -> f row) fs
+        fun r -> List.for_all (fun f -> f r) fs
     | P_or ps ->
         let fs = List.map go ps in
-        fun row -> List.exists (fun f -> f row) fs
+        fun r -> List.exists (fun f -> f r) fs
     | P_cmp (op, l, r) ->
         let fl = scalar l and fr = scalar r in
         fun row -> eval_cmp op (fl row) (fr row)
@@ -121,6 +258,9 @@ let rec pred_tvs acc = function
 
 let tvs_of_pred p = List.sort_uniq String.compare (pred_tvs [] p)
 
+(* A constant predicate (no attributes) evaluated against no row. *)
+let const_pred_holds p = compile_pred (empty_vrel [||]) p 0
+
 (* --------------------------------------------------------------------- *)
 (* FROM materialization                                                   *)
 (* --------------------------------------------------------------------- *)
@@ -134,71 +274,132 @@ let rec source_of_from ?cost db item : string * source =
   | F_derived (c, alias) ->
       let res = run_compound ?cost db c in
       let header = Array.map (fun c -> (alias, c)) res.cols in
-      (alias, S_mat { header; wrows = res.rows })
+      (alias, S_mat (vrel_of_batch header (Batch.of_list res.rows)))
 
-and materialize_from ?cost db item : wrel =
+and materialize_from ?cost db item : vrel =
   match source_of_from ?cost db item with
-  | _, S_mat w -> w
-  | _, S_base { alias; tbl } ->
-      { header = base_header alias tbl; wrows = Table.to_list tbl }
+  | _, S_mat v -> v
+  | _, S_base { alias; tbl } -> vrel_of_table alias tbl
 
 (* --------------------------------------------------------------------- *)
-(* Conjunctive planning: pushdown + greedy hash joins                     *)
+(* Conjunctive planning: pushdown + greedy rid joins                      *)
 (* --------------------------------------------------------------------- *)
 
-and filter_wrel w preds =
+and filter_vrel v preds =
   match preds with
-  | [] -> w
+  | [] -> v
   | _ ->
-      let f = compile_pred w (conj preds) in
-      { w with wrows = List.filter f w.wrows }
+      let f = compile_pred v (conj preds) in
+      let sel = Ibuf.create () in
+      for r = 0 to v.nrows - 1 do
+        if f r then Ibuf.add sel r
+      done;
+      if sel.Ibuf.n = v.nrows then v else select_rows v (Ibuf.to_array sel)
 
+(* Hash join producing row-id pairs.  The build side is bucketed by a
+   combined int hash of its key columns (no per-row key arrays); probe
+   hits verify the actual key values.  Output rows are (left-id,
+   right-id) selection vectors handed to [join_vrels] — tuples are not
+   widened here. *)
 and hash_join left right keys =
-  (* keys: (left_attr, right_attr) equi-join pairs. *)
-  let li = List.map (fun (a, _) -> col_idx_exn left a) keys in
-  let ri = List.map (fun (_, b) -> col_idx_exn right b) keys in
-  let key_of idxs row = Array.of_list (List.map (fun i -> row.(i)) idxs) in
-  (* Build on the smaller input. *)
-  let swap = List.length right.wrows < List.length left.wrows in
-  let build, bidx, probe, pidx =
-    if swap then (right, ri, left, li) else (left, li, right, ri)
+  let lread =
+    Array.of_list (List.map (fun (a, _) -> attr_reader left a) keys)
   in
-  let h = KH.create (max 16 (List.length build.wrows)) in
-  List.iter
-    (fun row ->
-      let k = key_of bidx row in
-      match KH.find_opt h k with
-      | Some l -> l := row :: !l
-      | None -> KH.add h k (ref [ row ]))
-    build.wrows;
-  let out = ref [] in
-  List.iter
-    (fun prow ->
-      let k = key_of pidx prow in
-      match KH.find_opt h k with
-      | None -> ()
-      | Some matches ->
-          List.iter
-            (fun brow ->
-              let lrow, rrow = if swap then (prow, brow) else (brow, prow) in
-              out := Array.append lrow rrow :: !out)
-            !matches)
-    probe.wrows;
-  { header = Array.append left.header right.header; wrows = !out }
+  let rread =
+    Array.of_list (List.map (fun (_, b) -> attr_reader right b) keys)
+  in
+  let nk = Array.length lread in
+  (* Build on the smaller input. *)
+  let swap = right.nrows < left.nrows in
+  let bread, bn, pread, pn =
+    if swap then (rread, right.nrows, lread, left.nrows)
+    else (lread, left.nrows, rread, right.nrows)
+  in
+  let hash_row reads r =
+    let h = ref 17 in
+    for i = 0 to nk - 1 do
+      h := (!h * 31) + Value.hash (reads.(i) r)
+    done;
+    !h land max_int
+  in
+  let h = IH.create (max 16 bn) in
+  let bsel = Ibuf.create () and psel = Ibuf.create () in
+  (* Single-key joins (the overwhelmingly common case) skip the key loop:
+     one hash, one reader call, one equality per candidate.  [find] +
+     exception rather than [find_opt] so probe hits allocate nothing, and
+     the emit loops take the probe row as an argument so their closures
+     are built once, not per row. *)
+  if nk = 1 then begin
+    let bread0 = bread.(0) and pread0 = pread.(0) in
+    for r = 0 to bn - 1 do
+      let k = Value.hash (bread0 r) land max_int in
+      match IH.find h k with
+      | l -> l := r :: !l
+      | exception Not_found -> IH.add h k (ref [ r ])
+    done;
+    let rec emit pr pv = function
+      | [] -> ()
+      | br :: tl ->
+          if Value.equal (bread0 br) pv then begin
+            Ibuf.add bsel br;
+            Ibuf.add psel pr
+          end;
+          emit pr pv tl
+    in
+    for pr = 0 to pn - 1 do
+      let pv = pread0 pr in
+      match IH.find h (Value.hash pv land max_int) with
+      | cands -> emit pr pv !cands
+      | exception Not_found -> ()
+    done
+  end
+  else begin
+    for r = 0 to bn - 1 do
+      let k = hash_row bread r in
+      match IH.find h k with
+      | l -> l := r :: !l
+      | exception Not_found -> IH.add h k (ref [ r ])
+    done;
+    let rec keys_eq br pr i =
+      i >= nk || (Value.equal (bread.(i) br) (pread.(i) pr) && keys_eq br pr (i + 1))
+    in
+    let rec emit pr = function
+      | [] -> ()
+      | br :: tl ->
+          if keys_eq br pr 0 then begin
+            Ibuf.add bsel br;
+            Ibuf.add psel pr
+          end;
+          emit pr tl
+    in
+    for pr = 0 to pn - 1 do
+      match IH.find h (hash_row pread pr) with
+      | cands -> emit pr !cands
+      | exception Not_found -> ()
+    done
+  end;
+  let lsel, rsel = if swap then (psel, bsel) else (bsel, psel) in
+  join_vrels left (Ibuf.to_array lsel) right (Ibuf.to_array rsel)
 
 and cross_product left right =
-  let out = ref [] in
-  List.iter
-    (fun l ->
-      List.iter (fun r -> out := Array.append l r :: !out) right.wrows)
-    left.wrows;
-  { header = Array.append left.header right.header; wrows = !out }
+  let n = left.nrows * right.nrows in
+  let lsel = Array.make n 0 and rsel = Array.make n 0 in
+  let k = ref 0 in
+  for i = 0 to left.nrows - 1 do
+    for j = 0 to right.nrows - 1 do
+      lsel.(!k) <- i;
+      rsel.(!k) <- j;
+      incr k
+    done
+  done;
+  join_vrels left lsel right rsel
 
 (* Materialize a base table under its local predicates, choosing an
    access path: if some equality predicate lands on an indexed column the
-   matching rows are fetched through the index and the remaining
-   predicates are applied to them; otherwise a filtered scan. *)
-and materialize_base ~preds alias tbl : wrel =
+   matching row ids are fetched through the index and the remaining
+   predicates are applied to them; otherwise a filtered scan.  Either way
+   the result is a view over the table's storage batch — no row copies. *)
+and materialize_base ~preds alias tbl : vrel =
   let header = base_header alias tbl in
   let index_probe =
     List.find_map
@@ -213,54 +414,90 @@ and materialize_base ~preds alias tbl : wrel =
   match index_probe with
   | Some (col, v, used) ->
       let rest = List.filter (fun p -> p != used) preds in
-      let w = { header; wrows = Table.lookup tbl col v } in
-      filter_wrel w rest
-  | None -> filter_wrel { header; wrows = Table.to_list tbl } preds
+      let ids = Array.of_list (Table.lookup_ids tbl col v) in
+      filter_vrel (vrel_of_ids header (Table.batch tbl) ids) rest
+  | None -> filter_vrel (vrel_of_table alias tbl) preds
 
 (* Index-nested-loop join: [keys] are (probe-side, base-side) equi-join
    attributes; rows of [current] probe the base table's index on the
    first indexed base column, and the remaining key equalities are
    checked on each match.  Cost is proportional to |current| plus the
-   output — never a scan of the base table. *)
-and index_nl_join current keys alias tbl : wrel option =
+   output — never a scan of the base table — and the output is row-id
+   pairs into [current] and the table batch. *)
+and index_nl_join current keys alias tbl : vrel option =
   let indexed, others =
-    List.partition (fun ((_ : attr), (b : attr)) -> Table.has_index tbl b.col) keys
+    List.partition
+      (fun ((_ : attr), (b : attr)) -> Table.has_index tbl b.col)
+      keys
   in
   match indexed with
   | [] -> None
   | (pa, pb) :: rest_indexed ->
       let others = rest_indexed @ others in
-      let pi = col_idx_exn current pa in
+      let pread = attr_reader current pa in
       let bh = base_header alias tbl in
+      let brows = Batch.unsafe_rows (Table.batch tbl) in
       let base_idx (b : attr) =
         match Schema.col_index (Table.schema tbl) b.col with
         | Some i -> i
         | None -> err "executor: no column %s in %s" b.col alias
       in
       let checks =
-        List.map (fun (a, b) -> (col_idx_exn current a, base_idx b)) others
+        Array.of_list
+          (List.map (fun (a, b) -> (attr_reader current a, base_idx b)) others)
       in
-      let out = ref [] in
-      List.iter
-        (fun row ->
-          List.iter
-            (fun brow ->
-              if
-                List.for_all
-                  (fun (ci, bi) -> Value.equal row.(ci) brow.(bi))
-                  checks
-              then out := Array.append row brow :: !out)
-            (Table.lookup tbl pb.col row.(pi)))
-        current.wrows;
-      Some { header = Array.append current.header bh; wrows = !out }
+      let nc = Array.length checks in
+      let probe =
+        match Table.prober tbl pb.col with
+        | Some p -> p
+        | None -> err "executor: index vanished on %s.%s" alias pb.col
+      in
+      let csel = Ibuf.create () and bsel = Ibuf.create () in
+      (* The emit loops take [r] as an argument so the closures are
+         allocated once, not per probed row. *)
+      if nc = 0 then begin
+        let rec emit r = function
+          | [] -> ()
+          | bi :: tl ->
+              Ibuf.add csel r;
+              Ibuf.add bsel bi;
+              emit r tl
+        in
+        for r = 0 to current.nrows - 1 do
+          emit r (probe (pread r))
+        done
+      end
+      else begin
+        let rec check_ok r bi i =
+          i >= nc
+          ||
+          let cread, bci = checks.(i) in
+          Value.equal (cread r) brows.(bi).(bci) && check_ok r bi (i + 1)
+        in
+        let rec emit r = function
+          | [] -> ()
+          | bi :: tl ->
+              if check_ok r bi 0 then begin
+                Ibuf.add csel r;
+                Ibuf.add bsel bi
+              end;
+              emit r tl
+        in
+        for r = 0 to current.nrows - 1 do
+          emit r (probe (pread r))
+        done
+      end;
+      Some
+        (append_base current (Ibuf.to_array csel) bh (Table.batch tbl)
+           (Ibuf.to_array bsel))
 
 (* Evaluate a conjunctive block: [sources] is an association
    (tv -> source) — base tables lazy, derived tables materialized;
-   [conjuncts] the predicate factors.  Returns the joined wrel covering
+   [conjuncts] the predicate factors.  Returns the joined vrel covering
    every tv in [sources].  With [?cost] statistics, the next join is the
    one with the smallest estimated output (System-R containment formula);
    without, the greedy smallest-input heuristic. *)
-and join_conjunctive ?cost (sources : (string * source) list) conjuncts : wrel =
+and join_conjunctive ?cost (sources : (string * source) list) conjuncts : vrel =
   (* Classify conjuncts. *)
   let local, joins, residual =
     List.fold_left
@@ -279,30 +516,28 @@ and join_conjunctive ?cost (sources : (string * source) list) conjuncts : wrel =
   let const_preds, residual =
     List.partition (fun p -> tvs_of_pred p = []) residual
   in
-  let const_ok =
-    List.for_all (fun p -> compile_pred { header = [||]; wrows = [] } p [||]) const_preds
-  in
+  let const_ok = List.for_all const_pred_holds const_preds in
   (* Pushdown local filters: any tv carrying one is materialized through
      its best access path; unfiltered base tables stay lazy so the join
      loop can probe them with index-nested loops. *)
   let sources =
     List.map
       (fun (tv, src) ->
-        let preds = List.filter_map (fun (t, p) -> if t = tv then Some p else None) local in
-        if not const_ok then
-          (tv, S_mat { header = source_header src; wrows = [] })
+        let preds =
+          List.filter_map (fun (t, p) -> if t = tv then Some p else None) local
+        in
+        if not const_ok then (tv, S_mat (empty_vrel (source_header src)))
         else
           match (src, preds) with
           | S_base _, [] -> (tv, src)
           | S_base { alias; tbl }, preds ->
               (tv, S_mat (materialize_base ~preds alias tbl))
-          | S_mat w, preds -> (tv, S_mat (filter_wrel w preds)))
+          | S_mat v, preds -> (tv, S_mat (filter_vrel v preds)))
       sources
   in
   let force = function
-    | S_mat w -> w
-    | S_base { alias; tbl } ->
-        { header = base_header alias tbl; wrows = Table.to_list tbl }
+    | S_mat v -> v
+    | S_base { alias; tbl } -> vrel_of_table alias tbl
   in
   match sources with
   | [] -> err "executor: empty FROM"
@@ -310,6 +545,11 @@ and join_conjunctive ?cost (sources : (string * source) list) conjuncts : wrel =
       let remaining = ref sources in
       let joins = ref joins in
       let residual = ref residual in
+      (* Joined tuple variables, as a hash set: the join-ordering loop
+         tests membership per edge per round. *)
+      let joined_tvs : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+      let is_joined tv = Hashtbl.mem joined_tvs tv in
+      let mark_joined tv = Hashtbl.replace joined_tvs tv () in
       (* Start from the smallest (estimated) relation. *)
       let smallest () =
         List.fold_left
@@ -324,16 +564,15 @@ and join_conjunctive ?cost (sources : (string * source) list) conjuncts : wrel =
       let tv0, src0 = Option.get (smallest ()) in
       remaining := List.remove_assoc tv0 !remaining;
       let current = ref (force src0) in
-      let joined_tvs = ref [ tv0 ] in
+      mark_joined tv0;
       let apply_ready_residuals () =
         let ready, rest =
           List.partition
-            (fun p ->
-              List.for_all (fun tv -> List.mem tv !joined_tvs) (tvs_of_pred p))
+            (fun p -> List.for_all is_joined (tvs_of_pred p))
             !residual
         in
         residual := rest;
-        if ready <> [] then current := filter_wrel !current ready
+        if ready <> [] then current := filter_vrel !current ready
       in
       apply_ready_residuals ();
       while !remaining <> [] do
@@ -341,8 +580,7 @@ and join_conjunctive ?cost (sources : (string * source) list) conjuncts : wrel =
         let edge_groups = Hashtbl.create 8 in
         List.iter
           (fun (a, b) ->
-            let a_in = List.mem a.tv !joined_tvs
-            and b_in = List.mem b.tv !joined_tvs in
+            let a_in = is_joined a.tv and b_in = is_joined b.tv in
             if a_in && not b_in then begin
               let l = try Hashtbl.find edge_groups b.tv with Not_found -> [] in
               Hashtbl.replace edge_groups b.tv ((a, b) :: l)
@@ -359,7 +597,7 @@ and join_conjunctive ?cost (sources : (string * source) list) conjuncts : wrel =
             match cost with
             | None -> float_of_int (source_card src)
             | Some stats -> (
-                let cur = float_of_int (List.length !current.wrows) in
+                let cur = float_of_int !current.nrows in
                 match (src, keys) with
                 | S_base { tbl; _ }, (_, (b : attr)) :: _ -> (
                     let tname = Schema.name (Table.schema tbl) in
@@ -396,14 +634,12 @@ and join_conjunctive ?cost (sources : (string * source) list) conjuncts : wrel =
               match src with
               | S_base { alias; tbl } -> (
                   match index_nl_join !current keys alias tbl with
-                  | Some w -> w
-                  | None ->
-                      hash_join !current (force src)
-                        (List.map (fun (a, b) -> (a, b)) keys))
-              | S_mat w -> hash_join !current w keys
+                  | Some v -> v
+                  | None -> hash_join !current (force src) keys)
+              | S_mat v -> hash_join !current v keys
             in
             current := joined;
-            joined_tvs := tv :: !joined_tvs;
+            mark_joined tv;
             remaining := List.remove_assoc tv !remaining;
             (* The join keys are now satisfied; drop them so the
                internal-edge sweep below does not re-filter on them. *)
@@ -421,20 +657,17 @@ and join_conjunctive ?cost (sources : (string * source) list) conjuncts : wrel =
             (* No connecting edge: cartesian step with the smallest rest. *)
             let tv, src = Option.get (smallest ()) in
             current := cross_product !current (force src);
-            joined_tvs := tv :: !joined_tvs;
+            mark_joined tv;
             remaining := List.remove_assoc tv !remaining);
         (* Enforce any join edge that has become internal (both sides
            joined) but was not one of the hash keys. *)
         let internal, external_ =
-          List.partition
-            (fun (a, b) ->
-              List.mem a.tv !joined_tvs && List.mem b.tv !joined_tvs)
-            !joins
+          List.partition (fun (a, b) -> is_joined a.tv && is_joined b.tv) !joins
         in
         joins := external_;
         if internal <> [] then
           current :=
-            filter_wrel !current
+            filter_vrel !current
               (List.map (fun (a, b) -> P_cmp (Eq, S_attr a, S_attr b)) internal);
         apply_ready_residuals ()
       done;
@@ -447,19 +680,24 @@ and join_conjunctive ?cost (sources : (string * source) list) conjuncts : wrel =
 (* Aggregation                                                            *)
 (* --------------------------------------------------------------------- *)
 
-and agg_of_rows w agg rows =
+(* [rows] are output-row indices of [v] (one group). *)
+and agg_of_rows v agg (rows : int list) =
   match agg with
-  | A_count_star -> Value.Int (List.length rows)
+  | A_count_star ->
+      let rec len acc = function [] -> acc | _ :: t -> len (acc + 1) t in
+      Value.Int (len 0 rows)
   | A_count a ->
-      let i = col_idx_exn w a in
+      let read = attr_reader v a in
       Value.Int
-        (List.length (List.filter (fun r -> r.(i) <> Value.Null) rows))
+        (List.fold_left
+           (fun n r -> if read r <> Value.Null then n + 1 else n)
+           0 rows)
   | A_sum a ->
-      let i = col_idx_exn w a in
+      let read = attr_reader v a in
       let fsum, is_float =
         List.fold_left
           (fun (acc, isf) r ->
-            match r.(i) with
+            match read r with
             | Value.Int v -> (acc +. float_of_int v, isf)
             | Value.Float v -> (acc +. v, true)
             | Value.Null -> (acc, isf)
@@ -468,31 +706,33 @@ and agg_of_rows w agg rows =
       in
       if is_float then Value.Float fsum else Value.Int (int_of_float fsum)
   | A_min a ->
-      let i = col_idx_exn w a in
+      let read = attr_reader v a in
       List.fold_left
         (fun acc r ->
-          if r.(i) = Value.Null then acc
+          let x = read r in
+          if x = Value.Null then acc
           else
             match acc with
-            | Value.Null -> r.(i)
-            | m -> if Value.compare r.(i) m < 0 then r.(i) else m)
+            | Value.Null -> x
+            | m -> if Value.compare x m < 0 then x else m)
         Value.Null rows
   | A_max a ->
-      let i = col_idx_exn w a in
+      let read = attr_reader v a in
       List.fold_left
         (fun acc r ->
-          if r.(i) = Value.Null then acc
+          let x = read r in
+          if x = Value.Null then acc
           else
             match acc with
-            | Value.Null -> r.(i)
-            | m -> if Value.compare r.(i) m > 0 then r.(i) else m)
+            | Value.Null -> x
+            | m -> if Value.compare x m > 0 then x else m)
         Value.Null rows
   | A_avg a ->
-      let i = col_idx_exn w a in
+      let read = attr_reader v a in
       let sum, n =
         List.fold_left
           (fun (acc, n) r ->
-            match r.(i) with
+            match read r with
             | Value.Int v -> (acc +. float_of_int v, n + 1)
             | Value.Float v -> (acc +. v, n + 1)
             | Value.Null -> (acc, n)
@@ -505,35 +745,37 @@ and agg_of_rows w agg rows =
          1 - prod(1 - d_i), the degrees of the *distinct* preferences the
          group satisfies (a preference can reach a row through several
          partial queries only once). *)
-      let di = col_idx_exn w doi_a and pi = col_idx_exn w pref_a in
+      let dread = attr_reader v doi_a and pread = attr_reader v pref_a in
       let seen = KH.create 8 in
       let prod = ref 1.0 in
       List.iter
         (fun r ->
-          let key = [| r.(pi) |] in
+          let key = [| pread r |] in
           if not (KH.mem seen key) then begin
             KH.add seen key ();
             let d =
-              match r.(di) with
+              match dread r with
               | Value.Float f -> f
               | Value.Int i -> float_of_int i
-              | v -> err "degree_of_conjunction over non-numeric %s" (Value.to_string v)
+              | v ->
+                  err "degree_of_conjunction over non-numeric %s"
+                    (Value.to_string v)
             in
             prod := !prod *. (1. -. d)
           end)
         rows;
       Value.Float (1. -. !prod)
 
-and eval_having w rows h =
+and eval_having v rows h =
   let rec go = function
     | H_and hs -> List.for_all go hs
     | H_or hs -> List.exists go hs
     | H_cmp (op, l, r) ->
-        let v = function
-          | H_agg a -> agg_of_rows w a rows
+        let value = function
+          | H_agg a -> agg_of_rows v a rows
           | H_const c -> c
         in
-        eval_cmp op (v l) (v r)
+        eval_cmp op (value l) (value r)
   in
   go h
 
@@ -541,7 +783,7 @@ and eval_having w rows h =
 (* Post-pipeline: group / having / order / project / distinct / limit     *)
 (* --------------------------------------------------------------------- *)
 
-and post_pipeline (q : query) (w : wrel) : result =
+and post_pipeline (q : query) (w : vrel) : result =
   let has_aggs =
     List.exists (function Sel_agg _ -> true | _ -> false) q.select
     || q.having <> None
@@ -549,21 +791,69 @@ and post_pipeline (q : query) (w : wrel) : result =
   in
   let grouped = q.group_by <> [] || has_aggs in
   let out_names = Array.of_list (select_output_names q) in
+  let alias_idx name =
+    let rec go i =
+      if i >= Array.length out_names then
+        err "ORDER BY alias %s not in output" name
+      else if out_names.(i) = name then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  if (not grouped) && q.order_by = [] then begin
+    (* Fast path for the plain SPJ shape (every UNION ALL branch the MQ
+       integration method emits): no sort keys, so skip the (row, keys)
+       tuple plumbing — project straight into the output list, applying
+       DISTINCT as we go. *)
+    let item_fns =
+      Array.of_list
+        (List.map
+           (function
+             | Sel_attr (a, _) -> attr_reader w a
+             | Sel_const (v, _) -> fun _ -> v
+             | Sel_agg _ -> err "aggregate in ungrouped projection")
+           q.select)
+    in
+    let ni = Array.length item_fns in
+    let project r = Array.init ni (fun i -> (item_fns.(i)) r) in
+    let rows =
+      if q.distinct then begin
+        let seen = KH.create 64 in
+        let acc = ref [] in
+        for r = 0 to w.nrows - 1 do
+          let out = project r in
+          if not (KH.mem seen out) then begin
+            KH.add seen out ();
+            acc := out :: !acc
+          end
+        done;
+        List.rev !acc
+      end
+      else List.init w.nrows project
+    in
+    let rows =
+      match q.limit with
+      | None -> rows
+      | Some n -> List.filteri (fun i _ -> i < n) rows
+    in
+    { cols = out_names; rows }
+  end
+  else
   let projected_with_keys =
     if grouped then begin
-      (* Group rows. *)
-      let key_idxs = List.map (col_idx_exn w) q.group_by in
+      (* Group row indices by key. *)
+      let kreads = Array.of_list (List.map (attr_reader w) q.group_by) in
+      let nk = Array.length kreads in
       let groups = KH.create 64 in
       let order = ref [] in
-      List.iter
-        (fun row ->
-          let k = Array.of_list (List.map (fun i -> row.(i)) key_idxs) in
-          match KH.find_opt groups k with
-          | Some l -> l := row :: !l
-          | None ->
-              KH.add groups k (ref [ row ]);
-              order := k :: !order)
-        w.wrows;
+      for r = 0 to w.nrows - 1 do
+        let k = Array.init nk (fun i -> kreads.(i) r) in
+        match KH.find_opt groups k with
+        | Some l -> l := r :: !l
+        | None ->
+            KH.add groups k (ref [ r ]);
+            order := k :: !order
+      done;
       let keys_in_order = List.rev !order in
       List.filter_map
         (fun k ->
@@ -582,26 +872,19 @@ and post_pipeline (q : query) (w : wrel) : result =
               Array.of_list
                 (List.map
                    (function
-                     | Sel_attr (a, _) -> (Lazy.force rep).(col_idx_exn w a)
+                     | Sel_attr (a, _) -> attr_reader w a (Lazy.force rep)
                      | Sel_const (v, _) -> v
                      | Sel_agg (agg, _) -> agg_of_rows w agg rows)
                    q.select)
             in
             let sort_key =
               List.map
-                (fun (k, d) ->
+                (fun (key, d) ->
                   let v =
-                    match k with
-                    | O_attr a -> (Lazy.force rep).(col_idx_exn w a)
+                    match key with
+                    | O_attr a -> attr_reader w a (Lazy.force rep)
                     | O_agg agg -> agg_of_rows w agg rows
-                    | O_alias name -> (
-                        match
-                          Array.to_list out_names
-                          |> List.mapi (fun i n -> (n, i))
-                          |> List.assoc_opt name
-                        with
-                        | Some i -> out.(i)
-                        | None -> err "ORDER BY alias %s not in output" name)
+                    | O_alias name -> out.(alias_idx name)
                   in
                   (v, d))
                 q.order_by
@@ -610,39 +893,34 @@ and post_pipeline (q : query) (w : wrel) : result =
           end)
         keys_in_order
     end
-    else
-      List.map
-        (fun row ->
-          let out =
-            Array.of_list
-              (List.map
-                 (function
-                   | Sel_attr (a, _) -> row.(col_idx_exn w a)
-                   | Sel_const (v, _) -> v
-                   | Sel_agg _ -> err "aggregate in ungrouped projection")
-                 q.select)
-          in
-          let sort_key =
-            List.map
-              (fun (k, d) ->
-                let v =
-                  match k with
-                  | O_attr a -> row.(col_idx_exn w a)
-                  | O_agg _ -> err "ORDER BY aggregate in ungrouped query"
-                  | O_alias name -> (
-                      match
-                        Array.to_list out_names
-                        |> List.mapi (fun i n -> (n, i))
-                        |> List.assoc_opt name
-                      with
-                      | Some i -> out.(i)
-                      | None -> err "ORDER BY alias %s not in output" name)
-                in
-                (v, d))
-              q.order_by
-          in
-          (out, sort_key))
-        w.wrows
+    else begin
+      (* Compile projection and sort-key extractors once, then run them
+         over the row indices. *)
+      let item_fns =
+        List.map
+          (function
+            | Sel_attr (a, _) -> attr_reader w a
+            | Sel_const (v, _) -> fun _ -> v
+            | Sel_agg _ -> err "aggregate in ungrouped projection")
+          q.select
+      in
+      let okey_fns =
+        List.map
+          (fun (key, d) ->
+            match key with
+            | O_attr a ->
+                let f = attr_reader w a in
+                fun r (_ : Value.t array) -> (f r, d)
+            | O_agg _ -> err "ORDER BY aggregate in ungrouped query"
+            | O_alias name ->
+                let i = alias_idx name in
+                fun _ out -> (out.(i), d))
+          q.order_by
+      in
+      List.init w.nrows (fun r ->
+          let out = Array.of_list (List.map (fun f -> f r) item_fns) in
+          (out, List.map (fun f -> f r out) okey_fns))
+    end
   in
   (* DISTINCT before ORDER BY (SQL evaluation order). *)
   let projected_with_keys =
@@ -741,9 +1019,7 @@ and run_auto ?cost db (q : query) : result =
   let dnf_eligible =
     q.distinct && q.group_by = [] && (not has_aggs) && contains_or q.where
   in
-  let dnf =
-    if dnf_eligible then dnf_branches 4096 q.where else None
-  in
+  let dnf = if dnf_eligible then dnf_branches 4096 q.where else None in
   match dnf with
   | Some branches ->
       (* Evaluate each conjunctive branch over only the tuple variables it
@@ -753,8 +1029,7 @@ and run_auto ?cost db (q : query) : result =
         List.sort_uniq String.compare
           (List.map (fun (a : attr) -> a.tv) (select_attrs q)
           @ List.concat_map
-              (fun (k, _) ->
-                match k with O_attr a -> [ a.tv ] | _ -> [])
+              (fun (k, _) -> match k with O_attr a -> [ a.tv ] | _ -> [])
               q.order_by)
       in
       let all_rows = ref [] in
@@ -781,12 +1056,10 @@ and run_auto ?cost db (q : query) : result =
           end)
         branches;
       let merged =
-        {
-          header =
-            Array.of_list
-              (List.map (fun n -> ("", n)) (select_output_names q));
-          wrows = List.rev !all_rows;
-        }
+        vrel_of_batch
+          (Array.of_list
+             (List.map (fun n -> ("", n)) (select_output_names q)))
+          (Batch.of_list (List.rev !all_rows))
       in
       (* Re-run the tail of the pipeline on the merged projection for
          distinct / order / limit.  Column references now address the
@@ -841,7 +1114,7 @@ and run_naive db (q : query) : result =
     | [] -> err "executor: empty FROM"
     | w :: rest -> List.fold_left cross_product w rest
   in
-  let filtered = filter_wrel joined [ q.where ] in
+  let filtered = filter_vrel joined [ q.where ] in
   post_pipeline { q with where = P_true } filtered
 
 and run_compound ?cost db (c : compound) : result =

@@ -6,18 +6,14 @@ module H = Hashtbl.Make (struct
 end)
 
 type index = { col : int; buckets : int list ref H.t }
-(* Buckets store row ids (positions in [rows]) most-recent first. *)
+(* Buckets store row ids (positions in the batch) most-recent first. *)
 
-type t = {
-  sch : Schema.t;
-  mutable rows : Value.t array array;
-  mutable size : int;
-  mutable indexes : index list;
-}
+type t = { sch : Schema.t; batch : Batch.t; mutable indexes : index list }
 
-let create sch = { sch; rows = [||]; size = 0; indexes = [] }
+let create sch = { sch; batch = Batch.create (); indexes = [] }
 let schema t = t.sch
-let cardinality t = t.size
+let batch t = t.batch
+let cardinality t = Batch.length t.batch
 
 let check_row t row =
   let cols = Schema.columns t.sch in
@@ -39,13 +35,6 @@ let check_row t row =
                  (Value.ty_name ty)))
     row
 
-let grow t row =
-  let cap = Array.length t.rows in
-  let ncap = if cap = 0 then 64 else 2 * cap in
-  let nr = Array.make ncap row in
-  Array.blit t.rows 0 nr 0 t.size;
-  t.rows <- nr
-
 let index_add idx rowid v =
   match H.find_opt idx.buckets v with
   | Some l -> l := rowid :: !l
@@ -53,33 +42,20 @@ let index_add idx rowid v =
 
 let insert t row =
   check_row t row;
-  if t.size = Array.length t.rows then grow t row;
-  t.rows.(t.size) <- row;
-  List.iter (fun idx -> index_add idx t.size row.(idx.col)) t.indexes;
-  t.size <- t.size + 1
+  let rowid = Batch.length t.batch in
+  Batch.add t.batch row;
+  List.iter (fun idx -> index_add idx rowid row.(idx.col)) t.indexes
 
 let insert_values t vs = insert t (Array.of_list vs)
 
 let get t i =
-  if i < 0 || i >= t.size then invalid_arg "Table.get: row id out of bounds";
-  t.rows.(i)
+  if i < 0 || i >= Batch.length t.batch then
+    invalid_arg "Table.get: row id out of bounds";
+  Batch.get t.batch i
 
-let iter t f =
-  for i = 0 to t.size - 1 do
-    f t.rows.(i)
-  done
-
-let fold t ~init ~f =
-  let acc = ref init in
-  iter t (fun r -> acc := f !acc r);
-  !acc
-
-let to_list t =
-  let acc = ref [] in
-  for i = t.size - 1 downto 0 do
-    acc := t.rows.(i) :: !acc
-  done;
-  !acc
+let iter t f = Batch.iter f t.batch
+let fold t ~init ~f = Batch.fold f init t.batch
+let to_list t = Batch.to_list t.batch
 
 let build_index t col =
   match Schema.col_index t.sch col with
@@ -89,9 +65,11 @@ let build_index t col =
            (Schema.name t.sch))
   | Some ci ->
       if not (List.exists (fun idx -> idx.col = ci) t.indexes) then begin
-        let idx = { col = ci; buckets = H.create (max 16 t.size) } in
-        for i = 0 to t.size - 1 do
-          index_add idx i t.rows.(i).(ci)
+        let n = Batch.length t.batch in
+        let idx = { col = ci; buckets = H.create (max 16 n) } in
+        let rows = Batch.unsafe_rows t.batch in
+        for i = 0 to n - 1 do
+          index_add idx i rows.(i).(ci)
         done;
         t.indexes <- idx :: t.indexes
       end
@@ -101,7 +79,7 @@ let has_index t col =
   | None -> false
   | Some ci -> List.exists (fun idx -> idx.col = ci) t.indexes
 
-let lookup t col v =
+let lookup_ids t col v =
   match Schema.col_index t.sch col with
   | None ->
       invalid_arg
@@ -112,15 +90,35 @@ let lookup t col v =
       | Some idx -> (
           match H.find_opt idx.buckets v with
           | None -> []
-          | Some ids -> List.rev_map (fun i -> t.rows.(i)) !ids)
+          | Some ids -> List.rev !ids)
       | None ->
+          let rows = Batch.unsafe_rows t.batch in
           let acc = ref [] in
-          for i = t.size - 1 downto 0 do
-            if Value.equal t.rows.(i).(ci) v then acc := t.rows.(i) :: !acc
+          for i = Batch.length t.batch - 1 downto 0 do
+            if Value.equal rows.(i).(ci) v then acc := i :: !acc
           done;
           !acc)
 
+let lookup t col v =
+  let rows = Batch.unsafe_rows t.batch in
+  List.map (fun i -> rows.(i)) (lookup_ids t col v)
+
+let prober t col =
+  match Schema.col_index t.sch col with
+  | None -> None
+  | Some ci -> (
+      match List.find_opt (fun idx -> idx.col = ci) t.indexes with
+      | None -> None
+      | Some idx ->
+          (* [find] + exception rather than [find_opt]: no option
+             allocation on the hit path, which is every probe of an
+             index-nested-loop join. *)
+          Some
+            (fun v ->
+              match H.find idx.buckets v with
+              | ids -> !ids
+              | exception Not_found -> []))
+
 let clear t =
-  t.rows <- [||];
-  t.size <- 0;
+  Batch.clear t.batch;
   t.indexes <- List.map (fun idx -> { idx with buckets = H.create 16 }) t.indexes

@@ -12,8 +12,13 @@ val create : Schema.t -> t
 
 val schema : t -> Schema.t
 
+val batch : t -> Batch.t
+(** The table's storage batch, shared (not copied) with the caller.  The
+    executor builds scans directly over it and resolves index lookups to
+    row ids into it; callers must not mutate rows. *)
+
 val cardinality : t -> int
-(** Number of stored rows. *)
+(** Number of stored rows (O(1), cached by the batch). *)
 
 val insert : t -> Value.t array -> unit
 (** Append a row.  @raise Invalid_argument on wrong arity or a value
@@ -46,6 +51,19 @@ val has_index : t -> string -> bool
 val lookup : t -> string -> Value.t -> Value.t array list
 (** [lookup t col v] returns the rows with [col = v], using an index when
     one exists (building is the caller's choice), otherwise scanning. *)
+
+val lookup_ids : t -> string -> Value.t -> int list
+(** Like {!lookup} but returns row ids into {!batch} (insertion order)
+    instead of materializing rows — the late-materialization access path.
+    @raise Invalid_argument on unknown column. *)
+
+val prober : t -> string -> (Value.t -> int list) option
+(** [prober t col] resolves the column and its hash index {e once} and
+    returns a probe closure mapping a value to the matching row ids
+    (most-recent-first, shared with the index — do not mutate), or [None]
+    when the column has no index.  This is the inner loop of the
+    index-nested-loop join: per-probe cost is one hash lookup, with no
+    string resolution or list copying. *)
 
 val clear : t -> unit
 (** Remove all rows (indexes retained but emptied). *)

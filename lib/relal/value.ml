@@ -57,13 +57,22 @@ let equal a b =
   | Date x, Date y -> x = y
   | _ -> false
 
+(* Must agree with [equal] across the Int/Float overlap: [Int x] and
+   [Float (float_of_int x)] compare equal, so an integral float hashes
+   through its integer image.  Hashing an immediate int does not allocate
+   — the Int arm is the executor's join-probe hot path, so it must not
+   box (the previous [Hashtbl.hash (Float.of_int x)] boxed a float per
+   probe). *)
 let hash = function
   | Null -> 0
-  | Int x -> Hashtbl.hash (Float.of_int x)
-  | Float x -> Hashtbl.hash x
+  | Int x -> Hashtbl.hash x
+  | Float x ->
+      if Float.is_integer x && Float.abs x <= 1e15 then
+        Hashtbl.hash (Float.to_int x)
+      else Hashtbl.hash x
   | Str s -> Hashtbl.hash s
   | Bool b -> Hashtbl.hash b
-  | Date d -> Hashtbl.hash (`Date d)
+  | Date d -> Hashtbl.hash (d lxor 0x44)
 
 let days_in_month y m =
   match m with

@@ -25,10 +25,10 @@ Scripted session of the interactive personalized-SQL shell.
   +-------------------+------+
   | title             | doi  |
   +-------------------+------+
-  | 'Second Spring'   | 0.81 |
-  | 'Double Take'     | 0.81 |
-  | 'Laughing Waters' | 0.81 |
   | 'Sweet Chaos'     | 0.81 |
+  | 'Laughing Waters' | 0.81 |
+  | 'Double Take'     | 0.81 |
+  | 'Second Spring'   | 0.81 |
   +-------------------+------+
   (4 rows)
   perdb> added dislike MOVIE.title = 'Double Take' (1.0)
