@@ -1,10 +1,11 @@
 # Developer entry points.  `make check` is the PR gate: full build, the
-# whole test suite, and a quick-scale smoke run of the executor benchmark
-# that must exit 0 and leave valid JSON behind.
+# whole test suite, the seeded chaos run, and a quick-scale smoke run of
+# the executor benchmark that must exit 0 and leave valid JSON behind.
 
 BENCH_JSON := /tmp/bench_exec_smoke.json
+CHAOS_SEED ?= 1337
 
-.PHONY: all build test bench check clean
+.PHONY: all build test bench chaos check clean
 
 all: build
 
@@ -17,7 +18,12 @@ test: build
 bench: build
 	dune exec bench/main.exe
 
-check: build test
+# Deterministic fault-injection run: the §7 random workload under a 5%
+# seeded fault rate; every query must end in a result or a typed error.
+chaos: build
+	CHAOS_SEED=$(CHAOS_SEED) dune exec test/test_chaos.exe
+
+check: build test chaos
 	BENCH_SCALE=quick BENCH_EXEC_OUT=$(BENCH_JSON) dune exec bench/main.exe -- exec
 	python3 -m json.tool $(BENCH_JSON) > /dev/null
 	@echo "check: OK ($(BENCH_JSON) is valid JSON)"

@@ -25,7 +25,10 @@ let seed_arg =
 
 let data_dir_arg =
   let doc = "Load the database from this directory (schema.ddl + CSV files)." in
-  Arg.(value & opt (some dir) None & info [ "data-dir" ] ~docv:"DIR" ~doc)
+  (* a plain string, not Arg.dir: the loader must see missing paths
+     itself so it can recover a dump parked at <dir>.old by an
+     interrupted save, and report the rest as typed storage errors *)
+  Arg.(value & opt (some string) None & info [ "data-dir" ] ~docv:"DIR" ~doc)
 
 let db_of ?data_dir ~movies ~seed () =
   match data_dir with
@@ -36,22 +39,55 @@ let db_of ?data_dir ~movies ~seed () =
 
 let print_result res = Format.printf "%a" (Relal.Exec.pp_result ~max_rows:25) res
 
+(* Uniform failure discipline: every subcommand body runs under
+   [guarded], so any failure — parse, bind, storage, budget, injected
+   fault, even Stack_overflow — exits non-zero with a one-line typed
+   message on stderr instead of a backtrace. *)
+let handle_error e =
+  Printf.eprintf "%s\n" (Perso.Error.to_string e);
+  Perso.Error.exit_code e
+
+let guarded f =
+  match Perso.Error.guard f with Ok code -> code | Error e -> handle_error e
+
+(* ---------------- query budgets ---------------- *)
+
+let deadline_arg =
+  let doc = "Abort execution after this many wall-clock milliseconds." in
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let max_rows_arg =
+  let doc = "Abort execution after producing this many intermediate rows." in
+  Arg.(value & opt (some int) None & info [ "max-rows" ] ~docv:"N" ~doc)
+
+let max_expansions_arg =
+  let doc = "Abort preference selection after this many graph expansions." in
+  Arg.(value & opt (some int) None & info [ "max-expansions" ] ~docv:"N" ~doc)
+
+let budget_of deadline_ms max_rows max_expansions =
+  { Relal.Governor.deadline_ms; max_rows; max_expansions }
+
+let gov_of budget =
+  if Relal.Governor.is_unlimited budget then None
+  else Some (Relal.Governor.start budget)
+
 (* ---------------- demo ---------------- *)
 
 let demo () =
-  let db = Moviedb.Personas.tiny_db () in
-  let julie = Moviedb.Personas.julie () in
-  let q = Moviedb.Workload.tonight_query () in
-  Format.printf "== Original query ==@.%s@.@."
-    (Relal.Sql_print.query_to_pretty (Relal.Binder.bind db q));
-  let params =
-    { Perso.Personalize.default_params with k = Perso.Criteria.Top_r 3 }
-  in
-  let outcome = Perso.Personalize.personalize ~params db julie q in
-  print_string (Perso.Explain.outcome_report outcome);
-  Format.printf "@.== Ranked results (Julie) ==@.";
-  print_result (Perso.Personalize.execute db outcome);
-  0
+  guarded (fun () ->
+      let db = Moviedb.Personas.tiny_db () in
+      let julie = Moviedb.Personas.julie () in
+      let q = Moviedb.Workload.tonight_query () in
+      Format.printf "== Original query ==@.%s@.@."
+        (Relal.Sql_print.query_to_pretty (Relal.Binder.bind db q));
+      let params =
+        { Perso.Personalize.default_params with k = Perso.Criteria.Top_r 3 }
+      in
+      let outcome = Perso.Personalize.personalize ~params db julie q in
+      print_string (Perso.Explain.outcome_report outcome);
+      Format.printf "@.== Ranked results (Julie) ==@.";
+      print_result (Perso.Personalize.execute db outcome);
+      0)
 
 let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Run the paper's Julie example end-to-end")
@@ -59,92 +95,90 @@ let demo_cmd =
 
 (* ---------------- run-sql ---------------- *)
 
-let run_sql movies seed data_dir sql =
-  let db = db_of ?data_dir ~movies ~seed () in
-  match Relal.Engine.run_sql db sql with
-  | res ->
-      print_result res;
-      0
-  | exception Relal.Sql_parser.Parse_error e ->
-      Printf.eprintf "parse error: %s\n" e;
-      1
-  | exception Relal.Binder.Bind_error e ->
-      Printf.eprintf "bind error: %s\n" e;
-      1
+let run_sql movies seed data_dir deadline max_rows max_expansions sql =
+  guarded (fun () ->
+      let db = db_of ?data_dir ~movies ~seed () in
+      let gov = gov_of (budget_of deadline max_rows max_expansions) in
+      print_result (Relal.Engine.run_sql ?gov db sql);
+      0)
 
 let sql_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"SQL" ~doc:"SQL text.")
 
 let run_sql_cmd =
   Cmd.v (Cmd.info "run-sql" ~doc:"Execute SQL on a synthetic movie database")
-    Term.(const run_sql $ movies_arg $ seed_arg $ data_dir_arg $ sql_arg)
+    Term.(
+      const run_sql $ movies_arg $ seed_arg $ data_dir_arg $ deadline_arg
+      $ max_rows_arg $ max_expansions_arg $ sql_arg)
 
 (* ---------------- personalize ---------------- *)
 
-let personalize movies seed data_dir profile_path sql k l m method_ topn semantic =
-  let db = db_of ?data_dir ~movies ~seed () in
-  match Perso.Profile.load profile_path with
-  | Error e ->
-      Printf.eprintf "profile error: %s\n" e;
-      1
-  | Ok profile -> (
-      let params =
-        {
-          Perso.Personalize.k = Perso.Criteria.Top_r k;
-          m = `Count m;
-          l = `At_least l;
-          method_ = (if method_ = "sq" then `SQ else `MQ);
-          rank = method_ <> "sq";
-        }
-      in
-      match
-        let q = Relal.Sql_parser.parse sql in
-        let related =
-          if semantic then begin
-            let bound = Relal.Binder.bind db q in
-            let qg = Perso.Qgraph.of_query db bound in
-            Some (Perso.Semantic.instance_related db qg)
-          end
-          else None
-        in
-        let outcome = Perso.Personalize.personalize ~params ?related db profile q in
-        (outcome, Perso.Personalize.execute db outcome)
-      with
-      | outcome, res ->
-          print_string (Perso.Explain.outcome_report outcome);
-          (match topn with
-          | None ->
-              Format.printf "@.== Results ==@.";
-              print_result res
-          | Some n ->
-              let top =
-                Perso.Topn.top_n ~l ~n db
-                  (Perso.Qgraph.of_query db
-                     (Relal.Binder.bind db (Relal.Sql_parser.parse sql)))
-                  ~mandatory:outcome.Perso.Personalize.mandatory
-                  ~optional:outcome.Perso.Personalize.optional ()
-              in
-              Format.printf "@.== Top-%d results (%d/%d partials executed, %d probes) ==@."
-                n top.Perso.Topn.stats.Perso.Topn.partials_executed
-                top.Perso.Topn.stats.Perso.Topn.partials_total
-                top.Perso.Topn.stats.Perso.Topn.random_probes;
+let personalize movies seed data_dir deadline max_rows max_expansions
+    profile_path sql k l m method_ topn semantic =
+  guarded (fun () ->
+      let db = db_of ?data_dir ~movies ~seed () in
+      match Perso.Profile.load profile_path with
+      | Error e -> handle_error (Perso.Error.Profile e)
+      | Ok profile -> (
+          let params =
+            {
+              Perso.Personalize.k = Perso.Criteria.Top_r k;
+              m = `Count m;
+              l = `At_least l;
+              method_ = (if method_ = "sq" then `SQ else `MQ);
+              rank = method_ <> "sq";
+            }
+          in
+          let budget = budget_of deadline max_rows max_expansions in
+          let related =
+            if semantic then begin
+              let bound = Relal.Binder.bind db (Relal.Sql_parser.parse sql) in
+              let qg = Perso.Qgraph.of_query db bound in
+              Some (Perso.Semantic.instance_related db qg)
+            end
+            else None
+          in
+          match
+            Perso.Personalize.personalize_sql_r ~params ~budget ?related db
+              profile sql
+          with
+          | Error e -> handle_error e
+          | Ok run ->
               List.iter
-                (fun (row, deg) ->
-                  Format.printf "  %-40s doi=%s@."
-                    (String.concat ", "
-                       (Array.to_list (Array.map Relal.Value.to_string row)))
-                    (Perso.Degree.to_string deg))
-                top.Perso.Topn.rows);
-          0
-      | exception Relal.Sql_parser.Parse_error e ->
-          Printf.eprintf "parse error: %s\n" e;
-          1
-      | exception Relal.Binder.Bind_error e ->
-          Printf.eprintf "bind error: %s\n" e;
-          1
-      | exception Perso.Qgraph.Not_conjunctive e ->
-          Printf.eprintf "not a conjunctive SPJ query: %s\n" e;
-          1)
+                (fun d ->
+                  Printf.eprintf "degraded: %s\n"
+                    (Perso.Personalize.degradation_to_string d))
+                run.Perso.Personalize.degradations;
+              (match (run.Perso.Personalize.outcome, topn) with
+              | None, _ ->
+                  Format.printf "== Unpersonalized results ==@.";
+                  print_result run.Perso.Personalize.result
+              | Some outcome, None ->
+                  print_string (Perso.Explain.outcome_report outcome);
+                  Format.printf "@.== Results ==@.";
+                  print_result run.Perso.Personalize.result
+              | Some outcome, Some n ->
+                  print_string (Perso.Explain.outcome_report outcome);
+                  let top =
+                    Perso.Topn.top_n ~l ~n db
+                      (Perso.Qgraph.of_query db
+                         (Relal.Binder.bind db (Relal.Sql_parser.parse sql)))
+                      ~mandatory:outcome.Perso.Personalize.mandatory
+                      ~optional:outcome.Perso.Personalize.optional ()
+                  in
+                  Format.printf
+                    "@.== Top-%d results (%d/%d partials executed, %d probes) ==@."
+                    n top.Perso.Topn.stats.Perso.Topn.partials_executed
+                    top.Perso.Topn.stats.Perso.Topn.partials_total
+                    top.Perso.Topn.stats.Perso.Topn.random_probes;
+                  List.iter
+                    (fun (row, deg) ->
+                      Format.printf "  %-40s doi=%s@."
+                        (String.concat ", "
+                           (Array.to_list (Array.map Relal.Value.to_string row)))
+                        (Perso.Degree.to_string deg))
+                    top.Perso.Topn.rows);
+              0))
 
 let profile_arg =
   Arg.(
@@ -181,21 +215,23 @@ let personalize_cmd =
   Cmd.v
     (Cmd.info "personalize" ~doc:"Personalize and execute a query under a profile")
     Term.(
-      const personalize $ movies_arg $ seed_arg $ data_dir_arg $ profile_arg
-      $ sql_arg $ k_arg $ l_arg $ m_arg $ method_arg $ topn_arg $ semantic_arg)
+      const personalize $ movies_arg $ seed_arg $ data_dir_arg $ deadline_arg
+      $ max_rows_arg $ max_expansions_arg $ profile_arg $ sql_arg $ k_arg
+      $ l_arg $ m_arg $ method_arg $ topn_arg $ semantic_arg)
 
 (* ---------------- gen-profile ---------------- *)
 
 let gen_profile movies seed size out =
-  let db = db_of ~movies ~seed () in
-  let cfg = { Moviedb.Profile_gen.default with seed; n_selections = size } in
-  let profile = Moviedb.Profile_gen.generate db cfg in
-  Perso.Profile.save out profile;
-  Printf.printf "wrote %d selections (+%d joins) to %s\n"
-    (Perso.Profile.size profile)
-    (Perso.Profile.cardinal profile - Perso.Profile.size profile)
-    out;
-  0
+  guarded (fun () ->
+      let db = db_of ~movies ~seed () in
+      let cfg = { Moviedb.Profile_gen.default with seed; n_selections = size } in
+      let profile = Moviedb.Profile_gen.generate db cfg in
+      Perso.Profile.save out profile;
+      Printf.printf "wrote %d selections (+%d joins) to %s\n"
+        (Perso.Profile.size profile)
+        (Perso.Profile.cardinal profile - Perso.Profile.size profile)
+        out;
+      0)
 
 let size_arg =
   Arg.(value & opt int 20 & info [ "size" ] ~doc:"Number of atomic selections.")
@@ -211,31 +247,33 @@ let gen_profile_cmd =
 (* ---------------- learn-profile ---------------- *)
 
 let learn_profile movies seed data_dir log_path out =
-  let db = db_of ?data_dir ~movies ~seed () in
-  let lines =
-    In_channel.with_open_text log_path In_channel.input_lines
-    |> List.map String.trim
-    |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
-  in
-  let queries =
-    List.filter_map
-      (fun line ->
-        match Relal.Sql_parser.parse line with
-        | q -> Some q
-        | exception Relal.Sql_parser.Parse_error e ->
-            Printf.eprintf "skipping unparseable log line (%s): %s\n" e line;
-            None
-        | exception Relal.Sql_lexer.Lex_error (e, _) ->
-            Printf.eprintf "skipping unlexable log line (%s): %s\n" e line;
-            None)
-      lines
-  in
-  let profile = Perso.Learn.learn db queries in
-  Perso.Profile.save out profile;
-  Printf.printf "learned %d preferences from %d queries -> %s\n"
-    (Perso.Profile.cardinal profile)
-    (List.length queries) out;
-  0
+  guarded (fun () ->
+      let db = db_of ?data_dir ~movies ~seed () in
+      let lines =
+        In_channel.with_open_text log_path In_channel.input_lines
+        |> List.map String.trim
+        |> List.filter (fun l ->
+               l <> "" && not (String.length l > 0 && l.[0] = '#'))
+      in
+      let queries =
+        List.filter_map
+          (fun line ->
+            match Relal.Sql_parser.parse line with
+            | q -> Some q
+            | exception Relal.Sql_parser.Parse_error e ->
+                Printf.eprintf "skipping unparseable log line (%s): %s\n" e line;
+                None
+            | exception Relal.Sql_lexer.Lex_error (e, _) ->
+                Printf.eprintf "skipping unlexable log line (%s): %s\n" e line;
+                None)
+          lines
+      in
+      let profile = Perso.Learn.learn db queries in
+      Perso.Profile.save out profile;
+      Printf.printf "learned %d preferences from %d queries -> %s\n"
+        (Perso.Profile.cardinal profile)
+        (List.length queries) out;
+      0)
 
 let log_arg =
   Arg.(
@@ -253,11 +291,12 @@ let learn_profile_cmd =
 (* ---------------- dump-data ---------------- *)
 
 let dump_data movies seed dir =
-  let db = db_of ~movies ~seed () in
-  Relal.Csv.save_db ~dir db;
-  Format.printf "%a" Relal.Database.pp_summary db;
-  Printf.printf "wrote schema.ddl + CSVs to %s\n" dir;
-  0
+  guarded (fun () ->
+      let db = db_of ~movies ~seed () in
+      Relal.Csv.save_db ~dir db;
+      Format.printf "%a" Relal.Database.pp_summary db;
+      Printf.printf "wrote schema.ddl + CSVs to %s\n" dir;
+      0)
 
 let dir_arg =
   Arg.(
@@ -273,13 +312,13 @@ let dump_data_cmd =
 (* ---------------- dot ---------------- *)
 
 let dot profile_path =
-  match Perso.Profile.load profile_path with
-  | Error e ->
-      Printf.eprintf "profile error: %s\n" e;
-      1
-  | Ok profile ->
-      Format.printf "%a" Perso.Pgraph.pp_dot (Perso.Pgraph.of_profile profile);
-      0
+  guarded (fun () ->
+      match Perso.Profile.load profile_path with
+      | Error e -> handle_error (Perso.Error.Profile e)
+      | Ok profile ->
+          Format.printf "%a" Perso.Pgraph.pp_dot
+            (Perso.Pgraph.of_profile profile);
+          0)
 
 let dot_cmd =
   Cmd.v

@@ -72,7 +72,6 @@ let parse_pref_line text =
   | Error e -> Error e
 
 let run_personalized s sql =
-  try
     if Perso.Profile.cardinal s.profile = 0 && Perso.Profile.cardinal s.dislikes = 0
     then begin
       Printf.printf "(no profile loaded; running plain)\n";
@@ -110,13 +109,6 @@ let run_personalized s sql =
         (List.length outcome.Perso.Personalize.selected);
       print_result res
     end
-  with
-  | Relal.Sql_parser.Parse_error e -> report_error "parse error" e
-  | Relal.Sql_lexer.Lex_error (e, _) -> report_error "lex error" e
-  | Relal.Binder.Bind_error e -> report_error "bind error" e
-  | Perso.Qgraph.Not_conjunctive e -> report_error "not conjunctive" e
-  | Perso.Integrate.Integration_error e -> report_error "integration error" e
-  | Relal.Exec.Exec_error e -> report_error "execution error" e
 
 let show s =
   Printf.printf "database: %s\n" s.db_desc;
@@ -134,14 +126,9 @@ let show s =
     (match s.method_ with `SQ -> "sq" | `MQ -> "mq")
 
 let explain s sql =
-  try
-    let q = Relal.Sql_parser.parse sql in
-    let outcome = Perso.Personalize.personalize ~params:(params s) s.db s.profile q in
-    print_string (Perso.Explain.outcome_report outcome)
-  with
-  | Relal.Sql_parser.Parse_error e -> report_error "parse error" e
-  | Relal.Binder.Bind_error e -> report_error "bind error" e
-  | Perso.Qgraph.Not_conjunctive e -> report_error "not conjunctive" e
+  let q = Relal.Sql_parser.parse sql in
+  let outcome = Perso.Personalize.personalize ~params:(params s) s.db s.profile q in
+  print_string (Perso.Explain.outcome_report outcome)
 
 let help () =
   print_string
@@ -174,14 +161,14 @@ let handle_command s line =
       s.db_desc <- Printf.sprintf "synthetic database (%d movies)" n;
       Printf.printf "switched to %s\n" s.db_desc
   | ".load" -> (
-      match Relal.Csv.load_db ~dir:arg with
-      | db ->
+      match Relal.Csv.load_db_r ~dir:arg with
+      | Ok db ->
           s.db <- db;
           s.db_desc <- "loaded from " ^ arg;
           Printf.printf "loaded %s\n" arg
-      | exception Relal.Csv.Csv_error e -> report_error "csv error" e
-      | exception Relal.Ddl.Ddl_error e -> report_error "ddl error" e
-      | exception Sys_error e -> report_error "io error" e)
+      | Error e ->
+          print_endline
+            (Perso.Error.to_string (Perso.Error.of_load_error e)))
   | ".profile" -> (
       match Perso.Profile.load arg with
       | Ok p ->
@@ -210,10 +197,7 @@ let handle_command s line =
       | "sq" -> s.method_ <- `SQ
       | "mq" -> s.method_ <- `MQ
       | other -> report_error "unknown method" other)
-  | ".plain" -> (
-      try print_result (Relal.Engine.run_sql s.db arg) with
-      | Relal.Sql_parser.Parse_error e -> report_error "parse error" e
-      | Relal.Binder.Bind_error e -> report_error "bind error" e)
+  | ".plain" -> print_result (Relal.Engine.run_sql s.db arg)
   | ".show" -> show s
   | ".explain" -> explain s arg
   | other -> Printf.printf "unknown command %s (try .help)\n" other
@@ -227,11 +211,22 @@ let () =
        flush stdout;
        match In_channel.input_line stdin with
        | None -> raise Exit
-       | Some line ->
+       | Some line -> (
            let line = String.trim line in
            if line = "" then ()
-           else if line.[0] = '.' then handle_command s line
-           else run_personalized s line
+           else
+             (* One catch-all per input line: any failure — parse,
+                bind, storage, even Stack_overflow or Out_of_memory
+                from a pathological query — becomes a one-line typed
+                message and the session continues. *)
+             try
+               if line.[0] = '.' then handle_command s line
+               else run_personalized s line
+             with
+             | Exit -> raise Exit
+             | e ->
+                 print_endline
+                   (Perso.Error.to_string (Perso.Error.of_exn_any e)))
      done
    with Exit -> ());
   print_newline ()

@@ -1,0 +1,71 @@
+type t =
+  | Parse of string
+  | Lex of { msg : string; pos : int }
+  | Bind of string
+  | Not_conjunctive of string
+  | Profile of string
+  | Storage of string
+  | Resource_exhausted of Relal.Governor.progress
+  | Internal of string
+
+let no_progress exhausted =
+  { Relal.Governor.exhausted; rows_produced = 0; expansions = 0;
+    elapsed_ms = 0. }
+
+let of_exn = function
+  | Relal.Sql_parser.Parse_error e -> Some (Parse e)
+  | Relal.Sql_lexer.Lex_error (msg, pos) -> Some (Lex { msg; pos })
+  | Relal.Binder.Bind_error e -> Some (Bind e)
+  | Qgraph.Not_conjunctive e -> Some (Not_conjunctive e)
+  | Integrate.Integration_error e -> Some (Internal ("integration: " ^ e))
+  | Relal.Exec.Exec_error e -> Some (Internal e)
+  | Relal.Csv.Csv_error e -> Some (Storage e)
+  | Relal.Ddl.Ddl_error e -> Some (Storage e)
+  | Sys_error e -> Some (Storage e)
+  | Relal.Governor.Exhausted p -> Some (Resource_exhausted p)
+  | Relal.Chaos.Injected { point; transient } -> (
+      let msg =
+        Printf.sprintf "injected %s fault at %s"
+          (if transient then "transient" else "permanent")
+          (Relal.Chaos.point_name point)
+      in
+      match point with
+      | Relal.Chaos.Profile_load | Relal.Chaos.Persist_write ->
+          Some (Storage msg)
+      | Relal.Chaos.Scan | Relal.Chaos.Join_build | Relal.Chaos.Join_probe ->
+          Some (Internal msg))
+  | Stack_overflow -> Some (Resource_exhausted (no_progress "stack"))
+  | Out_of_memory -> Some (Resource_exhausted (no_progress "memory"))
+  | Invalid_argument e -> Some (Internal ("invalid argument: " ^ e))
+  | Failure e -> Some (Internal e)
+  | _ -> None
+
+let of_exn_any e =
+  match of_exn e with Some t -> t | None -> Internal (Printexc.to_string e)
+
+let of_load_error e = Storage (Relal.Csv.load_error_to_string e)
+
+let guard f =
+  match f () with v -> Ok v | exception e -> Error (of_exn_any e)
+
+let to_string = function
+  | Parse e -> "parse error: " ^ e
+  | Lex { msg; pos } -> Printf.sprintf "lex error: %s (at byte %d)" msg pos
+  | Bind e -> "bind error: " ^ e
+  | Not_conjunctive e -> "not a conjunctive SPJ query: " ^ e
+  | Profile e -> "profile error: " ^ e
+  | Storage e -> "storage error: " ^ e
+  | Resource_exhausted p ->
+      "resource exhausted: " ^ Relal.Governor.progress_to_string p
+  | Internal e -> "internal error: " ^ e
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)
+
+(* One exit code per family, so scripts can branch: user errors are
+   retriable after fixing the request, storage errors after fixing the
+   data, resource errors with a bigger budget. *)
+let exit_code = function
+  | Parse _ | Lex _ | Bind _ | Not_conjunctive _ | Profile _ -> 1
+  | Storage _ -> 2
+  | Resource_exhausted _ -> 3
+  | Internal _ -> 4

@@ -19,12 +19,12 @@ type outcome = {
   selection_stats : Select.stats;
 }
 
-let personalize ?(params = default_params) ?related db profile q =
+let personalize ?(params = default_params) ?related ?gov db profile q =
   let q = Binder.bind db q in
   let qg = Qgraph.of_query db q in
   let g = Pgraph.of_profile profile in
   let stats = Select.fresh_stats () in
-  let selected = Select.select ~stats ?related db g qg params.k in
+  let selected = Select.select ~stats ?gov ?related db g qg params.k in
   let instantiated = Integrate.instantiate db qg selected in
   let mandatory, optional =
     Integrate.split_mandatory ~m:params.m instantiated (fun i ->
@@ -52,12 +52,124 @@ let personalize ?(params = default_params) ?related db profile q =
   in
   { selected; mandatory; optional; personalized; selection_stats = stats }
 
-let execute ?strategy db outcome = Engine.run_query ?strategy db outcome.personalized
+let execute ?strategy ?gov db outcome =
+  Engine.run_query ?strategy ?gov db outcome.personalized
 
 let personalize_sql ?params db profile sql =
   let q = Sql_parser.parse sql in
   let outcome = personalize ?params db profile q in
   (outcome, execute db outcome)
+
+(* ------------------------- resilient entry points ------------------- *)
+
+type degradation =
+  | Reduced of { params : params; cause : Error.t }
+  | Unpersonalized of { cause : Error.t }
+
+type run = {
+  outcome : outcome option;
+  result : Exec.result;
+  degradations : degradation list;
+}
+
+(* One rung down the ladder: halve how much personalization the request
+   asks for.  Top-K halves; degree thresholds move halfway towards 1
+   (stricter admission, smaller P_K); the L requirement weakens. *)
+let halve_params p =
+  let towards_one d = Degree.of_float ((1. +. Degree.to_float d) /. 2.) in
+  let k =
+    match p.k with
+    | Criteria.Top_r r -> Criteria.Top_r (max 1 (r / 2))
+    | Criteria.Above d -> Criteria.Above (towards_one d)
+    | Criteria.Disj_above d -> Criteria.Disj_above (towards_one d)
+    | Criteria.Conj_above d -> Criteria.Conj_above (towards_one d)
+  in
+  let l =
+    match p.l with
+    | `At_least n -> `At_least (n / 2)
+    | `Min_doi d -> `Min_doi (d /. 2.)
+  in
+  { p with k; l }
+
+(* Which failures another rung can plausibly fix: smaller K/L (or no
+   personalization at all) shrinks the rewritten query, so resource
+   exhaustion and internal/engine failures are worth retrying under.
+   Parse/bind/profile/storage failures are invariant down the ladder. *)
+let degradable = function
+  | Error.Resource_exhausted _ | Error.Internal _ | Error.Not_conjunctive _ ->
+      true
+  | Error.Parse _ | Error.Lex _ | Error.Bind _ | Error.Profile _
+  | Error.Storage _ ->
+      false
+
+let personalize_r ?(params = default_params) ?(budget = Governor.unlimited)
+    ?related db profile q =
+  (* Each rung gets the full budget: the deadline measures one attempt's
+     work, not the ladder's total (callers wanting a global cap can arm
+     a shorter deadline). *)
+  let fresh_gov () =
+    if Governor.is_unlimited budget then None else Some (Governor.start budget)
+  in
+  let attempt ps =
+    Chaos.retry (fun () ->
+        let gov = fresh_gov () in
+        let outcome = personalize ~params:ps ?related ?gov db profile q in
+        let res = execute ?gov db outcome in
+        (outcome, res))
+  in
+  let unpersonalized steps cause =
+    let step = Unpersonalized { cause } in
+    match
+      Chaos.retry (fun () -> Engine.run_query ?gov:(fresh_gov ()) db q)
+    with
+    | res ->
+        Ok { outcome = None; result = res; degradations = steps @ [ step ] }
+    | exception e -> Error (Error.of_exn_any e)
+  in
+  match attempt params with
+  | outcome, res ->
+      Ok { outcome = Some outcome; result = res; degradations = [] }
+  | exception e -> (
+      let cause = Error.of_exn_any e in
+      if not (degradable cause) then Error cause
+      else
+        match cause with
+        | Error.Not_conjunctive _ ->
+            (* No amount of K/L reduction makes a non-SPJ query
+               personalizable; execute it plain. *)
+            unpersonalized [] cause
+        | _ -> (
+            let ps = halve_params params in
+            let step = Reduced { params = ps; cause } in
+            match attempt ps with
+            | outcome, res ->
+                Ok
+                  {
+                    outcome = Some outcome;
+                    result = res;
+                    degradations = [ step ];
+                  }
+            | exception e2 ->
+                let cause2 = Error.of_exn_any e2 in
+                if degradable cause2 then unpersonalized [ step ] cause2
+                else Error cause2))
+
+let personalize_sql_r ?params ?budget ?related db profile sql =
+  match Sql_parser.parse sql with
+  | q -> personalize_r ?params ?budget ?related db profile q
+  | exception e -> Error (Error.of_exn_any e)
+
+let degradation_to_string = function
+  | Reduced { params; cause } ->
+      let l =
+        match params.l with
+        | `At_least n -> string_of_int n
+        | `Min_doi d -> Printf.sprintf "doi>=%.2f" d
+      in
+      Printf.sprintf "reduced personalization (K: %s, L: %s) after %s"
+        (Criteria.to_string params.k) l (Error.to_string cause)
+  | Unpersonalized { cause } ->
+      "dropped personalization after " ^ Error.to_string cause
 
 let top_n ?strategy ~n db outcome =
   let res = execute ?strategy db outcome in

@@ -35,6 +35,7 @@ type outcome = {
 val personalize :
   ?params:params ->
   ?related:(Path.t -> bool) ->
+  ?gov:Relal.Governor.t ->
   Relal.Database.t ->
   Profile.t ->
   Relal.Sql_ast.query ->
@@ -46,15 +47,19 @@ val personalize :
     [Semantic.instance_related db qg] for semantic-level selection (the
     facade builds the query graph itself, so the curried form
     [fun p -> Semantic.instance_related db (Qgraph.of_query db q) p]
-    with a pre-bound [q] is the usual shape). *)
+    with a pre-bound [q] is the usual shape).  [gov] meters the
+    best-first selection loop; @raise Relal.Governor.Exhausted when its
+    budget runs out. *)
 
 val execute :
   ?strategy:[ `Auto | `Naive | `Cost ] ->
+  ?gov:Relal.Governor.t ->
   Relal.Database.t ->
   outcome ->
   Relal.Exec.result
 (** Run the personalized query.  With [rank = true] the result carries a
-    final [doi] column and rows arrive most-interesting first. *)
+    final [doi] column and rows arrive most-interesting first.  [gov]
+    meters execution (see {!Relal.Exec.run}). *)
 
 val personalize_sql :
   ?params:params ->
@@ -63,6 +68,60 @@ val personalize_sql :
   string ->
   outcome * Relal.Exec.result
 (** Convenience: parse SQL text, personalize, execute. *)
+
+(** {1 Resilient entry points}
+
+    The raising API above fails on the first problem.  The [_r] variants
+    instead walk a degradation ladder: full personalization, then halved
+    K/L, then the plain unpersonalized query — recording each step taken
+    and why — and return a typed {!Error.t} only when even the plain
+    query cannot run (or the failure is one degradation cannot fix, such
+    as a parse or storage error).  Transient injected faults
+    ({!Relal.Chaos}) are retried with bounded backoff at every rung. *)
+
+type degradation =
+  | Reduced of { params : params; cause : Error.t }
+      (** retried with these weaker parameters because of [cause] *)
+  | Unpersonalized of { cause : Error.t }
+      (** personalization abandoned; the original query ran plain *)
+
+type run = {
+  outcome : outcome option;
+      (** [None] when the answer is unpersonalized *)
+  result : Relal.Exec.result;
+  degradations : degradation list;  (** ladder steps, in order taken *)
+}
+
+val halve_params : params -> params
+(** One rung down: Top-K halves (min 1), degree thresholds move halfway
+    towards 1, the L requirement weakens by half. *)
+
+val personalize_r :
+  ?params:params ->
+  ?budget:Relal.Governor.budget ->
+  ?related:(Path.t -> bool) ->
+  Relal.Database.t ->
+  Profile.t ->
+  Relal.Sql_ast.query ->
+  (run, Error.t) result
+(** Personalize and execute under [budget] (each ladder rung gets a
+    fresh governor), degrading instead of failing where possible.
+    Never raises. *)
+
+val personalize_sql_r :
+  ?params:params ->
+  ?budget:Relal.Governor.budget ->
+  ?related:(Path.t -> bool) ->
+  Relal.Database.t ->
+  Profile.t ->
+  string ->
+  (run, Error.t) result
+(** {!personalize_r} on SQL text; parse and bind failures are typed
+    errors, not exceptions. *)
+
+val degradation_to_string : degradation -> string
+(** One-line human description, e.g. ["reduced personalization (K: top
+    2, L: 0) after resource exhausted: ..."]. *)
 
 val top_n :
   ?strategy:[ `Auto | `Naive | `Cost ] ->

@@ -110,6 +110,7 @@ let of_string s =
   go AMap.empty 1 lines
 
 let load path =
+  Relal.Chaos.point Relal.Chaos.Profile_load;
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error e -> Error e
   | contents -> of_string contents

@@ -45,6 +45,7 @@ let save db ~user profile =
   rewrite db (others @ mine)
 
 let load db ~user =
+  Chaos.point Chaos.Profile_load;
   let user = String.lowercase_ascii user in
   match Database.find_table db table_name with
   | None -> Ok Profile.empty
@@ -71,6 +72,12 @@ let load db ~user =
             | _ -> errors := "malformed profile row" :: !errors
           end);
       if !errors = [] then Ok !profile else Error (List.rev !errors)
+
+let load_r db ~user =
+  match Error.guard (fun () -> load db ~user) with
+  | Error e -> Error e
+  | Ok (Ok p) -> Ok p
+  | Ok (Error errs) -> Error (Error.Profile (String.concat "; " errs))
 
 let users db =
   match Database.find_table db table_name with

@@ -26,6 +26,11 @@ val load : Relal.Database.t -> user:string -> (Profile.t, string list) result
     profile.  Errors collect unparseable stored rows (e.g. after careless
     hand edits of a CSV dump). *)
 
+val load_r : Relal.Database.t -> user:string -> (Profile.t, Error.t) result
+(** {!load} with the failure modes folded into the {!Error} taxonomy:
+    unparseable rows become [Error.Profile], injected chaos faults and
+    anything else raised become their typed family.  Never raises. *)
+
 val users : Relal.Database.t -> string list
 (** Distinct usernames with stored preferences, sorted. *)
 

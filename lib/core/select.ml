@@ -45,11 +45,17 @@ let try_extend db qg st path (atom, d) =
         | Ok p -> Some p
       end
 
-let select ?stats ?(related = fun _ -> true) db g qg ci =
+let select ?stats ?gov ?(related = fun _ -> true) db g qg ci =
   (* A discarded per-call record, not a module-level one: a shared
      [no_stats] silently accumulated counts across every stats-less call,
      so any later reader saw garbage totals. *)
   let st = match stats with Some s -> s | None -> fresh_stats () in
+  let g_poll () =
+    match gov with None -> () | Some g -> Relal.Governor.poll g
+  in
+  let g_expand () =
+    match gov with None -> () | Some g -> Relal.Governor.add_expansion g
+  in
   let qp : Path.t Putil.Pqueue.t = Putil.Pqueue.create () in
   let push p =
     Putil.Pqueue.push qp (Degree.to_float p.Path.degree) p;
@@ -76,6 +82,7 @@ let select ?stats ?(related = fun _ -> true) db g qg ci =
     match Putil.Pqueue.pop qp with
     | None -> stop := true
     | Some (_, p) ->
+        g_poll ();
         st.pops <- st.pops + 1;
         if Path.is_selection p then begin
           if Criteria.accepts ci ~current:(current ()) p.Path.degree then begin
@@ -87,6 +94,7 @@ let select ?stats ?(related = fun _ -> true) db g qg ci =
           else stop := true
         end
         else if Criteria.accepts ci ~current:(current ()) p.Path.degree then begin
+          g_expand ();
           st.expansions <- st.expansions + 1;
           (* Expand with composable elements in decreasing degree order;
              rule (iv) stops at the first failing extension — but only

@@ -33,6 +33,7 @@ val fresh_stats : unit -> stats
 
 val select :
   ?stats:stats ->
+  ?gov:Relal.Governor.t ->
   ?related:(Path.t -> bool) ->
   Relal.Database.t ->
   Pgraph.t ->
@@ -43,4 +44,6 @@ val select :
     related to (and not conflicting with) the query, in decreasing order
     of degree of interest, cut off by the criterion.  [?related] further
     restricts output (e.g. a semantic-level filter); it defaults to
-    accepting every syntactically related path. *)
+    accepting every syntactically related path.  [?gov] charges one unit
+    per frontier expansion and polls the deadline per pop.
+    @raise Relal.Governor.Exhausted when the armed budget runs out. *)

@@ -1,0 +1,82 @@
+type point =
+  | Scan
+  | Join_build
+  | Join_probe
+  | Profile_load
+  | Persist_write
+
+let point_name = function
+  | Scan -> "scan"
+  | Join_build -> "join-build"
+  | Join_probe -> "join-probe"
+  | Profile_load -> "profile-load"
+  | Persist_write -> "persist-write"
+
+exception Injected of { point : point; transient : bool }
+
+type stats = {
+  mutable evaluations : int;
+  mutable injected : int;
+  mutable injected_transient : int;
+}
+
+type config = {
+  rng : Putil.Rng.t;
+  p : float;
+  transient_ratio : float;
+  stats : stats;
+}
+
+(* One global arming, matching the process-wide injection points.  The
+   default is disarmed: [point] is a single load-and-branch, so shipping
+   the hooks in the hot paths costs nothing when chaos is off. *)
+let state : config option ref = ref None
+
+let fresh_stats () = { evaluations = 0; injected = 0; injected_transient = 0 }
+
+let arm ?(transient_ratio = 0.7) ~seed ~p () =
+  let cfg =
+    { rng = Putil.Rng.create seed; p; transient_ratio; stats = fresh_stats () }
+  in
+  state := Some cfg;
+  cfg.stats
+
+let disarm () = state := None
+
+let armed () = !state <> None
+
+let point pt =
+  match !state with
+  | None -> ()
+  | Some cfg ->
+      cfg.stats.evaluations <- cfg.stats.evaluations + 1;
+      if Putil.Rng.float cfg.rng 1.0 < cfg.p then begin
+        let transient = Putil.Rng.float cfg.rng 1.0 < cfg.transient_ratio in
+        cfg.stats.injected <- cfg.stats.injected + 1;
+        if transient then
+          cfg.stats.injected_transient <- cfg.stats.injected_transient + 1;
+        raise (Injected { point = pt; transient })
+      end
+
+let with_faults ?transient_ratio ~seed ~p f =
+  let stats = arm ?transient_ratio ~seed ~p () in
+  Fun.protect ~finally:disarm (fun () ->
+      let r = f () in
+      (r, stats))
+
+(* ------------------------- transient retries ------------------------- *)
+
+let default_attempts = 3
+let default_backoff_ms = 1.0
+let max_backoff_ms = 100.0
+
+let retry ?(attempts = default_attempts) ?(backoff_ms = default_backoff_ms) f =
+  let rec go n backoff =
+    match f () with
+    | v -> v
+    | exception Injected { transient = true; _ } when n + 1 < attempts ->
+        if backoff > 0. then Unix.sleepf (backoff /. 1000.);
+        go (n + 1) (Float.min (backoff *. 2.) max_backoff_ms)
+  in
+  if attempts <= 0 then invalid_arg "Chaos.retry: attempts must be positive";
+  go 0 backoff_ms

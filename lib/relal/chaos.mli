@@ -1,0 +1,54 @@
+(** Deterministic fault injection.
+
+    When armed, each named injection {!point} flips a seeded coin and
+    raises {!Injected} with probability [p]; a slice of the injected
+    faults is marked transient (retryable).  The points sit on the
+    system's failure surfaces: table scans, hash-join build and probe
+    phases, profile loading, and persistence writes.  Because the coin
+    stream comes from a {!Putil.Rng} seeded at arm time and the engine is
+    deterministic, a chaos run is exactly reproducible from its seed —
+    the property the [make chaos] suite relies on.
+
+    Disarmed (the default), every hook is a single load-and-branch. *)
+
+type point =
+  | Scan  (** base-table scan / access-path materialization *)
+  | Join_build  (** hash-join build phase *)
+  | Join_probe  (** hash-join probe phase / index-NL probe loop *)
+  | Profile_load  (** reading a profile (file or in-database store) *)
+  | Persist_write  (** writing a table dump *)
+
+val point_name : point -> string
+
+exception Injected of { point : point; transient : bool }
+
+type stats = {
+  mutable evaluations : int;  (** coin flips (points crossed) *)
+  mutable injected : int;  (** faults raised *)
+  mutable injected_transient : int;
+}
+
+val arm : ?transient_ratio:float -> seed:int -> p:float -> unit -> stats
+(** Arm global injection with probability [p] per point crossing;
+    [transient_ratio] (default 0.7) of injected faults are transient.
+    Returns the live counters.  Re-arming replaces the previous config. *)
+
+val disarm : unit -> unit
+
+val armed : unit -> bool
+
+val point : point -> unit
+(** Injection hook.  @raise Injected with probability [p] when armed. *)
+
+val with_faults :
+  ?transient_ratio:float -> seed:int -> p:float -> (unit -> 'a) -> 'a * stats
+(** Run [f] with injection armed, disarming afterwards (also on
+    exceptions); returns the result plus the fault counters. *)
+
+val retry : ?attempts:int -> ?backoff_ms:float -> (unit -> 'a) -> 'a
+(** Run [f], retrying on {e transient} {!Injected} faults up to
+    [attempts] times total (default 3) with doubling backoff starting at
+    [backoff_ms] (default 1 ms, capped at 100 ms).  Permanent faults and
+    every other exception propagate immediately; the last transient
+    fault propagates once attempts are spent.
+    @raise Invalid_argument if [attempts <= 0]. *)

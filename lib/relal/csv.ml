@@ -165,32 +165,200 @@ let table_of_string schema text =
 
 (* ----------------------------- databases ----------------------------- *)
 
+(* Crash-safe dump layout: every file of a dump is written into a fresh
+   temp directory and fsynced, a manifest with per-file MD5 checksums and
+   sizes is written last, and the temp directory is swapped in with
+   renames.  The commit point is the [tmp -> dir] rename: a crash at any
+   earlier moment leaves the previous dump untouched (possibly parked at
+   [<dir>.old], which [load_db_r] moves back).  Loading verifies the
+   manifest, so torn or hand-truncated dumps surface as a typed
+   [Torn_dump] instead of a parse error deep inside some table. *)
+
+type load_error =
+  | Missing_dump of string
+  | Torn_dump of { dir : string; detail : string }
+  | Malformed of string
+
+let load_error_to_string = function
+  | Missing_dump dir -> Printf.sprintf "no database dump at %s" dir
+  | Torn_dump { dir; detail } ->
+      Printf.sprintf "torn dump at %s: %s" dir detail
+  | Malformed msg -> msg
+
+let manifest_file = "manifest.sum"
+
+let old_suffix = ".old"
+let tmp_suffix = ".save-tmp"
+
+let write_file_sync path contents =
+  let fd =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      let n = String.length contents in
+      let written = ref 0 in
+      while !written < n do
+        written := !written + Unix.write_substring fd contents !written (n - !written)
+      done;
+      Unix.fsync fd)
+
+(* Directory fsync makes the renames/creates durable; not every
+   filesystem supports it, so failures are ignored. *)
+let fsync_dir path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+(* Dump directories are flat — remove files then the directory. *)
+let rm_rf dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Sys.rmdir dir
+  end
+
+let dump_files db =
+  ("schema.ddl", Ddl.to_string db)
+  :: List.map
+       (fun t -> (Schema.name (Table.schema t) ^ ".csv", table_to_string t))
+       (Database.tables db)
+
+let manifest_of files =
+  String.concat ""
+    (List.map
+       (fun (name, contents) ->
+         Printf.sprintf "%s %d %s\n"
+           (Digest.to_hex (Digest.string contents))
+           (String.length contents) name)
+       files)
+
+let save_db_r ~dir db =
+  let tmp = dir ^ tmp_suffix and old = dir ^ old_suffix in
+  try
+    rm_rf tmp;
+    Sys.mkdir tmp 0o755;
+    let files = dump_files db in
+    List.iter
+      (fun (name, contents) ->
+        (* Each write retries transient injected faults in place. *)
+        Chaos.retry (fun () ->
+            Chaos.point Chaos.Persist_write;
+            write_file_sync (Filename.concat tmp name) contents))
+      files;
+    write_file_sync (Filename.concat tmp manifest_file) (manifest_of files);
+    fsync_dir tmp;
+    (* Swap: park the previous dump, commit the new one, then clean up.
+       A crash between the renames is recovered by [load_db_r]. *)
+    rm_rf old;
+    if Sys.file_exists dir then Sys.rename dir old;
+    Sys.rename tmp dir;
+    fsync_dir (Filename.dirname dir);
+    rm_rf old;
+    Ok ()
+  with
+  | Sys_error e -> Error e
+  | Unix.Unix_error (e, fn, arg) ->
+      Error (Printf.sprintf "%s(%s): %s" fn arg (Unix.error_message e))
+  | Chaos.Injected { point; _ } ->
+      Error (Printf.sprintf "injected fault at %s" (Chaos.point_name point))
+
 let save_db ~dir db =
-  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
-  Out_channel.with_open_text (Filename.concat dir "schema.ddl") (fun oc ->
-      output_string oc (Ddl.to_string db));
-  List.iter
-    (fun t ->
-      let name = Schema.name (Table.schema t) in
-      Out_channel.with_open_text (Filename.concat dir (name ^ ".csv")) (fun oc ->
-          output_string oc (table_to_string t)))
-    (Database.tables db)
+  match save_db_r ~dir db with
+  | Ok () -> ()
+  | Error e -> err "saving %s: %s" dir e
+
+let verify_manifest ~dir =
+  let path = Filename.concat dir manifest_file in
+  let parse_line lineno line =
+    match String.index_opt line ' ' with
+    | None -> err "manifest line %d unparseable" (lineno + 1)
+    | Some i -> (
+        let digest = String.sub line 0 i in
+        let rest = String.sub line (i + 1) (String.length line - i - 1) in
+        match String.index_opt rest ' ' with
+        | None -> err "manifest line %d unparseable" (lineno + 1)
+        | Some j ->
+            let size = String.sub rest 0 j in
+            let name = String.sub rest (j + 1) (String.length rest - j - 1) in
+            (match int_of_string_opt size with
+            | None -> err "manifest line %d unparseable" (lineno + 1)
+            | Some size -> (digest, size, name)))
+  in
+  let check (digest, size, name) =
+    let fpath = Filename.concat dir name in
+    if not (Sys.file_exists fpath) then err "missing file %s" name;
+    let contents = In_channel.with_open_bin fpath In_channel.input_all in
+    if String.length contents <> size then
+      err "%s has %d bytes, manifest says %d" name (String.length contents) size;
+    if Digest.to_hex (Digest.string contents) <> digest then
+      err "checksum mismatch on %s" name
+  in
+  In_channel.with_open_bin path In_channel.input_all
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "")
+  |> List.iteri (fun i l -> check (parse_line i l))
+
+let load_db_r ~dir =
+  let recover () =
+    (* A crash between [save_db_r]'s two renames leaves the previous
+       dump parked at [<dir>.old] and no [dir]; the new dump at
+       [<dir>.save-tmp] was never committed, so the parked one is the
+       durable state — move it back. *)
+    let old = dir ^ old_suffix in
+    if (not (Sys.file_exists dir)) && Sys.file_exists old then
+      Sys.rename old dir
+  in
+  let parse_tables () =
+    let ddl_path = Filename.concat dir "schema.ddl" in
+    if not (Sys.file_exists ddl_path) then
+      Error (Torn_dump { dir; detail = "no schema.ddl" })
+    else begin
+      let schema_db =
+        Ddl.parse (In_channel.with_open_text ddl_path In_channel.input_all)
+      in
+      List.iter
+        (fun t ->
+          let schema = Table.schema t in
+          let path = Filename.concat dir (Schema.name schema ^ ".csv") in
+          if Sys.file_exists path then begin
+            let text = In_channel.with_open_text path In_channel.input_all in
+            let parsed = table_of_string schema text in
+            Table.iter parsed (fun row -> Table.insert t (Array.copy row))
+          end)
+        (Database.tables schema_db);
+      Database.index_fk_columns schema_db;
+      Ok schema_db
+    end
+  in
+  try
+    recover ();
+    if not (Sys.file_exists dir) then Error (Missing_dump dir)
+    else begin
+      (* Manifest-less directories (hand-written or pre-manifest dumps)
+         load unverified, as before. *)
+      let verified =
+        if Sys.file_exists (Filename.concat dir manifest_file) then
+          match verify_manifest ~dir with
+          | () -> Ok ()
+          | exception Csv_error e -> Error (Torn_dump { dir; detail = e })
+        else Ok ()
+      in
+      match verified with
+      | Error _ as e -> e
+      | Ok () -> (
+          (* Content errors past a verified manifest are a malformed dump
+             (bad values written in the first place), not a torn one. *)
+          match parse_tables () with
+          | r -> r
+          | exception Csv_error e -> Error (Malformed e)
+          | exception Ddl.Ddl_error e -> Error (Malformed e))
+    end
+  with Sys_error e -> Error (Torn_dump { dir; detail = e })
 
 let load_db ~dir =
-  let ddl_path = Filename.concat dir "schema.ddl" in
-  if not (Sys.file_exists ddl_path) then err "no schema.ddl in %s" dir;
-  let schema_db =
-    Ddl.parse (In_channel.with_open_text ddl_path In_channel.input_all)
-  in
-  List.iter
-    (fun t ->
-      let schema = Table.schema t in
-      let path = Filename.concat dir (Schema.name schema ^ ".csv") in
-      if Sys.file_exists path then begin
-        let text = In_channel.with_open_text path In_channel.input_all in
-        let parsed = table_of_string schema text in
-        Table.iter parsed (fun row -> Table.insert t (Array.copy row))
-      end)
-    (Database.tables schema_db);
-  Database.index_fk_columns schema_db;
-  schema_db
+  match load_db_r ~dir with
+  | Ok db -> db
+  | Error e -> err "%s" (load_error_to_string e)

@@ -9,7 +9,16 @@
 
     A database directory holds [schema.ddl] (see {!Ddl}) plus one
     [<table>.csv] per table — a human-editable on-disk database the CLI
-    can load with [--data-dir]. *)
+    can load with [--data-dir] — and a [manifest.sum] with per-file MD5
+    checksums and sizes.
+
+    Dumps are crash-safe: {!save_db} writes everything into a fresh
+    temp directory, fsyncs each file, writes the manifest last, and
+    swaps the directory in with renames, so an interrupted save leaves
+    the previous dump loadable.  {!load_db_r} verifies the manifest and
+    reports torn or truncated dumps as a typed {!load_error};
+    directories without a manifest (hand-written, or produced before
+    manifests existed) load unverified. *)
 
 exception Csv_error of string
 
@@ -21,11 +30,36 @@ val table_of_string : Schema.t -> string -> Table.t
     @raise Csv_error on malformed CSV, a header mismatch, arity
     mismatches, or unparseable typed fields. *)
 
+type load_error =
+  | Missing_dump of string  (** no dump directory at the given path *)
+  | Torn_dump of { dir : string; detail : string }
+      (** a partial or corrupted dump: manifest verification failed
+          (truncated file, missing table file, checksum mismatch), or
+          the directory lost files the manifest promises *)
+  | Malformed of string
+      (** content errors: bad CSV/DDL syntax, type mismatches *)
+
+val load_error_to_string : load_error -> string
+
+val manifest_file : string
+(** ["manifest.sum"] — one [<md5hex> <size> <filename>] line per file. *)
+
+val save_db_r : dir:string -> Database.t -> (unit, string) result
+(** Atomically (re)write the dump at [dir]: temp directory + fsync +
+    rename swap, with a manifest.  Transient injected faults
+    ({!Chaos.Persist_write}) are retried with bounded backoff; permanent
+    ones and I/O errors return [Error].  An interrupted save never
+    corrupts the existing dump. *)
+
 val save_db : dir:string -> Database.t -> unit
-(** Write [schema.ddl] and one CSV per table; creates [dir] if needed. *)
+(** {!save_db_r}, raising. @raise Csv_error on failure. *)
+
+val load_db_r : dir:string -> (Database.t, load_error) result
+(** Read a directory written by {!save_db} (or by hand).  Recovers a
+    dump parked by a save interrupted between its commit renames.
+    Tables listed in the DDL but missing a CSV load empty when no
+    manifest is present (a manifest makes every listed file mandatory).
+    Foreign-key columns are hash-indexed after loading. *)
 
 val load_db : dir:string -> Database.t
-(** Read a directory written by {!save_db} (or by hand).  Tables listed
-    in the DDL but missing a CSV load empty.  Foreign-key columns are
-    hash-indexed after loading.
-    @raise Csv_error / @raise Ddl.Ddl_error on malformed input. *)
+(** {!load_db_r}, raising.  @raise Csv_error on any load error. *)

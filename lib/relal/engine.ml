@@ -1,5 +1,5 @@
-let run_query ?strategy db q = Exec.run ?strategy db (Binder.bind db q)
+let run_query ?strategy ?gov db q = Exec.run ?strategy ?gov db (Binder.bind db q)
 
-let run_sql ?strategy db sql = run_query ?strategy db (Sql_parser.parse sql)
+let run_sql ?strategy ?gov db sql = run_query ?strategy ?gov db (Sql_parser.parse sql)
 
 let explain db q = Sql_print.query_to_pretty (Binder.bind db q)

@@ -7,6 +7,22 @@ let err fmt = Format.kasprintf (fun s -> raise (Exec_error s)) fmt
 type result = { cols : string array; rows : Value.t array list }
 
 (* --------------------------------------------------------------------- *)
+(* Cooperative governor hooks                                             *)
+(* --------------------------------------------------------------------- *)
+
+(* The governor is ambient for the duration of one [run] (set under
+   [Fun.protect]): the evaluator is a web of mutually recursive
+   functions (derived tables, DNF branches, UNION ALL) that all share
+   the same request budget, so threading a parameter through every one
+   of them buys nothing but noise.  Disarmed, each hook is a single
+   load-and-branch. *)
+let governor : Governor.t option ref = ref None
+
+let g_poll () = match !governor with None -> () | Some g -> Governor.poll g
+
+let g_rows n = match !governor with None -> () | Some g -> Governor.add_rows g n
+
+(* --------------------------------------------------------------------- *)
 (* Working relations: array-backed views with late materialization        *)
 (* --------------------------------------------------------------------- *)
 
@@ -52,6 +68,7 @@ let vrel_of_ids header batch ids =
   }
 
 let vrel_of_table alias tbl =
+  Chaos.point Chaos.Scan;
   vrel_of_batch (base_header alias tbl) (Table.batch tbl)
 
 let empty_vrel header =
@@ -292,8 +309,10 @@ and filter_vrel v preds =
       let f = compile_pred v (conj preds) in
       let sel = Ibuf.create () in
       for r = 0 to v.nrows - 1 do
+        g_poll ();
         if f r then Ibuf.add sel r
       done;
+      g_rows sel.Ibuf.n;
       if sel.Ibuf.n = v.nrows then v else select_rows v (Ibuf.to_array sel)
 
 (* Hash join producing row-id pairs.  The build side is bucketed by a
@@ -322,6 +341,7 @@ and hash_join left right keys =
     done;
     !h land max_int
   in
+  Chaos.point Chaos.Join_build;
   let h = IH.create (max 16 bn) in
   let bsel = Ibuf.create () and psel = Ibuf.create () in
   (* Single-key joins (the overwhelmingly common case) skip the key loop:
@@ -332,11 +352,13 @@ and hash_join left right keys =
   if nk = 1 then begin
     let bread0 = bread.(0) and pread0 = pread.(0) in
     for r = 0 to bn - 1 do
+      g_poll ();
       let k = Value.hash (bread0 r) land max_int in
       match IH.find h k with
       | l -> l := r :: !l
       | exception Not_found -> IH.add h k (ref [ r ])
     done;
+    Chaos.point Chaos.Join_probe;
     let rec emit pr pv = function
       | [] -> ()
       | br :: tl ->
@@ -347,6 +369,7 @@ and hash_join left right keys =
           emit pr pv tl
     in
     for pr = 0 to pn - 1 do
+      g_poll ();
       let pv = pread0 pr in
       match IH.find h (Value.hash pv land max_int) with
       | cands -> emit pr pv !cands
@@ -355,11 +378,13 @@ and hash_join left right keys =
   end
   else begin
     for r = 0 to bn - 1 do
+      g_poll ();
       let k = hash_row bread r in
       match IH.find h k with
       | l -> l := r :: !l
       | exception Not_found -> IH.add h k (ref [ r ])
     done;
+    Chaos.point Chaos.Join_probe;
     let rec keys_eq br pr i =
       i >= nk || (Value.equal (bread.(i) br) (pread.(i) pr) && keys_eq br pr (i + 1))
     in
@@ -373,16 +398,22 @@ and hash_join left right keys =
           emit pr tl
     in
     for pr = 0 to pn - 1 do
+      g_poll ();
       match IH.find h (hash_row pread pr) with
       | cands -> emit pr !cands
       | exception Not_found -> ()
     done
   end;
+  g_rows psel.Ibuf.n;
   let lsel, rsel = if swap then (psel, bsel) else (bsel, psel) in
   join_vrels left (Ibuf.to_array lsel) right (Ibuf.to_array rsel)
 
 and cross_product left right =
   let n = left.nrows * right.nrows in
+  (* Account for the output *before* allocating it: a budget of a few
+     rows must stop a runaway cross product without first building its
+     selection vectors. *)
+  g_rows n;
   let lsel = Array.make n 0 and rsel = Array.make n 0 in
   let k = ref 0 in
   for i = 0 to left.nrows - 1 do
@@ -390,7 +421,8 @@ and cross_product left right =
       lsel.(!k) <- i;
       rsel.(!k) <- j;
       incr k
-    done
+    done;
+    g_poll ()
   done;
   join_vrels left lsel right rsel
 
@@ -413,6 +445,7 @@ and materialize_base ~preds alias tbl : vrel =
   in
   match index_probe with
   | Some (col, v, used) ->
+      Chaos.point Chaos.Scan;
       let rest = List.filter (fun p -> p != used) preds in
       let ids = Array.of_list (Table.lookup_ids tbl col v) in
       filter_vrel (vrel_of_ids header (Table.batch tbl) ids) rest
@@ -452,6 +485,7 @@ and index_nl_join current keys alias tbl : vrel option =
         | Some p -> p
         | None -> err "executor: index vanished on %s.%s" alias pb.col
       in
+      Chaos.point Chaos.Join_probe;
       let csel = Ibuf.create () and bsel = Ibuf.create () in
       (* The emit loops take [r] as an argument so the closures are
          allocated once, not per probed row. *)
@@ -464,6 +498,7 @@ and index_nl_join current keys alias tbl : vrel option =
               emit r tl
         in
         for r = 0 to current.nrows - 1 do
+          g_poll ();
           emit r (probe (pread r))
         done
       end
@@ -484,9 +519,11 @@ and index_nl_join current keys alias tbl : vrel option =
               emit r tl
         in
         for r = 0 to current.nrows - 1 do
+          g_poll ();
           emit r (probe (pread r))
         done
       end;
+      g_rows csel.Ibuf.n;
       Some
         (append_base current (Ibuf.to_array csel) bh (Table.batch tbl)
            (Ibuf.to_array bsel))
@@ -784,6 +821,9 @@ and eval_having v rows h =
 (* --------------------------------------------------------------------- *)
 
 and post_pipeline (q : query) (w : vrel) : result =
+  (* The projection produces [w.nrows] rows (before DISTINCT/LIMIT);
+     account for them up front so a scan-only query is still governed. *)
+  g_rows w.nrows;
   let has_aggs =
     List.exists (function Sel_agg _ -> true | _ -> false) q.select
     || q.having <> None
@@ -821,6 +861,7 @@ and post_pipeline (q : query) (w : vrel) : result =
         let seen = KH.create 64 in
         let acc = ref [] in
         for r = 0 to w.nrows - 1 do
+          g_poll ();
           let out = project r in
           if not (KH.mem seen out) then begin
             KH.add seen out ();
@@ -1132,13 +1173,21 @@ and run_compound ?cost db (c : compound) : result =
       in
       { first with rows }
 
-let run ?(strategy = `Auto) ?stats db q =
-  match strategy with
-  | `Auto -> run_auto db q
-  | `Naive -> run_naive db q
-  | `Cost ->
-      let stats = match stats with Some s -> s | None -> Stats.create db in
-      run_auto ~cost:stats db q
+let run ?(strategy = `Auto) ?stats ?gov db q =
+  let saved = !governor in
+  governor := gov;
+  Fun.protect
+    ~finally:(fun () -> governor := saved)
+    (fun () ->
+      (* A deadline that expired before we even start (or between ladder
+         rungs) must trip deterministically, not after 64 polls. *)
+      (match gov with Some g -> Governor.check_deadline g | None -> ());
+      match strategy with
+      | `Auto -> run_auto db q
+      | `Naive -> run_naive db q
+      | `Cost ->
+          let stats = match stats with Some s -> s | None -> Stats.create db in
+          run_auto ~cost:stats db q)
 
 (* --------------------------------------------------------------------- *)
 (* Result helpers                                                         *)

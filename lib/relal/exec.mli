@@ -28,6 +28,7 @@ type result = { cols : string array; rows : Value.t array list }
 val run :
   ?strategy:[ `Auto | `Naive | `Cost ] ->
   ?stats:Stats.t ->
+  ?gov:Governor.t ->
   Database.t ->
   Sql_ast.query ->
   result
@@ -35,6 +36,11 @@ val run :
     next join by estimated output size ([Stats.join_size]'s containment
     formula) instead of smallest input; pass a cached [?stats] to avoid
     recomputing statistics per query (one is created ad hoc otherwise).
+    [?gov] arms a {!Governor} budget for the duration of the call: the
+    batch loops check it cooperatively, and row production is charged at
+    every operator output (joins, filters, projection).
+    @raise Governor.Exhausted when the armed budget is exceeded;
+    @raise Chaos.Injected under armed fault injection;
     @raise Exec_error on internal violations (which indicate an unbound
     query or an engine bug). *)
 

@@ -1,0 +1,140 @@
+(* Fault injection: under a seeded 5% fault rate, the §7 random
+   workload must end every query in a structured answer or a typed
+   error — never an escaped exception. *)
+
+open Relal
+
+let seed =
+  match Sys.getenv_opt "CHAOS_SEED" with
+  | Some s -> (try int_of_string s with _ -> 1337)
+  | None -> 1337
+
+let test_workload_under_faults () =
+  let db = Moviedb.Datagen.(generate (scale ~seed 200)) in
+  let profile =
+    Moviedb.Profile_gen.generate db
+      { Moviedb.Profile_gen.default with seed; n_selections = 10 }
+  in
+  let queries = Moviedb.Workload.queries db ~n:100 ~seed in
+  let ok = ref 0 and degraded = ref 0 and errors = ref 0 in
+  let (), stats =
+    Chaos.with_faults ~seed ~p:0.05 (fun () ->
+        List.iter
+          (fun q ->
+            match Perso.Personalize.personalize_r db profile q with
+            | Ok run ->
+                incr ok;
+                if run.Perso.Personalize.degradations <> [] then incr degraded
+            | Error e ->
+                incr errors;
+                (* every error renders as a one-line typed message *)
+                Alcotest.(check bool) "error has a message" true
+                  (String.length (Perso.Error.to_string e) > 0))
+          queries)
+  in
+  Alcotest.(check int) "every query accounted for" 100 (!ok + !errors);
+  Alcotest.(check bool) "chaos actually injected faults" true
+    (stats.Chaos.injected > 0);
+  Alcotest.(check bool) "chaos points were evaluated" true
+    (stats.Chaos.evaluations > stats.Chaos.injected);
+  Alcotest.(check bool) "some queries still succeed" true (!ok > 0);
+  Alcotest.(check bool) "chaos disarmed afterwards" false (Chaos.armed ())
+
+let test_determinism () =
+  (* Same seed, same coin flips: the armed RNG stream is reproducible. *)
+  let flips seed =
+    let stats = Chaos.arm ~seed ~p:0.5 () in
+    Fun.protect ~finally:Chaos.disarm (fun () ->
+        List.init 100 (fun _ ->
+            match Chaos.point Chaos.Scan with
+            | () -> false
+            | exception Chaos.Injected _ -> true)
+        |> fun l -> (l, stats.Chaos.injected))
+  in
+  let a, na = flips 7 in
+  let b, nb = flips 7 in
+  Alcotest.(check (list bool)) "identical fault schedule" a b;
+  Alcotest.(check int) "identical counts" na nb;
+  Alcotest.(check bool) "p=0.5 injects roughly half" true (na > 20 && na < 80)
+
+let test_disarmed_is_free () =
+  Alcotest.(check bool) "disarmed by default" false (Chaos.armed ());
+  Chaos.point Chaos.Scan;
+  Chaos.point Chaos.Persist_write
+
+let test_retry_transient () =
+  let calls = ref 0 in
+  let v =
+    Chaos.retry ~attempts:3 ~backoff_ms:0. (fun () ->
+        incr calls;
+        if !calls < 3 then
+          raise (Chaos.Injected { point = Chaos.Scan; transient = true });
+        42)
+  in
+  Alcotest.(check int) "returned after retries" 42 v;
+  Alcotest.(check int) "attempted thrice" 3 !calls
+
+let test_retry_exhausts () =
+  let calls = ref 0 in
+  (match
+     Chaos.retry ~attempts:2 ~backoff_ms:0. (fun () ->
+         incr calls;
+         raise (Chaos.Injected { point = Chaos.Scan; transient = true }))
+   with
+  | (_ : int) -> Alcotest.fail "expected the fault to escape"
+  | exception Chaos.Injected { transient = true; _ } -> ());
+  Alcotest.(check int) "bounded attempts" 2 !calls
+
+let test_retry_permanent_not_retried () =
+  let calls = ref 0 in
+  (match
+     Chaos.retry ~attempts:5 ~backoff_ms:0. (fun () ->
+         incr calls;
+         raise (Chaos.Injected { point = Chaos.Join_build; transient = false }))
+   with
+  | (_ : int) -> Alcotest.fail "expected the fault to escape"
+  | exception Chaos.Injected { transient = false; _ } -> ());
+  Alcotest.(check int) "no retry for permanent faults" 1 !calls
+
+let test_error_classification () =
+  let storage =
+    Perso.Error.of_exn_any
+      (Chaos.Injected { point = Chaos.Persist_write; transient = false })
+  in
+  (match storage with
+  | Perso.Error.Storage _ -> ()
+  | e -> Alcotest.failf "persist fault should be storage: %s" (Perso.Error.to_string e));
+  match
+    Perso.Error.of_exn_any
+      (Chaos.Injected { point = Chaos.Scan; transient = true })
+  with
+  | Perso.Error.Internal msg ->
+      let contains s sub =
+        let n = String.length sub in
+        let rec go i = i + n <= String.length s && (String.sub s i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "names the point" true (contains msg "scan")
+  | e -> Alcotest.failf "scan fault should be internal: %s" (Perso.Error.to_string e)
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "injection",
+        [
+          Alcotest.test_case "workload under 5% faults" `Quick
+            test_workload_under_faults;
+          Alcotest.test_case "deterministic from seed" `Quick test_determinism;
+          Alcotest.test_case "disarmed hooks are no-ops" `Quick
+            test_disarmed_is_free;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "transient retried" `Quick test_retry_transient;
+          Alcotest.test_case "attempts bounded" `Quick test_retry_exhausts;
+          Alcotest.test_case "permanent not retried" `Quick
+            test_retry_permanent_not_retried;
+          Alcotest.test_case "typed classification" `Quick
+            test_error_classification;
+        ] );
+    ]

@@ -1,0 +1,202 @@
+(* Crash-safe database dumps: atomic save protocol, manifest
+   verification, torn-dump detection and recovery. *)
+
+open Relal
+
+let fresh_dir () =
+  let f = Filename.temp_file "crashsafe" "" in
+  Sys.remove f;
+  f
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let saved_tiny () =
+  let db = Moviedb.Personas.tiny_db () in
+  let dir = fresh_dir () in
+  Csv.save_db ~dir db;
+  (db, dir)
+
+let expect_torn = function
+  | Error (Csv.Torn_dump _) -> ()
+  | Error e -> Alcotest.failf "expected Torn_dump, got: %s" (Csv.load_error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Torn_dump, load succeeded"
+
+(* ------------------------------ happy path ------------------------ *)
+
+let test_roundtrip_with_manifest () =
+  let db, dir = saved_tiny () in
+  Alcotest.(check bool) "manifest written" true
+    (Sys.file_exists (Filename.concat dir Csv.manifest_file));
+  match Csv.load_db_r ~dir with
+  | Error e -> Alcotest.failf "load failed: %s" (Csv.load_error_to_string e)
+  | Ok db' ->
+      List.iter
+        (fun t ->
+          let name = Schema.name (Table.schema t) in
+          Alcotest.(check int) (name ^ " rows") (Table.cardinality t)
+            (Table.cardinality (Database.table db' name)))
+        (Database.tables db)
+
+let test_resave_over_existing () =
+  let db, dir = saved_tiny () in
+  Csv.save_db ~dir db;
+  (* a stale temp directory from a crashed save must not block either *)
+  Unix.mkdir (dir ^ ".save-tmp") 0o755;
+  write_file (Filename.concat (dir ^ ".save-tmp") "junk") "junk";
+  Csv.save_db ~dir db;
+  match Csv.load_db_r ~dir with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "load failed: %s" (Csv.load_error_to_string e)
+
+(* ------------------------------ torn dumps ------------------------ *)
+
+let test_truncated_file () =
+  let _, dir = saved_tiny () in
+  let victim = Filename.concat dir "movie.csv" in
+  let contents = read_file victim in
+  write_file victim (String.sub contents 0 (String.length contents / 2));
+  expect_torn (Csv.load_db_r ~dir)
+
+let test_missing_table_file () =
+  let _, dir = saved_tiny () in
+  Sys.remove (Filename.concat dir "movie.csv");
+  expect_torn (Csv.load_db_r ~dir)
+
+let test_checksum_mismatch () =
+  let _, dir = saved_tiny () in
+  let victim = Filename.concat dir "movie.csv" in
+  let contents = Bytes.of_string (read_file victim) in
+  (* same size, different bytes: only the checksum can notice *)
+  let i = Bytes.length contents - 2 in
+  Bytes.set contents i (if Bytes.get contents i = 'x' then 'y' else 'x');
+  write_file victim (Bytes.to_string contents);
+  expect_torn (Csv.load_db_r ~dir)
+
+let test_missing_dump () =
+  match Csv.load_db_r ~dir:(fresh_dir ()) with
+  | Error (Csv.Missing_dump _) -> ()
+  | Error e -> Alcotest.failf "expected Missing_dump: %s" (Csv.load_error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Missing_dump"
+
+(* --------------------------- crash recovery ----------------------- *)
+
+let test_old_dir_recovered () =
+  (* A crash between the two commit renames leaves only <dir>.old; the
+     loader must move it back and serve the previous dump. *)
+  let db, dir = saved_tiny () in
+  Sys.rename dir (dir ^ ".old");
+  (match Csv.load_db_r ~dir with
+  | Error e -> Alcotest.failf "recovery failed: %s" (Csv.load_error_to_string e)
+  | Ok db' ->
+      Alcotest.(check int) "movie rows survive"
+        (Table.cardinality (Database.table db "movie"))
+        (Table.cardinality (Database.table db' "movie")));
+  Alcotest.(check bool) "dump restored in place" true (Sys.file_exists dir)
+
+let test_interrupted_save_keeps_previous () =
+  (* Fail every persistence write: the save reports an error and the
+     existing dump stays fully loadable. *)
+  let db, dir = saved_tiny () in
+  let before = read_file (Filename.concat dir Csv.manifest_file) in
+  let outcome, _stats =
+    Chaos.with_faults ~transient_ratio:0. ~seed:99 ~p:1. (fun () ->
+        Csv.save_db_r ~dir db)
+  in
+  (match outcome with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "save should have failed under p=1 faults");
+  Alcotest.(check string) "previous dump untouched" before
+    (read_file (Filename.concat dir Csv.manifest_file));
+  match Csv.load_db_r ~dir with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "previous dump unloadable: %s" (Csv.load_error_to_string e)
+
+let test_transient_write_faults_retried () =
+  (* Low-probability transient faults are absorbed by bounded retry. *)
+  let db = Moviedb.Personas.tiny_db () in
+  let dir = fresh_dir () in
+  let outcome, stats =
+    (* seed chosen so the deterministic schedule injects faults the
+       bounded retry can absorb (no three-in-a-row on one file) *)
+    Chaos.with_faults ~transient_ratio:1. ~seed:1 ~p:0.3 (fun () ->
+        Csv.save_db_r ~dir db)
+  in
+  Alcotest.(check bool) "faults were injected" true (stats.Chaos.injected > 0);
+  (match outcome with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "retry should have absorbed the faults: %s" e);
+  match Csv.load_db_r ~dir with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "dump unloadable: %s" (Csv.load_error_to_string e)
+
+(* ------------------------- legacy + wrappers ---------------------- *)
+
+let test_manifestless_legacy_load () =
+  let _, dir = saved_tiny () in
+  Sys.remove (Filename.concat dir Csv.manifest_file);
+  match Csv.load_db_r ~dir with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "legacy load failed: %s" (Csv.load_error_to_string e)
+
+let test_malformed_content () =
+  let _, dir = saved_tiny () in
+  Sys.remove (Filename.concat dir Csv.manifest_file);
+  write_file (Filename.concat dir "movie.csv") "not,a,valid\nheader at all";
+  match Csv.load_db_r ~dir with
+  | Error (Csv.Malformed _) -> ()
+  | Error e -> Alcotest.failf "expected Malformed: %s" (Csv.load_error_to_string e)
+  | Ok _ -> Alcotest.fail "expected Malformed"
+
+let test_raising_wrapper () =
+  let _, dir = saved_tiny () in
+  Sys.remove (Filename.concat dir "movie.csv");
+  match Csv.load_db ~dir with
+  | (_ : Database.t) -> Alcotest.fail "expected Csv_error"
+  | exception Csv.Csv_error _ -> ()
+
+let test_error_taxonomy_mapping () =
+  let _, dir = saved_tiny () in
+  Sys.remove (Filename.concat dir "movie.csv");
+  match Csv.load_db_r ~dir with
+  | Error e -> (
+      match Perso.Error.of_load_error e with
+      | Perso.Error.Storage _ -> ()
+      | e' -> Alcotest.failf "expected Storage: %s" (Perso.Error.to_string e'))
+  | Ok _ -> Alcotest.fail "expected a load error"
+
+let () =
+  Alcotest.run "crash-safe"
+    [
+      ( "atomic save",
+        [
+          Alcotest.test_case "round-trip with manifest" `Quick
+            test_roundtrip_with_manifest;
+          Alcotest.test_case "resave over existing" `Quick
+            test_resave_over_existing;
+          Alcotest.test_case "interrupted save keeps previous" `Quick
+            test_interrupted_save_keeps_previous;
+          Alcotest.test_case "transient faults retried" `Quick
+            test_transient_write_faults_retried;
+        ] );
+      ( "torn dumps",
+        [
+          Alcotest.test_case "truncated file" `Quick test_truncated_file;
+          Alcotest.test_case "missing table file" `Quick
+            test_missing_table_file;
+          Alcotest.test_case "checksum mismatch" `Quick test_checksum_mismatch;
+          Alcotest.test_case "missing dump" `Quick test_missing_dump;
+          Alcotest.test_case ".old recovered" `Quick test_old_dir_recovered;
+        ] );
+      ( "legacy + wrappers",
+        [
+          Alcotest.test_case "manifest-less load" `Quick
+            test_manifestless_legacy_load;
+          Alcotest.test_case "malformed content" `Quick test_malformed_content;
+          Alcotest.test_case "raising wrapper" `Quick test_raising_wrapper;
+          Alcotest.test_case "taxonomy mapping" `Quick
+            test_error_taxonomy_mapping;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+(* Parser fuzzing: on arbitrary byte strings the SQL front end may
+   accept or reject, but the only permitted rejections are the typed
+   Lex_error / Parse_error — no Invalid_argument, no Failure, no
+   assertion from deep inside the lexer. *)
+
+open Relal
+
+(* true iff the front end held its contract on this input *)
+let front_end_total s =
+  match Sql_parser.parse s with
+  | (_ : Sql_ast.query) -> true
+  | exception Sql_parser.Parse_error _ -> true
+  | exception Sql_lexer.Lex_error _ -> true
+  | exception _ -> false
+
+let fuzz_random_bytes =
+  QCheck.Test.make ~count:2000 ~name:"parser total on random bytes"
+    QCheck.(string_gen Gen.char)
+    front_end_total
+
+let fuzz_almost_sql =
+  (* Mutations close to real SQL reach deeper into the parser than
+     uniform noise does. *)
+  let fragment =
+    QCheck.Gen.oneofl
+      [
+        "select"; "from"; "where"; "and"; "or"; "group by"; "order";
+        "m.title"; "movie m"; "*"; ","; "("; ")"; "'"; "''"; "0.5"; "42";
+        "="; "<>"; "<="; ">"; "count"; "distinct"; "as"; "having";
+        "union all"; "not"; "null"; "--"; "\n"; " "; "\t"; "\x00"; "\xff";
+      ]
+  in
+  let gen =
+    QCheck.Gen.(map (String.concat " ") (list_size (int_range 0 12) fragment))
+  in
+  QCheck.Test.make ~count:2000 ~name:"parser total on SQL-ish mutations"
+    (QCheck.make ~print:(fun s -> String.escaped s) gen)
+    front_end_total
+
+let adversarial_corpus =
+  [
+    "";
+    " ";
+    "select";
+    "select ";
+    "select * from";
+    "select m. from m";
+    "select 'unterminated from movie m";
+    "select m.title from movie m where";
+    "select m.title from movie m where m.year = ";
+    "select ((((((((((";
+    "select m.title from (select from) x";
+    "select \x00\x01\x02 from \xfe\xff";
+    String.make 10_000 '(';
+    String.make 100_000 'a';
+    "select " ^ String.concat ", " (List.init 2000 (fun i -> Printf.sprintf "t.c%d" i)) ^ " from t";
+    "SELECT M.TITLE FROM MOVIE M WHERE M.YEAR = 2003";
+    "select m.title from movie m where m.title = '\\'";
+    "select m.title -- comment\nfrom movie m";
+  ]
+
+let test_adversarial () =
+  List.iteri
+    (fun i s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "corpus case %d" i)
+        true (front_end_total s))
+    adversarial_corpus
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "sql front end",
+        [
+          QCheck_alcotest.to_alcotest fuzz_random_bytes;
+          QCheck_alcotest.to_alcotest fuzz_almost_sql;
+          Alcotest.test_case "adversarial corpus" `Quick test_adversarial;
+        ] );
+    ]

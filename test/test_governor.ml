@@ -1,0 +1,166 @@
+(* Query governor: budgets trip with partial-progress stats, and the
+   personalization degradation ladder records each step it takes. *)
+
+open Relal
+
+let tiny () = Moviedb.Personas.tiny_db ()
+
+let join_sql =
+  "select m.title from movie m, genre g where m.mid = g.mid"
+
+let exhausted_of f =
+  match f () with
+  | _ -> Alcotest.fail "expected Governor.Exhausted"
+  | exception Governor.Exhausted p -> p
+
+(* ------------------------------ budgets --------------------------- *)
+
+let test_max_rows () =
+  let db = tiny () in
+  let gov = Governor.start { Governor.unlimited with max_rows = Some 1 } in
+  let p = exhausted_of (fun () -> Engine.run_sql ~gov db join_sql) in
+  Alcotest.(check string) "what ran out" "rows" p.Governor.exhausted;
+  Alcotest.(check bool) "partial progress recorded" true
+    (p.Governor.rows_produced > 1);
+  Alcotest.(check bool) "elapsed measured" true (p.Governor.elapsed_ms >= 0.)
+
+let test_expired_deadline () =
+  let db = tiny () in
+  let gov = Governor.start { Governor.unlimited with deadline_ms = Some 0. } in
+  let p = exhausted_of (fun () -> Engine.run_sql ~gov db join_sql) in
+  Alcotest.(check string) "what ran out" "deadline" p.Governor.exhausted
+
+let test_one_row_one_ms () =
+  (* The resilience contract's acceptance case: a 1-row, 1 ms budget
+     yields a typed Resource_exhausted carrying progress stats. *)
+  let db = tiny () in
+  let gov =
+    Governor.start
+      { Governor.deadline_ms = Some 1.; max_rows = Some 1;
+        max_expansions = None }
+  in
+  match Perso.Error.guard (fun () -> Engine.run_sql ~gov db join_sql) with
+  | Ok _ -> Alcotest.fail "expected Resource_exhausted"
+  | Error (Perso.Error.Resource_exhausted p) ->
+      Alcotest.(check bool) "names the spent budget" true
+        (List.mem p.Governor.exhausted [ "rows"; "deadline" ]);
+      Alcotest.(check bool) "message carries stats" true
+        (String.length (Governor.progress_to_string p) > 0)
+  | Error e -> Alcotest.failf "wrong family: %s" (Perso.Error.to_string e)
+
+let test_unlimited_transparent () =
+  let db = tiny () in
+  let plain = Engine.run_sql db join_sql in
+  let gov = Governor.start Governor.unlimited in
+  let governed = Engine.run_sql ~gov db join_sql in
+  Alcotest.(check int) "same row count"
+    (List.length plain.Exec.rows)
+    (List.length governed.Exec.rows)
+
+let test_selection_expansions () =
+  let db = tiny () in
+  let julie = Moviedb.Personas.julie () in
+  let q = Moviedb.Workload.tonight_query () in
+  let gov =
+    Governor.start { Governor.unlimited with max_expansions = Some 0 }
+  in
+  let p =
+    exhausted_of (fun () -> Perso.Personalize.personalize ~gov db julie q)
+  in
+  Alcotest.(check string) "what ran out" "expansions" p.Governor.exhausted;
+  Alcotest.(check int) "stopped at the first expansion" 1 p.Governor.expansions
+
+(* ------------------------- degradation ladder --------------------- *)
+
+let test_ladder_to_unpersonalized () =
+  let db = tiny () in
+  let julie = Moviedb.Personas.julie () in
+  let q = Moviedb.Workload.tonight_query () in
+  let budget = { Governor.unlimited with max_expansions = Some 0 } in
+  match Perso.Personalize.personalize_r ~budget db julie q with
+  | Error e -> Alcotest.failf "expected a degraded run: %s" (Perso.Error.to_string e)
+  | Ok run ->
+      Alcotest.(check bool) "unpersonalized answer" true
+        (run.Perso.Personalize.outcome = None);
+      Alcotest.(check int) "two rungs recorded" 2
+        (List.length run.Perso.Personalize.degradations);
+      (match run.Perso.Personalize.degradations with
+      | [ Perso.Personalize.Reduced { params; cause }; Perso.Personalize.Unpersonalized _ ]
+        ->
+          (match params.Perso.Personalize.k with
+          | Perso.Criteria.Top_r r ->
+              Alcotest.(check bool) "K halved" true (r < 5)
+          | _ -> Alcotest.fail "unexpected criteria shape");
+          (match cause with
+          | Perso.Error.Resource_exhausted _ -> ()
+          | e -> Alcotest.failf "wrong cause: %s" (Perso.Error.to_string e))
+      | _ -> Alcotest.fail "expected Reduced then Unpersonalized");
+      Alcotest.(check bool) "plain query still answered" true
+        (List.length run.Perso.Personalize.result.Exec.rows > 0)
+
+let test_no_degradation_under_generous_budget () =
+  let db = tiny () in
+  let julie = Moviedb.Personas.julie () in
+  let q = Moviedb.Workload.tonight_query () in
+  let budget =
+    { Governor.deadline_ms = Some 60_000.; max_rows = Some 1_000_000;
+      max_expansions = Some 100_000 }
+  in
+  match Perso.Personalize.personalize_r ~budget db julie q with
+  | Error e -> Alcotest.failf "unexpected error: %s" (Perso.Error.to_string e)
+  | Ok run ->
+      Alcotest.(check int) "no degradations" 0
+        (List.length run.Perso.Personalize.degradations);
+      Alcotest.(check bool) "personalized outcome kept" true
+        (run.Perso.Personalize.outcome <> None)
+
+let test_hard_errors_not_degraded () =
+  let db = tiny () in
+  let julie = Moviedb.Personas.julie () in
+  match Perso.Personalize.personalize_sql_r db julie "select nope" with
+  | Error (Perso.Error.Parse _) -> ()
+  | Error e -> Alcotest.failf "wrong family: %s" (Perso.Error.to_string e)
+  | Ok _ -> Alcotest.fail "parse errors must not be degraded away"
+
+let test_halve_params () =
+  let p =
+    { Perso.Personalize.default_params with
+      k = Perso.Criteria.Top_r 5; l = `At_least 3 }
+  in
+  let h = Perso.Personalize.halve_params p in
+  (match h.Perso.Personalize.k with
+  | Perso.Criteria.Top_r r -> Alcotest.(check int) "K halved" 2 r
+  | _ -> Alcotest.fail "criteria shape changed");
+  (match h.Perso.Personalize.l with
+  | `At_least n -> Alcotest.(check int) "L halved" 1 n
+  | _ -> Alcotest.fail "L shape changed");
+  let again = Perso.Personalize.halve_params h in
+  (match again.Perso.Personalize.k with
+  | Perso.Criteria.Top_r r -> Alcotest.(check int) "K floors at 1" 1 r
+  | _ -> Alcotest.fail "criteria shape changed")
+
+let () =
+  Alcotest.run "governor"
+    [
+      ( "budgets",
+        [
+          Alcotest.test_case "max rows" `Quick test_max_rows;
+          Alcotest.test_case "expired deadline" `Quick test_expired_deadline;
+          Alcotest.test_case "1 row + 1 ms acceptance" `Quick
+            test_one_row_one_ms;
+          Alcotest.test_case "unlimited is transparent" `Quick
+            test_unlimited_transparent;
+          Alcotest.test_case "selection expansions" `Quick
+            test_selection_expansions;
+        ] );
+      ( "ladder",
+        [
+          Alcotest.test_case "degrades to unpersonalized" `Quick
+            test_ladder_to_unpersonalized;
+          Alcotest.test_case "generous budget, no degradation" `Quick
+            test_no_degradation_under_generous_budget;
+          Alcotest.test_case "hard errors stay errors" `Quick
+            test_hard_errors_not_degraded;
+          Alcotest.test_case "halve_params" `Quick test_halve_params;
+        ] );
+    ]
