@@ -5,7 +5,7 @@
 BENCH_JSON := /tmp/bench_exec_smoke.json
 CHAOS_SEED ?= 1337
 
-.PHONY: all build test bench chaos check clean
+.PHONY: all build test bench chaos serve-smoke check clean
 
 all: build
 
@@ -20,10 +20,18 @@ bench: build
 
 # Deterministic fault-injection run: the §7 random workload under a 5%
 # seeded fault rate; every query must end in a result or a typed error.
+# A failure prints the seed so the exact fault schedule replays.
 chaos: build
-	CHAOS_SEED=$(CHAOS_SEED) dune exec test/test_chaos.exe
+	@CHAOS_SEED=$(CHAOS_SEED) dune exec test/test_chaos.exe || \
+	  { echo "chaos: FAILED — replay with CHAOS_SEED=$(CHAOS_SEED) make chaos"; exit 1; }
 
-check: build test chaos
+# The server smoke test: start `perso serve` on a Unix socket, drive
+# RUN / PROFILE SAVE / PERSONALIZE / HEALTH / SHUTDOWN through
+# `perso call`, and check the drain outcome (test/serve.t).
+serve-smoke: build
+	dune build @serve
+
+check: build test chaos serve-smoke
 	BENCH_SCALE=quick BENCH_EXEC_OUT=$(BENCH_JSON) dune exec bench/main.exe -- exec
 	python3 -m json.tool $(BENCH_JSON) > /dev/null
 	@echo "check: OK ($(BENCH_JSON) is valid JSON)"

@@ -8,6 +8,8 @@
      learn-profile derive a profile from a file of logged queries
      dump-data     write a database as schema.ddl + CSVs
      dot           print a profile's personalization graph as Graphviz
+     serve         run the concurrent personalization server on a socket
+     call          send one request to a running server
 
    Databases come from three sources: the built-in tiny example DB
    (--movies 0), the synthetic generator (--movies N), or a directory of
@@ -325,6 +327,168 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Print a profile's personalization graph as Graphviz")
     Term.(const dot $ profile_arg)
 
+(* ---------------- serve ---------------- *)
+
+let serve movies seed data_dir deadline max_rows max_expansions socket tcp
+    workers queue drain_ms breaker_threshold breaker_cooldown dump_dir
+    chaos_seed chaos_p =
+  guarded (fun () ->
+      let db = db_of ?data_dir ~movies ~seed () in
+      (match chaos_p with
+      | Some p when p > 0. ->
+          ignore (Relal.Chaos.arm ~seed:chaos_seed ~p () : Relal.Chaos.stats);
+          Printf.eprintf "chaos armed: seed=%d p=%g\n%!" chaos_seed p
+      | _ -> ());
+      let cfg =
+        {
+          (Perso_server.Server.default_config ~socket_path:socket) with
+          Perso_server.Server.tcp_port = tcp;
+          workers;
+          queue_capacity = queue;
+          deadline_ms = deadline;
+          max_rows;
+          max_expansions;
+          drain_ms;
+          breaker_threshold;
+          breaker_cooldown_ms = breaker_cooldown;
+          dump_dir;
+        }
+      in
+      let t = Perso_server.Server.start cfg db in
+      (* SIGTERM/SIGINT begin the drain; [wait] completes it. *)
+      let on_signal _ = Perso_server.Server.request_stop t in
+      (try Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+       with Invalid_argument _ -> ());
+      (try Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal)
+       with Invalid_argument _ -> ());
+      Printf.eprintf "serving on %s%s (workers=%d queue=%d)\n%!" socket
+        (match tcp with
+        | Some p -> Printf.sprintf " and 127.0.0.1:%d" p
+        | None -> "")
+        workers queue;
+      let outcome = Perso_server.Server.wait t in
+      Printf.eprintf "drained=%b shed_at_stop=%d%s\n%!"
+        outcome.Perso_server.Server.drained
+        outcome.Perso_server.Server.shed_at_stop
+        (match outcome.Perso_server.Server.dump with
+        | Some (Ok dir) -> Printf.sprintf " dumped=%s" dir
+        | Some (Error e) -> Printf.sprintf " dump-failed=%s" e
+        | None -> "");
+      if outcome.Perso_server.Server.drained then 0 else 1)
+
+let socket_arg =
+  let doc = "Unix-domain socket path to listen on." in
+  Arg.(
+    required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let tcp_arg =
+  let doc = "Also listen on 127.0.0.1:$(docv)." in
+  Arg.(value & opt (some int) None & info [ "tcp" ] ~docv:"PORT" ~doc)
+
+let workers_arg =
+  let doc = "Worker-pool size." in
+  Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+
+let queue_arg =
+  let doc = "Admission-queue capacity; requests beyond it are shed." in
+  Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+
+let drain_arg =
+  let doc = "Graceful-shutdown drain deadline (milliseconds)." in
+  Arg.(value & opt float 2000. & info [ "drain-ms" ] ~docv:"MS" ~doc)
+
+let breaker_threshold_arg =
+  let doc = "Consecutive storage faults that trip the circuit breaker." in
+  Arg.(value & opt int 3 & info [ "breaker-threshold" ] ~docv:"N" ~doc)
+
+let breaker_cooldown_arg =
+  let doc = "Circuit-breaker open -> half-open cooldown (milliseconds)." in
+  Arg.(value & opt float 250. & info [ "breaker-cooldown-ms" ] ~docv:"MS" ~doc)
+
+let dump_dir_arg =
+  let doc = "Crash-safe-dump the database here on graceful shutdown." in
+  Arg.(value & opt (some string) None & info [ "dump-dir" ] ~docv:"DIR" ~doc)
+
+let chaos_seed_arg =
+  let doc = "Seed for --chaos-p fault injection." in
+  Arg.(value & opt int 1337 & info [ "chaos-seed" ] ~docv:"SEED" ~doc)
+
+let chaos_p_arg =
+  let doc =
+    "Arm seeded fault injection at this probability per injection point \
+     (testing aid)."
+  in
+  Arg.(value & opt (some float) None & info [ "chaos-p" ] ~docv:"P" ~doc)
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve personalized queries concurrently over a socket (admission \
+          control, circuit breaking, graceful drain)")
+    Term.(
+      const serve $ movies_arg $ seed_arg $ data_dir_arg $ deadline_arg
+      $ max_rows_arg $ max_expansions_arg $ socket_arg $ tcp_arg $ workers_arg
+      $ queue_arg $ drain_arg $ breaker_threshold_arg $ breaker_cooldown_arg
+      $ dump_dir_arg $ chaos_seed_arg $ chaos_p_arg)
+
+(* ---------------- call ---------------- *)
+
+let print_response = function
+  | Perso_server.Protocol.Rows { notes; cols; rows } ->
+      List.iter (fun n -> Printf.printf "note: %s\n" n) notes;
+      if cols <> [] then print_endline (String.concat " | " cols);
+      List.iter (fun r -> print_endline (String.concat " | " r)) rows;
+      Printf.printf "(%d rows)\n" (List.length rows);
+      0
+  | Perso_server.Protocol.Stats stats ->
+      List.iter (fun (k, v) -> Printf.printf "%s %s\n" k v) stats;
+      0
+  | Perso_server.Protocol.Message m ->
+      print_endline m;
+      0
+  | Perso_server.Protocol.Failed { family; code; message } ->
+      Printf.eprintf "%s (family %s)\n" message family;
+      code
+
+let call socket wait_ms deadline max_rows max_expansions command =
+  guarded (fun () ->
+      let c = Perso_server.Client.connect ~wait_ms socket in
+      Fun.protect
+        ~finally:(fun () -> Perso_server.Client.close c)
+        (fun () ->
+          match
+            Perso_server.Client.request ?deadline_ms:deadline
+              ?max_rows ?max_expansions c (String.concat " " command)
+          with
+          | Ok resp -> print_response resp
+          | Error e -> handle_error (Perso.Error.Internal ("client: " ^ e))))
+
+let call_socket_arg =
+  let doc = "Unix-domain socket of the running server." in
+  Arg.(
+    required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let wait_ms_arg =
+  let doc = "Keep retrying the connection for this long (server startup)." in
+  Arg.(value & opt float 0. & info [ "wait-ms" ] ~docv:"MS" ~doc)
+
+let command_arg =
+  Arg.(
+    non_empty & pos_all string []
+    & info [] ~docv:"COMMAND"
+        ~doc:"Request words, e.g. RUN select ... or HEALTH or SHUTDOWN.")
+
+let call_cmd =
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:
+         "Send one request to a running server; exits with the error \
+          family's code on ERR")
+    Term.(
+      const call $ call_socket_arg $ wait_ms_arg $ deadline_arg $ max_rows_arg
+      $ max_expansions_arg $ command_arg)
+
 let () =
   let info = Cmd.info "perso_cli" ~doc:"Query personalization (ICDE 2004) toolkit" in
   exit
@@ -332,5 +496,5 @@ let () =
        (Cmd.group info
           [
             demo_cmd; run_sql_cmd; personalize_cmd; gen_profile_cmd;
-            learn_profile_cmd; dump_data_cmd; dot_cmd;
+            learn_profile_cmd; dump_data_cmd; dot_cmd; serve_cmd; call_cmd;
           ]))

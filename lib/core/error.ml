@@ -6,6 +6,7 @@ type t =
   | Profile of string
   | Storage of string
   | Resource_exhausted of Relal.Governor.progress
+  | Overloaded of string
   | Internal of string
 
 let no_progress exhausted =
@@ -30,7 +31,8 @@ let of_exn = function
           (Relal.Chaos.point_name point)
       in
       match point with
-      | Relal.Chaos.Profile_load | Relal.Chaos.Persist_write ->
+      | Relal.Chaos.Profile_load | Relal.Chaos.Persist_write
+      | Relal.Chaos.Store_mutate ->
           Some (Storage msg)
       | Relal.Chaos.Scan | Relal.Chaos.Join_build | Relal.Chaos.Join_probe ->
           Some (Internal msg))
@@ -57,15 +59,29 @@ let to_string = function
   | Storage e -> "storage error: " ^ e
   | Resource_exhausted p ->
       "resource exhausted: " ^ Relal.Governor.progress_to_string p
+  | Overloaded e -> "overloaded: " ^ e
   | Internal e -> "internal error: " ^ e
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
 
+let family_name = function
+  | Parse _ -> "parse"
+  | Lex _ -> "lex"
+  | Bind _ -> "bind"
+  | Not_conjunctive _ -> "not-conjunctive"
+  | Profile _ -> "profile"
+  | Storage _ -> "storage"
+  | Resource_exhausted _ -> "resource-exhausted"
+  | Overloaded _ -> "overloaded"
+  | Internal _ -> "internal"
+
 (* One exit code per family, so scripts can branch: user errors are
    retriable after fixing the request, storage errors after fixing the
-   data, resource errors with a bigger budget. *)
+   data, resource errors with a bigger budget, overload errors by
+   retrying later against a less busy server. *)
 let exit_code = function
   | Parse _ | Lex _ | Bind _ | Not_conjunctive _ | Profile _ -> 1
   | Storage _ -> 2
   | Resource_exhausted _ -> 3
   | Internal _ -> 4
+  | Overloaded _ -> 5

@@ -23,6 +23,12 @@ type t =
   | Storage of string  (** dump/DDL/CSV/file-system failures *)
   | Resource_exhausted of Relal.Governor.progress
       (** a budget ran out; carries partial-progress statistics *)
+  | Overloaded of string
+      (** the service shed this request instead of doing the work:
+          admission queue full, deadline expired while queued, server
+          draining, or a circuit breaker open for the operation.  The
+          request is safe to retry elsewhere or later — no work was
+          started. *)
   | Internal of string  (** engine invariant violations, unknown exceptions *)
 
 val of_exn : exn -> t option
@@ -44,6 +50,11 @@ val to_string : t -> string
 
 val pp : Format.formatter -> t -> unit
 
+val family_name : t -> string
+(** Short stable family tag for wire protocols and logs: ["parse"],
+    ["lex"], ["bind"], ["not-conjunctive"], ["profile"], ["storage"],
+    ["resource-exhausted"], ["overloaded"], ["internal"]. *)
+
 val exit_code : t -> int
 (** Process exit code per family: user errors 1, storage 2, resource 3,
-    internal 4.  Never 0. *)
+    internal 4, overloaded 5.  Never 0. *)

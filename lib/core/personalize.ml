@@ -99,7 +99,7 @@ let degradable = function
   | Error.Resource_exhausted _ | Error.Internal _ | Error.Not_conjunctive _ ->
       true
   | Error.Parse _ | Error.Lex _ | Error.Bind _ | Error.Profile _
-  | Error.Storage _ ->
+  | Error.Storage _ | Error.Overloaded _ ->
       false
 
 let personalize_r ?(params = default_params) ?(budget = Governor.unlimited)

@@ -14,11 +14,29 @@ let install db =
          ())
 
 (* The table is append-only storage; user-level replace rewrites it.
-   Cardinalities are small (profiles), so the rebuild is cheap. *)
+   Cardinalities are small (profiles), so the rebuild is cheap.
+
+   The rewrite is all-or-nothing: a fault between the clear and the last
+   insert (the {!Chaos.Store_mutate} point is crossed once per row) rolls
+   the table back to its pre-rewrite rows before re-raising, so a
+   concurrent or subsequent [load] sees either the old or the new profile
+   — never an empty or partial one.  The snapshot is safe to restore
+   because [Table.clear] drops the backing batch rather than reusing its
+   row arrays. *)
 let rewrite db keep_rows =
   let t = Database.table db table_name in
+  let before = Table.to_list t in
   Table.clear t;
-  List.iter (Table.insert t) keep_rows
+  try
+    List.iter
+      (fun row ->
+        Chaos.point Chaos.Store_mutate;
+        Table.insert t row)
+      keep_rows
+  with e ->
+    Table.clear t;
+    List.iter (Table.insert t) before;
+    raise e
 
 let rows_except db user =
   match Database.find_table db table_name with

@@ -3,6 +3,7 @@ type point =
   | Join_build
   | Join_probe
   | Profile_load
+  | Store_mutate
   | Persist_write
 
 let point_name = function
@@ -10,6 +11,7 @@ let point_name = function
   | Join_build -> "join-build"
   | Join_probe -> "join-probe"
   | Profile_load -> "profile-load"
+  | Store_mutate -> "store-mutate"
   | Persist_write -> "persist-write"
 
 exception Injected of { point : point; transient : bool }
@@ -70,13 +72,30 @@ let default_attempts = 3
 let default_backoff_ms = 1.0
 let max_backoff_ms = 100.0
 
-let retry ?(attempts = default_attempts) ?(backoff_ms = default_backoff_ms) f =
+let default_sleep =
+  ref (fun ms -> if ms > 0. then Unix.sleepf (ms /. 1000.))
+
+let set_sleep f = default_sleep := f
+
+(* Decorrelated jitter (the AWS formulation): each wait is uniform in
+   [base, 3 × previous wait], capped.  Spreads concurrent retriers out
+   instead of synchronizing them into waves, while the seeded stream
+   keeps any single schedule reproducible. *)
+let next_backoff rng ~base prev =
+  let hi = Float.min max_backoff_ms (prev *. 3.) in
+  if hi <= base then Float.min base max_backoff_ms
+  else base +. Putil.Rng.float rng (hi -. base)
+
+let retry ?(attempts = default_attempts) ?(backoff_ms = default_backoff_ms)
+    ?(jitter_seed = 0x7e57) ?sleep f =
+  let sleep = match sleep with Some s -> s | None -> !default_sleep in
+  let rng = lazy (Putil.Rng.create jitter_seed) in
   let rec go n backoff =
     match f () with
     | v -> v
     | exception Injected { transient = true; _ } when n + 1 < attempts ->
-        if backoff > 0. then Unix.sleepf (backoff /. 1000.);
-        go (n + 1) (Float.min (backoff *. 2.) max_backoff_ms)
+        if backoff > 0. then sleep backoff;
+        go (n + 1) (next_backoff (Lazy.force rng) ~base:backoff_ms backoff)
   in
   if attempts <= 0 then invalid_arg "Chaos.retry: attempts must be positive";
   go 0 backoff_ms

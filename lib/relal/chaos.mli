@@ -4,10 +4,11 @@
     raises {!Injected} with probability [p]; a slice of the injected
     faults is marked transient (retryable).  The points sit on the
     system's failure surfaces: table scans, hash-join build and probe
-    phases, profile loading, and persistence writes.  Because the coin
-    stream comes from a {!Putil.Rng} seeded at arm time and the engine is
-    deterministic, a chaos run is exactly reproducible from its seed —
-    the property the [make chaos] suite relies on.
+    phases, profile loading, in-place store mutation, and persistence
+    writes.  Because the coin stream comes from a {!Putil.Rng} seeded at
+    arm time and the engine is deterministic, a chaos run is exactly
+    reproducible from its seed — the property the [make chaos] suite
+    relies on.
 
     Disarmed (the default), every hook is a single load-and-branch. *)
 
@@ -16,6 +17,9 @@ type point =
   | Join_build  (** hash-join build phase *)
   | Join_probe  (** hash-join probe phase / index-NL probe loop *)
   | Profile_load  (** reading a profile (file or in-database store) *)
+  | Store_mutate
+      (** in-place mutation of an in-database store (e.g. the
+          profile-table rewrite a [PROFILE SAVE] performs) *)
   | Persist_write  (** writing a table dump *)
 
 val point_name : point -> string
@@ -45,10 +49,26 @@ val with_faults :
 (** Run [f] with injection armed, disarming afterwards (also on
     exceptions); returns the result plus the fault counters. *)
 
-val retry : ?attempts:int -> ?backoff_ms:float -> (unit -> 'a) -> 'a
+val set_sleep : (float -> unit) -> unit
+(** Replace the process-wide default sleep used by {!retry} backoff
+    (argument in milliseconds; the default calls [Unix.sleepf]).  Test
+    suites install [ignore] so retries stop costing wall-clock; a
+    per-call [?sleep] to {!retry} takes precedence. *)
+
+val retry :
+  ?attempts:int ->
+  ?backoff_ms:float ->
+  ?jitter_seed:int ->
+  ?sleep:(float -> unit) ->
+  (unit -> 'a) ->
+  'a
 (** Run [f], retrying on {e transient} {!Injected} faults up to
-    [attempts] times total (default 3) with doubling backoff starting at
-    [backoff_ms] (default 1 ms, capped at 100 ms).  Permanent faults and
-    every other exception propagate immediately; the last transient
-    fault propagates once attempts are spent.
+    [attempts] times total (default 3).  Waits between attempts follow
+    decorrelated jitter: each wait is drawn uniformly from
+    [\[backoff_ms, 3 × previous wait\]] (seeded by [jitter_seed], so a
+    retry schedule is reproducible), capped at 100 ms, starting at
+    [backoff_ms] (default 1 ms).  [sleep] receives each wait in
+    milliseconds (default: the process-wide sleep, see {!set_sleep}).
+    Permanent faults and every other exception propagate immediately;
+    the last transient fault propagates once attempts are spent.
     @raise Invalid_argument if [attempts <= 0]. *)

@@ -55,12 +55,21 @@ let poll g =
     check_deadline g
   end
 
+(* Batch-sized accounting reads the clock immediately: a single
+   [add_rows] call can represent an arbitrarily large cross product
+   about to be materialized, and amortizing that behind the poll stride
+   would let a runaway product overshoot its deadline by the whole
+   allocation.  Row-at-a-time accounting stays on the cheap stride. *)
 let add_rows g n =
   g.rows <- g.rows + n;
   (match g.budget.max_rows with
   | Some limit when g.rows > limit -> exhaust g "rows"
   | _ -> ());
-  poll g
+  if n >= poll_stride then begin
+    g.polls <- 0;
+    check_deadline g
+  end
+  else poll g
 
 let add_expansion g =
   g.exps <- g.exps + 1;

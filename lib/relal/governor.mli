@@ -46,7 +46,10 @@ val poll : t -> unit
     @raise Exhausted past the deadline. *)
 
 val add_rows : t -> int -> unit
-(** Record [n] rows produced, then check bounds.
+(** Record [n] rows produced, then check bounds.  A batch-sized [n]
+    (>= the poll stride) checks the deadline immediately rather than on
+    the amortized stride — a single call can announce a huge product
+    about to be materialized.
     @raise Exhausted over [max_rows] or past the deadline. *)
 
 val add_expansion : t -> unit

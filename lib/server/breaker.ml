@@ -1,0 +1,82 @@
+type state = Closed | Open | Half_open
+
+type t = {
+  m : Mutex.t;
+  now : unit -> float;  (* ms *)
+  threshold : int;
+  cooldown_ms : float;
+  mutable consecutive_failures : int;
+  mutable opened_at : float option;  (* Some => open/half-open *)
+  mutable probe_out : bool;  (* a half-open probe is in flight *)
+  mutable trips : int;
+}
+
+let default_now () = Unix.gettimeofday () *. 1000.
+
+let create ?(now = default_now) ~threshold ~cooldown_ms () =
+  if threshold < 1 then invalid_arg "Breaker.create: threshold must be >= 1";
+  {
+    m = Mutex.create ();
+    now;
+    threshold;
+    cooldown_ms;
+    consecutive_failures = 0;
+    opened_at = None;
+    probe_out = false;
+    trips = 0;
+  }
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let cooled t at = t.now () -. at >= t.cooldown_ms
+
+let state_unlocked t =
+  match t.opened_at with
+  | None -> Closed
+  | Some at -> if cooled t at then Half_open else Open
+
+let state t = locked t (fun () -> state_unlocked t)
+
+let allow t =
+  locked t (fun () ->
+      match state_unlocked t with
+      | Closed -> true
+      | Open -> false
+      | Half_open ->
+          (* One probe at a time: the slot frees on success/failure. *)
+          if t.probe_out then false
+          else begin
+            t.probe_out <- true;
+            true
+          end)
+
+let success t =
+  locked t (fun () ->
+      t.consecutive_failures <- 0;
+      t.opened_at <- None;
+      t.probe_out <- false)
+
+let trip t =
+  t.trips <- t.trips + 1;
+  t.opened_at <- Some (t.now ());
+  t.probe_out <- false
+
+let failure t =
+  locked t (fun () ->
+      match t.opened_at with
+      | Some _ ->
+          (* Failed half-open probe (or a straggler from before the
+             trip): re-open and restart the cooldown. *)
+          trip t
+      | None ->
+          t.consecutive_failures <- t.consecutive_failures + 1;
+          if t.consecutive_failures >= t.threshold then trip t)
+
+let trips t = locked t (fun () -> t.trips)
+
+let state_name = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"

@@ -1,0 +1,48 @@
+(** A circuit breaker for the profile-store / storage failure surface.
+
+    The server wraps every operation that can raise a [Storage]-family
+    fault — profile loads, profile-table rewrites, shutdown dumps — in
+    one breaker.  [threshold] {e consecutive} failures trip it open;
+    while open, callers skip the operation instantly (the server then
+    serves unpersonalized answers instead of hammering a sick store).
+    After [cooldown_ms] the breaker half-opens and admits exactly one
+    probe: a success closes it again, a failure re-opens it and restarts
+    the cooldown.
+
+    The clock is injectable ([?now], milliseconds) so tests can trip,
+    cool and recover the breaker deterministically without sleeping;
+    paired with {!Relal.Chaos} seeds, a whole open→half-open→closed
+    cycle replays exactly.  All operations are thread-safe. *)
+
+type t
+
+type state = Closed | Open | Half_open
+
+val create : ?now:(unit -> float) -> threshold:int -> cooldown_ms:float -> unit -> t
+(** [threshold] must be >= 1; [now] defaults to the real clock.
+    @raise Invalid_argument on a non-positive threshold. *)
+
+val state : t -> state
+(** Current state; reports [Half_open] once [cooldown_ms] has elapsed
+    since the trip (without consuming the probe slot). *)
+
+val allow : t -> bool
+(** May the caller attempt the protected operation now?  [true] while
+    closed; [false] while open and cooling; in the half-open window the
+    first caller gets [true] (claiming the single probe slot) and
+    concurrent callers [false].  A caller granted [true] must report
+    back via {!success} or {!failure}. *)
+
+val success : t -> unit
+(** The protected operation succeeded: reset the failure run and close. *)
+
+val failure : t -> unit
+(** The protected operation failed: extend the failure run; trips the
+    breaker at [threshold] consecutive failures, and re-opens it if this
+    was the half-open probe. *)
+
+val trips : t -> int
+(** Times the breaker has opened (including half-open re-opens). *)
+
+val state_name : state -> string
+(** ["closed" | "open" | "half-open"]. *)

@@ -1,0 +1,61 @@
+type t = {
+  m : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable active_readers : int;
+  mutable writer_active : bool;
+  mutable writers_waiting : int;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    active_readers = 0;
+    writer_active = false;
+    writers_waiting = 0;
+  }
+
+let lock_read t =
+  Mutex.lock t.m;
+  (* Writer preference: queue behind waiting writers, not just active
+     ones, so saves cannot be starved by an unbroken reader stream. *)
+  while t.writer_active || t.writers_waiting > 0 do
+    Condition.wait t.can_read t.m
+  done;
+  t.active_readers <- t.active_readers + 1;
+  Mutex.unlock t.m
+
+let unlock_read t =
+  Mutex.lock t.m;
+  t.active_readers <- t.active_readers - 1;
+  if t.active_readers = 0 then Condition.signal t.can_write;
+  Mutex.unlock t.m
+
+let lock_write t =
+  Mutex.lock t.m;
+  t.writers_waiting <- t.writers_waiting + 1;
+  while t.writer_active || t.active_readers > 0 do
+    Condition.wait t.can_write t.m
+  done;
+  t.writers_waiting <- t.writers_waiting - 1;
+  t.writer_active <- true;
+  Mutex.unlock t.m
+
+let unlock_write t =
+  Mutex.lock t.m;
+  t.writer_active <- false;
+  if t.writers_waiting > 0 then Condition.signal t.can_write
+  else Condition.broadcast t.can_read;
+  Mutex.unlock t.m
+
+let with_read t f =
+  lock_read t;
+  Fun.protect ~finally:(fun () -> unlock_read t) f
+
+let with_write t f =
+  lock_write t;
+  Fun.protect ~finally:(fun () -> unlock_write t) f
+
+let readers t = t.active_readers

@@ -1,0 +1,24 @@
+(** A reader/writer lock for the shared {!Relal.Database.t}.
+
+    Queries ([RUN]/[PERSONALIZE]) only read the catalog, so any number
+    may run concurrently; [PROFILE SAVE] rewrites the profiles table in
+    place and must be alone.  Writers are preferred: once a writer is
+    waiting, new readers queue behind it, so a steady query stream
+    cannot starve profile mutations.
+
+    The lock is not reentrant — a thread acquiring it twice deadlocks —
+    and {!with_read}/{!with_write} release on exceptions, matching the
+    server's promise that a failed request never wedges the pool. *)
+
+type t
+
+val create : unit -> t
+
+val with_read : t -> (unit -> 'a) -> 'a
+(** Run [f] holding a shared read lock. *)
+
+val with_write : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the exclusive write lock. *)
+
+val readers : t -> int
+(** Active readers right now (observability only; racy by nature). *)

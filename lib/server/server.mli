@@ -1,0 +1,106 @@
+(** The concurrent personalization server.
+
+    One process serves many clients over a Unix-domain socket (and
+    optionally TCP) with the line protocol of {!Protocol}.  The
+    architecture is a classic bounded system:
+
+    {v
+    acceptor ──► connection threads ──► bounded admission queue ──► worker pool
+                      │                        │                        │
+                      │   queue full /         │  expired while         │ per-request
+                      │   draining: shed       │  queued: shed          │ Governor budget
+                      ▼                        ▼                        ▼
+                 ERR overloaded           ERR overloaded          result / typed error
+    v}
+
+    - {b Admission control}: each data-plane request is pushed into a
+      queue of at most [queue_capacity] jobs.  When the queue is full,
+      or the server is draining, the request is rejected {e immediately}
+      with a typed [Overloaded] error — the server never queues
+      unboundedly.  A request whose deadline elapses while it waits in
+      the queue is shed by the worker without doing any work.
+    - {b Budgets}: client [DEADLINE-MS]/[MAX-ROWS]/[MAX-EXPANSIONS]
+      headers are capped by the server's configured limits and armed as
+      a {!Relal.Governor} budget per request.
+    - {b Circuit breaking}: profile-store operations run through a
+      {!Breaker}.  While open, [PERSONALIZE] skips the profile load and
+      serves the plain query (with a [NOTE]), and [PROFILE SAVE] is
+      rejected with [Overloaded]; the breaker half-opens on a timer.
+    - {b Isolation}: queries hold a shared read lock on the database;
+      [PROFILE SAVE] holds the exclusive write lock (see {!Rwlock}).
+    - {b Graceful drain}: {!request_stop} (wired to SIGTERM by the CLI
+      and to the [SHUTDOWN] command) stops admission; {!stop} waits up
+      to [drain_ms] for queued and in-flight work, sheds whatever
+      remains, optionally crash-safe-dumps the database, and joins every
+      thread.
+
+    Control-plane commands ([HEALTH], [PING], [SHUTDOWN], [QUIT]) are
+    answered on the connection thread without queueing, so the server
+    stays observable exactly when it is saturated. *)
+
+type config = {
+  socket_path : string;  (** Unix-domain socket to listen on *)
+  tcp_port : int option;  (** also listen on 127.0.0.1:port *)
+  workers : int;  (** worker-pool size (>= 1) *)
+  queue_capacity : int;  (** admission-queue bound (>= 1) *)
+  deadline_ms : float option;  (** server-side cap on request deadlines *)
+  max_rows : int option;  (** cap on rows-produced budgets *)
+  max_expansions : int option;  (** cap on selection-expansion budgets *)
+  drain_ms : float;  (** graceful-shutdown drain deadline *)
+  breaker_threshold : int;  (** consecutive storage faults that trip *)
+  breaker_cooldown_ms : float;  (** open → half-open timer *)
+  dump_dir : string option;  (** crash-safe dump target on shutdown *)
+}
+
+val default_config : socket_path:string -> config
+(** 4 workers, queue of 64, 5 s deadline cap, 1M rows, 10k expansions,
+    2 s drain, breaker trips after 3 and half-opens after 250 ms, no
+    TCP, no dump. *)
+
+type t
+
+val start : config -> Relal.Database.t -> t
+(** Bind the sockets and spawn the acceptor and worker threads.  The
+    database is shared — the server takes ownership of coordinating
+    access to it.  @raise Unix.Unix_error when binding fails. *)
+
+val request_stop : t -> unit
+(** Flag the server to drain (idempotent, safe from a signal handler's
+    thread context).  Admission stops at the next check; use {!stop} or
+    {!wait} to complete the shutdown. *)
+
+val draining : t -> bool
+
+type drain_outcome = {
+  drained : bool;  (** queue and in-flight hit zero within [drain_ms] *)
+  shed_at_stop : int;  (** jobs still queued when the deadline passed *)
+  dump : (string, string) result option;
+      (** [Some (Ok dir)] after a successful shutdown dump *)
+}
+
+val stop : t -> drain_outcome
+(** Drain and finalize: wait up to [drain_ms] for in-flight work, shed
+    the rest with [Overloaded] errors, dump if configured, close the
+    sockets and join every server thread.  Idempotent — later calls
+    return the first outcome. *)
+
+val wait : t -> drain_outcome
+(** Block until something requests a stop ([SHUTDOWN] command, signal
+    handler calling {!request_stop}), then {!stop}.  What the CLI's
+    [serve] runs after {!start}. *)
+
+val health : t -> (string * string) list
+(** The counters the [HEALTH] command reports, as ordered pairs:
+    [state], [queue_depth], [in_flight], [workers], [queue_capacity],
+    [accepted], [completed_ok], [completed_err], [shed_queue_full],
+    [shed_expired], [shed_draining], [shed_breaker], [breaker_state],
+    [breaker_trips], [unpersonalized_breaker].  Every data-plane request
+    the server ever saw is accounted: with [shed_draining] split into
+    its admission-time part [d_a] (rejected while draining) and its
+    stop-time part [d_s] (= {!drain_outcome}.[shed_at_stop], queued jobs
+    flushed when the drain deadline passed),
+    [arrivals = accepted + shed_queue_full + d_a] and
+    [accepted = completed_ok + completed_err + shed_expired + d_s +
+    queue_depth + in_flight].  [shed_breaker] counts [PROFILE SAVE]s
+    rejected because the breaker was open — those also appear in
+    [completed_err] (they were admitted, then refused). *)

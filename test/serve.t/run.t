@@ -1,0 +1,75 @@
+The concurrent personalization server, end to end over its Unix-domain
+socket: start, probe liveness, run plain and personalized queries, save
+a profile, read the health counters, then drain gracefully.
+
+  $ perso_cli serve --movies 0 --socket ./perso.sock --workers 2 --queue 8 2>serve.log &
+
+The client retries the connection while the server starts:
+
+  $ perso_cli call --socket ./perso.sock --wait-ms 5000 PING
+  pong
+
+Plain SQL through the admission queue:
+
+  $ perso_cli call --socket ./perso.sock "RUN select count(*) as n from movie m"
+  n
+  12
+  (1 rows)
+
+Store Julie's profile and personalize the paper's motivating query —
+comedies rank with doi 0.9 x 0.9 = 0.81:
+
+  $ perso_cli call --socket ./perso.sock "PROFILE SAVE julie [ GENRE.genre = 'comedy', 0.9 ] [ MOVIE.mid = GENRE.mid, 0.9 ]"
+  saved user=julie entries=2
+
+  $ perso_cli call --socket ./perso.sock "PERSONALIZE julie select mv.title from movie mv, play pl where mv.mid = pl.mid and pl.date = '2003-07-02'"
+  title | doi
+  'Sweet Chaos' | 0.81
+  'Laughing Waters' | 0.81
+  'Double Take' | 0.81
+  'Second Spring' | 0.81
+  (4 rows)
+
+  $ perso_cli call --socket ./perso.sock "PROFILE LOAD julie"
+  condition | degree
+  'GENRE.genre = ''comedy''' | 0.9
+  'MOVIE.mid = GENRE.mid' | 0.9
+  (2 rows)
+
+Errors come back as one typed line, mapped to the family's exit code:
+
+  $ perso_cli call --socket ./perso.sock "RUN select nope"
+  parse error: expected keyword FROM (at EOF) (family parse)
+  [1]
+
+The control plane answers without queueing; every request above is
+accounted for (5 data-plane requests: 4 ok, 1 parse error):
+
+  $ perso_cli call --socket ./perso.sock HEALTH
+  state running
+  queue_depth 0
+  in_flight 0
+  workers 2
+  queue_capacity 8
+  accepted 5
+  completed_ok 4
+  completed_err 1
+  shed_queue_full 0
+  shed_expired 0
+  shed_draining 0
+  shed_breaker 0
+  breaker_state closed
+  breaker_trips 0
+  unpersonalized_breaker 0
+
+Graceful drain: SHUTDOWN stops admission, in-flight work finishes, and
+the server exits 0 having shed nothing:
+
+  $ perso_cli call --socket ./perso.sock SHUTDOWN
+  draining
+
+  $ wait
+
+  $ cat serve.log
+  serving on ./perso.sock (workers=2 queue=8)
+  drained=true shed_at_stop=0

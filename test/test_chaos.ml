@@ -4,6 +4,10 @@
 
 open Relal
 
+(* Retry backoff must not cost wall-clock in tests; per-call [?sleep]
+   still takes precedence where a test inspects the waits. *)
+let () = Chaos.set_sleep ignore
+
 let seed =
   match Sys.getenv_opt "CHAOS_SEED" with
   | Some s -> (try int_of_string s with _ -> 1337)
@@ -96,6 +100,138 @@ let test_retry_permanent_not_retried () =
   | exception Chaos.Injected { transient = false; _ } -> ());
   Alcotest.(check int) "no retry for permanent faults" 1 !calls
 
+let always_transient calls () =
+  incr calls;
+  raise (Chaos.Injected { point = Chaos.Scan; transient = true })
+
+let sleeps_of ?attempts ?backoff_ms ?jitter_seed () =
+  let sleeps = ref [] and calls = ref 0 in
+  (match
+     Chaos.retry ?attempts ?backoff_ms ?jitter_seed
+       ~sleep:(fun ms -> sleeps := ms :: !sleeps)
+       (always_transient calls)
+   with
+  | (_ : int) -> Alcotest.fail "expected the fault to escape"
+  | exception Chaos.Injected { transient = true; _ } -> ());
+  (List.rev !sleeps, !calls)
+
+let test_retry_jitter_bounds () =
+  (* Decorrelated jitter: one wait per retry, the first equal to the
+     base, each subsequent one drawn from [base, 3 x previous], capped
+     at 100 ms. *)
+  let base = 4. in
+  let sleeps, calls = sleeps_of ~attempts:6 ~backoff_ms:base () in
+  Alcotest.(check int) "six attempts" 6 calls;
+  Alcotest.(check int) "one wait per retry" 5 (List.length sleeps);
+  Alcotest.(check (float 0.)) "first wait is the base" base (List.hd sleeps);
+  let rec check_chain prev = function
+    | [] -> ()
+    | w :: tl ->
+        Alcotest.(check bool) "wait >= base" true (w >= base);
+        Alcotest.(check bool) "wait <= 3 x previous" true
+          (w <= Float.max base (3. *. prev) +. 1e-9);
+        Alcotest.(check bool) "wait <= cap" true (w <= 100.);
+        check_chain w tl
+  in
+  check_chain (List.hd sleeps) (List.tl sleeps)
+
+let test_retry_jitter_deterministic () =
+  let a, _ = sleeps_of ~attempts:5 ~backoff_ms:2. ~jitter_seed:21 () in
+  let b, _ = sleeps_of ~attempts:5 ~backoff_ms:2. ~jitter_seed:21 () in
+  Alcotest.(check (list (float 0.))) "same seed, same schedule" a b
+
+let test_retry_zero_backoff_no_sleep () =
+  let sleeps, _ = sleeps_of ~attempts:4 ~backoff_ms:0. () in
+  Alcotest.(check (list (float 0.))) "zero backoff never sleeps" [] sleeps
+
+(* ------------------------ profile-save atomicity --------------------- *)
+
+let profile_of_strings entries =
+  match Perso.Profile.of_string (String.concat "\n" entries) with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "bad profile text: %s" e
+
+let profile_fingerprint p =
+  Perso.Profile.entries p
+  |> List.map (fun (atom, deg) ->
+         Printf.sprintf "%s@%g" (Perso.Atom.to_string atom)
+           (Perso.Degree.to_float deg))
+  |> List.sort compare
+
+let load_fingerprint db user =
+  match Perso.Profile_store.load db ~user with
+  | Ok p -> profile_fingerprint p
+  | Error errs -> Alcotest.failf "load failed: %s" (String.concat "; " errs)
+
+let test_profile_save_atomic () =
+  (* All-or-nothing under injected Store_mutate faults: whatever seed
+     the fault lands on, a failed save leaves the OLD profile loadable
+     and a successful one the NEW — never an empty or partial store.
+     Another user's rows ride along to catch cross-user clobbering. *)
+  let old_p =
+    profile_of_strings [ "[ GENRE.genre = 'comedy', 0.9 ]" ]
+  in
+  let new_p =
+    profile_of_strings
+      [ "[ GENRE.genre = 'drama', 0.8 ]"; "[ THEATRE.region = 'downtown', 0.7 ]" ]
+  in
+  let rob =
+    profile_of_strings [ "[ GENRE.genre = 'sci-fi', 1 ]" ]
+  in
+  let old_fp = profile_fingerprint old_p
+  and new_fp = profile_fingerprint new_p
+  and rob_fp = profile_fingerprint rob in
+  let saw_fault = ref false and saw_success = ref false in
+  for seed = 0 to 19 do
+    let db = Moviedb.Personas.tiny_db () in
+    Perso.Profile_store.save db ~user:"julie" old_p;
+    Perso.Profile_store.save db ~user:"rob" rob;
+    let stats = Chaos.arm ~transient_ratio:0. ~seed ~p:0.3 () in
+    let outcome =
+      match Perso.Profile_store.save db ~user:"julie" new_p with
+      | () -> `Saved
+      | exception Chaos.Injected _ -> `Faulted
+    in
+    Chaos.disarm ();
+    Alcotest.(check bool) "store mutations crossed chaos points" true
+      (stats.Chaos.evaluations > 0);
+    (match outcome with
+    | `Saved ->
+        saw_success := true;
+        Alcotest.(check (list string)) "new profile loadable" new_fp
+          (load_fingerprint db "julie")
+    | `Faulted ->
+        saw_fault := true;
+        Alcotest.(check (list string)) "old profile intact" old_fp
+          (load_fingerprint db "julie"));
+    Alcotest.(check (list string)) "other user untouched" rob_fp
+      (load_fingerprint db "rob")
+  done;
+  Alcotest.(check bool) "some seeds faulted" true !saw_fault;
+  Alcotest.(check bool) "some seeds succeeded" true !saw_success
+
+let test_profile_save_transient_retried () =
+  (* The server saves under Chaos.retry: a store rewrite that fails with
+     a transient fault mid-way rolls back, and a later retry lands the
+     new profile — for every seed, the save must come out whole. *)
+  let old_p = profile_of_strings [ "[ GENRE.genre = 'comedy', 0.9 ]" ] in
+  let new_p = profile_of_strings [ "[ GENRE.genre = 'drama', 0.8 ]" ] in
+  let new_fp = profile_fingerprint new_p in
+  let saw_inject = ref false in
+  for seed = 0 to 9 do
+    let db = Moviedb.Personas.tiny_db () in
+    Perso.Profile_store.save db ~user:"julie" old_p;
+    let (), stats =
+      Chaos.with_faults ~transient_ratio:1.0 ~seed ~p:0.5 (fun () ->
+          Chaos.retry ~attempts:50 ~backoff_ms:0. (fun () ->
+              Perso.Profile_store.save db ~user:"julie" new_p))
+    in
+    if stats.Chaos.injected > 0 then saw_inject := true;
+    Alcotest.(check (list string)) "retry landed the new profile" new_fp
+      (load_fingerprint db "julie")
+  done;
+  Alcotest.(check bool) "faults were injected" true !saw_inject
+
 let test_error_classification () =
   let storage =
     Perso.Error.of_exn_any
@@ -134,7 +270,20 @@ let () =
           Alcotest.test_case "attempts bounded" `Quick test_retry_exhausts;
           Alcotest.test_case "permanent not retried" `Quick
             test_retry_permanent_not_retried;
+          Alcotest.test_case "decorrelated jitter bounds" `Quick
+            test_retry_jitter_bounds;
+          Alcotest.test_case "jitter deterministic from seed" `Quick
+            test_retry_jitter_deterministic;
+          Alcotest.test_case "zero backoff never sleeps" `Quick
+            test_retry_zero_backoff_no_sleep;
           Alcotest.test_case "typed classification" `Quick
             test_error_classification;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "profile save is all-or-nothing" `Quick
+            test_profile_save_atomic;
+          Alcotest.test_case "transient save fault retried clean" `Quick
+            test_profile_save_transient_retried;
         ] );
     ]

@@ -70,6 +70,39 @@ let test_selection_expansions () =
   Alcotest.(check string) "what ran out" "expansions" p.Governor.exhausted;
   Alcotest.(check int) "stopped at the first expansion" 1 p.Governor.expansions
 
+let test_poll_stride () =
+  (* Pin the amortization contract: [poll] reads the clock exactly every
+     64th call, so with an already-expired deadline the first 63 polls
+     pass and the 64th raises.  Executor inner loops rely on this being
+     cheap; deadline overshoot is bounded by 63 polls' worth of work.
+     (The deadline is negative because 63 no-op polls can complete
+     within the clock's resolution — elapsed 0 must still count as
+     past-deadline.) *)
+  let expired = { Governor.unlimited with deadline_ms = Some (-1.) } in
+  let gov = Governor.start expired in
+  for _ = 1 to 63 do
+    Governor.poll gov
+  done;
+  (match Governor.poll gov with
+  | () -> Alcotest.fail "64th poll must read the clock and trip"
+  | exception Governor.Exhausted p ->
+      Alcotest.(check string) "deadline tripped" "deadline"
+        p.Governor.exhausted);
+  (* A batch-sized add_rows checks the deadline immediately — a single
+     call can announce a whole cross product. *)
+  let gov = Governor.start expired in
+  (match Governor.add_rows gov 64 with
+  | () -> Alcotest.fail "batch-sized add_rows must check immediately"
+  | exception Governor.Exhausted _ -> ());
+  (* Row-at-a-time accounting stays on the amortized stride. *)
+  let gov = Governor.start expired in
+  for _ = 1 to 63 do
+    Governor.add_rows gov 1
+  done;
+  match Governor.add_rows gov 1 with
+  | () -> Alcotest.fail "64th add_rows must read the clock and trip"
+  | exception Governor.Exhausted _ -> ()
+
 (* ------------------------- degradation ladder --------------------- *)
 
 let test_ladder_to_unpersonalized () =
@@ -152,6 +185,8 @@ let () =
             test_unlimited_transparent;
           Alcotest.test_case "selection expansions" `Quick
             test_selection_expansions;
+          Alcotest.test_case "every-64th-call poll granularity" `Quick
+            test_poll_stride;
         ] );
       ( "ladder",
         [

@@ -1,0 +1,535 @@
+(* Concurrent personalization server: breaker state machine, reader/
+   writer isolation, admission control + shedding, graceful drain, and
+   the N-thread chaos hammer of the resilience contract. *)
+
+open Perso_server
+
+(* Retry backoff must not cost wall-clock in tests. *)
+let () = Relal.Chaos.set_sleep ignore
+
+(* ------------------------------ breaker ------------------------------ *)
+
+(* A hand-cranked clock makes trip→cooldown→probe cycles deterministic. *)
+let fake_clock start =
+  let now = ref start in
+  ((fun () -> !now), fun ms -> now := !now +. ms)
+
+let test_breaker_trips () =
+  let now, advance = fake_clock 0. in
+  let b = Breaker.create ~now ~threshold:3 ~cooldown_ms:100. () in
+  Alcotest.(check bool) "closed allows" true (Breaker.allow b);
+  Breaker.failure b;
+  Breaker.failure b;
+  Alcotest.(check string) "two failures stay closed" "closed"
+    (Breaker.state_name (Breaker.state b));
+  Breaker.failure b;
+  Alcotest.(check string) "third failure trips" "open"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check bool) "open rejects" false (Breaker.allow b);
+  Alcotest.(check int) "one trip" 1 (Breaker.trips b);
+  advance 99.;
+  Alcotest.(check bool) "still cooling" false (Breaker.allow b);
+  advance 1.;
+  Alcotest.(check string) "cooled to half-open" "half-open"
+    (Breaker.state_name (Breaker.state b))
+
+let test_breaker_halfopen_probe () =
+  let now, advance = fake_clock 0. in
+  let b = Breaker.create ~now ~threshold:1 ~cooldown_ms:50. () in
+  Breaker.failure b;
+  advance 50.;
+  Alcotest.(check bool) "probe admitted" true (Breaker.allow b);
+  Alcotest.(check bool) "single probe slot" false (Breaker.allow b);
+  Breaker.success b;
+  Alcotest.(check string) "probe success closes" "closed"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check bool) "closed again" true (Breaker.allow b)
+
+let test_breaker_halfopen_reopen () =
+  let now, advance = fake_clock 0. in
+  let b = Breaker.create ~now ~threshold:1 ~cooldown_ms:50. () in
+  Breaker.failure b;
+  advance 50.;
+  Alcotest.(check bool) "probe admitted" true (Breaker.allow b);
+  Breaker.failure b;
+  Alcotest.(check string) "probe failure reopens" "open"
+    (Breaker.state_name (Breaker.state b));
+  Alcotest.(check int) "second trip counted" 2 (Breaker.trips b);
+  advance 49.;
+  Alcotest.(check bool) "cooldown restarted" false (Breaker.allow b);
+  advance 1.;
+  Alcotest.(check bool) "half-open again" true (Breaker.allow b)
+
+(* ------------------------------ rwlock ------------------------------- *)
+
+let test_rwlock_write_exclusive () =
+  (* A non-atomic read-modify-write counter: without the write lock the
+     8×500 increments would lose updates under contention. *)
+  let lock = Rwlock.create () in
+  let counter = ref 0 in
+  let writers =
+    List.init 8 (fun _ ->
+        Thread.create
+          (fun () ->
+            for _ = 1 to 500 do
+              Rwlock.with_write lock (fun () ->
+                  let v = !counter in
+                  Thread.yield ();
+                  counter := v + 1)
+            done)
+          ())
+  in
+  List.iter Thread.join writers;
+  Alcotest.(check int) "no lost updates" 4000 !counter
+
+let test_rwlock_readers_shared () =
+  let lock = Rwlock.create () in
+  let m = Mutex.create () in
+  let active = ref 0 and max_active = ref 0 in
+  let readers =
+    List.init 4 (fun _ ->
+        Thread.create
+          (fun () ->
+            (* A real sleep inside the read section parks this thread
+               with the lock held: if readers are truly shared the four
+               of them must pile up inside. *)
+            for _ = 1 to 5 do
+              Rwlock.with_read lock (fun () ->
+                  Mutex.lock m;
+                  incr active;
+                  if !active > !max_active then max_active := !active;
+                  Mutex.unlock m;
+                  Thread.delay 0.01;
+                  Mutex.lock m;
+                  decr active;
+                  Mutex.unlock m)
+            done)
+          ())
+  in
+  List.iter Thread.join readers;
+  Alcotest.(check bool) "readers overlapped" true (!max_active > 1)
+
+(* --------------------------- server helpers -------------------------- *)
+
+let fresh_socket =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "perso_test_%d_%d.sock" (Unix.getpid ()) !n)
+
+let with_server ?(movies = 0) cfg_of f =
+  let db =
+    if movies = 0 then Moviedb.Personas.tiny_db ()
+    else Moviedb.Datagen.(generate (scale ~seed:7 movies))
+  in
+  let socket_path = fresh_socket () in
+  let t = Server.start (cfg_of (Server.default_config ~socket_path)) db in
+  Fun.protect
+    ~finally:(fun () ->
+      ignore (Server.stop t : Server.drain_outcome);
+      Relal.Chaos.disarm ())
+    (fun () -> f t socket_path)
+
+let stat name stats =
+  match List.assoc_opt name stats with
+  | Some v -> int_of_string v
+  | None -> Alcotest.failf "HEALTH missing %s" name
+
+let health_of socket =
+  let c = Client.connect socket in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () ->
+      match Client.request c "HEALTH" with
+      | Ok (Protocol.Stats stats) -> stats
+      | other ->
+          Alcotest.failf "HEALTH failed: %s"
+            (match other with Error e -> e | Ok _ -> "wrong response shape"))
+
+(* A six-way cross product with no join predicate: the executor grinds
+   cartesian batches until the governor's deadline trips, so the request
+   occupies a worker for roughly its deadline (a second or two naturally
+   at 12–15 movies — large enough to sequence other requests against,
+   small enough that its biggest selection vector stays tens of MB).
+   The tests that use it disable the server's row cap so the deadline is
+   the only budget. *)
+let slow_sql =
+  "select count(*) as n from movie a, movie b, movie c, movie d, movie e, \
+   movie f"
+
+(* Sequencing against observable server state instead of sleeps: the
+   control-plane HEALTH command answers even while every worker is
+   wedged, so tests wait for the queue/in-flight shape they need next
+   (>=, so a heavily loaded test host can only overshoot, not miss). *)
+let wait_for_stat socket name value =
+  let deadline = Unix.gettimeofday () +. 10. in
+  let rec go () =
+    if stat name (health_of socket) >= value then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "timed out waiting for %s >= %d" name value
+    else begin
+      Thread.delay 0.01;
+      go ()
+    end
+  in
+  go ()
+
+(* ---------------------------- admission ------------------------------ *)
+
+let test_shed_and_expiry () =
+  with_server ~movies:15
+    (fun cfg ->
+      {
+        cfg with
+        Server.workers = 1;
+        queue_capacity = 1;
+        max_rows = None;
+        max_expansions = None;
+      })
+    (fun _t socket ->
+      (* A occupies the single worker until its 800 ms deadline trips. *)
+      let result_a = ref (Error "unset") in
+      let ta =
+        Thread.create
+          (fun () ->
+            let c = Client.connect socket in
+            result_a := Client.request ~deadline_ms:800. c ("RUN " ^ slow_sql);
+            Client.close c)
+          ()
+      in
+      wait_for_stat socket "in_flight" 1;
+      (* B fills the only queue slot; its 10 ms deadline will have
+         expired long before the worker frees up. *)
+      let result_b = ref (Error "unset") in
+      let tb =
+        Thread.create
+          (fun () ->
+            let c = Client.connect socket in
+            result_b := Client.request ~deadline_ms:10. c ("RUN " ^ slow_sql);
+            Client.close c)
+          ()
+      in
+      wait_for_stat socket "queue_depth" 1;
+      (* C finds the queue full: immediate typed rejection. *)
+      let c = Client.connect socket in
+      (match Client.request c "RUN select count(*) as n from movie m" with
+      | Ok (Protocol.Failed { family; code; _ }) ->
+          Alcotest.(check string) "queue-full family" "overloaded" family;
+          Alcotest.(check int) "overloaded exit code" 5 code
+      | other ->
+          Alcotest.failf "expected queue-full shedding, got %s"
+            (match other with
+            | Ok _ -> "a result"
+            | Error e -> e));
+      Client.close c;
+      Thread.join ta;
+      Thread.join tb;
+      (match !result_a with
+      | Ok (Protocol.Failed { family = "resource-exhausted"; _ }) -> ()
+      | Ok (Protocol.Rows _) -> ()  (* finished within budget *)
+      | other ->
+          Alcotest.failf "A should finish or exhaust, got %s"
+            (match other with
+            | Ok (Protocol.Failed { message; _ }) -> message
+            | Error e -> e
+            | _ -> "wrong shape"));
+      (match !result_b with
+      | Ok (Protocol.Failed { family = "overloaded"; message; _ }) ->
+          Alcotest.(check bool) "names queue expiry" true
+            (String.length message > 0)
+      | other ->
+          Alcotest.failf "B should be shed as expired, got %s"
+            (match other with
+            | Ok (Protocol.Failed { message; _ }) -> message
+            | Error e -> e
+            | _ -> "wrong shape"));
+      let stats = health_of socket in
+      Alcotest.(check int) "one queue-full shed" 1 (stat "shed_queue_full" stats);
+      Alcotest.(check int) "one expiry shed" 1 (stat "shed_expired" stats))
+
+let test_budget_capped_by_server () =
+  with_server ~movies:120
+    (fun cfg ->
+      { cfg with Server.max_rows = Some 50; deadline_ms = None;
+        max_expansions = None })
+    (fun _t socket ->
+      let c = Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          (* The client asks for a huge row budget; the server's 50-row
+             cap must win. *)
+          match Client.request ~max_rows:100_000_000 c ("RUN " ^ slow_sql) with
+          | Ok (Protocol.Failed { family; code; _ }) ->
+              Alcotest.(check string) "capped to resource exhaustion"
+                "resource-exhausted" family;
+              Alcotest.(check int) "resource exit code" 3 code
+          | other ->
+              Alcotest.failf "expected resource-exhausted, got %s"
+                (match other with
+                | Ok _ -> "a result"
+                | Error e -> e)))
+
+(* ------------------------- breaker integration ----------------------- *)
+
+let request_exn c ?deadline_ms cmd =
+  match Client.request ?deadline_ms c cmd with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "request failed: %s" e
+
+let test_breaker_serves_unpersonalized () =
+  with_server
+    (fun cfg ->
+      { cfg with Server.breaker_threshold = 2; breaker_cooldown_ms = 300. })
+    (fun _t socket ->
+      let c = Client.connect socket in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let q =
+            "PERSONALIZE julie select mv.title from movie mv, play pl where \
+             mv.mid = pl.mid and pl.date = '2003-07-02'"
+          in
+          ignore
+            (request_exn c
+               "PROFILE SAVE julie [ GENRE.genre = 'comedy', 0.9 ] [ \
+                MOVIE.mid = GENRE.mid, 0.9 ]");
+          (match request_exn c q with
+          | Protocol.Rows { notes = []; cols; _ } ->
+              Alcotest.(check (list string)) "personalized answer is ranked"
+                [ "title"; "doi" ] cols
+          | _ -> Alcotest.fail "expected a clean personalized answer");
+          (* Permanent faults at p=1: every profile load fails, and two
+             consecutive failures trip the breaker.  (The queries' own
+             scans fault too, so these replies are storage errors — what
+             matters here is the trip.) *)
+          ignore
+            (Relal.Chaos.arm ~transient_ratio:0. ~seed:3 ~p:1.0 ()
+              : Relal.Chaos.stats);
+          for _ = 1 to 2 do
+            match request_exn c q with
+            | Protocol.Failed _ | Protocol.Rows _ -> ()
+            | _ -> Alcotest.fail "expected a typed fault or degraded rows"
+          done;
+          Relal.Chaos.disarm ();
+          (* The breaker is now open and short-circuits the load: with
+             the faults lifted the query itself runs clean and is served
+             unpersonalized with an explanatory note.  PROFILE SAVE is
+             refused with a typed error. *)
+          (match request_exn c q with
+          | Protocol.Rows { notes = [ n ]; cols; _ } ->
+              Alcotest.(check string) "breaker-open note"
+                "unpersonalized: profile-store circuit breaker open" n;
+              Alcotest.(check (list string)) "plain answer shape" [ "title" ]
+                cols
+          | _ -> Alcotest.fail "open breaker must serve plain answers");
+          (match request_exn c "PROFILE SAVE julie [ GENRE.genre = 'drama', 1 ]" with
+          | Protocol.Failed { family = "overloaded"; code = 5; _ } -> ()
+          | _ -> Alcotest.fail "open breaker must refuse writes");
+          let stats = health_of socket in
+          Alcotest.(check bool) "trip counted" true
+            (stat "breaker_trips" stats >= 1);
+          Alcotest.(check bool) "plain-served counted" true
+            (stat "unpersonalized_breaker" stats >= 1);
+          Alcotest.(check bool) "refused save counted" true
+            (stat "shed_breaker" stats >= 1);
+          (* Let the cooldown pass: the half-open probe's load succeeds
+             and personalization returns. *)
+          Thread.delay 0.35;
+          match request_exn c q with
+          | Protocol.Rows { notes = []; cols; _ } ->
+              Alcotest.(check (list string)) "personalization recovered"
+                [ "title"; "doi" ] cols
+          | _ -> Alcotest.fail "breaker must close after a good probe"))
+
+(* ---------------------------- graceful drain ------------------------- *)
+
+let test_graceful_drain () =
+  with_server ~movies:15
+    (fun cfg ->
+      {
+        cfg with
+        Server.workers = 2;
+        drain_ms = 5_000.;
+        max_rows = None;
+        max_expansions = None;
+      })
+    (fun t socket ->
+      (* Slow requests in flight, then a drain: they must still get
+         answers (or a typed shed), and new work must be refused.  Only
+         one request needs to be *observed* in flight before the stop —
+         waiting for both races against their own completion when the
+         test host is loaded. *)
+      let results = Array.make 2 (Error "unset") in
+      let threads =
+        Array.to_list
+          (Array.init 2 (fun i ->
+               Thread.create
+                 (fun () ->
+                   let c = Client.connect socket in
+                   results.(i) <-
+                     Client.request ~deadline_ms:600. c ("RUN " ^ slow_sql);
+                   Client.close c)
+                 ()))
+      in
+      wait_for_stat socket "in_flight" 1;
+      Server.request_stop t;
+      let deadline = Unix.gettimeofday () +. 10. in
+      while
+        List.assoc "state" (health_of socket) <> "draining"
+        && Unix.gettimeofday () < deadline
+      do
+        Thread.delay 0.01
+      done;
+      (* Admission is closed while draining — but the control plane and
+         the drain itself keep working. *)
+      let c = Client.connect socket in
+      (match Client.request c "RUN select count(*) as n from movie m" with
+      | Ok (Protocol.Failed { family = "overloaded"; _ }) -> ()
+      | _ -> Alcotest.fail "draining server must shed new work");
+      Client.close c;
+      List.iter Thread.join threads;
+      Array.iter
+        (fun r ->
+          match r with
+          | Ok (Protocol.Rows _) | Ok (Protocol.Failed _) -> ()
+          | _ -> Alcotest.fail "in-flight request lost during drain")
+        results;
+      let outcome = Server.stop t in
+      Alcotest.(check bool) "drained within deadline" true
+        outcome.Server.drained;
+      Alcotest.(check int) "nothing abandoned" 0 outcome.Server.shed_at_stop)
+
+(* ------------------------------- hammer ------------------------------ *)
+
+(* The resilience acceptance test: 10 threads of mixed RUN / PERSONALIZE
+   / PROFILE SAVE against a small pool under 5% seeded faults.  Every
+   request must end in a result or a typed error, the server must stay
+   live, and the HEALTH ledger must account for every request. *)
+let test_hammer () =
+  let n_threads = 10 and per_thread = 20 in
+  with_server ~movies:100
+    (fun cfg ->
+      {
+        cfg with
+        Server.workers = 3;
+        queue_capacity = 4;
+        deadline_ms = Some 2_000.;
+        breaker_threshold = 3;
+        breaker_cooldown_ms = 50.;
+      })
+    (fun t socket ->
+      let db_for_queries = Moviedb.Datagen.(generate (scale ~seed:7 100)) in
+      let queries =
+        List.map Relal.Sql_print.query_to_string
+          (Moviedb.Workload.queries db_for_queries ~n:per_thread ~seed:11)
+        |> Array.of_list
+      in
+      ignore (Relal.Chaos.arm ~seed:1337 ~p:0.05 () : Relal.Chaos.stats);
+      let ok = Atomic.make 0
+      and failed = Atomic.make 0
+      and overloaded = Atomic.make 0
+      and broken = Atomic.make 0 in
+      let worker tid =
+        let c = Client.connect socket in
+        for i = 0 to per_thread - 1 do
+          let sql = queries.(i mod Array.length queries) in
+          let cmd =
+            match i mod 5 with
+            | 0 ->
+                Printf.sprintf
+                  "PROFILE SAVE user%d [ GENRE.genre = 'comedy', 0.9 ] [ \
+                   MOVIE.mid = GENRE.mid, 0.8 ]"
+                  tid
+            | 1 -> Printf.sprintf "PERSONALIZE user%d %s" tid sql
+            | _ -> "RUN " ^ sql
+          in
+          (* A zero deadline is expired by the time a worker pops it:
+             deterministic shedding mixed into the stream. *)
+          let deadline_ms = if i mod 7 = 0 then Some 0. else None in
+          match Client.request ?deadline_ms c cmd with
+          | Ok (Protocol.Rows _) | Ok (Protocol.Message _) ->
+              Atomic.incr ok
+          | Ok (Protocol.Failed { family = "overloaded"; code = 5; _ }) ->
+              Atomic.incr overloaded;
+              Atomic.incr failed
+          | Ok (Protocol.Failed { code; _ }) when code >= 1 && code <= 5 ->
+              Atomic.incr failed
+          | Ok _ | Error _ -> Atomic.incr broken
+        done;
+        Client.close c
+      in
+      let threads = List.init n_threads (fun tid -> Thread.create worker tid) in
+      List.iter Thread.join threads;
+      Relal.Chaos.disarm ();
+      let total = n_threads * per_thread in
+      Alcotest.(check int) "no untyped outcomes" 0 (Atomic.get broken);
+      Alcotest.(check int) "every request accounted (client side)" total
+        (Atomic.get ok + Atomic.get failed);
+      Alcotest.(check bool) "some requests succeeded" true (Atomic.get ok > 0);
+      Alcotest.(check bool) "saturation shed with typed Overloaded" true
+        (Atomic.get overloaded > 0);
+      (* The server is still live and observable after the storm. *)
+      let c = Client.connect socket in
+      (match Client.request c "PING" with
+      | Ok (Protocol.Message "pong") -> ()
+      | _ -> Alcotest.fail "server must stay live after the hammer");
+      Client.close c;
+      let stats = health_of socket in
+      Alcotest.(check int) "ledger: queue idle" 0 (stat "queue_depth" stats);
+      Alcotest.(check int) "ledger: nothing in flight" 0
+        (stat "in_flight" stats);
+      Alcotest.(check int) "ledger: accepted = ok + err + expired"
+        (stat "accepted" stats)
+        (stat "completed_ok" stats
+        + stat "completed_err" stats
+        + stat "shed_expired" stats);
+      Alcotest.(check int) "ledger: arrivals = accepted + shed"
+        total
+        (stat "accepted" stats
+        + stat "shed_queue_full" stats
+        + stat "shed_draining" stats);
+      Alcotest.(check int) "ledger: server ok = client ok"
+        (Atomic.get ok)
+        (stat "completed_ok" stats);
+      let outcome = Server.stop t in
+      Alcotest.(check bool) "drains clean after the hammer" true
+        outcome.Server.drained)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "breaker",
+        [
+          Alcotest.test_case "trips after threshold" `Quick test_breaker_trips;
+          Alcotest.test_case "half-open probe closes" `Quick
+            test_breaker_halfopen_probe;
+          Alcotest.test_case "half-open failure reopens" `Quick
+            test_breaker_halfopen_reopen;
+        ] );
+      ( "rwlock",
+        [
+          Alcotest.test_case "writers exclusive" `Quick
+            test_rwlock_write_exclusive;
+          Alcotest.test_case "readers shared" `Quick test_rwlock_readers_shared;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "queue-full + expiry shedding" `Quick
+            test_shed_and_expiry;
+          Alcotest.test_case "client budgets capped by server" `Quick
+            test_budget_capped_by_server;
+        ] );
+      ( "breaker-integration",
+        [
+          Alcotest.test_case "open breaker serves unpersonalized" `Quick
+            test_breaker_serves_unpersonalized;
+        ] );
+      ( "drain",
+        [ Alcotest.test_case "graceful drain" `Quick test_graceful_drain ] );
+      ( "hammer",
+        [ Alcotest.test_case "mixed load under 5% faults" `Quick test_hammer ]
+      );
+    ]
