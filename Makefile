@@ -5,7 +5,10 @@
 BENCH_JSON := /tmp/bench_exec_smoke.json
 CHAOS_SEED ?= 1337
 
-.PHONY: all build test bench chaos serve-smoke check clean
+SIM_SEED ?= 42
+SIM_RUNS ?= 8
+
+.PHONY: all build test bench chaos serve-smoke sim check clean
 
 all: build
 
@@ -31,7 +34,18 @@ chaos: build
 serve-smoke: build
 	dune build @serve
 
-check: build test chaos serve-smoke
+# Deterministic simulation: seeded client fleets against the server
+# core under a virtual clock, invariant audits with trace shrinking,
+# the metamorphic oracle layer, and the mutation self-test (the
+# injected ledger bug must be caught and shrunk to <= 10 steps).
+# Failures print the exact `perso_cli sim --seed ... --steps ...`
+# replay line.
+sim: build
+	@dune exec bin/perso_cli.exe -- sim --seed $(SIM_SEED) --runs $(SIM_RUNS) || \
+	  { echo "sim: FAILED — replay with the printed 'perso_cli sim --seed ... --steps ...' line"; exit 1; }
+	@dune exec bin/perso_cli.exe -- sim --mutate --seed $(SIM_SEED) --runs $(SIM_RUNS)
+
+check: build test chaos serve-smoke sim
 	BENCH_SCALE=quick BENCH_EXEC_OUT=$(BENCH_JSON) dune exec bench/main.exe -- exec
 	python3 -m json.tool $(BENCH_JSON) > /dev/null
 	@echo "check: OK ($(BENCH_JSON) is valid JSON)"

@@ -10,6 +10,7 @@
      dot           print a profile's personalization graph as Graphviz
      serve         run the concurrent personalization server on a socket
      call          send one request to a running server
+     sim           deterministic simulation + metamorphic oracle suite
 
    Databases come from three sources: the built-in tiny example DB
    (--movies 0), the synthetic generator (--movies N), or a directory of
@@ -432,6 +433,62 @@ let serve_cmd =
       $ queue_arg $ drain_arg $ breaker_threshold_arg $ breaker_cooldown_arg
       $ dump_dir_arg $ chaos_seed_arg $ chaos_p_arg)
 
+(* ---------------- sim ---------------- *)
+
+let sim seed runs steps mutate oracle_cases oracle_movies oracle_selections =
+  guarded (fun () ->
+      Perso_sim.Driver.main
+        {
+          Perso_sim.Driver.seed;
+          runs;
+          steps;
+          mutate;
+          oracle_cases;
+          oracle_movies;
+          oracle_selections;
+        })
+
+let sim_runs_arg =
+  let doc = "Number of scenario seeds to simulate (seed, seed+1, …)." in
+  Arg.(value & opt int 5 & info [ "runs" ] ~docv:"M" ~doc)
+
+let sim_steps_arg =
+  let doc =
+    "Replay exactly this encoded step list under --seed instead of \
+     generating scenarios (printed by every failure report)."
+  in
+  Arg.(value & opt (some string) None & info [ "steps" ] ~docv:"STEPS" ~doc)
+
+let sim_mutate_arg =
+  let doc =
+    "Mutation self-test: inject the dropped-completed_ok ledger bug and \
+     require the harness to catch it and shrink the repro to ≤ 10 steps."
+  in
+  Arg.(value & flag & info [ "mutate" ] ~doc)
+
+let sim_oracle_cases_arg =
+  let doc = "Metamorphic/differential oracle cases (0 skips the oracle)." in
+  Arg.(value & opt int 2 & info [ "oracle-cases" ] ~docv:"N" ~doc)
+
+let sim_oracle_movies_arg =
+  let doc = "Synthetic database size for the oracle layer." in
+  Arg.(value & opt int 1200 & info [ "oracle-movies" ] ~docv:"N" ~doc)
+
+let sim_oracle_selections_arg =
+  let doc = "Profile size for the oracle layer." in
+  Arg.(value & opt int 120 & info [ "oracle-selections" ] ~docv:"N" ~doc)
+
+let sim_cmd =
+  Cmd.v
+    (Cmd.info "sim"
+       ~doc:
+         "Deterministic simulation: seeded client fleets against the server \
+          core under a virtual clock, invariant audits, failure shrinking, \
+          and metamorphic oracles over the personalization engine")
+    Term.(
+      const sim $ seed_arg $ sim_runs_arg $ sim_steps_arg $ sim_mutate_arg
+      $ sim_oracle_cases_arg $ sim_oracle_movies_arg $ sim_oracle_selections_arg)
+
 (* ---------------- call ---------------- *)
 
 let print_response = function
@@ -497,4 +554,5 @@ let () =
           [
             demo_cmd; run_sql_cmd; personalize_cmd; gen_profile_cmd;
             learn_profile_cmd; dump_data_cmd; dot_cmd; serve_cmd; call_cmd;
+            sim_cmd;
           ]))

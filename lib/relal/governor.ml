@@ -18,18 +18,27 @@ type progress = {
 
 exception Exhausted of progress
 
+(* The clock is process-settable so a deterministic simulation can run
+   every governor in the process — including those armed deep inside
+   [Personalize.personalize_r] — on virtual time, the same way
+   [Chaos.set_sleep] virtualizes retry backoff.  Production never calls
+   [set_clock]; the default is the real wall clock. *)
+let real_clock = Unix.gettimeofday
+let clock = ref real_clock
+let set_clock f = clock := f
+
 type t = {
   budget : budget;
-  started : float;  (* Unix.gettimeofday at arm time *)
+  started : float;  (* !clock at arm time, seconds *)
   mutable rows : int;
   mutable exps : int;
   mutable polls : int;  (* amortizes the clock read in [poll] *)
 }
 
 let start budget =
-  { budget; started = Unix.gettimeofday (); rows = 0; exps = 0; polls = 0 }
+  { budget; started = !clock (); rows = 0; exps = 0; polls = 0 }
 
-let elapsed_ms g = (Unix.gettimeofday () -. g.started) *. 1000.
+let elapsed_ms g = (!clock () -. g.started) *. 1000.
 
 let progress ?(exhausted = "") g =
   { exhausted; rows_produced = g.rows; expansions = g.exps;

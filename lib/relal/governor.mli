@@ -41,6 +41,15 @@ type t
 val start : budget -> t
 (** Arm a budget now.  The deadline clock starts here. *)
 
+val set_clock : (unit -> float) -> unit
+(** Replace the process-wide clock (seconds, [Unix.gettimeofday]-like)
+    that governors arm and poll against.  Deterministic simulation sets
+    a virtual clock here so deadlines inside the whole engine trip on
+    simulated time; restore with [set_clock real_clock] afterwards. *)
+
+val real_clock : unit -> float
+(** The default wall clock ([Unix.gettimeofday]). *)
+
 val poll : t -> unit
 (** Cooperative check; reads the clock every 64th call.
     @raise Exhausted past the deadline. *)

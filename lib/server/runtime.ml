@@ -1,0 +1,35 @@
+module type S = sig
+  type thread
+  type mutex
+  type cond
+
+  val now : unit -> float
+  val sleep : float -> unit
+  val spawn : (unit -> unit) -> thread
+  val join : thread -> unit
+  val mutex_create : unit -> mutex
+  val lock : mutex -> unit
+  val unlock : mutex -> unit
+  val cond_create : unit -> cond
+  val wait : cond -> mutex -> unit
+  val signal : cond -> unit
+  val broadcast : cond -> unit
+end
+
+module Threads = struct
+  type thread = Thread.t
+  type mutex = Mutex.t
+  type cond = Condition.t
+
+  let now = Unix.gettimeofday
+  let sleep = Thread.delay
+  let spawn f = Thread.create f ()
+  let join = Thread.join
+  let mutex_create () = Mutex.create ()
+  let lock = Mutex.lock
+  let unlock = Mutex.unlock
+  let cond_create () = Condition.create ()
+  let wait = Condition.wait
+  let signal = Condition.signal
+  let broadcast = Condition.broadcast
+end

@@ -1,0 +1,51 @@
+(** Concurrency substrate the server core is written against.
+
+    Every primitive the serving stack needs from the operating system —
+    the clock, sleeping, spawning and joining threads, mutexes and
+    condition variables — is collected in one signature so the same
+    server logic can run on two substrates:
+
+    - {!Threads}: real [Thread]/[Mutex]/[Condition]/[Unix.gettimeofday],
+      used in production ({!Server} instantiates {!Server_core.Make}
+      with it);
+    - [Perso_sim.Sim_runtime.R]: a seeded single-threaded cooperative
+      scheduler with a virtual clock, used by deterministic simulation
+      so an entire serve/call session replays bit-for-bit from a seed.
+
+    This generalizes the injectable-clock pattern already used by
+    {!Breaker} ([?now]) and [Relal.Chaos.retry] ([?sleep]) from "inject
+    one function" to "inject the whole substrate". *)
+
+module type S = sig
+  type thread
+  type mutex
+  type cond
+
+  val now : unit -> float
+  (** Seconds, [Unix.gettimeofday]-like. *)
+
+  val sleep : float -> unit
+  (** Sleep for the given number of seconds. *)
+
+  val spawn : (unit -> unit) -> thread
+  val join : thread -> unit
+  val mutex_create : unit -> mutex
+  val lock : mutex -> unit
+  val unlock : mutex -> unit
+  val cond_create : unit -> cond
+
+  val wait : cond -> mutex -> unit
+  (** Atomically release the mutex and wait; the mutex is held again
+      when [wait] returns.  Standard condition-variable semantics:
+      callers must re-check their predicate in a loop. *)
+
+  val signal : cond -> unit
+  val broadcast : cond -> unit
+end
+
+module Threads :
+  S
+    with type thread = Thread.t
+     and type mutex = Mutex.t
+     and type cond = Condition.t
+(** The production substrate: real threads and the real clock. *)

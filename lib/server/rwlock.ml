@@ -1,61 +1,76 @@
-type t = {
-  m : Mutex.t;
-  can_read : Condition.t;
-  can_write : Condition.t;
-  mutable active_readers : int;
-  mutable writer_active : bool;
-  mutable writers_waiting : int;
-}
+module type S = sig
+  type t
 
-let create () =
-  {
-    m = Mutex.create ();
-    can_read = Condition.create ();
-    can_write = Condition.create ();
-    active_readers = 0;
-    writer_active = false;
-    writers_waiting = 0;
+  val create : unit -> t
+  val with_read : t -> (unit -> 'a) -> 'a
+  val with_write : t -> (unit -> 'a) -> 'a
+  val readers : t -> int
+  val holders : t -> int * bool
+end
+
+module Make (R : Runtime.S) = struct
+  type t = {
+    m : R.mutex;
+    can_read : R.cond;
+    can_write : R.cond;
+    mutable active_readers : int;
+    mutable writer_active : bool;
+    mutable writers_waiting : int;
   }
 
-let lock_read t =
-  Mutex.lock t.m;
-  (* Writer preference: queue behind waiting writers, not just active
-     ones, so saves cannot be starved by an unbroken reader stream. *)
-  while t.writer_active || t.writers_waiting > 0 do
-    Condition.wait t.can_read t.m
-  done;
-  t.active_readers <- t.active_readers + 1;
-  Mutex.unlock t.m
+  let create () =
+    {
+      m = R.mutex_create ();
+      can_read = R.cond_create ();
+      can_write = R.cond_create ();
+      active_readers = 0;
+      writer_active = false;
+      writers_waiting = 0;
+    }
 
-let unlock_read t =
-  Mutex.lock t.m;
-  t.active_readers <- t.active_readers - 1;
-  if t.active_readers = 0 then Condition.signal t.can_write;
-  Mutex.unlock t.m
+  let lock_read t =
+    R.lock t.m;
+    (* Writer preference: queue behind waiting writers, not just active
+       ones, so saves cannot be starved by an unbroken reader stream. *)
+    while t.writer_active || t.writers_waiting > 0 do
+      R.wait t.can_read t.m
+    done;
+    t.active_readers <- t.active_readers + 1;
+    R.unlock t.m
 
-let lock_write t =
-  Mutex.lock t.m;
-  t.writers_waiting <- t.writers_waiting + 1;
-  while t.writer_active || t.active_readers > 0 do
-    Condition.wait t.can_write t.m
-  done;
-  t.writers_waiting <- t.writers_waiting - 1;
-  t.writer_active <- true;
-  Mutex.unlock t.m
+  let unlock_read t =
+    R.lock t.m;
+    t.active_readers <- t.active_readers - 1;
+    if t.active_readers = 0 then R.signal t.can_write;
+    R.unlock t.m
 
-let unlock_write t =
-  Mutex.lock t.m;
-  t.writer_active <- false;
-  if t.writers_waiting > 0 then Condition.signal t.can_write
-  else Condition.broadcast t.can_read;
-  Mutex.unlock t.m
+  let lock_write t =
+    R.lock t.m;
+    t.writers_waiting <- t.writers_waiting + 1;
+    while t.writer_active || t.active_readers > 0 do
+      R.wait t.can_write t.m
+    done;
+    t.writers_waiting <- t.writers_waiting - 1;
+    t.writer_active <- true;
+    R.unlock t.m
 
-let with_read t f =
-  lock_read t;
-  Fun.protect ~finally:(fun () -> unlock_read t) f
+  let unlock_write t =
+    R.lock t.m;
+    t.writer_active <- false;
+    if t.writers_waiting > 0 then R.signal t.can_write
+    else R.broadcast t.can_read;
+    R.unlock t.m
 
-let with_write t f =
-  lock_write t;
-  Fun.protect ~finally:(fun () -> unlock_write t) f
+  let with_read t f =
+    lock_read t;
+    Fun.protect ~finally:(fun () -> unlock_read t) f
 
-let readers t = t.active_readers
+  let with_write t f =
+    lock_write t;
+    Fun.protect ~finally:(fun () -> unlock_write t) f
+
+  let readers t = t.active_readers
+  let holders t = (t.active_readers, t.writer_active)
+end
+
+include Make (Runtime.Threads)

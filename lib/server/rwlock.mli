@@ -7,18 +7,36 @@
     cannot starve profile mutations.
 
     The lock is not reentrant — a thread acquiring it twice deadlocks —
-    and {!with_read}/{!with_write} release on exceptions, matching the
-    server's promise that a failed request never wedges the pool. *)
+    and [with_read]/[with_write] release on exceptions, matching the
+    server's promise that a failed request never wedges the pool.
 
-type t
+    The implementation is a functor over {!Runtime.S} so deterministic
+    simulation can run the same lock logic (and audit its exclusion
+    invariant via {!S.holders}) on a virtual-time cooperative
+    scheduler.  The toplevel values are the production instance over
+    {!Runtime.Threads}. *)
 
-val create : unit -> t
+module type S = sig
+  type t
 
-val with_read : t -> (unit -> 'a) -> 'a
-(** Run [f] holding a shared read lock. *)
+  val create : unit -> t
 
-val with_write : t -> (unit -> 'a) -> 'a
-(** Run [f] holding the exclusive write lock. *)
+  val with_read : t -> (unit -> 'a) -> 'a
+  (** Run [f] holding a shared read lock. *)
 
-val readers : t -> int
-(** Active readers right now (observability only; racy by nature). *)
+  val with_write : t -> (unit -> 'a) -> 'a
+  (** Run [f] holding the exclusive write lock. *)
+
+  val readers : t -> int
+  (** Active readers right now (observability only; racy by nature). *)
+
+  val holders : t -> int * bool
+  (** [(active_readers, writer_active)] — the exclusion invariant is
+      that these are never simultaneously [> 0] and [true].  Under real
+      threads the read is racy and only indicative; under the sim
+      runtime it is exact at every scheduling point. *)
+end
+
+module Make (_ : Runtime.S) : S
+
+include S

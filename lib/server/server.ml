@@ -1,6 +1,12 @@
-open Relal
+(* The socket front end.  Everything behind the wire — admission queue,
+   worker pool, budgets, breaker, drain, ledger — lives in
+   {!Server_core}, instantiated here with the real-thread runtime; the
+   deterministic simulation instantiates the same core with a virtual
+   one. *)
 
-type config = {
+module Core = Server_core.Make (Runtime.Threads)
+
+type config = Server_core.config = {
   socket_path : string;
   tcp_port : int option;
   workers : int;
@@ -14,378 +20,31 @@ type config = {
   dump_dir : string option;
 }
 
-let default_config ~socket_path =
-  {
-    socket_path;
-    tcp_port = None;
-    workers = 4;
-    queue_capacity = 64;
-    deadline_ms = Some 5_000.;
-    max_rows = Some 1_000_000;
-    max_expansions = Some 10_000;
-    drain_ms = 2_000.;
-    breaker_threshold = 3;
-    breaker_cooldown_ms = 250.;
-    dump_dir = None;
-  }
+let default_config = Server_core.default_config
 
-(* ------------------------------- jobs ------------------------------- *)
-
-type reply =
-  | R_rows of { notes : string list; result : Exec.result }
-  | R_message of string
-  | R_error of Perso.Error.t
-
-(* A one-shot mailbox: the connection thread blocks on [take] while a
-   worker fills it with [put]. *)
-type job = {
-  command : Protocol.command;
-  budget : Governor.budget;
-  deadline_at : float option;  (* absolute, Unix.gettimeofday seconds *)
-  jm : Mutex.t;
-  jc : Condition.t;
-  mutable answer : reply option;
-}
-
-let job_put job reply =
-  Mutex.lock job.jm;
-  job.answer <- Some reply;
-  Condition.signal job.jc;
-  Mutex.unlock job.jm
-
-let job_take job =
-  Mutex.lock job.jm;
-  while job.answer = None do
-    Condition.wait job.jc job.jm
-  done;
-  let r = Option.get job.answer in
-  Mutex.unlock job.jm;
-  r
-
-(* ------------------------------ server ------------------------------ *)
-
-type phase = Running | Draining | Stopped
-
-type counters = {
-  mutable accepted : int;
-  mutable completed_ok : int;
-  mutable completed_err : int;
-  mutable shed_queue_full : int;
-  mutable shed_expired : int;
-  mutable shed_draining : int;
-  mutable shed_breaker : int;
-  mutable unpersonalized_breaker : int;
-}
-
-type drain_outcome = {
+type drain_outcome = Server_core.drain_outcome = {
   drained : bool;
   shed_at_stop : int;
   dump : (string, string) result option;
 }
 
 type t = {
+  core : Core.t;
   cfg : config;
-  db : Database.t;
-  dblock : Rwlock.t;
-  breaker : Breaker.t;
-  qm : Mutex.t;
-  qc : Condition.t;
-  queue : job Queue.t;
-  mutable phase : phase;
-  mutable in_flight : int;
-  c : counters;
-  stop_flag : bool Atomic.t;
   listeners : Unix.file_descr list;
-  mutable worker_threads : Thread.t list;
   mutable acceptor : Thread.t option;
   cm : Mutex.t;  (* guards conns *)
   mutable conns : (Unix.file_descr * Thread.t) list;
-  sm : Mutex.t;  (* serializes stop *)
-  mutable stop_outcome : drain_outcome option;
 }
 
 let locked m f =
   Mutex.lock m;
   Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
-(* --------------------------- budget capping -------------------------- *)
-
-let cap_opt f client server =
-  match (client, server) with
-  | None, s -> s
-  | Some c, None -> Some c
-  | Some c, Some s -> Some (f c s)
-
-let cap_budget cfg (hdr : Protocol.header) =
-  {
-    Governor.deadline_ms = cap_opt Float.min hdr.deadline_ms cfg.deadline_ms;
-    max_rows = cap_opt Int.min hdr.max_rows cfg.max_rows;
-    max_expansions = cap_opt Int.min hdr.max_expansions cfg.max_expansions;
-  }
-
-let gov_of budget =
-  if Governor.is_unlimited budget then None else Some (Governor.start budget)
-
-(* ----------------------------- execution ----------------------------- *)
-
-let is_storage_fault = function Perso.Error.Storage _ -> true | _ -> false
-
-(* Split "[ a, 0.9 ] [ b, 1 ]" into the line-per-entry form
-   Profile.of_string expects.  Entries cannot contain ']' outside a
-   quoted literal ending in ']', which we accept as unsupported on the
-   wire. *)
-let entries_to_profile_text entries =
-  String.split_on_char ']' entries
-  |> List.filter_map (fun chunk ->
-         let chunk = String.trim chunk in
-         if chunk = "" then None else Some (chunk ^ " ]"))
-  |> String.concat "\n"
-
-let run_unpersonalized t ~budget ~notes sql =
-  match Perso.Error.guard (fun () -> Engine.run_sql ?gov:(gov_of budget) t.db sql)
-  with
-  | Ok result -> R_rows { notes; result }
-  | Error e -> R_error e
-
-let exec_personalize t ~budget user sql =
-  (* The profile load goes through the breaker: a sick store must not
-     take query traffic down with it.  Open breaker, or a failed load,
-     degrade to the plain query with an explanatory NOTE — the same
-     contract as the personalization ladder. *)
-  let profile =
-    if Breaker.allow t.breaker then
-      match Perso.Profile_store.load_r t.db ~user with
-      | Ok p ->
-          Breaker.success t.breaker;
-          `Loaded p
-      | Error e ->
-          if is_storage_fault e then Breaker.failure t.breaker
-          else Breaker.success t.breaker;
-          `Failed e
-    else begin
-      locked t.qm (fun () ->
-          t.c.unpersonalized_breaker <- t.c.unpersonalized_breaker + 1);
-      `Open
-    end
-  in
-  match profile with
-  | `Loaded p -> (
-      match Perso.Personalize.personalize_sql_r ~budget t.db p sql with
-      | Ok run ->
-          let notes =
-            List.map Perso.Personalize.degradation_to_string
-              run.Perso.Personalize.degradations
-          in
-          R_rows { notes; result = run.Perso.Personalize.result }
-      | Error e -> R_error e)
-  | `Failed e ->
-      run_unpersonalized t ~budget sql
-        ~notes:
-          [ "unpersonalized: profile load failed: " ^ Perso.Error.to_string e ]
-  | `Open ->
-      run_unpersonalized t ~budget sql
-        ~notes:[ "unpersonalized: profile-store circuit breaker open" ]
-
-let exec_profile_save t user entries =
-  match
-    if String.trim entries = "" then Ok Perso.Profile.empty
-    else Perso.Profile.of_string (entries_to_profile_text entries)
-  with
-  | Error e -> R_error (Perso.Error.Profile e)
-  | Ok profile ->
-      if not (Breaker.allow t.breaker) then begin
-        locked t.qm (fun () ->
-            t.c.shed_breaker <- t.c.shed_breaker + 1);
-        R_error
-          (Perso.Error.Overloaded
-             "profile-store circuit breaker open; retry after cooldown")
-      end
-      else begin
-        match
-          Perso.Error.guard (fun () ->
-              Rwlock.with_write t.dblock (fun () ->
-                  Chaos.retry (fun () ->
-                      if Perso.Profile.cardinal profile = 0 then
-                        Perso.Profile_store.delete t.db ~user
-                      else Perso.Profile_store.save t.db ~user profile)))
-        with
-        | Ok () ->
-            Breaker.success t.breaker;
-            R_message
-              (Printf.sprintf "saved user=%s entries=%d" user
-                 (Perso.Profile.cardinal profile))
-        | Error e ->
-            if is_storage_fault e then Breaker.failure t.breaker;
-            R_error e
-      end
-
-let exec_profile_show t user =
-  match
-    Rwlock.with_read t.dblock (fun () ->
-        Perso.Profile_store.load_r t.db ~user)
-  with
-  | Error e -> R_error e
-  | Ok profile ->
-      let rows =
-        List.map
-          (fun (atom, deg) ->
-            [|
-              Value.Str (Perso.Atom.to_string atom);
-              Value.Float (Perso.Degree.to_float deg);
-            |])
-          (Perso.Profile.entries profile)
-      in
-      R_rows
-        {
-          notes = [];
-          result = { Exec.cols = [| "condition"; "degree" |]; rows };
-        }
-
-let execute t job =
-  match job.command with
-  | Protocol.Run sql ->
-      Rwlock.with_read t.dblock (fun () ->
-          match
-            Perso.Error.guard (fun () ->
-                Engine.run_sql ?gov:(gov_of job.budget) t.db sql)
-          with
-          | Ok result -> R_rows { notes = []; result }
-          | Error e -> R_error e)
-  | Protocol.Personalize { user; sql } ->
-      Rwlock.with_read t.dblock (fun () ->
-          exec_personalize t ~budget:job.budget user sql)
-  | Protocol.Profile_save { user; entries } -> exec_profile_save t user entries
-  | Protocol.Profile_show user -> exec_profile_show t user
-  | Protocol.Health | Protocol.Ping | Protocol.Shutdown | Protocol.Quit ->
-      (* control-plane commands never enter the queue *)
-      R_error (Perso.Error.Internal "control command queued")
-
-(* ------------------------------ workers ------------------------------ *)
-
-(* Expiry check, execution, and completion accounting for one popped
-   job.  A job shed for sitting past its deadline counts as
-   [shed_expired], not [completed_*]: no work was started. *)
-let process t job =
-  match job.deadline_at with
-  | Some at when Unix.gettimeofday () > at ->
-      locked t.qm (fun () -> t.c.shed_expired <- t.c.shed_expired + 1);
-      R_error
-        (Perso.Error.Overloaded
-           "deadline expired while queued; no work was started")
-  | _ ->
-      let reply =
-        try execute t job with e -> R_error (Perso.Error.of_exn_any e)
-      in
-      locked t.qm (fun () ->
-          match reply with
-          | R_error _ -> t.c.completed_err <- t.c.completed_err + 1
-          | R_rows _ | R_message _ ->
-              t.c.completed_ok <- t.c.completed_ok + 1);
-      reply
-
-let rec worker_loop t =
-  Mutex.lock t.qm;
-  while Queue.is_empty t.queue && t.phase = Running do
-    Condition.wait t.qc t.qm
-  done;
-  (* Draining workers finish the queue; a stopped server's queue has
-     already been flushed with Overloaded replies. *)
-  if t.phase <> Stopped && not (Queue.is_empty t.queue) then begin
-    let job = Queue.pop t.queue in
-    t.in_flight <- t.in_flight + 1;
-    Mutex.unlock t.qm;
-    let reply = process t job in
-    locked t.qm (fun () ->
-        t.in_flight <- t.in_flight - 1;
-        Condition.broadcast t.qc);
-    job_put job reply;
-    worker_loop t
-  end
-  else begin
-    let continue = t.phase = Running in
-    Mutex.unlock t.qm;
-    if continue then worker_loop t
-  end
-
-(* ----------------------------- admission ----------------------------- *)
-
-let submit t (hdr : Protocol.header) command =
-  let budget = cap_budget t.cfg hdr in
-  let deadline_at =
-    Option.map
-      (fun ms -> Unix.gettimeofday () +. (ms /. 1000.))
-      budget.Governor.deadline_ms
-  in
-  let decision =
-    locked t.qm (fun () ->
-        if t.phase <> Running then begin
-          t.c.shed_draining <- t.c.shed_draining + 1;
-          Error (Perso.Error.Overloaded "server draining; not accepting work")
-        end
-        else if Queue.length t.queue >= t.cfg.queue_capacity then begin
-          t.c.shed_queue_full <- t.c.shed_queue_full + 1;
-          Error
-            (Perso.Error.Overloaded
-               (Printf.sprintf "admission queue full (%d queued)"
-                  t.cfg.queue_capacity))
-        end
-        else begin
-          t.c.accepted <- t.c.accepted + 1;
-          let job =
-            {
-              command;
-              budget;
-              deadline_at;
-              jm = Mutex.create ();
-              jc = Condition.create ();
-              answer = None;
-            }
-          in
-          Queue.push job t.queue;
-          Condition.signal t.qc;
-          Ok job
-        end)
-  in
-  match decision with Error e -> R_error e | Ok job -> job_take job
-
-(* ------------------------------ health ------------------------------- *)
-
-let phase_name = function
-  | Running -> "running"
-  | Draining -> "draining"
-  | Stopped -> "stopped"
-
-let health t =
-  locked t.qm (fun () ->
-      [
-        ("state", phase_name t.phase);
-        ("queue_depth", string_of_int (Queue.length t.queue));
-        ("in_flight", string_of_int t.in_flight);
-        ("workers", string_of_int t.cfg.workers);
-        ("queue_capacity", string_of_int t.cfg.queue_capacity);
-        ("accepted", string_of_int t.c.accepted);
-        ("completed_ok", string_of_int t.c.completed_ok);
-        ("completed_err", string_of_int t.c.completed_err);
-        ("shed_queue_full", string_of_int t.c.shed_queue_full);
-        ("shed_expired", string_of_int t.c.shed_expired);
-        ("shed_draining", string_of_int t.c.shed_draining);
-        ("shed_breaker", string_of_int t.c.shed_breaker);
-        ("breaker_state", Breaker.state_name (Breaker.state t.breaker));
-        ("breaker_trips", string_of_int (Breaker.trips t.breaker));
-        ( "unpersonalized_breaker",
-          string_of_int t.c.unpersonalized_breaker );
-      ])
-
-(* ---------------------------- stop / drain --------------------------- *)
-
-let request_stop t = Atomic.set t.stop_flag true
-
-let begin_drain t =
-  locked t.qm (fun () ->
-      if t.phase = Running then t.phase <- Draining;
-      Condition.broadcast t.qc)
-
-let draining t = locked t.qm (fun () -> t.phase <> Running)
+let request_stop t = Core.request_stop t.core
+let begin_drain t = Core.begin_drain t.core
+let draining t = Core.draining t.core
+let health t = Core.health t.core
 
 (* ---------------------------- connections ---------------------------- *)
 
@@ -435,10 +94,11 @@ let handle_connection t fd =
               begin_drain t;
               loop ()
           | Some (hdr, Ok cmd) ->
-              (match submit t hdr cmd with
-              | R_rows { notes; result } -> Protocol.write_rows oc ~notes result
-              | R_message m -> Protocol.write_message oc m
-              | R_error e -> Protocol.write_error oc e);
+              (match Core.submit t.core hdr cmd with
+              | Server_core.R_rows { notes; result } ->
+                  Protocol.write_rows oc ~notes result
+              | Server_core.R_message m -> Protocol.write_message oc m
+              | Server_core.R_error e -> Protocol.write_error oc e);
               loop ()
         in
         loop ()
@@ -451,27 +111,26 @@ let handle_connection t fd =
 (* The acceptor keeps accepting while draining: connection threads still
    answer the control plane (HEALTH during a drain is exactly when you
    want it) and shed data commands with typed Overloaded errors — a
-   client must never hang in the listen backlog.  Only [Stopped] ends
-   the loop, right before {!stop} closes the listeners. *)
+   client must never hang in the listen backlog.  Only a stopped core
+   ends the loop, right before {!stop} closes the listeners. *)
 let acceptor_loop t =
   let rec loop () =
-    if Atomic.get t.stop_flag then begin_drain t;
-    match locked t.qm (fun () -> t.phase) with
-    | Running | Draining -> (
-        match Unix.select t.listeners [] [] 0.05 with
-        | [], _, _ -> loop ()
-        | ready, _, _ ->
-            List.iter
-              (fun lfd ->
-                match Unix.accept lfd with
-                | fd, _ ->
-                    let th = Thread.create (handle_connection t) fd in
-                    locked t.cm (fun () -> t.conns <- (fd, th) :: t.conns)
-                | exception Unix.Unix_error _ -> ())
-              ready;
-            loop ()
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ())
-    | Stopped -> ()
+    if Core.stop_requested t.core then begin_drain t;
+    if Core.stopped t.core then ()
+    else
+      match Unix.select t.listeners [] [] 0.05 with
+      | [], _, _ -> loop ()
+      | ready, _, _ ->
+          List.iter
+            (fun lfd ->
+              match Unix.accept lfd with
+              | fd, _ ->
+                  let th = Thread.create (handle_connection t) fd in
+                  locked t.cm (fun () -> t.conns <- (fd, th) :: t.conns)
+              | exception Unix.Unix_error _ -> ())
+            ready;
+          loop ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
   in
   loop ()
 
@@ -495,128 +154,41 @@ let listen_tcp port =
   fd
 
 let start cfg db =
-  if cfg.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
-  if cfg.queue_capacity < 1 then
-    invalid_arg "Server.start: queue_capacity must be >= 1";
   (* A dead client mid-response must error the write, not kill us. *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let listeners =
     listen_unix cfg.socket_path
     :: (match cfg.tcp_port with Some p -> [ listen_tcp p ] | None -> [])
   in
+  let core = Core.create cfg db in
   let t =
-    {
-      cfg;
-      db;
-      dblock = Rwlock.create ();
-      breaker =
-        Breaker.create ~threshold:cfg.breaker_threshold
-          ~cooldown_ms:cfg.breaker_cooldown_ms ();
-      qm = Mutex.create ();
-      qc = Condition.create ();
-      queue = Queue.create ();
-      phase = Running;
-      in_flight = 0;
-      c =
-        {
-          accepted = 0;
-          completed_ok = 0;
-          completed_err = 0;
-          shed_queue_full = 0;
-          shed_expired = 0;
-          shed_draining = 0;
-          shed_breaker = 0;
-          unpersonalized_breaker = 0;
-        };
-      stop_flag = Atomic.make false;
-      listeners;
-      worker_threads = [];
-      acceptor = None;
-      cm = Mutex.create ();
-      conns = [];
-      sm = Mutex.create ();
-      stop_outcome = None;
-    }
+    { core; cfg; listeners; acceptor = None; cm = Mutex.create (); conns = [] }
   in
-  t.worker_threads <-
-    List.init cfg.workers (fun _ -> Thread.create worker_loop t);
   t.acceptor <- Some (Thread.create acceptor_loop t);
   t
 
 (* -------------------------------- stop ------------------------------- *)
 
-let flush_queue t =
-  locked t.qm (fun () ->
-      let shed = ref 0 in
-      while not (Queue.is_empty t.queue) do
-        let job = Queue.pop t.queue in
-        incr shed;
-        t.c.shed_draining <- t.c.shed_draining + 1;
-        job_put job
-          (R_error
-             (Perso.Error.Overloaded "server stopped before this request ran"))
-      done;
-      !shed)
-
 let stop t =
-  locked t.sm (fun () ->
-      match t.stop_outcome with
-      | Some o -> o
-      | None ->
-          request_stop t;
-          begin_drain t;
-          (* Drain: give queued + in-flight work drain_ms to finish. *)
-          let deadline = Unix.gettimeofday () +. (t.cfg.drain_ms /. 1000.) in
-          let rec drain () =
-            let idle =
-              locked t.qm (fun () ->
-                  Queue.is_empty t.queue && t.in_flight = 0)
-            in
-            if idle then true
-            else if Unix.gettimeofday () > deadline then false
-            else begin
-              Thread.delay 0.005;
-              drain ()
-            end
-          in
-          let drained = drain () in
-          let shed_at_stop = flush_queue t in
-          locked t.qm (fun () ->
-              t.phase <- Stopped;
-              Condition.broadcast t.qc);
-          List.iter Thread.join t.worker_threads;
-          Option.iter Thread.join t.acceptor;
-          (* Shutting the connection fds down unblocks their reader
-             threads; each then closes its own fd. *)
-          let conns = locked t.cm (fun () -> t.conns) in
-          List.iter
-            (fun (fd, _) ->
-              try Unix.shutdown fd Unix.SHUTDOWN_ALL
-              with Unix.Unix_error _ -> ())
-            conns;
-          List.iter (fun (_, th) -> Thread.join th) conns;
-          List.iter
-            (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
-            t.listeners;
-          (try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ());
-          let dump =
-            Option.map
-              (fun dir ->
-                match
-                  Rwlock.with_read t.dblock (fun () ->
-                      Csv.save_db_r ~dir t.db)
-                with
-                | Ok () -> Ok dir
-                | Error e -> Error e)
-              t.cfg.dump_dir
-          in
-          let outcome = { drained; shed_at_stop; dump } in
-          t.stop_outcome <- Some outcome;
-          outcome)
+  Core.stop t.core ~on_quiesced:(fun () ->
+      Option.iter Thread.join t.acceptor;
+      (* Shutting the connection fds down unblocks their reader
+         threads; each then closes its own fd. *)
+      let conns = locked t.cm (fun () -> t.conns) in
+      List.iter
+        (fun (fd, _) ->
+          try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        conns;
+      List.iter (fun (_, th) -> Thread.join th) conns;
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        t.listeners;
+      try Unix.unlink t.cfg.socket_path with Unix.Unix_error _ -> ())
 
 let wait t =
   let rec await () =
-    if Atomic.get t.stop_flag || draining t then ()
+    if Core.stop_requested t.core || draining t then ()
     else begin
       Thread.delay 0.05;
       await ()

@@ -1,0 +1,85 @@
+(** Transport-independent server core.
+
+    Everything the personalization server does apart from sockets —
+    admission control over a bounded queue, the fixed worker pool,
+    budget capping, breaker-gated profile access under the rwlock,
+    graceful drain with the strict HEALTH counter ledger — lives here,
+    as a functor over the {!Runtime.S} concurrency substrate.
+
+    {!Server} instantiates it with {!Runtime.Threads} and adds the
+    Unix-socket/TCP front end; the deterministic simulation harness
+    ([Perso_sim]) instantiates it with a seeded cooperative scheduler
+    and a virtual clock, so the very same admission / drain / ledger
+    code paths replay bit-for-bit from a seed.
+
+    Ledger invariants (audited by [test_server.ml] and [Perso_sim]):
+    {ul
+    {- [arrivals = accepted + shed_queue_full + shed_draining'] where
+       [shed_draining'] counts admission-time sheds;}
+    {- [accepted = completed_ok + completed_err + shed_expired +
+       shed_at_stop + queue_depth + in_flight], with [queue_depth] and
+       [in_flight] both 0 after {!Make.stop} returns.}} *)
+
+type config = {
+  socket_path : string;
+  tcp_port : int option;
+  workers : int;
+  queue_capacity : int;
+  deadline_ms : float option;
+  max_rows : int option;
+  max_expansions : int option;
+  drain_ms : float;
+  breaker_threshold : int;
+  breaker_cooldown_ms : float;
+  dump_dir : string option;
+}
+
+val default_config : socket_path:string -> config
+
+type reply =
+  | R_rows of { notes : string list; result : Relal.Exec.result }
+  | R_message of string
+  | R_error of Perso.Error.t
+
+type drain_outcome = {
+  drained : bool;
+  shed_at_stop : int;
+  dump : (string, string) result option;
+}
+
+val mutate_drop_completed_ok : bool ref
+(** Test-only fault: when [true], successful completions are dropped
+    from the ledger.  The simulation suite arms this to prove its
+    invariant audits catch ledger bugs (mutation testing).  Never set
+    in production. *)
+
+val cap_budget : config -> Protocol.header -> Relal.Governor.budget
+(** Client-requested budgets capped by the server's own limits. *)
+
+module Make (_ : Runtime.S) : sig
+  type t
+
+  val create : config -> Relal.Database.t -> t
+  (** Validate the config and start the worker pool.  No sockets. *)
+
+  val submit : t -> Protocol.header -> Protocol.command -> reply
+  (** Admission (shed when draining or the queue is full), then block
+      until a worker answers the job's one-shot mailbox. *)
+
+  val health : t -> (string * string) list
+  val request_stop : t -> unit
+  val stop_requested : t -> bool
+  val begin_drain : t -> unit
+  val draining : t -> bool
+  val stopped : t -> bool
+
+  val stop : ?on_quiesced:(unit -> unit) -> t -> drain_outcome
+  (** Drain (bounded by [drain_ms]), flush the queue with typed
+      [Overloaded] replies, join the workers, run [on_quiesced] (the
+      socket layer's teardown hook), then take the optional crash-safe
+      dump.  Idempotent: later calls return the first outcome. *)
+
+  val lock_state : t -> int * bool
+  (** [(active_readers, writer_active)] of the database rwlock — the
+      exclusion probe for the simulation's invariant audit. *)
+end

@@ -1,0 +1,37 @@
+(** Differential and metamorphic oracles over the personalization core.
+
+    Differential (the paper's theorems, at ~10× the scale of the unit
+    suite): Theorem 1 — {!Perso.Select} emits paths in decreasing
+    degree order; Theorem 2 — for prefix-monotone criteria its output
+    matches the brute-force enumerator {!Perso.Brute} degree-for-degree.
+
+    Metamorphic (no ground truth needed, only relations between runs):
+    {ul
+    {- {b raise-rank}: raising the degree of a selected preference
+       never demotes that preference's best path in the emission order;}
+    {- {b K-prefix}: enlarging Top-K only appends — [top_r k] is a
+       prefix of [top_r k'] for [k < k'];}
+    {- {b delete-unselected}: removing a preference that contributed no
+       top-K path leaves the top-K unchanged (as multisets of
+       (condition, degree));}
+    {- {b subset}: with every preference optional and "at least one"
+       required, personalized answers are a sub-multiset of the plain
+       query's answers.}} *)
+
+type check = { name : string; ok : bool; detail : string }
+
+type report = {
+  cases : int;
+  movies : int;
+  selections : int;
+  checks : check list;  (** in deterministic order *)
+}
+
+val run :
+  ?movies:int -> ?selections:int -> ?cases:int -> seed:int -> unit -> report
+(** Default scale: [movies = 1200], [selections = 120] — 10× the
+    setting of [test_select.ml] — over [cases = 2] generated
+    (database, profile, query) triples derived from [seed]. *)
+
+val all_ok : report -> bool
+val failures : report -> check list

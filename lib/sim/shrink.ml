@@ -1,0 +1,33 @@
+let drop_range xs lo len =
+  List.filteri (fun i _ -> i < lo || i >= lo + len) xs
+
+let minimize ?(max_checks = 400) ~check xs =
+  let checks = ref 0 in
+  let try_check candidate =
+    if !checks >= max_checks then false
+    else begin
+      incr checks;
+      check candidate
+    end
+  in
+  (* Scan left-to-right removing [size]-element chunks; restart the
+     chunk size after any successful removal (a smaller list often
+     unlocks larger drops). *)
+  let rec pass xs size =
+    if size < 1 then xs
+    else begin
+      let n = List.length xs in
+      let rec scan lo =
+        if lo >= n then None
+        else
+          let candidate = drop_range xs lo size in
+          if candidate <> xs && try_check candidate then Some candidate
+          else scan (lo + size)
+      in
+      match scan 0 with
+      | Some smaller -> pass smaller (List.length smaller / 2)
+      | None -> pass xs (size / 2)
+    end
+  in
+  let n = List.length xs in
+  if n = 0 then xs else pass xs (n / 2)

@@ -1,0 +1,10 @@
+(** Greedy delta-debugging list minimization.
+
+    [minimize ~check xs] returns a (locally) 1-minimal sublist that
+    still satisfies [check] (i.e. still fails), assuming [check xs] is
+    true.  The strategy is ddmin-style: try dropping large contiguous
+    chunks first, halving the chunk size down to single elements, and
+    restart whenever a drop succeeds — greedy, deterministic, and
+    bounded by [max_checks] replays. *)
+
+val minimize : ?max_checks:int -> check:('a list -> bool) -> 'a list -> 'a list

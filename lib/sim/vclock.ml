@@ -1,0 +1,36 @@
+type 'a entry = { due : float; seq : int; waiter : 'a }
+
+type 'a t = {
+  mutable now : float;
+  mutable sleepers : 'a entry list;  (* unsorted; selected by (due, seq) *)
+  mutable next_seq : int;  (* park order breaks due-time ties (FIFO) *)
+}
+
+let create () = { now = 0.; sleepers = []; next_seq = 0 }
+let now t = t.now
+
+let park t due waiter =
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  t.sleepers <- { due; seq; waiter } :: t.sleepers
+
+let pending t = List.length t.sleepers
+
+let advance t =
+  match t.sleepers with
+  | [] -> []
+  | first :: rest ->
+      let earliest =
+        List.fold_left
+          (fun best e ->
+            if e.due < best.due || (e.due = best.due && e.seq < best.seq) then e
+            else best)
+          first rest
+      in
+      if earliest.due > t.now then t.now <- earliest.due;
+      let due, later =
+        List.partition (fun e -> e.due <= t.now) t.sleepers
+      in
+      t.sleepers <- later;
+      List.sort (fun a b -> compare a.seq b.seq) due
+      |> List.map (fun e -> e.waiter)

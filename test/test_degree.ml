@@ -94,6 +94,48 @@ let prop_monotone_growth =
       f (Degree.trans (dx :: ds)) <= f (Degree.trans ds) +. 1e-12
       && f (Degree.conj (dx :: ds)) >= f (Degree.conj ds) -. 1e-12)
 
+(* Commutativity: all three combinators are set functions — a
+   permutation of the inputs cannot change the result (§3 defines them
+   over sets of preferences, not sequences). *)
+let shuffled seed fs =
+  let a = Array.of_list fs in
+  Putil.Rng.shuffle (Putil.Rng.create seed) a;
+  Array.to_list a
+
+let prop_commutative =
+  QCheck.Test.make ~name:"trans/conj/disj commutative" ~count:500
+    QCheck.(pair degrees_gen small_int)
+    (fun (fs, seed) ->
+      let eq g xs ys = Float.abs (f (g (to_ds xs)) -. f (g (to_ds ys))) < 1e-9 in
+      let fs' = shuffled seed fs in
+      eq Degree.trans fs fs' && eq Degree.conj fs fs' && eq Degree.disj fs fs')
+
+(* Associativity where the paper's choices support it: the product
+   (transitive) and the complement-product (conjunction) both split
+   over any partition of the inputs.  The disjunction (an average) does
+   not, and no such property is claimed for it. *)
+let prop_trans_conj_associative =
+  QCheck.Test.make ~name:"trans/conj associative over partitions" ~count:500
+    QCheck.(pair degrees_gen degrees_gen)
+    (fun (xs, ys) ->
+      let t = f (Degree.trans (to_ds (xs @ ys))) in
+      let t' = f (Degree.trans [ Degree.trans (to_ds xs); Degree.trans (to_ds ys) ]) in
+      let c = f (Degree.conj (to_ds (xs @ ys))) in
+      let c' = f (Degree.conj [ Degree.conj (to_ds xs); Degree.conj (to_ds ys) ]) in
+      Float.abs (t -. t') < 1e-9 && Float.abs (c -. c') < 1e-9)
+
+(* The full ordering chain on one input set:
+   f⊙ <= min <= f∨ <= max <= f∧. *)
+let prop_combinator_chain =
+  QCheck.Test.make ~name:"trans <= min <= disj <= max <= conj" ~count:500
+    degrees_gen (fun fs ->
+      let ds = to_ds fs in
+      let lo = List.fold_left min 1.0 fs and hi = List.fold_left max 0.0 fs in
+      f (Degree.trans ds) <= lo +. 1e-12
+      && lo <= f (Degree.disj ds) +. 1e-12
+      && f (Degree.disj ds) <= hi +. 1e-12
+      && hi <= f (Degree.conj ds) +. 1e-12)
+
 (* The subsumption theorem (§3.3): conditions express "any L of the top K"
    over the same preference set; c1 is subsumed by c2 when K1 <= K2 and
    L1 >= L2 (satisfying more of fewer/better preferences is strictly
@@ -135,6 +177,8 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [
             prop_trans_bound; prop_conj_bound; prop_disj_bounds; prop_closed;
-            prop_monotone_growth; prop_subsumption;
+            prop_monotone_growth; prop_commutative;
+            prop_trans_conj_associative; prop_combinator_chain;
+            prop_subsumption;
           ] );
     ]

@@ -78,6 +78,53 @@ let test_datagen_play_movies_distinct_per_slot () =
       | _ -> Alcotest.fail "count")
     res.Exec.rows
 
+(* Statistical sanity on the Zipf-driven genre skew: the *ranking* of
+   genres by frequency is a property of the Zipf weights, not the seed,
+   so independent seeds must agree on which genre dominates, and the
+   sorted frequency sequence is monotone with a heavy head. *)
+let genre_counts_desc db =
+  let res =
+    Helpers.run db
+      "select g.genre, count(*) as n from genre g group by g.genre order by n \
+       desc, g.genre asc"
+  in
+  List.map
+    (fun r ->
+      match (r.(0), r.(1)) with
+      | Value.Str g, Value.Int n -> (g, n)
+      | _ -> Alcotest.fail "genre count shape")
+    res.Exec.rows
+
+let test_datagen_frequency_ranks () =
+  let ranks seed = genre_counts_desc (Moviedb.Datagen.generate (small_cfg seed)) in
+  let r1 = ranks 21 and r2 = ranks 22 in
+  let counts = List.map snd r1 in
+  Alcotest.(check (list int)) "sorted counts monotone"
+    (List.sort (fun a b -> compare b a) counts)
+    counts;
+  Alcotest.(check string) "top genre seed-independent" (fst (List.hd r1))
+    (fst (List.hd r2));
+  let total = List.fold_left ( + ) 0 counts in
+  Alcotest.(check bool) "head genre at least 2x the uniform share" true
+    (List.hd counts * List.length counts > 2 * total)
+
+let test_datagen_exact_reproduction () =
+  (* Byte-exact, table-by-table — stronger than query-level equality. *)
+  let rows db t =
+    let acc = ref [] in
+    Table.iter (Database.table db t) (fun r ->
+        acc := (Array.to_list r |> List.map Value.to_string) :: !acc);
+    List.rev !acc
+  in
+  let db1 = Moviedb.Datagen.generate (small_cfg 23) in
+  let db2 = Moviedb.Datagen.generate (small_cfg 23) in
+  List.iter
+    (fun t ->
+      Alcotest.(check (list (list string)))
+        (Printf.sprintf "table %s identical" t)
+        (rows db1 t) (rows db2 t))
+    [ "movie"; "actor"; "director"; "genre"; "cast"; "directed"; "play" ]
+
 let test_scale_proportions () =
   let cfg = Moviedb.Datagen.scale 4000 in
   Alcotest.(check int) "movies" 4000 cfg.Moviedb.Datagen.movies;
@@ -195,6 +242,9 @@ let () =
           Alcotest.test_case "fk integrity" `Quick test_datagen_fk_integrity;
           Alcotest.test_case "deterministic" `Quick test_datagen_deterministic;
           Alcotest.test_case "zipf skew" `Quick test_datagen_zipf_skew;
+          Alcotest.test_case "frequency ranks" `Quick test_datagen_frequency_ranks;
+          Alcotest.test_case "exact reproduction" `Quick
+            test_datagen_exact_reproduction;
           Alcotest.test_case "date window" `Quick test_datagen_dates_in_window;
           Alcotest.test_case "plays distinct" `Quick
             test_datagen_play_movies_distinct_per_slot;

@@ -184,6 +184,83 @@ let prop_pqueue_matches_sort =
       in
       List.rev !popped = expected)
 
+(* Interleaved push/pop/peek sequences against a sorted-list model.
+   Priorities are drawn from six values, so duplicates are the common
+   case and tie-stability is exercised on every run. *)
+let prop_pqueue_ops_model =
+  QCheck.Test.make ~name:"pqueue op sequences = sorted-list model" ~count:300
+    QCheck.(list (pair (int_range 0 3) (int_range 0 5)))
+    (fun ops ->
+      let q = Pqueue.create () in
+      (* Model: (priority, insertion seq, value), kept sorted by
+         priority desc then seq asc — the queue's documented order. *)
+      let model = ref [] in
+      let seq = ref 0 in
+      let insert (p, s, v) =
+        let rec go = function
+          | [] -> [ (p, s, v) ]
+          | ((p', s', _) :: rest as l) ->
+              if p > p' || (p = p' && s < s') then (p, s, v) :: l
+              else List.hd l :: go rest
+        in
+        model := go !model
+      in
+      let ok = ref true in
+      List.iter
+        (fun (op, pi) ->
+          let p = float_of_int pi /. 4. in
+          match op with
+          | 0 | 1 ->
+              let v = !seq in
+              incr seq;
+              Pqueue.push q p v;
+              insert (p, v, v)
+          | 2 -> (
+              match (Pqueue.pop q, !model) with
+              | Some (pp, vv), (p', _, v') :: rest ->
+                  model := rest;
+                  if pp <> p' || vv <> v' then ok := false
+              | None, [] -> ()
+              | _ -> ok := false)
+          | _ -> (
+              match (Pqueue.peek q, !model) with
+              | Some (pp, vv), (p', _, v') :: _ ->
+                  if pp <> p' || vv <> v' then ok := false
+              | None, [] -> ()
+              | _ -> ok := false))
+        ops;
+      !ok && Pqueue.length q = List.length !model)
+
+(* Statistical sanity + exact reproducibility for the Zipf sampler. *)
+let test_zipf_same_seed_sequence () =
+  let z = Zipf.create ~n:50 ~s:1.1 in
+  let draw seed =
+    let r = Rng.create seed in
+    List.init 200 (fun _ -> Zipf.sample z r)
+  in
+  Alcotest.(check (list int)) "same seed, identical samples" (draw 21) (draw 21);
+  Alcotest.(check bool) "different seed diverges" true (draw 21 <> draw 22)
+
+let test_zipf_bucket_ranks_monotone () =
+  let z = Zipf.create ~n:12 ~s:1.0 in
+  let r = Rng.create 31 in
+  let counts = Array.make 12 0 in
+  for _ = 1 to 30_000 do
+    let i = Zipf.sample z r in
+    counts.(i) <- counts.(i) + 1
+  done;
+  (* Per-rank counts are noisy; sums over rank buckets must decrease. *)
+  let bucket lo hi =
+    let s = ref 0 in
+    for i = lo to hi do s := !s + counts.(i) done;
+    !s
+  in
+  let b0 = bucket 0 3 and b1 = bucket 4 7 and b2 = bucket 8 11 in
+  Alcotest.(check bool)
+    (Printf.sprintf "bucket frequencies monotone (%d > %d > %d)" b0 b1 b2)
+    true
+    (b0 > b1 && b1 > b2)
+
 (* ----------------------------- Combin ----------------------------- *)
 
 let test_choose_values () =
@@ -219,7 +296,9 @@ let test_pairs () =
     (Combin.pairs [ 1; 2; 3 ]);
   Alcotest.(check (list (pair int int))) "empty" [] (Combin.pairs [])
 
-let qsuite = List.map QCheck_alcotest.to_alcotest [ prop_pqueue_matches_sort; prop_subsets_count ]
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_pqueue_matches_sort; prop_pqueue_ops_model; prop_subsets_count ]
 
 let () =
   Alcotest.run "putil"
@@ -244,6 +323,10 @@ let () =
           Alcotest.test_case "skew" `Quick test_zipf_skew;
           Alcotest.test_case "pmf sums to 1" `Quick test_zipf_pmf_sums_to_one;
           Alcotest.test_case "sample distribution" `Quick test_zipf_sample_distribution;
+          Alcotest.test_case "same-seed sequence exact" `Quick
+            test_zipf_same_seed_sequence;
+          Alcotest.test_case "bucket ranks monotone" `Quick
+            test_zipf_bucket_ranks_monotone;
           Alcotest.test_case "invalid args" `Quick test_zipf_invalid;
         ] );
       ( "pqueue",
