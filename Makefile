@@ -3,6 +3,7 @@
 # the executor benchmark that must exit 0 and leave valid JSON behind.
 
 BENCH_JSON := /tmp/bench_exec_smoke.json
+BENCH_PERSO_JSON := /tmp/bench_perso_smoke.json
 CHAOS_SEED ?= 1337
 
 SIM_SEED ?= 42
@@ -48,7 +49,10 @@ sim: build
 check: build test chaos serve-smoke sim
 	BENCH_SCALE=quick BENCH_EXEC_OUT=$(BENCH_JSON) dune exec bench/main.exe -- exec
 	python3 -m json.tool $(BENCH_JSON) > /dev/null
-	@echo "check: OK ($(BENCH_JSON) is valid JSON)"
+	BENCH_SCALE=quick BENCH_PERSO_OUT=$(BENCH_PERSO_JSON) dune exec bench/main.exe -- perso
+	python3 -m json.tool $(BENCH_PERSO_JSON) > /dev/null
+	@python3 -c "import json,sys; d=json.load(open('$(BENCH_PERSO_JSON)')); s=d['speedup_warm']; sys.exit(0 if s >= 5 else sys.stderr.write('plan cache: warm speedup %.1fx < 5x\n' % s) or 1)"
+	@echo "check: OK ($(BENCH_JSON), $(BENCH_PERSO_JSON) valid; plan-cache warm >= 5x)"
 
 clean:
 	dune clean

@@ -670,6 +670,191 @@ let bench_exec () =
   Printf.printf "# wrote %s (total %.3f ms)\n%!" path total_ms
 
 (* --------------------------------------------------------------------- *)
+(* Plan-cache benchmark — machine-readable (BENCH_PERSO.json)            *)
+(* --------------------------------------------------------------------- *)
+
+(* Cold / warm / edited personalization cost under a Zipf-skewed
+   (user, query-template) workload.  Personalization only — no query
+   execution — since the cache saves the pipeline, not the executor.
+   Four passes over the same request sequence:
+
+     cold         every request runs the full §4 pipeline, no cache
+     warm         a primed {!Perso.Perso_cache}; every request hits
+     invalidate   primed cache with the patcher OFF, but every 10th
+                  request first retunes one of that user's selections
+                  and saves it to {!Perso.Profile_store} — consults
+                  after an edit recompute cold
+     incremental  the same edit sequence with the patcher ON — consults
+                  after an edit are spliced when provably sound
+
+   The two edited passes replay the identical edit sequence from the
+   same starting profiles (snapshot/restore + a dedicated edit RNG), so
+   invalidate vs incremental isolates exactly the patcher's effect.
+
+   Writes BENCH_PERSO.json (override with BENCH_PERSO_OUT); `make check`
+   gates on warm being >= 5x faster than cold. *)
+
+let bench_perso () =
+  let movies = min 1000 scale.movies in
+  let pdb = Moviedb.Datagen.generate (Moviedb.Datagen.scale ~seed:7 movies) in
+  let n_users = 8 and n_templates = 12 in
+  let users = Array.init n_users (fun i -> Printf.sprintf "u%02d" i) in
+  let profiles =
+    Array.init n_users (fun i ->
+        let p =
+          Moviedb.Profile_gen.generate pdb
+            {
+              Moviedb.Profile_gen.default with
+              seed = 900 + i;
+              n_selections = 30;
+            }
+        in
+        Profile_store.save pdb ~user:users.(i) p;
+        ref p)
+  in
+  let templates =
+    Array.of_list (Moviedb.Workload.queries pdb ~n:n_templates ~seed:210)
+  in
+  let n_req = 30 * n_users in
+  let rng = Putil.Rng.create 4242 in
+  let zu = Putil.Zipf.create ~n:n_users ~s:1.1 in
+  let zt = Putil.Zipf.create ~n:n_templates ~s:1.1 in
+  let reqs =
+    List.init n_req (fun _ ->
+        (Putil.Zipf.sample zu rng, Putil.Zipf.sample zt rng))
+  in
+  (* K above the profiles' related-path count: the donor top-K is not
+     cut off, so single-selection retunes take the patcher's rescale
+     fast path (a full top-K forces its sound cold fallback). *)
+  let params = { Personalize.default_params with k = Criteria.top_r 50 } in
+  let pass ?cache ?erng ?(edit_every = 0) () =
+    (* One sweep over [reqs]; returns total ms inside personalization. *)
+    let i = ref 0 in
+    List.fold_left
+      (fun acc (u, t) ->
+        incr i;
+        (match erng with
+        | Some erng when edit_every > 0 && !i mod edit_every = 0 -> (
+            let p = profiles.(u) in
+            match Profile.selections !p with
+            | [] -> ()
+            | sels ->
+                let a, _ =
+                  List.nth sels (Putil.Rng.int erng (List.length sels))
+                in
+                let d =
+                  Degree.of_float
+                    (Float.round ((0.3 +. Putil.Rng.float erng 0.7) *. 1000.)
+                    /. 1000.)
+                in
+                p := Profile.add !p (Atom.Sel a) d;
+                Profile_store.save pdb ~user:users.(u) !p)
+        | _ -> ());
+        let _, ms =
+          time (fun () ->
+              match cache with
+              | None ->
+                  ignore
+                    (Personalize.personalize ~params pdb !(profiles.(u))
+                       templates.(t)
+                      : Personalize.outcome)
+              | Some c ->
+                  ignore
+                    (Perso_cache.personalize c ~params ~user:users.(u)
+                       !(profiles.(u)) templates.(t)
+                      : Personalize.outcome * Perso_cache.source))
+        in
+        acc +. ms)
+      0. reqs
+  in
+  let snapshot = Array.map (fun p -> !p) profiles in
+  let restore () =
+    Array.iteri
+      (fun i p ->
+        p := snapshot.(i);
+        Profile_store.save pdb ~user:users.(i) snapshot.(i))
+      profiles
+  in
+  (* One edited pass: restore profiles, prime a fresh cache, then replay
+     the edit sequence.  Returns (ms, hits, patched, cold). *)
+  let edited ~incremental () =
+    restore ();
+    let c = Perso_cache.create ~incremental pdb in
+    ignore (pass ~cache:c () : float) (* prime *);
+    let st0 = Perso_cache.stats c in
+    let ms = pass ~cache:c ~erng:(Putil.Rng.create 777) ~edit_every:10 () in
+    let st1 = Perso_cache.stats c in
+    ( ms,
+      st1.Perso_cache.hits - st0.Perso_cache.hits,
+      st1.Perso_cache.incremental - st0.Perso_cache.incremental,
+      st1.Perso_cache.misses - st0.Perso_cache.misses )
+  in
+  let ms_cold = pass () in
+  let warm_cache = Perso_cache.create pdb in
+  ignore (pass ~cache:warm_cache () : float) (* prime *);
+  let warm_st0 = Perso_cache.stats warm_cache in
+  let ms_warm = pass ~cache:warm_cache () in
+  let warm_st = Perso_cache.stats warm_cache in
+  let warm_hits = warm_st.Perso_cache.hits - warm_st0.Perso_cache.hits in
+  let ms_inv, inv_hits, _, inv_cold = edited ~incremental:false () in
+  let ms_inc, inc_hits, inc_patched, inc_cold = edited ~incremental:true () in
+  let per ms = ms /. float_of_int n_req in
+  let speedup_warm = per ms_cold /. per ms_warm in
+  let speedup_inc = per ms_inv /. per ms_inc in
+  Printf.printf
+    "\n## Plan cache (%d movies, %d users x %d templates, %d requests, Zipf \
+     s=1.1)\n"
+    movies n_users n_templates n_req;
+  Printf.printf "%-12s %12s %14s %30s\n" "mode" "ms_total" "ms_per_query"
+    "served";
+  Printf.printf "%-12s %12.3f %14.4f %30s\n" "cold" ms_cold (per ms_cold) "-";
+  Printf.printf "%-12s %12.3f %14.4f %30s\n" "warm" ms_warm (per ms_warm)
+    (Printf.sprintf "%d hits" warm_hits);
+  Printf.printf "%-12s %12.3f %14.4f %30s\n" "invalidate" ms_inv (per ms_inv)
+    (Printf.sprintf "%d hits, %d cold" inv_hits inv_cold);
+  Printf.printf "%-12s %12.3f %14.4f %30s\n%!" "incremental" ms_inc (per ms_inc)
+    (Printf.sprintf "%d hits, %d patched, %d cold" inc_hits inc_patched
+       inc_cold);
+  Printf.printf "# speedup: warm %.1fx vs cold, incremental %.2fx vs \
+                 invalidate\n%!"
+    speedup_warm speedup_inc;
+  let path =
+    Option.value ~default:"BENCH_PERSO.json" (Sys.getenv_opt "BENCH_PERSO_OUT")
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"perso\",\n\
+    \  \"scale\": %S,\n\
+    \  \"movies\": %d,\n\
+    \  \"users\": %d,\n\
+    \  \"templates\": %d,\n\
+    \  \"requests\": %d,\n\
+    \  \"zipf_s\": 1.1,\n\
+    \  \"modes\": [\n"
+    scale.label movies n_users n_templates n_req;
+  Printf.fprintf oc
+    "    {\"name\": \"cold\", \"ms_total\": %.3f, \"ms_per_query\": %.4f},\n"
+    ms_cold (per ms_cold);
+  Printf.fprintf oc
+    "    {\"name\": \"warm\", \"ms_total\": %.3f, \"ms_per_query\": %.4f, \
+     \"hits\": %d},\n"
+    ms_warm (per ms_warm) warm_hits;
+  Printf.fprintf oc
+    "    {\"name\": \"invalidate\", \"ms_total\": %.3f, \"ms_per_query\": \
+     %.4f, \"hits\": %d, \"misses\": %d},\n"
+    ms_inv (per ms_inv) inv_hits inv_cold;
+  Printf.fprintf oc
+    "    {\"name\": \"incremental\", \"ms_total\": %.3f, \"ms_per_query\": \
+     %.4f, \"hits\": %d, \"incremental\": %d, \"misses\": %d}\n"
+    ms_inc (per ms_inc) inc_hits inc_patched inc_cold;
+  Printf.fprintf oc
+    "  ],\n  \"speedup_warm\": %.2f,\n  \"speedup_incremental\": %.2f\n}\n"
+    speedup_warm speedup_inc;
+  close_out oc;
+  Printf.printf "# wrote %s\n%!" path
+
+(* --------------------------------------------------------------------- *)
 (* Driver                                                                *)
 (* --------------------------------------------------------------------- *)
 
@@ -677,7 +862,7 @@ let all_figs =
   [
     ("fig6", fig6); ("fig7a", fig7a); ("fig7b", fig7b); ("fig7c", fig7c);
     ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("exec", bench_exec);
-    ("kernels", kernels);
+    ("perso", bench_perso); ("kernels", kernels);
     ("ablation-funcs", ablation_funcs); ("ablation-topn", ablation_topn);
     ("ablation-index", ablation_index); ("ablation-planner", ablation_planner);
   ]

@@ -332,7 +332,7 @@ let dot_cmd =
 
 let serve movies seed data_dir deadline max_rows max_expansions socket tcp
     workers queue drain_ms breaker_threshold breaker_cooldown dump_dir
-    chaos_seed chaos_p =
+    chaos_seed chaos_p no_cache cache_entries cache_mb =
   guarded (fun () ->
       let db = db_of ?data_dir ~movies ~seed () in
       (match chaos_p with
@@ -353,6 +353,9 @@ let serve movies seed data_dir deadline max_rows max_expansions socket tcp
           breaker_threshold;
           breaker_cooldown_ms = breaker_cooldown;
           dump_dir;
+          cache = not no_cache;
+          cache_entries;
+          cache_mb;
         }
       in
       let t = Perso_server.Server.start cfg db in
@@ -421,6 +424,20 @@ let chaos_p_arg =
   in
   Arg.(value & opt (some float) None & info [ "chaos-p" ] ~docv:"P" ~doc)
 
+let no_cache_arg =
+  let doc =
+    "Disable the personalization plan cache (every request recomputes cold)."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let cache_entries_arg =
+  let doc = "Plan-cache capacity in entries (LRU beyond it)." in
+  Arg.(value & opt int 512 & info [ "cache-entries" ] ~docv:"N" ~doc)
+
+let cache_mb_arg =
+  let doc = "Plan-cache capacity in mebibytes of reachable heap." in
+  Arg.(value & opt float 32. & info [ "cache-mb" ] ~docv:"MB" ~doc)
+
 let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
@@ -431,7 +448,8 @@ let serve_cmd =
       const serve $ movies_arg $ seed_arg $ data_dir_arg $ deadline_arg
       $ max_rows_arg $ max_expansions_arg $ socket_arg $ tcp_arg $ workers_arg
       $ queue_arg $ drain_arg $ breaker_threshold_arg $ breaker_cooldown_arg
-      $ dump_dir_arg $ chaos_seed_arg $ chaos_p_arg)
+      $ dump_dir_arg $ chaos_seed_arg $ chaos_p_arg $ no_cache_arg
+      $ cache_entries_arg $ cache_mb_arg)
 
 (* ---------------- sim ---------------- *)
 

@@ -1,0 +1,500 @@
+open Relal
+
+type locker = { with_lock : 'a. (unit -> 'a) -> 'a }
+
+let no_lock = { with_lock = (fun f -> f ()) }
+
+type source = Hit | Incremental | Miss | Bypass
+
+type stats = {
+  hits : int;
+  incremental : int;
+  misses : int;
+  bypasses : int;
+  evictions : int;
+  invalidations : int;
+  entries : int;
+  bytes : int;
+}
+
+(* Entries form a doubly-linked LRU list (head = most recently used)
+   indexed by the hashtable.  A stale entry (revision behind the user's
+   current one) is not dropped on invalidation: it stays as the donor
+   for incremental re-personalization and is replaced in place by the
+   next store under its key. *)
+type entry = {
+  key : string;
+  e_user : string;
+  mutable e_rev : int;
+  mutable e_profile : Profile.t;
+  mutable e_outcome : Personalize.outcome;
+  mutable e_bytes : int;
+  mutable prev : entry option;
+  mutable next : entry option;
+}
+
+type t = {
+  db : Database.t;
+  lock : locker;
+  max_entries : int;
+  max_bytes : int;
+  incremental_on : bool;
+  tbl : (string, entry) Hashtbl.t;
+  mutable head : entry option;
+  mutable tail : entry option;
+  mutable c_hits : int;
+  mutable c_inc : int;
+  mutable c_miss : int;
+  mutable c_byp : int;
+  mutable c_evict : int;
+  mutable c_inval : int;
+  mutable c_bytes : int;
+}
+
+(* ------------------------------ LRU list ---------------------------- *)
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let touch t e =
+  match t.head with
+  | Some h when h == e -> ()
+  | _ ->
+      unlink t e;
+      push_front t e
+
+let drop t e =
+  unlink t e;
+  Hashtbl.remove t.tbl e.key;
+  t.c_bytes <- t.c_bytes - e.e_bytes
+
+let word_bytes = Sys.word_size / 8
+
+let measure key profile outcome =
+  Obj.reachable_words (Obj.repr (key, profile, outcome)) * word_bytes
+
+let rec enforce t =
+  if Hashtbl.length t.tbl > t.max_entries || t.c_bytes > t.max_bytes then
+    match t.tail with
+    | None -> ()
+    | Some e ->
+        drop t e;
+        t.c_evict <- t.c_evict + 1;
+        enforce t
+
+let store t ~key ~user ~rev profile outcome =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some e ->
+      t.c_bytes <- t.c_bytes - e.e_bytes;
+      e.e_rev <- rev;
+      e.e_profile <- profile;
+      e.e_outcome <- outcome;
+      e.e_bytes <- measure key profile outcome;
+      t.c_bytes <- t.c_bytes + e.e_bytes;
+      touch t e
+  | None ->
+      let e =
+        {
+          key;
+          e_user = user;
+          e_rev = rev;
+          e_profile = profile;
+          e_outcome = outcome;
+          e_bytes = measure key profile outcome;
+          prev = None;
+          next = None;
+        }
+      in
+      Hashtbl.replace t.tbl key e;
+      push_front t e;
+      t.c_bytes <- t.c_bytes + e.e_bytes);
+  enforce t
+
+let entries_of t user =
+  Hashtbl.fold (fun _ e acc -> if e.e_user = user then e :: acc else acc) t.tbl []
+
+(* A mutation makes the user's previously-fresh entries stale; count
+   those as invalidations exactly once (an entry already stale from an
+   earlier revision was counted then).  Saved keeps them as patch
+   donors; Deleted drops them — an empty profile personalizes trivially
+   and patching towards it is pointless. *)
+let on_event t ~user event =
+  t.lock.with_lock (fun () ->
+      let rev = Profile_store.revision t.db ~user in
+      let mine = entries_of t user in
+      let was_fresh = List.filter (fun e -> e.e_rev = rev - 1) mine in
+      t.c_inval <- t.c_inval + List.length was_fresh;
+      match event with
+      | Profile_store.Saved -> ()
+      | Profile_store.Deleted -> List.iter (drop t) mine)
+
+let create ?(lock = no_lock) ?(max_entries = 512)
+    ?(max_bytes = 32 * 1024 * 1024) ?(incremental = true) db =
+  let t =
+    {
+      db;
+      lock;
+      max_entries = max 1 max_entries;
+      max_bytes = max 0 max_bytes;
+      incremental_on = incremental;
+      tbl = Hashtbl.create 64;
+      head = None;
+      tail = None;
+      c_hits = 0;
+      c_inc = 0;
+      c_miss = 0;
+      c_byp = 0;
+      c_evict = 0;
+      c_inval = 0;
+      c_bytes = 0;
+    }
+  in
+  Profile_store.subscribe db (fun ~user event -> on_event t ~user event);
+  t
+
+(* ------------------------------ keys -------------------------------- *)
+
+(* Parameter fingerprint: injective per field ([%h] renders floats
+   exactly), so distinct parameter sets never share cached plans. *)
+let params_fp (p : Personalize.params) =
+  String.concat "|"
+    [
+      (match p.k with
+      | Criteria.Top_r r -> "top#" ^ string_of_int r
+      | Criteria.Above d -> Printf.sprintf "above%h" (Degree.to_float d)
+      | Criteria.Disj_above d -> Printf.sprintf "disj%h" (Degree.to_float d)
+      | Criteria.Conj_above d -> Printf.sprintf "conj%h" (Degree.to_float d));
+      (match p.m with
+      | `Count n -> "m#" ^ string_of_int n
+      | `Min_degree d -> Printf.sprintf "m%h" d);
+      (match p.l with
+      | `At_least n -> "l#" ^ string_of_int n
+      | `Min_doi d -> Printf.sprintf "l%h" d);
+      (match p.method_ with `SQ -> "sq" | `MQ -> "mq");
+      (if p.rank then "rank" else "norank");
+    ]
+
+(* --------------------- incremental re-personalization ---------------
+
+   Patch rules for a single atomic-selection diff against the donor
+   snapshot, each applied only when the result is provably the same
+   path list a cold run would select.  Notation: [selected] is the
+   donor's P_K, [full] means it reached the Top-K cutoff (so unknown
+   candidates may hide beyond the frontier), [has_sel s] means one of
+   its paths ends in selection [s].
+
+   - remove s, s unselected: P_K unchanged — s's paths were all below
+     the cutoff and removing a selection leaves every other path's
+     degree alone (selections terminate paths; only s-paths contain s).
+   - remove s, selected, not full: the donor emitted {e every} related
+     path, so dropping s's paths is complete — nothing was hidden.
+   - remove s, selected, full: cold — the freed slots admit paths
+     beyond the old frontier that the donor never materialized.
+   - retune s, selected, not full: no graph search at all.  Not full
+     means the donor emitted {e every} related path, so s's paths are
+     exactly the donor's s-paths; rebuild each with the new selection
+     degree ({e rescaling} — join degrees are untouched and
+     [Path.extend_*] recomputes the product along the same
+     multiplication sequence, so degrees are bit-identical to a cold
+     run's).  Rescaling can reorder, so re-sort the rescaled paths by
+     decreasing degree (stable, preserving the donor's relative order)
+     and merge into the non-s paths.  Any degree tie — among the
+     rescaled paths or against an old one — bails to cold: FIFO order
+     across lists is unknowable without a joint run.
+   - add/retune s otherwise: recompute s's paths with a {e restricted}
+     selection over a graph that keeps every join edge (so join-path
+     expansion order — and hence FIFO tie order among s-paths — matches
+     what a joint run would do) but only selection [s]; then merge by
+     decreasing degree into the donor's non-s paths and cut at K.
+     Sound unless s was selected while full (same hidden-frontier
+     problem as removal), or some new path ties an old one in degree —
+     cross-list FIFO order is unknowable without a joint run, so ties
+     bail to cold.  A joint run's s-paths are always a prefix of the
+     restricted run's emission (both emit s-paths in the same relative
+     order and the joint cutoff only truncates), so merging and cutting
+     reconstructs the joint P_K exactly.
+
+   The rebuilt outcome re-runs integration ({!Personalize.
+   integrate_selected}) on the patched path list — integration is the
+   cheap phase (paper Fig. 8); the graph traversal is what's skipped. *)
+
+let sel_matches s p =
+  match Path.selection p with Some (s', _) -> s' = s | None -> false
+
+let has_sel selected s = List.exists (sel_matches s) selected
+let drop_sel selected s = List.filter (fun p -> not (sel_matches s p)) selected
+let take k l = List.filteri (fun i _ -> i < k) l
+
+type pdiff =
+  | D_same
+  | D_sel_removed of Atom.selection
+  | D_sel_changed of Atom.selection * Degree.t  (** added or retuned *)
+  | D_other
+
+let diff donor current =
+  let change = ref None and many = ref false in
+  let note c =
+    match !change with None -> change := Some c | Some _ -> many := true
+  in
+  List.iter
+    (fun (a, d_old) ->
+      match Profile.find current a with
+      | None -> note (`Rem a)
+      | Some d_new when not (Degree.equal d_old d_new) -> note (`Chg (a, d_new))
+      | Some _ -> ())
+    (Profile.entries donor);
+  List.iter
+    (fun (a, d_new) ->
+      match Profile.find donor a with
+      | None -> note (`Chg (a, d_new))
+      | Some _ -> ())
+    (Profile.entries current);
+  if !many then D_other
+  else
+    match !change with
+    | None -> D_same
+    | Some (`Rem (Atom.Sel s)) -> D_sel_removed s
+    | Some (`Chg (Atom.Sel s, d)) -> D_sel_changed (s, d)
+    | Some (`Rem (Atom.Join _) | `Chg (Atom.Join _, _)) -> D_other
+
+let restricted_select t ?gov ~qg ~k profile s d =
+  let base =
+    List.fold_left
+      (fun acc (j, jd) -> Profile.add acc (Atom.Join j) jd)
+      Profile.empty (Profile.joins profile)
+  in
+  let pf = Profile.add base (Atom.Sel s) d in
+  Select.select ?gov t.db (Pgraph.of_profile pf) qg (Criteria.top_r k)
+
+let cross_tie news olds =
+  List.exists
+    (fun np ->
+      List.exists (fun op -> Degree.equal np.Path.degree op.Path.degree) olds)
+    news
+
+let rec internal_tie = function
+  | [] | [ _ ] -> false
+  | p :: rest ->
+      List.exists (fun q -> Degree.equal p.Path.degree q.Path.degree) rest
+      || internal_tie rest
+
+(* Rebuild a donor s-path with the retuned selection degree.  Join
+   degrees are carried over verbatim and the path is re-extended in the
+   same order, so the resulting degree goes through the exact
+   multiplication sequence a cold run would. *)
+let rescale_path p s d =
+  let open Path in
+  let base = start ~anchor_tv:p.anchor_tv ~anchor_rel:p.anchor_rel in
+  let joined =
+    List.fold_left
+      (fun acc (j, jd) ->
+        match acc with
+        | Error _ as e -> e
+        | Ok q -> extend_join q j jd)
+      (Ok base) p.joins
+  in
+  match joined with
+  | Error _ -> None
+  | Ok q -> ( match extend_sel q s d with Ok q' -> Some q' | Error _ -> None)
+
+(* Merge two decreasing path lists with no cross ties, preserving each
+   list's internal (FIFO) order: the joint emission order. *)
+let rec merge_desc news olds =
+  match (news, olds) with
+  | [], l | l, [] -> l
+  | n :: ns, o :: os ->
+      if Degree.compare_desc n.Path.degree o.Path.degree < 0 then
+        n :: merge_desc ns olds
+      else o :: merge_desc news os
+
+let try_patch t ?gov ~params ~qg ~donor_profile ~donor_outcome profile =
+  if not t.incremental_on then None
+  else
+    match (params.Personalize.k : Criteria.t) with
+    | Above _ | Disj_above _ | Conj_above _ -> None
+    | Top_r k when k <= 0 -> None
+    | Top_r k -> (
+        let selected = donor_outcome.Personalize.selected in
+        let full = List.length selected >= k in
+        let rebuild selected' =
+          Some
+            (Personalize.integrate_selected ~params t.db qg
+               ~stats:(Select.fresh_stats ()) selected')
+        in
+        let splice s d =
+          if has_sel selected s then
+            if full then None
+            else
+              let olds = drop_sel selected s in
+              (* Not full: the donor holds every s-path — rescale them
+                 in place of a restricted re-expansion. *)
+              let rescaled =
+                List.filter_map
+                  (fun p ->
+                    if sel_matches s p then rescale_path p s d else None)
+                  selected
+              in
+              if
+                List.length rescaled
+                <> List.length selected - List.length olds
+              then None
+              else
+                let news =
+                  List.stable_sort
+                    (fun a b ->
+                      Degree.compare_desc a.Path.degree b.Path.degree)
+                    rescaled
+                in
+                if internal_tie news || cross_tie news olds then None
+                else rebuild (take k (merge_desc news olds))
+          else if
+            (* Retune of an unselected preference on a not-full donor:
+               the emission was complete, so s provably has no related
+               paths and its degree cannot matter. *)
+            (not full) && Profile.find donor_profile (Atom.Sel s) <> None
+          then Some donor_outcome
+          else
+            let news = restricted_select t ?gov ~qg ~k profile s d in
+            if news = [] then Some donor_outcome
+            else if cross_tie news selected then None
+            else rebuild (take k (merge_desc news selected))
+        in
+        match diff donor_profile profile with
+        | D_same -> Some donor_outcome
+        | D_other -> None
+        | D_sel_removed s ->
+            if not (has_sel selected s) then Some donor_outcome
+            else if full then None
+            else rebuild (drop_sel selected s)
+        | D_sel_changed (s, d) -> splice s d)
+
+(* ------------------------------ lookup ------------------------------ *)
+
+let personalize t ?(params = Personalize.default_params) ?gov ~user ?revision
+    profile q =
+  let user = String.lowercase_ascii user in
+  let bound = Binder.bind t.db q in
+  let qg = Qgraph.of_query t.db bound in
+  let key =
+    String.concat "\x01" [ user; params_fp params; Sql_print.query_to_key bound ]
+  in
+  let rev =
+    match revision with
+    | Some r -> r
+    | None -> Profile_store.revision t.db ~user
+  in
+  let state =
+    t.lock.with_lock (fun () ->
+        match Hashtbl.find_opt t.tbl key with
+        | Some e when e.e_rev = rev ->
+            t.c_hits <- t.c_hits + 1;
+            touch t e;
+            `Fresh e.e_outcome
+        | Some e -> `Stale (e.e_profile, e.e_outcome)
+        | None -> `Cold)
+  in
+  match state with
+  | `Fresh outcome -> (outcome, Hit)
+  | (`Stale _ | `Cold) as state ->
+      (* Compute outside the lock; a racing computation for the same key
+         just overwrites with an identical outcome. *)
+      let patched =
+        match state with
+        | `Stale (donor_profile, donor_outcome) ->
+            try_patch t ?gov ~params ~qg ~donor_profile ~donor_outcome profile
+        | `Cold -> None
+      in
+      let outcome, src =
+        match patched with
+        | Some o -> (o, Incremental)
+        | None ->
+            let stats = Select.fresh_stats () in
+            let selected =
+              Select.select ~stats ?gov t.db (Pgraph.of_profile profile) qg
+                params.Personalize.k
+            in
+            (Personalize.integrate_selected ~params t.db qg ~stats selected, Miss)
+      in
+      t.lock.with_lock (fun () ->
+          (match src with
+          | Incremental -> t.c_inc <- t.c_inc + 1
+          | _ -> t.c_miss <- t.c_miss + 1);
+          store t ~key ~user ~rev profile outcome);
+      (outcome, src)
+
+let personalize_sql_r ?cache ?user ?revision ?params ?budget ?related db
+    profile sql =
+  let result, src =
+    match (cache, user, related) with
+    | Some t, Some u, None when t.db == db -> (
+        match Sql_parser.parse sql with
+        | exception e -> (Error (Error.of_exn_any e), Bypass)
+        | q ->
+            let params0 =
+              Option.value params ~default:Personalize.default_params
+            in
+            let src = ref Bypass in
+            (* Consult the cache on the full-strength rung only; degraded
+               rungs always compute cold (their reduced parameters are
+               transient) and reset the source so a degraded reply is
+               never reported as cache-served. *)
+            let compute ~params:ps ~gov =
+              if ps = params0 then (
+                let o, s = personalize t ~params:ps ?gov ~user:u ?revision profile q in
+                src := s;
+                o)
+              else (
+                src := Bypass;
+                Personalize.personalize ~params:ps ?gov db profile q)
+            in
+            let r = Personalize.personalize_r_with ?params ?budget ~compute db q in
+            (r, !src))
+    | _ -> (Personalize.personalize_sql_r ?params ?budget ?related db profile sql, Bypass)
+  in
+  (match (src, cache) with
+  | Bypass, Some t -> t.lock.with_lock (fun () -> t.c_byp <- t.c_byp + 1)
+  | _ -> ());
+  (result, src)
+
+(* ---------------------------- maintenance --------------------------- *)
+
+let stats t =
+  t.lock.with_lock (fun () ->
+      {
+        hits = t.c_hits;
+        incremental = t.c_inc;
+        misses = t.c_miss;
+        bypasses = t.c_byp;
+        evictions = t.c_evict;
+        invalidations = t.c_inval;
+        entries = Hashtbl.length t.tbl;
+        bytes = t.c_bytes;
+      })
+
+let invalidate_user t ~user =
+  let user = String.lowercase_ascii user in
+  t.lock.with_lock (fun () ->
+      let rev = Profile_store.revision t.db ~user in
+      let mine = entries_of t user in
+      let fresh = List.filter (fun e -> e.e_rev = rev) mine in
+      t.c_inval <- t.c_inval + List.length fresh;
+      List.iter (drop t) mine;
+      List.length mine)
+
+let clear t =
+  t.lock.with_lock (fun () ->
+      let all = Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl [] in
+      List.iter
+        (fun e ->
+          if e.e_rev = Profile_store.revision t.db ~user:e.e_user then
+            t.c_inval <- t.c_inval + 1;
+          drop t e)
+        all)

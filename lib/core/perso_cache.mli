@@ -1,0 +1,128 @@
+(** Keyed cache of compiled personalization outcomes, with an
+    incremental re-personalization path for single-preference profile
+    edits.
+
+    Every PERSONALIZE request otherwise redoes the whole §4 pipeline —
+    personalization-graph traversal, top-K preference selection,
+    integration — even when the same user replays the same query
+    template moments later.  This module caches {!Personalize.outcome}
+    values keyed by
+
+    {v (user, K/M/L/method/rank params, normalized query template) v}
+
+    where the template is {!Relal.Sql_print.query_to_key} applied to
+    the {e bound} AST.  Entry validity is carried by the user's
+    {!Profile_store.revision}: a stored entry remembers the revision
+    (and profile snapshot) it was computed under, so a profile mutation
+    invalidates all the user's entries implicitly — no key enumeration
+    — while keeping the stale outcome available as a donor for
+    patching.
+
+    {b Incremental re-personalization} (Chomicki's query-modification
+    frame, PAPERS.md): when the profile diff against the donor snapshot
+    is a single atomic {e selection} add / remove / retune, the cached
+    top-K frontier is patched — the affected selection's paths are
+    spliced out and/or recomputed by a bounded re-expansion restricted
+    to that selection, merged by degree — and the outcome rebuilt via
+    {!Personalize.integrate_selected}, skipping the full graph
+    traversal.  The patch is applied only when provably equivalent to a
+    cold run (criterion is [Top_r], no relatedness filter, no
+    cross-list degree ties that would make FIFO tie-breaking
+    unknowable, no cut-off frontier hiding successors); anything else
+    falls back to a cold run.  Warm and incremental outputs are
+    byte-identical to cold ones — enforced by the oracle relation in
+    [lib/sim/oracle.ml].
+
+    The cache is a bounded LRU with approximate byte accounting
+    ([Obj.reachable_words] of each entry).  It performs no locking of
+    its own; pass a {!locker} to serialize access (the server wraps a
+    {!Runtime.S} mutex so the sim runtime exercises the same code
+    single-threaded under virtual time). *)
+
+type locker = { with_lock : 'a. (unit -> 'a) -> 'a }
+(** How the cache serializes its internal state.  [with_lock f] must
+    run [f] mutually excluded from other [with_lock] calls on the same
+    cache.  The default {!no_lock} is for single-threaded callers. *)
+
+val no_lock : locker
+
+type t
+
+type source =
+  | Hit  (** served unchanged from a fresh entry *)
+  | Incremental  (** patched from a stale entry's outcome *)
+  | Miss  (** computed cold (and stored) *)
+  | Bypass  (** cache not consulted *)
+
+type stats = {
+  hits : int;
+  incremental : int;
+  misses : int;
+  bypasses : int;  (** only counted by {!personalize_sql_r} *)
+  evictions : int;  (** entries dropped by the LRU bound *)
+  invalidations : int;  (** fresh entries staled or dropped by mutations *)
+  entries : int;  (** current occupancy *)
+  bytes : int;  (** approximate current footprint *)
+}
+
+val create :
+  ?lock:locker ->
+  ?max_entries:int ->
+  ?max_bytes:int ->
+  ?incremental:bool ->
+  Relal.Database.t ->
+  t
+(** A cache over [db], subscribed to {!Profile_store} mutation events
+    against it ([save] stales the user's entries in place;
+    [delete] drops them).  Defaults: [max_entries = 512],
+    [max_bytes = 32 MiB], [incremental = true] ([false] disables the
+    patch path — stale entries then always recompute cold, which the
+    oracle uses as the plain-cached control). *)
+
+val personalize :
+  t ->
+  ?params:Personalize.params ->
+  ?gov:Relal.Governor.t ->
+  user:string ->
+  ?revision:int ->
+  Profile.t ->
+  Relal.Sql_ast.query ->
+  Personalize.outcome * source
+(** Cache-aware {!Personalize.personalize} against the cache's
+    database.  [profile] must be the user's current profile; its
+    current revision is read from {!Profile_store.revision} unless
+    [revision] overrides it (the REPL keys its session-local, never
+    stored profile this way).  A [Hit] returns the cached outcome
+    (including the donor run's [selection_stats]); [gov] meters only
+    cold and patch computation.  Raises exactly as [personalize] does
+    (nothing is cached on a raise). *)
+
+val personalize_sql_r :
+  ?cache:t ->
+  ?user:string ->
+  ?revision:int ->
+  ?params:Personalize.params ->
+  ?budget:Relal.Governor.budget ->
+  ?related:(Path.t -> bool) ->
+  Relal.Database.t ->
+  Profile.t ->
+  string ->
+  (Personalize.run, Error.t) result * source
+(** Cache-aware {!Personalize.personalize_sql_r}: the same degradation
+    ladder, with the cache consulted on the full-strength rung only
+    (degraded rungs always compute cold and are not cached).  The
+    cache is bypassed — [Bypass], one [bypasses] tick — when [cache]
+    or [user] is absent, a [related] filter is given, or [cache] was
+    built over a different database.  Never raises. *)
+
+val stats : t -> stats
+(** Snapshot of the counters (taken under the lock). *)
+
+val invalidate_user : t -> user:string -> int
+(** Drop all of a user's entries (stale or fresh), returning how many
+    were removed; fresh ones count as invalidations.  Mutations via
+    {!Profile_store} do this automatically — this is for explicit
+    administrative invalidation. *)
+
+val clear : t -> unit
+(** Drop every entry (counted as invalidations of the fresh ones). *)

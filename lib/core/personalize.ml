@@ -19,12 +19,7 @@ type outcome = {
   selection_stats : Select.stats;
 }
 
-let personalize ?(params = default_params) ?related ?gov db profile q =
-  let q = Binder.bind db q in
-  let qg = Qgraph.of_query db q in
-  let g = Pgraph.of_profile profile in
-  let stats = Select.fresh_stats () in
-  let selected = Select.select ~stats ?gov ?related db g qg params.k in
+let integrate_selected ?(params = default_params) db qg ~stats selected =
   let instantiated = Integrate.instantiate db qg selected in
   let mandatory, optional =
     Integrate.split_mandatory ~m:params.m instantiated (fun i ->
@@ -51,6 +46,14 @@ let personalize ?(params = default_params) ?related ?gov db profile q =
         Integrate.mq ~rank:params.rank db qg ~mandatory ~optional ~l ()
   in
   { selected; mandatory; optional; personalized; selection_stats = stats }
+
+let personalize ?(params = default_params) ?related ?gov db profile q =
+  let q = Binder.bind db q in
+  let qg = Qgraph.of_query db q in
+  let g = Pgraph.of_profile profile in
+  let stats = Select.fresh_stats () in
+  let selected = Select.select ~stats ?gov ?related db g qg params.k in
+  integrate_selected ~params db qg ~stats selected
 
 let execute ?strategy ?gov db outcome =
   Engine.run_query ?strategy ?gov db outcome.personalized
@@ -102,8 +105,8 @@ let degradable = function
   | Error.Storage _ | Error.Overloaded _ ->
       false
 
-let personalize_r ?(params = default_params) ?(budget = Governor.unlimited)
-    ?related db profile q =
+let personalize_r_with ?(params = default_params) ?(budget = Governor.unlimited)
+    ~compute db q =
   (* Each rung gets the full budget: the deadline measures one attempt's
      work, not the ladder's total (callers wanting a global cap can arm
      a shorter deadline). *)
@@ -113,7 +116,7 @@ let personalize_r ?(params = default_params) ?(budget = Governor.unlimited)
   let attempt ps =
     Chaos.retry (fun () ->
         let gov = fresh_gov () in
-        let outcome = personalize ~params:ps ?related ?gov db profile q in
+        let outcome = compute ~params:ps ~gov in
         let res = execute ?gov db outcome in
         (outcome, res))
   in
@@ -153,6 +156,10 @@ let personalize_r ?(params = default_params) ?(budget = Governor.unlimited)
                 let cause2 = Error.of_exn_any e2 in
                 if degradable cause2 then unpersonalized [ step ] cause2
                 else Error cause2))
+
+let personalize_r ?params ?budget ?related db profile q =
+  personalize_r_with ?params ?budget db q ~compute:(fun ~params ~gov ->
+      personalize ~params ?related ?gov db profile q)
 
 let personalize_sql_r ?params ?budget ?related db profile sql =
   match Sql_parser.parse sql with

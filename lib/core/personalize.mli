@@ -32,6 +32,21 @@ type outcome = {
   selection_stats : Select.stats;
 }
 
+val integrate_selected :
+  ?params:params ->
+  Relal.Database.t ->
+  Qgraph.t ->
+  stats:Select.stats ->
+  Path.t list ->
+  outcome
+(** The integration half of {!personalize}: instantiate the given
+    selected paths against the query graph, split mandatory/optional,
+    and build the rewritten query.  Exposed so {!Perso_cache}'s
+    incremental path can rebuild an outcome from a patched [P_K]
+    without re-running preference selection; given equal [selected],
+    the resulting [personalized] query is byte-identical to a cold
+    {!personalize} run. *)
+
 val personalize :
   ?params:params ->
   ?related:(Path.t -> bool) ->
@@ -95,6 +110,21 @@ type run = {
 val halve_params : params -> params
 (** One rung down: Top-K halves (min 1), degree thresholds move halfway
     towards 1, the L requirement weakens by half. *)
+
+val personalize_r_with :
+  ?params:params ->
+  ?budget:Relal.Governor.budget ->
+  compute:(params:params -> gov:Relal.Governor.t option -> outcome) ->
+  Relal.Database.t ->
+  Relal.Sql_ast.query ->
+  (run, Error.t) result
+(** The degradation ladder generalized over how an outcome is produced:
+    [compute] is invoked once per rung with that rung's parameters and
+    governor (it may raise; raises are classified and degraded exactly
+    as in {!personalize_r}), and the final unpersonalized rung runs [q]
+    plain against [db].  This is how {!Perso_cache} reuses the ladder —
+    consulting the cache on the full-strength rung — without a
+    dependency cycle.  Never raises. *)
 
 val personalize_r :
   ?params:params ->

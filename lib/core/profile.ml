@@ -44,6 +44,7 @@ let selections t =
 let joins t =
   List.filter_map (function Atom.Join j, d -> Some (j, d) | _ -> None) (entries t)
 
+let equal = AMap.equal Degree.equal
 let size t = List.length (selections t)
 let cardinal t = AMap.cardinal t
 let union a b = AMap.union (fun _ _ db -> Some db) a b

@@ -29,6 +29,9 @@ val remove : t -> Atom.t -> t
 
 val find : t -> Atom.t -> Degree.t option
 
+val equal : t -> t -> bool
+(** Semantic equality: the same atoms with equal degrees. *)
+
 val entries : t -> (Atom.t * Degree.t) list
 (** In decreasing order of degree (ties: atom order). *)
 

@@ -2,6 +2,63 @@ open Relal
 
 let table_name = "profiles"
 
+(* ------------------------- revisions and hooks ----------------------
+
+   Per-(database, user) monotonic revision counters, bumped on every
+   {e effective} mutation, plus subscriber hooks — the invalidation
+   signal for {!Perso_cache}.  The state lives outside [Database.t]
+   (the catalog is a relalgebra concern), in a small registry keyed by
+   physical database identity.  All registry state is held in [Atomic]
+   cells over immutable values so concurrent readers (personalize
+   workers under the server's read lock) never observe a half-updated
+   structure while a writer (save/delete under the write lock, or a
+   different server entirely) mutates it. *)
+
+module SMap = Map.Make (String)
+
+type event = Saved | Deleted
+
+type reg = {
+  reg_db : Database.t;
+  revs : int SMap.t Atomic.t;
+  hooks : (user:string -> event -> unit) list Atomic.t;
+}
+
+let registry : reg list Atomic.t = Atomic.make []
+let registry_cap = 16
+
+let rec reg_for db =
+  let regs = Atomic.get registry in
+  match List.find_opt (fun r -> r.reg_db == db) regs with
+  | Some r -> r
+  | None ->
+      let r =
+        { reg_db = db; revs = Atomic.make SMap.empty; hooks = Atomic.make [] }
+      in
+      (* Newest first; drop the oldest beyond the cap so long-lived
+         processes cycling through throwaway databases (tests, sim
+         scenarios) do not pin them all. *)
+      let next = r :: List.filteri (fun i _ -> i < registry_cap - 1) regs in
+      if Atomic.compare_and_set registry regs next then r else reg_for db
+
+let rec atomic_update cell f =
+  let v = Atomic.get cell in
+  if Atomic.compare_and_set cell v (f v) then () else atomic_update cell f
+
+let revision db ~user =
+  let user = String.lowercase_ascii user in
+  match SMap.find_opt user (Atomic.get (reg_for db).revs) with
+  | Some r -> r
+  | None -> 0
+
+let subscribe db hook = atomic_update (reg_for db).hooks (fun hs -> hook :: hs)
+
+let notify db ~user event =
+  let r = reg_for db in
+  atomic_update r.revs (fun m ->
+      SMap.add user (1 + Option.value ~default:0 (SMap.find_opt user m)) m);
+  List.iter (fun hook -> hook ~user event) (Atomic.get r.hooks)
+
 let install db =
   if not (Database.mem_table db table_name) then
     Database.add_table db
@@ -38,18 +95,23 @@ let rewrite db keep_rows =
     List.iter (Table.insert t) before;
     raise e
 
-let rows_except db user =
+let rows_for db user keep =
   match Database.find_table db table_name with
   | None -> []
   | Some t ->
       List.filter
-        (fun row -> not (Value.equal row.(0) (Value.Str user)))
+        (fun row -> Value.equal row.(0) (Value.Str user) = keep)
         (Table.to_list t)
+
+let rows_except db user = rows_for db user false
+let rows_of db user = rows_for db user true
+
+let row_equal a b =
+  Array.length a = Array.length b && Array.for_all2 Value.equal a b
 
 let save db ~user profile =
   install db;
   let user = String.lowercase_ascii user in
-  let others = rows_except db user in
   let mine =
     List.map
       (fun (atom, deg) ->
@@ -60,7 +122,13 @@ let save db ~user profile =
         |])
       (Profile.entries profile)
   in
-  rewrite db (others @ mine)
+  (* Re-saving a semantically identical profile is a no-op: no table
+     rewrite (so no dump churn), no revision bump (so cached plans for
+     the user stay valid). *)
+  if not (List.equal row_equal (rows_of db user) mine) then begin
+    rewrite db (rows_except db user @ mine);
+    notify db ~user Saved
+  end
 
 let load db ~user =
   Chaos.point Chaos.Profile_load;
@@ -107,4 +175,7 @@ let users db =
 
 let delete db ~user =
   let user = String.lowercase_ascii user in
-  if Database.mem_table db table_name then rewrite db (rows_except db user)
+  if Database.mem_table db table_name && rows_of db user <> [] then begin
+    rewrite db (rows_except db user);
+    notify db ~user Deleted
+  end

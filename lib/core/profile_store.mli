@@ -19,7 +19,10 @@ val install : Relal.Database.t -> unit
 
 val save : Relal.Database.t -> user:string -> Profile.t -> unit
 (** Replace the user's stored preferences with the given profile
-    ({!install}s the table if needed). *)
+    ({!install}s the table if needed).  Saving a profile semantically
+    identical to the stored one is a no-op: no table rewrite, no
+    {!revision} bump, no subscriber notification — identical re-saves
+    must not invalidate cached personalization plans. *)
 
 val load : Relal.Database.t -> user:string -> (Profile.t, string list) result
 (** Reconstruct a user's profile; an unknown user yields an empty
@@ -35,4 +38,25 @@ val users : Relal.Database.t -> string list
 (** Distinct usernames with stored preferences, sorted. *)
 
 val delete : Relal.Database.t -> user:string -> unit
-(** Remove a user's preferences. *)
+(** Remove a user's preferences.  A no-op (no revision bump, no
+    notification) when the user has none stored. *)
+
+(** {1 Revisions and invalidation hooks}
+
+    Every {e effective} mutation ([save] with a changed profile,
+    [delete] of an existing user) bumps a per-(database, user)
+    monotonic revision counter and fires subscriber hooks — the cache
+    invalidation signal consumed by {!Perso_cache}.  Revision state is
+    keyed by physical database identity in a small bounded registry
+    outside the catalog, so it does not travel with CSV dumps; a
+    reloaded database starts back at revision 0, which is safe because
+    its caches start empty too. *)
+
+type event = Saved | Deleted
+
+val revision : Relal.Database.t -> user:string -> int
+(** Current revision for the user; [0] before any effective mutation. *)
+
+val subscribe : Relal.Database.t -> (user:string -> event -> unit) -> unit
+(** Register a hook fired (in the mutating thread, after the revision
+    bump) on each effective [save]/[delete] against this database. *)

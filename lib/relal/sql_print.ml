@@ -122,6 +122,13 @@ and compound_to_string = function
       String.concat " union all "
         (List.map (fun c -> "(" ^ compound_to_string c ^ ")") cs)
 
+(* The cache-key contract below is deliberately a separate entry point:
+   [query_to_string] is free to evolve for readability, but a key
+   renderer must stay canonical — any change here silently splits cache
+   populations across releases, which is a behaviour change worth a
+   deliberate edit. *)
+let query_to_key q = query_to_string q
+
 (* --- pretty (indented) rendering --- *)
 
 let indent n = String.make (2 * n) ' '

@@ -13,6 +13,15 @@ val having_to_string : Sql_ast.having -> string
 val query_to_string : Sql_ast.query -> string
 (** Single-line rendering. *)
 
+val query_to_key : Sql_ast.query -> string
+(** Canonical single-line rendering used as the personalization plan
+    cache's query-template component.  Apply it to a {e bound} AST so
+    surface variation (whitespace, keyword case, implicit aliases)
+    normalizes away and equal templates map to equal keys.  Currently
+    identical to {!query_to_string}, but kept as a distinct entry point:
+    key stability across releases is an explicit contract here, while
+    [query_to_string] may evolve for readability. *)
+
 val query_to_pretty : Sql_ast.query -> string
 (** Multi-line, indented rendering for human consumption (examples, CLI,
     EXPERIMENTS.md excerpts). *)

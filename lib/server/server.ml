@@ -18,6 +18,9 @@ type config = Server_core.config = {
   breaker_threshold : int;
   breaker_cooldown_ms : float;
   dump_dir : string option;
+  cache : bool;
+  cache_entries : int;
+  cache_mb : float;
 }
 
 let default_config = Server_core.default_config

@@ -50,6 +50,9 @@ type config = {
   breaker_threshold : int;  (** consecutive storage faults that trip *)
   breaker_cooldown_ms : float;  (** open → half-open timer *)
   dump_dir : string option;  (** crash-safe dump target on shutdown *)
+  cache : bool;  (** personalization plan cache on the serve path *)
+  cache_entries : int;  (** LRU entry bound *)
+  cache_mb : float;  (** LRU byte bound (approximate accounting) *)
 }
 
 val default_config : socket_path:string -> config

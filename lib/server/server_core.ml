@@ -12,6 +12,9 @@ type config = {
   breaker_threshold : int;
   breaker_cooldown_ms : float;
   dump_dir : string option;
+  cache : bool;
+  cache_entries : int;
+  cache_mb : float;
 }
 
 let default_config ~socket_path =
@@ -27,6 +30,9 @@ let default_config ~socket_path =
     breaker_threshold = 3;
     breaker_cooldown_ms = 250.;
     dump_dir = None;
+    cache = true;
+    cache_entries = 512;
+    cache_mb = 32.;
   }
 
 type reply =
@@ -121,12 +127,23 @@ module Make (R : Runtime.S) = struct
     mutable shed_draining : int;
     mutable shed_breaker : int;
     mutable unpersonalized_breaker : int;
+    (* Strict personalization sub-ledger: every completed PERSONALIZE
+       reply is accounted exactly once on each side, so
+       pers_ok + pers_err = cache_hit + cache_miss + cache_incremental
+       + cache_bypass — audited by the sim scenario runner. *)
+    mutable pers_ok : int;
+    mutable pers_err : int;
+    mutable cache_hit : int;
+    mutable cache_miss : int;
+    mutable cache_incremental : int;
+    mutable cache_bypass : int;
   }
 
   type t = {
     cfg : config;
     db : Database.t;
     dblock : Rl.t;
+    cache : Perso.Perso_cache.t option;
     breaker : Breaker.t;
     qm : R.mutex;
     qc : R.cond;
@@ -153,6 +170,15 @@ module Make (R : Runtime.S) = struct
     | Ok result -> R_rows { notes; result }
     | Error e -> R_error e
 
+  let count_source t (src : Perso.Perso_cache.source) =
+    locked t.qm (fun () ->
+        match src with
+        | Perso.Perso_cache.Hit -> t.c.cache_hit <- t.c.cache_hit + 1
+        | Perso.Perso_cache.Incremental ->
+            t.c.cache_incremental <- t.c.cache_incremental + 1
+        | Perso.Perso_cache.Miss -> t.c.cache_miss <- t.c.cache_miss + 1
+        | Perso.Perso_cache.Bypass -> t.c.cache_bypass <- t.c.cache_bypass + 1)
+
   let exec_personalize t ~budget user sql =
     (* The profile load goes through the breaker: a sick store must not
        take query traffic down with it.  Open breaker, or a failed load,
@@ -176,7 +202,12 @@ module Make (R : Runtime.S) = struct
     in
     match profile with
     | `Loaded p -> (
-        match Perso.Personalize.personalize_sql_r ~budget t.db p sql with
+        let r, src =
+          Perso.Perso_cache.personalize_sql_r ?cache:t.cache ~user ~budget t.db
+            p sql
+        in
+        count_source t src;
+        match r with
         | Ok run ->
             let notes =
               List.map Perso.Personalize.degradation_to_string
@@ -185,10 +216,12 @@ module Make (R : Runtime.S) = struct
             R_rows { notes; result = run.Perso.Personalize.result }
         | Error e -> R_error e)
     | `Failed e ->
+        count_source t Perso.Perso_cache.Bypass;
         run_unpersonalized t ~budget sql
           ~notes:
             [ "unpersonalized: profile load failed: " ^ Perso.Error.to_string e ]
     | `Open ->
+        count_source t Perso.Perso_cache.Bypass;
         run_unpersonalized t ~budget sql
           ~notes:[ "unpersonalized: profile-store circuit breaker open" ]
 
@@ -281,11 +314,17 @@ module Make (R : Runtime.S) = struct
           try execute t job with e -> R_error (Perso.Error.of_exn_any e)
         in
         locked t.qm (fun () ->
-            match reply with
+            (match reply with
             | R_error _ -> t.c.completed_err <- t.c.completed_err + 1
             | R_rows _ | R_message _ ->
                 if not !mutate_drop_completed_ok then
                   t.c.completed_ok <- t.c.completed_ok + 1);
+            match (job.command, reply) with
+            | Protocol.Personalize _, R_error _ ->
+                t.c.pers_err <- t.c.pers_err + 1
+            | Protocol.Personalize _, (R_rows _ | R_message _) ->
+                t.c.pers_ok <- t.c.pers_ok + 1
+            | _ -> ());
         reply
 
   let rec worker_loop t =
@@ -376,6 +415,17 @@ module Make (R : Runtime.S) = struct
           ("breaker_state", Breaker.state_name (Breaker.state t.breaker));
           ("breaker_trips", string_of_int (Breaker.trips t.breaker));
           ("unpersonalized_breaker", string_of_int t.c.unpersonalized_breaker);
+          ("pers_ok", string_of_int t.c.pers_ok);
+          ("pers_err", string_of_int t.c.pers_err);
+          ("cache_hit", string_of_int t.c.cache_hit);
+          ("cache_miss", string_of_int t.c.cache_miss);
+          ("cache_incremental", string_of_int t.c.cache_incremental);
+          ("cache_bypass", string_of_int t.c.cache_bypass);
+          ( "cache_invalidate",
+            string_of_int
+              (match t.cache with
+              | Some c -> (Perso.Perso_cache.stats c).invalidations
+              | None -> 0) );
         ])
 
   (* ---------------------------- stop / drain ------------------------- *)
@@ -401,11 +451,34 @@ module Make (R : Runtime.S) = struct
     if cfg.workers < 1 then invalid_arg "Server: workers must be >= 1";
     if cfg.queue_capacity < 1 then
       invalid_arg "Server: queue_capacity must be >= 1";
+    (* The cache serializes its state behind a runtime mutex, so the
+       sim runtime exercises the same code single-threaded under
+       virtual time.  Lock order is dblock -> cache lock (personalize
+       under read lock, store hooks under write lock) and qm -> cache
+       lock (health); nothing takes them the other way. *)
+    let cache =
+      if cfg.cache then
+        let cm = R.mutex_create () in
+        let lock =
+          {
+            Perso.Perso_cache.with_lock =
+              (fun f ->
+                R.lock cm;
+                Fun.protect ~finally:(fun () -> R.unlock cm) f);
+          }
+        in
+        Some
+          (Perso.Perso_cache.create ~lock ~max_entries:cfg.cache_entries
+             ~max_bytes:(int_of_float (cfg.cache_mb *. 1024. *. 1024.))
+             db)
+      else None
+    in
     let t =
       {
         cfg;
         db;
         dblock = Rl.create ();
+        cache;
         breaker =
           Breaker.create
             ~now:(fun () -> R.now () *. 1000.)
@@ -426,6 +499,12 @@ module Make (R : Runtime.S) = struct
             shed_draining = 0;
             shed_breaker = 0;
             unpersonalized_breaker = 0;
+            pers_ok = 0;
+            pers_err = 0;
+            cache_hit = 0;
+            cache_miss = 0;
+            cache_incremental = 0;
+            cache_bypass = 0;
           };
         stop_flag = Atomic.make false;
         worker_threads = [];

@@ -18,7 +18,14 @@
        [shed_draining'] counts admission-time sheds;}
     {- [accepted = completed_ok + completed_err + shed_expired +
        shed_at_stop + queue_depth + in_flight], with [queue_depth] and
-       [in_flight] both 0 after {!Make.stop} returns.}} *)
+       [in_flight] both 0 after {!Make.stop} returns;}
+    {- [pers_ok + pers_err = cache_hit + cache_miss + cache_incremental
+       + cache_bypass]: every completed PERSONALIZE reply is accounted
+       exactly once by outcome and exactly once by where its plan came
+       from ({!Perso.Perso_cache.source}; [Bypass] covers a disabled
+       cache, breaker-degraded unpersonalized replies, degraded-rung
+       answers, and pre-personalization failures such as parse
+       errors).}} *)
 
 type config = {
   socket_path : string;
@@ -32,9 +39,13 @@ type config = {
   breaker_threshold : int;
   breaker_cooldown_ms : float;
   dump_dir : string option;
+  cache : bool;  (** personalization plan cache on the serve path *)
+  cache_entries : int;  (** LRU entry bound *)
+  cache_mb : float;  (** LRU byte bound (approximate accounting) *)
 }
 
 val default_config : socket_path:string -> config
+(** Cache on, 512 entries, 32 MiB. *)
 
 type reply =
   | R_rows of { notes : string list; result : Relal.Exec.result }

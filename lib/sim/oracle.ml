@@ -216,12 +216,142 @@ let case_checks ~movies ~selections case_seed tag =
 
   List.rev !checks
 
+(* ----- cache: cold / cached / incremental byte-equality -------------
+
+   The plan-cache relation (ISSUE 6): drive the same (profile-edit,
+   query) sequence through three paths — cold-only, a cache with the
+   incremental patcher disabled, and a cache with it enabled — saving
+   each edited profile to the store (the revision/invalidation signal)
+   and asserting the personalized SQL and the executed rows are
+   byte-identical across all three on every step.  Repeat consults must
+   be served as [Hit].  Runs at a reduced scale: each step costs a cold
+   pipeline plus four cache consults and five executions. *)
+let cache_checks ~movies ~selections case_seed tag =
+  let movies = max 120 (movies / 4) in
+  let selections = max 8 (selections / 3) in
+  let db, profile0, q = setting ~movies ~selections (case_seed + 31) in
+  let user = "oracle" in
+  let params =
+    {
+      (* Alternate the cutoff regime by seed: a tight K keeps the donor
+         top-K full (restricted re-expansion, cold fallbacks); a K above
+         the path count leaves it not-full (the rescale fast path). *)
+      Personalize.k =
+        (if case_seed land 1 = 0 then Criteria.top_r 5 else Criteria.top_r 40);
+      m = `Count 0;
+      l = `At_least 1;
+      method_ = `MQ;
+      rank = false;
+    }
+  in
+  let plain = Perso_cache.create ~incremental:false db in
+  let inc = Perso_cache.create db in
+  let rng = Putil.Rng.create (case_seed + 77) in
+  (* Withhold a few selections from the starting profile so the edit
+     sequence has fresh atoms to add back. *)
+  let profile = ref profile0 in
+  let stash = ref [] in
+  List.iteri
+    (fun i (s, d) ->
+      if i < 3 then begin
+        stash := (Atom.Sel s, d) :: !stash;
+        profile := Profile.remove !profile (Atom.Sel s)
+      end)
+    (Profile.selections profile0);
+  let checks = ref [] in
+  let add name ok detail = checks := { name = tag ^ ":" ^ name; ok; detail } :: !checks in
+  let n_inc = ref 0 and n_cold = ref 0 in
+  let render o =
+    ( Sql_print.query_to_string o.Personalize.personalized,
+      (Personalize.execute db o).Exec.rows
+      |> List.map (fun row ->
+             Array.to_list row |> List.map Value.to_string |> String.concat "\t")
+    )
+  in
+  let src_name = function
+    | Perso_cache.Hit -> "hit"
+    | Perso_cache.Incremental -> "incremental"
+    | Perso_cache.Miss -> "miss"
+    | Perso_cache.Bypass -> "bypass"
+  in
+  let random_degree () =
+    Degree.of_float
+      (Float.round ((0.3 +. Putil.Rng.float rng 0.7) *. 1000.) /. 1000.)
+  in
+  let edit () =
+    let sels =
+      List.filter
+        (fun (a, _) -> match a with Atom.Sel _ -> true | Atom.Join _ -> false)
+        (Profile.entries !profile)
+    in
+    let joins =
+      List.filter
+        (fun (a, _) -> match a with Atom.Join _ -> true | Atom.Sel _ -> false)
+        (Profile.entries !profile)
+    in
+    let pick l = List.nth l (Putil.Rng.int rng (List.length l)) in
+    match Putil.Rng.int rng 8 with
+    | 0 | 1 when !stash <> [] ->
+        let a, d = List.hd !stash in
+        stash := List.tl !stash;
+        profile := Profile.add !profile a d
+    | 2 when List.length sels > 1 ->
+        let a, d = pick sels in
+        stash := (a, d) :: !stash;
+        profile := Profile.remove !profile a
+    | 7 when joins <> [] ->
+        (* join retune: the incremental path must refuse and fall back *)
+        let a, _ = pick joins in
+        profile := Profile.add !profile a (random_degree ())
+    | _ when sels <> [] ->
+        let a, _ = pick sels in
+        profile := Profile.add !profile a (random_degree ())
+    | _ -> ()
+  in
+  let steps = 6 in
+  for i = 0 to steps - 1 do
+    if i > 0 then edit ();
+    Profile_store.save db ~user !profile;
+    match
+      Error.guard (fun () ->
+          let cold = render (Personalize.personalize ~params db !profile q) in
+          let consult cname c =
+            let o1, s1 = Perso_cache.personalize c ~params ~user !profile q in
+            let o2, s2 = Perso_cache.personalize c ~params ~user !profile q in
+            (match s1 with
+            | Perso_cache.Incremental -> incr n_inc
+            | Perso_cache.Miss -> incr n_cold
+            | _ -> ());
+            add
+              (Printf.sprintf "cache-%s-bytes-%d" cname i)
+              (render o1 = cold && render o2 = cold)
+              (Printf.sprintf "sources %s,%s" (src_name s1) (src_name s2));
+            add
+              (Printf.sprintf "cache-%s-hit-%d" cname i)
+              (s2 = Perso_cache.Hit)
+              ("repeat consult served as " ^ src_name s2)
+          in
+          consult "plain" plain;
+          consult "inc" inc)
+    with
+    | Ok () -> ()
+    | Error e ->
+        add
+          (Printf.sprintf "cache-step-%d" i)
+          false
+          ("cache oracle step failed: " ^ Error.to_string e)
+  done;
+  add "cache-exercised" true
+    (Printf.sprintf "incremental=%d cold=%d over %d steps" !n_inc !n_cold steps);
+  List.rev !checks
+
 let run ?(movies = 1200) ?(selections = 120) ?(cases = 2) ~seed () =
   let checks =
     List.concat
       (List.init cases (fun i ->
-           case_checks ~movies ~selections
-             (seed + (i * 101))
-             (Printf.sprintf "case%d" i)))
+           let case_seed = seed + (i * 101) in
+           let tag = Printf.sprintf "case%d" i in
+           case_checks ~movies ~selections case_seed tag
+           @ cache_checks ~movies ~selections case_seed tag))
   in
   { cases; movies; selections; checks }

@@ -437,6 +437,24 @@ let run ~seed steps =
     if !client_ok <> completed_ok then
       audit "ledger" "client-observed successes %d <> completed_ok %d"
         !client_ok completed_ok;
+    (* Personalization sub-ledger: every completed PERSONALIZE reply is
+       accounted once by outcome and once by plan source. *)
+    let pers_ok = hstat h "pers_ok" in
+    let pers_err = hstat h "pers_err" in
+    let cache_hit = hstat h "cache_hit" in
+    let cache_miss = hstat h "cache_miss" in
+    let cache_incremental = hstat h "cache_incremental" in
+    let cache_bypass = hstat h "cache_bypass" in
+    if pers_ok + pers_err <> cache_hit + cache_miss + cache_incremental + cache_bypass
+    then
+      audit "ledger"
+        "pers_ok %d + pers_err %d <> cache_hit %d + cache_miss %d + \
+         cache_incremental %d + cache_bypass %d"
+        pers_ok pers_err cache_hit cache_miss cache_incremental cache_bypass;
+    if pers_ok + pers_err > completed_ok + completed_err then
+      audit "ledger" "personalize completions %d exceed total completions %d"
+        (pers_ok + pers_err)
+        (completed_ok + completed_err);
     (* Drain bound: drain_ms plus a bounded tail (in-flight jobs finish
        their retries; backoff waits are capped at 100 ms each). *)
     let bound = (server_config.Server_core.drain_ms /. 1000.) +. 0.5 in

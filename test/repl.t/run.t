@@ -5,6 +5,11 @@ Scripted session of the interactive personalized-SQL shell.
   > .like [ GENRE.genre = 'comedy', 0.9 ]
   > .like [ MOVIE.mid = GENRE.mid, 0.9 ]
   > select mv.title from movie mv, play pl where mv.mid = pl.mid and pl.date = '2/7/2003'
+  > select mv.title from movie mv, play pl where mv.mid = pl.mid and pl.date = '2/7/2003'
+  > .cache
+  > .cache off
+  > .cache
+  > .cache on
   > .unlike [ MOVIE.title = 'Double Take', 1 ]
   > select mv.title from movie mv, play pl where mv.mid = pl.mid and pl.date = '2/7/2003'
   > .k 3
@@ -17,11 +22,11 @@ Scripted session of the interactive personalized-SQL shell.
   > SESSION
   perdb personalized-SQL shell — .help for commands
   perdb> commands: .help .load DIR .tiny .gen N .profile FILE .like [COND, D]
-            .unlike [COND, D] .k N .l N .m N .method sq|mq .plain SQL
-            .show .explain SQL .quit — anything else runs as personalized SQL
+            .unlike [COND, D] .k N .l N .m N .method sq|mq .cache [on|off]
+            .plain SQL .show .explain SQL .quit — anything else runs as personalized SQL
   perdb> added GENRE.genre = 'comedy' (0.9)
   perdb> added MOVIE.mid = GENRE.mid (0.9)
-  perdb> preferences used: 1
+  perdb> preferences used: 1 (cache miss)
   +-------------------+------+
   | title             | doi  |
   +-------------------+------+
@@ -31,6 +36,20 @@ Scripted session of the interactive personalized-SQL shell.
   | 'Second Spring'   | 0.81 |
   +-------------------+------+
   (4 rows)
+  perdb> preferences used: 1 (cache hit)
+  +-------------------+------+
+  | title             | doi  |
+  +-------------------+------+
+  | 'Sweet Chaos'     | 0.81 |
+  | 'Laughing Waters' | 0.81 |
+  | 'Double Take'     | 0.81 |
+  | 'Second Spring'   | 0.81 |
+  +-------------------+------+
+  (4 rows)
+  perdb> cache on: 1 hits, 0 incremental, 1 misses, 0 evictions, 0 invalidations, 1 entries
+  perdb> cache off
+  perdb> cache off
+  perdb> cache on
   perdb> added dislike MOVIE.title = 'Double Take' (1.0)
   perdb> likes used: 1, dislikes used: 1
     'Laughing Waters'                        score=0.8100

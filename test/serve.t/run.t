@@ -61,6 +61,13 @@ accounted for (5 data-plane requests: 4 ok, 1 parse error):
   breaker_state closed
   breaker_trips 0
   unpersonalized_breaker 0
+  pers_ok 1
+  pers_err 0
+  cache_hit 0
+  cache_miss 1
+  cache_incremental 0
+  cache_bypass 0
+  cache_invalidate 0
 
 Graceful drain: SHUTDOWN stops admission, in-flight work finishes, and
 the server exits 0 having shed nothing:

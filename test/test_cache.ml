@@ -1,0 +1,337 @@
+(* The personalization plan cache: profile-store revisions and
+   invalidation hooks, LRU bounds, hit/incremental/miss sources, the
+   resilient cached ladder, and the cold/cached/incremental
+   byte-equality oracle swept across many seeds. *)
+
+open Perso
+open Relal
+
+let d = Helpers.deg
+
+let motivating_sql =
+  "select mv.title from movie mv, play pl where mv.mid = pl.mid and pl.date \
+   = '2003-07-02'"
+
+let q db sql = Binder.bind db (Sql_parser.parse sql)
+
+let src_name = function
+  | Perso_cache.Hit -> "hit"
+  | Perso_cache.Incremental -> "incremental"
+  | Perso_cache.Miss -> "miss"
+  | Perso_cache.Bypass -> "bypass"
+
+let check_src name expected got =
+  Alcotest.(check string) name (src_name expected) (src_name got)
+
+let sql_of o = Sql_print.query_to_string o.Personalize.personalized
+
+let rows_of db o =
+  (Personalize.execute db o).Exec.rows
+  |> List.map (fun row ->
+         Array.to_list row |> List.map Value.to_string |> String.concat "\t")
+
+(* ----------------------- revisions and no-op saves ------------------ *)
+
+let test_revision_bumps () =
+  let db = Moviedb.Personas.tiny_db () in
+  let julie = Moviedb.Personas.julie () in
+  let events = ref [] in
+  Profile_store.subscribe db (fun ~user ev -> events := (user, ev) :: !events);
+  Alcotest.(check int) "fresh user at 0" 0 (Profile_store.revision db ~user:"julie");
+  Profile_store.save db ~user:"julie" julie;
+  Alcotest.(check int) "save bumps" 1 (Profile_store.revision db ~user:"julie");
+  Alcotest.(check int) "saved event fired" 1 (List.length !events);
+  let a = Atom.sel "genre" "genre" (Value.Str "drama") in
+  Profile_store.save db ~user:"Julie" (Profile.add julie a (d 0.5));
+  Alcotest.(check int) "changed save bumps (case-folded)" 2
+    (Profile_store.revision db ~user:"julie");
+  Profile_store.delete db ~user:"julie";
+  Alcotest.(check int) "delete bumps" 3 (Profile_store.revision db ~user:"julie");
+  Alcotest.(check bool) "delete event" true
+    (match !events with ("julie", Profile_store.Deleted) :: _ -> true | _ -> false);
+  Profile_store.delete db ~user:"julie";
+  Alcotest.(check int) "deleting an absent user is a no-op" 3
+    (Profile_store.revision db ~user:"julie");
+  Alcotest.(check int) "no event for the no-op delete" 3 (List.length !events);
+  Alcotest.(check int) "other users unaffected" 0
+    (Profile_store.revision db ~user:"rob")
+
+let test_identical_save_noop () =
+  let db = Moviedb.Personas.tiny_db () in
+  let julie = Moviedb.Personas.julie () in
+  let events = ref 0 in
+  Profile_store.subscribe db (fun ~user:_ _ -> incr events);
+  Profile_store.save db ~user:"julie" julie;
+  Alcotest.(check int) "first save fires" 1 !events;
+  (* Any table rewrite crosses Chaos.Store_mutate; with faults armed at
+     p=1 a rewrite must raise, so surviving proves the re-save never
+     touched storage. *)
+  let (_ : Chaos.stats) = Chaos.arm ~transient_ratio:0. ~seed:7 ~p:1.0 () in
+  Fun.protect ~finally:Chaos.disarm (fun () ->
+      Profile_store.save db ~user:"julie" julie);
+  Alcotest.(check int) "identical re-save: no rewrite, no bump, no event" 1
+    !events;
+  Alcotest.(check int) "revision unchanged" 1
+    (Profile_store.revision db ~user:"julie")
+
+(* --------------------------- cache behaviour ------------------------ *)
+
+let setup () =
+  let db = Moviedb.Personas.tiny_db () in
+  let julie = Moviedb.Personas.julie () in
+  Profile_store.save db ~user:"julie" julie;
+  (db, julie, Perso_cache.create db)
+
+let test_hit_is_byte_identical () =
+  let db, julie, cache = setup () in
+  let query = q db motivating_sql in
+  let cold = Personalize.personalize db julie query in
+  let o1, s1 = Perso_cache.personalize cache ~user:"julie" julie query in
+  let o2, s2 = Perso_cache.personalize cache ~user:"julie" julie query in
+  check_src "first consult misses" Perso_cache.Miss s1;
+  check_src "second consult hits" Perso_cache.Hit s2;
+  Alcotest.(check string) "miss = cold sql" (sql_of cold) (sql_of o1);
+  Alcotest.(check string) "hit = cold sql" (sql_of cold) (sql_of o2);
+  Alcotest.(check (list string)) "hit = cold rows" (rows_of db cold) (rows_of db o2);
+  let st = Perso_cache.stats cache in
+  Alcotest.(check int) "one entry" 1 st.Perso_cache.entries;
+  Alcotest.(check bool) "bytes accounted" true (st.Perso_cache.bytes > 0)
+
+let test_params_split_keys () =
+  let db, julie, cache = setup () in
+  let query = q db motivating_sql in
+  let p3 = { Personalize.default_params with k = Criteria.top_r 3 } in
+  let _, s1 = Perso_cache.personalize cache ~user:"julie" julie query in
+  let _, s2 = Perso_cache.personalize cache ~params:p3 ~user:"julie" julie query in
+  let _, s3 = Perso_cache.personalize cache ~params:p3 ~user:"julie" julie query in
+  check_src "default params miss" Perso_cache.Miss s1;
+  check_src "different params re-miss" Perso_cache.Miss s2;
+  check_src "same params hit" Perso_cache.Hit s3;
+  Alcotest.(check int) "two entries" 2 (Perso_cache.stats cache).Perso_cache.entries
+
+let test_lru_eviction () =
+  let db = Moviedb.Personas.tiny_db () in
+  let julie = Moviedb.Personas.julie () in
+  Profile_store.save db ~user:"julie" julie;
+  let cache = Perso_cache.create ~max_entries:2 db in
+  let sqls =
+    [
+      motivating_sql;
+      "select m.title from movie m where m.year = 1999";
+      "select g.genre from genre g, movie m where m.mid = g.mid";
+    ]
+  in
+  List.iter
+    (fun sql ->
+      ignore (Perso_cache.personalize cache ~user:"julie" julie (q db sql)))
+    sqls;
+  let st = Perso_cache.stats cache in
+  Alcotest.(check int) "bounded to 2" 2 st.Perso_cache.entries;
+  Alcotest.(check int) "one eviction" 1 st.Perso_cache.evictions;
+  (* The oldest key was evicted; the newest two still hit. *)
+  let _, s_old =
+    Perso_cache.personalize cache ~user:"julie" julie (q db (List.hd sqls))
+  in
+  check_src "evicted key re-misses" Perso_cache.Miss s_old
+
+let test_byte_bound_evicts () =
+  let db, julie, _ = setup () in
+  let cache = Perso_cache.create ~max_bytes:1 db in
+  ignore (Perso_cache.personalize cache ~user:"julie" julie (q db motivating_sql));
+  let st = Perso_cache.stats cache in
+  Alcotest.(check int) "over-budget entry evicted" 0 st.Perso_cache.entries;
+  Alcotest.(check bool) "eviction counted" true (st.Perso_cache.evictions >= 1)
+
+let test_invalidation_on_save_and_delete () =
+  let db, julie, cache = setup () in
+  let query = q db motivating_sql in
+  ignore (Perso_cache.personalize cache ~user:"julie" julie query);
+  let julie' =
+    Profile.add julie (Atom.sel "genre" "genre" (Value.Str "drama")) (d 0.4)
+  in
+  Profile_store.save db ~user:"julie" julie';
+  let st = Perso_cache.stats cache in
+  Alcotest.(check int) "save invalidates the fresh entry" 1
+    st.Perso_cache.invalidations;
+  Alcotest.(check int) "entry stays as a patch donor" 1 st.Perso_cache.entries;
+  let o, s = Perso_cache.personalize cache ~user:"julie" julie' query in
+  Alcotest.(check bool) "stale entry is not served as a hit" true
+    (s <> Perso_cache.Hit);
+  let cold = Personalize.personalize db julie' query in
+  Alcotest.(check string) "recomputed = cold" (sql_of cold) (sql_of o);
+  Profile_store.delete db ~user:"julie";
+  Alcotest.(check int) "delete drops the user's entries" 0
+    (Perso_cache.stats cache).Perso_cache.entries
+
+let test_incremental_retune () =
+  let db, julie, cache = setup () in
+  let query = q db motivating_sql in
+  (* K far above the number of related paths: the donor P_K is not cut
+     off, so retuning a selected preference is patchable.  (Under the
+     default K=5 julie's P_K is full and the patcher must — and does —
+     fall back cold; see the fallback test.) *)
+  let params = { Personalize.default_params with k = Criteria.top_r 50 } in
+  ignore (Perso_cache.personalize cache ~params ~user:"julie" julie query);
+  (* 0.65 rather than 0.7: julie already holds thriller at 0.7, and a
+     cross-list degree tie makes the merge order ambiguous, so the
+     patcher would (rightly) refuse and go cold. *)
+  let julie' =
+    Profile.add julie (Atom.sel "genre" "genre" (Value.Str "comedy")) (d 0.65)
+  in
+  Profile_store.save db ~user:"julie" julie';
+  let o, s = Perso_cache.personalize cache ~params ~user:"julie" julie' query in
+  check_src "single-selection retune patches" Perso_cache.Incremental s;
+  let cold = Personalize.personalize ~params db julie' query in
+  Alcotest.(check string) "patched sql = cold sql" (sql_of cold) (sql_of o);
+  Alcotest.(check (list string)) "patched rows = cold rows" (rows_of db cold)
+    (rows_of db o);
+  let _, s2 = Perso_cache.personalize cache ~params ~user:"julie" julie' query in
+  check_src "patched entry then hits" Perso_cache.Hit s2
+
+let test_retune_selected_at_cutoff_falls_back () =
+  let db, julie, cache = setup () in
+  let query = q db motivating_sql in
+  ignore (Perso_cache.personalize cache ~user:"julie" julie query);
+  let julie' =
+    Profile.add julie (Atom.sel "genre" "genre" (Value.Str "comedy")) (d 0.7)
+  in
+  Profile_store.save db ~user:"julie" julie';
+  (* comedy is in the donor's full top-5: slots freed at the cutoff may
+     admit paths the donor never materialized, so this must go cold. *)
+  let o, s = Perso_cache.personalize cache ~user:"julie" julie' query in
+  check_src "retune of a cut-off selection recomputes" Perso_cache.Miss s;
+  let cold = Personalize.personalize db julie' query in
+  Alcotest.(check string) "fallback = cold" (sql_of cold) (sql_of o)
+
+let test_incremental_add_remove () =
+  let db, julie, cache = setup () in
+  let query = q db motivating_sql in
+  let extra = Atom.sel "genre" "genre" (Value.Str "drama") in
+  ignore (Perso_cache.personalize cache ~user:"julie" julie query);
+  let with_extra = Profile.add julie extra (d 0.45) in
+  Profile_store.save db ~user:"julie" with_extra;
+  let o_add, s_add = Perso_cache.personalize cache ~user:"julie" with_extra query in
+  check_src "adding a selection patches" Perso_cache.Incremental s_add;
+  let cold_add = Personalize.personalize db with_extra query in
+  Alcotest.(check string) "add = cold" (sql_of cold_add) (sql_of o_add);
+  Profile_store.save db ~user:"julie" julie;
+  let o_rem, s_rem = Perso_cache.personalize cache ~user:"julie" julie query in
+  check_src "removing it patches back" Perso_cache.Incremental s_rem;
+  let cold_rem = Personalize.personalize db julie query in
+  Alcotest.(check string) "remove = cold" (sql_of cold_rem) (sql_of o_rem)
+
+let test_join_edit_falls_back_cold () =
+  let db, julie, cache = setup () in
+  let query = q db motivating_sql in
+  ignore (Perso_cache.personalize cache ~user:"julie" julie query);
+  let join_edit =
+    Profile.add julie (Atom.join ("movie", "mid") ("genre", "mid")) (d 0.55)
+  in
+  Profile_store.save db ~user:"julie" join_edit;
+  let o, s = Perso_cache.personalize cache ~user:"julie" join_edit query in
+  check_src "join retune is never patched" Perso_cache.Miss s;
+  let cold = Personalize.personalize db join_edit query in
+  Alcotest.(check string) "fallback = cold" (sql_of cold) (sql_of o)
+
+let test_sql_r_sources_and_bypass () =
+  let db, julie, cache = setup () in
+  let run src_check ?cache ?user () =
+    let r, s =
+      Perso_cache.personalize_sql_r ?cache ?user db julie motivating_sql
+    in
+    (match r with
+    | Ok _ -> ()
+    | Error e -> Alcotest.fail ("unexpected error: " ^ Error.to_string e));
+    src_check s
+  in
+  run (check_src "no cache -> bypass" Perso_cache.Bypass) ();
+  run (check_src "no user -> bypass" Perso_cache.Bypass) ~cache ();
+  run (check_src "cached -> miss" Perso_cache.Miss) ~cache ~user:"julie" ();
+  run (check_src "cached again -> hit" Perso_cache.Hit) ~cache ~user:"julie" ();
+  let other_db = Moviedb.Personas.tiny_db () in
+  let r, s =
+    Perso_cache.personalize_sql_r ~cache ~user:"julie" other_db julie
+      motivating_sql
+  in
+  Alcotest.(check bool) "foreign db still answers" true (Result.is_ok r);
+  check_src "foreign db -> bypass" Perso_cache.Bypass s;
+  let r_bad, s_bad =
+    Perso_cache.personalize_sql_r ~cache ~user:"julie" db julie "select nope"
+  in
+  Alcotest.(check bool) "parse error surfaces" true (Result.is_error r_bad);
+  check_src "parse error -> bypass" Perso_cache.Bypass s_bad;
+  let st = Perso_cache.stats cache in
+  (* The no-cache call has no stats object to tick: 3, not 4. *)
+  Alcotest.(check int) "bypasses counted on the cache" 3 st.Perso_cache.bypasses
+
+let test_clear_and_invalidate_user () =
+  let db, julie, cache = setup () in
+  ignore (Perso_cache.personalize cache ~user:"julie" julie (q db motivating_sql));
+  Alcotest.(check int) "explicit invalidation drops entries" 1
+    (Perso_cache.invalidate_user cache ~user:"julie");
+  ignore (Perso_cache.personalize cache ~user:"julie" julie (q db motivating_sql));
+  Perso_cache.clear cache;
+  Alcotest.(check int) "clear empties" 0
+    (Perso_cache.stats cache).Perso_cache.entries
+
+(* -------------------- oracle sweep: 100 seeded runs ----------------- *)
+
+let test_oracle_sweep () =
+  let n_inc = ref 0 and n_cold = ref 0 in
+  for seed = 1 to 100 do
+    let checks = Perso_sim.Oracle.cache_checks ~movies:120 ~selections:12 seed "sweep" in
+    List.iter
+      (fun c ->
+        if not c.Perso_sim.Oracle.ok then
+          Alcotest.failf "seed %d: %s: %s" seed c.Perso_sim.Oracle.name
+            c.Perso_sim.Oracle.detail;
+        Scanf.sscanf_opt c.Perso_sim.Oracle.detail "incremental=%d cold=%d"
+          (fun a b -> (a, b))
+        |> Option.iter (fun (a, b) ->
+               n_inc := !n_inc + a;
+               n_cold := !n_cold + b))
+      checks
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "incremental path exercised (%d incremental, %d cold)"
+       !n_inc !n_cold)
+    true (!n_inc > 0)
+
+let () =
+  Alcotest.run "perso_cache"
+    [
+      ( "store-revisions",
+        [
+          Alcotest.test_case "bumps and events" `Quick test_revision_bumps;
+          Alcotest.test_case "identical save no-op" `Quick
+            test_identical_save_noop;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit byte-identical" `Quick
+            test_hit_is_byte_identical;
+          Alcotest.test_case "params split keys" `Quick test_params_split_keys;
+          Alcotest.test_case "lru eviction" `Quick test_lru_eviction;
+          Alcotest.test_case "byte bound" `Quick test_byte_bound_evicts;
+          Alcotest.test_case "invalidation" `Quick
+            test_invalidation_on_save_and_delete;
+          Alcotest.test_case "clear / invalidate_user" `Quick
+            test_clear_and_invalidate_user;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "retune" `Quick test_incremental_retune;
+          Alcotest.test_case "retune at cutoff falls back" `Quick
+            test_retune_selected_at_cutoff_falls_back;
+          Alcotest.test_case "add / remove" `Quick test_incremental_add_remove;
+          Alcotest.test_case "join edit falls back" `Quick
+            test_join_edit_falls_back_cold;
+        ] );
+      ( "resilient",
+        [
+          Alcotest.test_case "sources and bypass" `Quick
+            test_sql_r_sources_and_bypass;
+        ] );
+      ( "oracle",
+        [ Alcotest.test_case "100-seed sweep" `Quick test_oracle_sweep ] );
+    ]
