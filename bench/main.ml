@@ -648,12 +648,115 @@ let bench_exec () =
       figures
   in
   let total_ms = List.fold_left (fun a (_, _, ms, _) -> a +. ms) 0. results in
+  (* ---- multicore scaling: fig7 K=60 across domain counts ---------- *)
+  (* The heaviest §7 workload re-timed under the domain pool.  Results
+     are byte-identical at every domain count (enforced by test_par);
+     what this records is the wall-clock scaling, which only shows on
+     hardware that actually has the cores — so the physical core count
+     travels with the figures and `make bench-par` gates on speedup
+     only when cores >= 4. *)
+  let cores = Domain.recommended_domain_count () in
+  let par_figure = "fig7_mq_k60_l1" in
+  let par_qs = List.assoc par_figure figures in
+  let par_run () =
+    List.fold_left
+      (fun acc q ->
+        acc + List.length (Relal.Engine.run_query db q).Relal.Exec.rows)
+      0 par_qs
+  in
+  let time_at_domains d =
+    let timed () =
+      ignore (par_run () : int) (* warm-up *);
+      avg (List.init reps (fun _ -> snd (time (fun () -> ignore (par_run (): int)))))
+    in
+    if d <= 1 then timed ()
+    else begin
+      let pool = Putil.Dpool.create ~domains:d in
+      Relal.Exec.set_pool (Some pool);
+      Fun.protect
+        ~finally:(fun () ->
+          Relal.Exec.set_pool None;
+          Putil.Dpool.shutdown pool)
+        timed
+    end
+  in
+  let domain_counts = [ 1; 2; 4; 8 ] in
+  let par_results = List.map (fun d -> (d, time_at_domains d)) domain_counts in
+  let par_base = List.assoc 1 par_results in
+  Printf.printf "\n## Multicore scaling — %s (%d cores on this host)\n"
+    par_figure cores;
+  Printf.printf "%-10s %12s %10s\n" "domains" "ms_total" "speedup";
+  List.iter
+    (fun (d, ms) ->
+      Printf.printf "%-10d %12.3f %9.2fx\n%!" d ms (par_base /. ms))
+    par_results;
+  (* ---- sharded profile store: serve-path throughput ---------------- *)
+  (* Mixed PROFILE SAVE / PROFILE LOAD pressure through the server core
+     (no sockets): with one shard every save excludes everything; with
+     N shards only same-shard traffic queues behind it. *)
+  let store_threads = 8 and store_per_thread = 100 in
+  let store_reqs = store_threads * store_per_thread in
+  let store_db =
+    Moviedb.Datagen.generate
+      (Moviedb.Datagen.scale ~seed:7 (min 300 scale.movies))
+  in
+  let bench_store shards =
+    let module Core = Perso_server.Server_core.Make (Perso_server.Runtime.Threads) in
+    let cfg =
+      {
+        (Perso_server.Server_core.default_config ~socket_path:"<bench>") with
+        Perso_server.Server_core.workers = store_threads;
+        queue_capacity = store_threads * 4;
+        shards;
+      }
+    in
+    let core = Core.create cfg store_db in
+    let run tid =
+      for i = 0 to store_per_thread - 1 do
+        let user = Printf.sprintf "u%02d" (((tid * 7) + i) mod 32) in
+        let cmd =
+          if i land 1 = 0 then
+            (* Degrees vary so every save is an effective mutation, not
+               the identical-resave no-op. *)
+            Perso_server.Protocol.Profile_save
+              {
+                user;
+                entries =
+                  Printf.sprintf "[ GENRE.genre = 'comedy', 0.%d ]"
+                    (1 + ((tid + i) mod 9));
+              }
+          else Perso_server.Protocol.Profile_show user
+        in
+        ignore
+          (Core.submit core Perso_server.Protocol.empty_header cmd
+            : Perso_server.Server_core.reply)
+      done
+    in
+    let _, ms =
+      time (fun () ->
+          let ts = List.init store_threads (fun tid -> Thread.create run tid) in
+          List.iter Thread.join ts)
+    in
+    ignore (Core.stop core : Perso_server.Server_core.drain_outcome);
+    ms
+  in
+  let store_results = List.map (fun s -> (s, bench_store s)) [ 1; 4; 8 ] in
+  Printf.printf
+    "\n## Sharded profile store — %d threads x %d requests (save/load mix)\n"
+    store_threads store_per_thread;
+  Printf.printf "%-10s %12s %12s\n" "shards" "ms_total" "req/s";
+  List.iter
+    (fun (s, ms) ->
+      Printf.printf "%-10d %12.3f %12.0f\n%!" s ms
+        (float_of_int store_reqs /. ms *. 1000.))
+    store_results;
   let path =
     Option.value ~default:"BENCH_EXEC.json" (Sys.getenv_opt "BENCH_EXEC_OUT")
   in
   let oc = open_out path in
   Printf.fprintf oc "{\n  \"bench\": \"exec\",\n  \"scale\": %S,\n  \"reps\": %d,\n"
     scale.label reps;
+  Printf.fprintf oc "  \"cores\": %d,\n" cores;
   Printf.fprintf oc "  \"figures\": [\n";
   List.iteri
     (fun i (name, n, ms, rows) ->
@@ -665,7 +768,28 @@ let bench_exec () =
         rows
         (if i = List.length results - 1 then "" else ","))
     results;
-  Printf.fprintf oc "  ],\n  \"total_ms\": %.3f\n}\n" total_ms;
+  Printf.fprintf oc "  ],\n";
+  Printf.fprintf oc "  \"parallel\": {\"figure\": %S, \"queries\": %d, \"domains\": [\n"
+    par_figure (List.length par_qs);
+  List.iteri
+    (fun i (d, ms) ->
+      Printf.fprintf oc
+        "    {\"domains\": %d, \"ms_total\": %.3f, \"speedup\": %.3f}%s\n" d ms
+        (par_base /. ms)
+        (if i = List.length par_results - 1 then "" else ","))
+    par_results;
+  Printf.fprintf oc "  ]},\n";
+  Printf.fprintf oc
+    "  \"sharded_store\": {\"threads\": %d, \"requests\": %d, \"configs\": [\n"
+    store_threads store_reqs;
+  List.iteri
+    (fun i (s, ms) ->
+      Printf.fprintf oc
+        "    {\"shards\": %d, \"ms_total\": %.3f, \"req_per_s\": %.0f}%s\n" s ms
+        (float_of_int store_reqs /. ms *. 1000.)
+        (if i = List.length store_results - 1 then "" else ","))
+    store_results;
+  Printf.fprintf oc "  ]},\n  \"total_ms\": %.3f\n}\n" total_ms;
   close_out oc;
   Printf.printf "# wrote %s (total %.3f ms)\n%!" path total_ms
 

@@ -34,7 +34,11 @@ type entry = {
 }
 
 type t = {
-  db : Database.t;
+  db : Database.t;  (* the query database personalization runs against *)
+  store_db : Database.t;
+      (* where profiles/revisions live — the same as [db] except for a
+         sharded server, whose per-shard caches bind revision tracking
+         to their shard's store *)
   lock : locker;
   max_entries : int;
   max_bytes : int;
@@ -76,10 +80,9 @@ let drop t e =
   Hashtbl.remove t.tbl e.key;
   t.c_bytes <- t.c_bytes - e.e_bytes
 
-let word_bytes = Sys.word_size / 8
-
-let measure key profile outcome =
-  Obj.reachable_words (Obj.repr (key, profile, outcome)) * word_bytes
+(* Byte accounting: a typed structural estimate ([Size_est]) — the
+   exact [Obj.reachable_words] walk was ~20% of a patched consult. *)
+let measure key profile outcome = Size_est.entry_bytes ~key profile outcome
 
 let rec enforce t =
   if Hashtbl.length t.tbl > t.max_entries || t.c_bytes > t.max_bytes then
@@ -128,7 +131,7 @@ let entries_of t user =
    and patching towards it is pointless. *)
 let on_event t ~user event =
   t.lock.with_lock (fun () ->
-      let rev = Profile_store.revision t.db ~user in
+      let rev = Profile_store.revision t.store_db ~user in
       let mine = entries_of t user in
       let was_fresh = List.filter (fun e -> e.e_rev = rev - 1) mine in
       t.c_inval <- t.c_inval + List.length was_fresh;
@@ -137,10 +140,12 @@ let on_event t ~user event =
       | Profile_store.Deleted -> List.iter (drop t) mine)
 
 let create ?(lock = no_lock) ?(max_entries = 512)
-    ?(max_bytes = 32 * 1024 * 1024) ?(incremental = true) db =
+    ?(max_bytes = 32 * 1024 * 1024) ?(incremental = true) ?store_db db =
+  let store_db = Option.value store_db ~default:db in
   let t =
     {
       db;
+      store_db;
       lock;
       max_entries = max 1 max_entries;
       max_bytes = max 0 max_bytes;
@@ -157,7 +162,7 @@ let create ?(lock = no_lock) ?(max_entries = 512)
       c_bytes = 0;
     }
   in
-  Profile_store.subscribe db (fun ~user event -> on_event t ~user event);
+  Profile_store.subscribe store_db (fun ~user event -> on_event t ~user event);
   t
 
 (* ------------------------------ keys -------------------------------- *)
@@ -389,7 +394,7 @@ let personalize t ?(params = Personalize.default_params) ?gov ~user ?revision
   let rev =
     match revision with
     | Some r -> r
-    | None -> Profile_store.revision t.db ~user
+    | None -> Profile_store.revision t.store_db ~user
   in
   let state =
     t.lock.with_lock (fun () ->
@@ -482,7 +487,7 @@ let stats t =
 let invalidate_user t ~user =
   let user = String.lowercase_ascii user in
   t.lock.with_lock (fun () ->
-      let rev = Profile_store.revision t.db ~user in
+      let rev = Profile_store.revision t.store_db ~user in
       let mine = entries_of t user in
       let fresh = List.filter (fun e -> e.e_rev = rev) mine in
       t.c_inval <- t.c_inval + List.length fresh;
@@ -494,7 +499,7 @@ let clear t =
       let all = Hashtbl.fold (fun _ e acc -> e :: acc) t.tbl [] in
       List.iter
         (fun e ->
-          if e.e_rev = Profile_store.revision t.db ~user:e.e_user then
+          if e.e_rev = Profile_store.revision t.store_db ~user:e.e_user then
             t.c_inval <- t.c_inval + 1;
           drop t e)
         all)

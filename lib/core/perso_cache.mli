@@ -33,11 +33,12 @@
     byte-identical to cold ones — enforced by the oracle relation in
     [lib/sim/oracle.ml].
 
-    The cache is a bounded LRU with approximate byte accounting
-    ([Obj.reachable_words] of each entry).  It performs no locking of
-    its own; pass a {!locker} to serialize access (the server wraps a
-    {!Runtime.S} mutex so the sim runtime exercises the same code
-    single-threaded under virtual time). *)
+    The cache is a bounded LRU with approximate byte accounting — a
+    cheap typed structural estimate ({!Size_est}, pinned within 2× of
+    an exact [Obj.reachable_words] walk by the unit tests).  It
+    performs no locking of its own; pass a {!locker} to serialize
+    access (the server wraps a {!Runtime.S} mutex so the sim runtime
+    exercises the same code single-threaded under virtual time). *)
 
 type locker = { with_lock : 'a. (unit -> 'a) -> 'a }
 (** How the cache serializes its internal state.  [with_lock f] must
@@ -70,6 +71,7 @@ val create :
   ?max_entries:int ->
   ?max_bytes:int ->
   ?incremental:bool ->
+  ?store_db:Relal.Database.t ->
   Relal.Database.t ->
   t
 (** A cache over [db], subscribed to {!Profile_store} mutation events
@@ -77,7 +79,13 @@ val create :
     [delete] drops them).  Defaults: [max_entries = 512],
     [max_bytes = 32 MiB], [incremental = true] ([false] disables the
     patch path — stale entries then always recompute cold, which the
-    oracle uses as the plain-cached control). *)
+    oracle uses as the plain-cached control).
+
+    [store_db] (default [db]) is where profiles, revisions, and
+    mutation events live: a sharded server binds each shard's cache to
+    its shard store while queries still run against the main database.
+    Revision reads and the event subscription go against [store_db];
+    binding, selection, and execution go against [db]. *)
 
 val personalize :
   t ->

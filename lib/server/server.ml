@@ -21,6 +21,7 @@ type config = Server_core.config = {
   cache : bool;
   cache_entries : int;
   cache_mb : float;
+  shards : int;
 }
 
 let default_config = Server_core.default_config

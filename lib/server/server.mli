@@ -51,8 +51,9 @@ type config = {
   breaker_cooldown_ms : float;  (** open → half-open timer *)
   dump_dir : string option;  (** crash-safe dump target on shutdown *)
   cache : bool;  (** personalization plan cache on the serve path *)
-  cache_entries : int;  (** LRU entry bound *)
+  cache_entries : int;  (** LRU entry bound (split across shards) *)
   cache_mb : float;  (** LRU byte bound (approximate accounting) *)
+  shards : int;  (** user-id shards for the profile store (>= 1) *)
 }
 
 val default_config : socket_path:string -> config

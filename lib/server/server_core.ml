@@ -15,6 +15,7 @@ type config = {
   cache : bool;
   cache_entries : int;
   cache_mb : float;
+  shards : int;
 }
 
 let default_config ~socket_path =
@@ -33,6 +34,7 @@ let default_config ~socket_path =
     cache = true;
     cache_entries = 512;
     cache_mb = 32.;
+    shards = 1;
   }
 
 type reply =
@@ -85,6 +87,7 @@ let entries_to_profile_text entries =
 
 module Make (R : Runtime.S) = struct
   module Rl = Rwlock.Make (R)
+  module Store = Sharded_store.Make (R)
 
   (* ------------------------------- jobs ------------------------------ *)
 
@@ -143,7 +146,7 @@ module Make (R : Runtime.S) = struct
     cfg : config;
     db : Database.t;
     dblock : Rl.t;
-    cache : Perso.Perso_cache.t option;
+    store : Store.t;
     breaker : Breaker.t;
     qm : R.mutex;
     qc : R.cond;
@@ -183,38 +186,48 @@ module Make (R : Runtime.S) = struct
     (* The profile load goes through the breaker: a sick store must not
        take query traffic down with it.  Open breaker, or a failed load,
        degrade to the plain query with an explanatory NOTE — the same
-       contract as the personalization ladder. *)
-    let profile =
+       contract as the personalization ladder.
+
+       Load {e and} the cache consult + personalization run stay
+       together under the user's shard read lock, so a concurrent save
+       for the same user cannot slip between them (a profile snapshot
+       cached under the save's new revision would serve stale plans).
+       The caller already holds the main database read lock — lock
+       order main -> shard -> cache.  The unpersonalized fallbacks
+       touch no profile state and run outside the shard lock. *)
+    let outcome =
       if Breaker.allow t.breaker then
-        match Perso.Profile_store.load_r t.db ~user with
-        | Ok p ->
-            Breaker.success t.breaker;
-            `Loaded p
-        | Error e ->
-            if is_storage_fault e then Breaker.failure t.breaker
-            else Breaker.success t.breaker;
-            `Failed e
+        Store.with_user_read t.store ~user (fun sdb ->
+            match Perso.Profile_store.load_r sdb ~user with
+            | Ok p -> (
+                Breaker.success t.breaker;
+                let r, src =
+                  Perso.Perso_cache.personalize_sql_r
+                    ?cache:(Store.cache_for t.store ~user)
+                    ~user ~budget t.db p sql
+                in
+                count_source t src;
+                match r with
+                | Ok run ->
+                    let notes =
+                      List.map Perso.Personalize.degradation_to_string
+                        run.Perso.Personalize.degradations
+                    in
+                    `Reply
+                      (R_rows { notes; result = run.Perso.Personalize.result })
+                | Error e -> `Reply (R_error e))
+            | Error e ->
+                if is_storage_fault e then Breaker.failure t.breaker
+                else Breaker.success t.breaker;
+                `Failed e)
       else begin
         locked t.qm (fun () ->
             t.c.unpersonalized_breaker <- t.c.unpersonalized_breaker + 1);
         `Open
       end
     in
-    match profile with
-    | `Loaded p -> (
-        let r, src =
-          Perso.Perso_cache.personalize_sql_r ?cache:t.cache ~user ~budget t.db
-            p sql
-        in
-        count_source t src;
-        match r with
-        | Ok run ->
-            let notes =
-              List.map Perso.Personalize.degradation_to_string
-                run.Perso.Personalize.degradations
-            in
-            R_rows { notes; result = run.Perso.Personalize.result }
-        | Error e -> R_error e)
+    match outcome with
+    | `Reply r -> r
     | `Failed e ->
         count_source t Perso.Perso_cache.Bypass;
         run_unpersonalized t ~budget sql
@@ -239,13 +252,16 @@ module Make (R : Runtime.S) = struct
                "profile-store circuit breaker open; retry after cooldown")
         end
         else begin
+          (* Only the user's shard write lock: queries under the main
+             read lock, and saves for users on other shards, keep
+             flowing. *)
           match
             Perso.Error.guard (fun () ->
-                Rl.with_write t.dblock (fun () ->
+                Store.with_user_write t.store ~user (fun sdb ->
                     Chaos.retry (fun () ->
                         if Perso.Profile.cardinal profile = 0 then
-                          Perso.Profile_store.delete t.db ~user
-                        else Perso.Profile_store.save t.db ~user profile)))
+                          Perso.Profile_store.delete sdb ~user
+                        else Perso.Profile_store.save sdb ~user profile)))
           with
           | Ok () ->
               Breaker.success t.breaker;
@@ -259,7 +275,8 @@ module Make (R : Runtime.S) = struct
 
   let exec_profile_show t user =
     match
-      Rl.with_read t.dblock (fun () -> Perso.Profile_store.load_r t.db ~user)
+      Store.with_user_read t.store ~user (fun sdb ->
+          Perso.Profile_store.load_r sdb ~user)
     with
     | Error e -> R_error e
     | Ok profile ->
@@ -398,9 +415,11 @@ module Make (R : Runtime.S) = struct
     | Stopped -> "stopped"
 
   let health t =
+    let cache_stats = Store.cache_stats t.store in
     locked t.qm (fun () ->
         [
           ("state", phase_name t.phase);
+          ("shards", string_of_int (Store.shard_count t.store));
           ("queue_depth", string_of_int (Queue.length t.queue));
           ("in_flight", string_of_int t.in_flight);
           ("workers", string_of_int t.cfg.workers);
@@ -421,11 +440,7 @@ module Make (R : Runtime.S) = struct
           ("cache_miss", string_of_int t.c.cache_miss);
           ("cache_incremental", string_of_int t.c.cache_incremental);
           ("cache_bypass", string_of_int t.c.cache_bypass);
-          ( "cache_invalidate",
-            string_of_int
-              (match t.cache with
-              | Some c -> (Perso.Perso_cache.stats c).invalidations
-              | None -> 0) );
+          ("cache_invalidate", string_of_int cache_stats.invalidations);
         ])
 
   (* ---------------------------- stop / drain ------------------------- *)
@@ -445,40 +460,55 @@ module Make (R : Runtime.S) = struct
 
   let lock_state t = Rl.holders t.dblock
 
+  (* Main database rwlock first, then each shard's, in shard order —
+     every one must satisfy the same exclusion invariant. *)
+  let lock_states t = Rl.holders t.dblock :: Store.lock_states t.store
+
   (* ------------------------------- start ------------------------------ *)
 
   let create cfg db =
     if cfg.workers < 1 then invalid_arg "Server: workers must be >= 1";
     if cfg.queue_capacity < 1 then
       invalid_arg "Server: queue_capacity must be >= 1";
-    (* The cache serializes its state behind a runtime mutex, so the
-       sim runtime exercises the same code single-threaded under
-       virtual time.  Lock order is dblock -> cache lock (personalize
-       under read lock, store hooks under write lock) and qm -> cache
-       lock (health); nothing takes them the other way. *)
-    let cache =
-      if cfg.cache then
-        let cm = R.mutex_create () in
-        let lock =
-          {
-            Perso.Perso_cache.with_lock =
-              (fun f ->
-                R.lock cm;
-                Fun.protect ~finally:(fun () -> R.unlock cm) f);
-          }
-        in
-        Some
-          (Perso.Perso_cache.create ~lock ~max_entries:cfg.cache_entries
-             ~max_bytes:(int_of_float (cfg.cache_mb *. 1024. *. 1024.))
-             db)
-      else None
+    if cfg.shards < 1 then invalid_arg "Server: shards must be >= 1";
+    (* One cache per shard, each bound to its shard database via
+       [store_db] (revision reads and invalidation events) while
+       queries still run against the main database.  Each cache
+       serializes its state behind its own runtime mutex, so the sim
+       runtime exercises the same code single-threaded under virtual
+       time.  Lock order is dblock -> shard lock -> cache lock
+       (personalize under the read locks, store hooks under the shard
+       write lock); nothing takes them the other way.  The configured
+       entry/byte budget is split across the shards so the total
+       footprint stays what the config says. *)
+    let mk_cache ~store_db =
+      let cm = R.mutex_create () in
+      let lock =
+        {
+          Perso.Perso_cache.with_lock =
+            (fun f ->
+              R.lock cm;
+              Fun.protect ~finally:(fun () -> R.unlock cm) f);
+        }
+      in
+      Perso.Perso_cache.create ~lock
+        ~max_entries:(max 1 (cfg.cache_entries / cfg.shards))
+        ~max_bytes:
+          (max 4096
+             (int_of_float (cfg.cache_mb *. 1024. *. 1024.) / cfg.shards))
+        ~store_db db
+    in
+    let store =
+      Store.create
+        ?cache:(if cfg.cache then Some mk_cache else None)
+        ~shards:cfg.shards db
     in
     let t =
       {
         cfg;
         db;
         dblock = Rl.create ();
-        cache;
+        store;
         breaker =
           Breaker.create
             ~now:(fun () -> R.now () *. 1000.)
@@ -562,6 +592,11 @@ module Make (R : Runtime.S) = struct
                 R.broadcast t.qc);
             List.iter R.join t.worker_threads;
             on_quiesced ();
+            (* Workers are gone: consolidate the shard profiles back
+               into the main catalog so the dump (and any caller
+               inspecting the database after stop) sees every profile
+               saved while serving. *)
+            Store.merge_back t.store;
             let dump =
               Option.map
                 (fun dir ->

@@ -40,12 +40,16 @@ type config = {
   breaker_cooldown_ms : float;
   dump_dir : string option;
   cache : bool;  (** personalization plan cache on the serve path *)
-  cache_entries : int;  (** LRU entry bound *)
+  cache_entries : int;  (** LRU entry bound (split across shards) *)
   cache_mb : float;  (** LRU byte bound (approximate accounting) *)
+  shards : int;
+      (** user-id shards for the profile store ({!Sharded_store}): a
+          PROFILE SAVE takes only its shard's write lock, so queries and
+          saves for other users keep flowing *)
 }
 
 val default_config : socket_path:string -> config
-(** Cache on, 512 entries, 32 MiB. *)
+(** Cache on, 512 entries, 32 MiB, 1 shard. *)
 
 type reply =
   | R_rows of { notes : string list; result : Relal.Exec.result }
@@ -93,4 +97,9 @@ module Make (_ : Runtime.S) : sig
   val lock_state : t -> int * bool
   (** [(active_readers, writer_active)] of the database rwlock — the
       exclusion probe for the simulation's invariant audit. *)
+
+  val lock_states : t -> (int * bool) list
+  (** The database rwlock's holders followed by each profile shard's,
+      in shard order.  Every element must satisfy the same exclusion
+      invariant; the simulation audits them all. *)
 end

@@ -1,0 +1,107 @@
+open Relal
+
+module Make (R : Runtime.S) = struct
+  module Rl = Rwlock.Make (R)
+
+  type shard = {
+    sdb : Database.t;  (* mini catalog holding only the profiles table *)
+    lock : Rl.t;
+    cache : Perso.Perso_cache.t option;
+  }
+
+  type t = { shards : shard array; main : Database.t }
+
+  let shard_count t = Array.length t.shards
+
+  let shard_for t user =
+    let n = Array.length t.shards in
+    if n = 1 then t.shards.(0)
+    else t.shards.(Hashtbl.hash (String.lowercase_ascii user) mod n)
+
+  let profile_rows db =
+    match Database.find_table db Perso.Profile_store.table_name with
+    | None -> []
+    | Some tbl -> Table.to_list tbl
+
+  let create ?cache ~shards main =
+    let n = max 1 shards in
+    let mk _ =
+      let sdb = Database.create () in
+      Perso.Profile_store.install sdb;
+      {
+        sdb;
+        lock = Rl.create ();
+        cache = Option.map (fun f -> f ~store_db:sdb) cache;
+      }
+    in
+    let t = { shards = Array.init n mk; main } in
+    (* Seed by raw row copy: unparseable rows keep their bytes (and
+       their typed load errors); no revision bumps — fresh shard
+       databases start at revision 0 with empty caches, which is
+       consistent. *)
+    List.iter
+      (fun row ->
+        let sh =
+          match row.(0) with
+          | Value.Str u -> shard_for t u
+          | _ -> t.shards.(0)
+        in
+        Table.insert
+          (Database.table sh.sdb Perso.Profile_store.table_name)
+          (Array.copy row))
+      (profile_rows main);
+    t
+
+  let with_user_read t ~user f =
+    let sh = shard_for t user in
+    Rl.with_read sh.lock (fun () -> f sh.sdb)
+
+  let with_user_write t ~user f =
+    let sh = shard_for t user in
+    Rl.with_write sh.lock (fun () -> f sh.sdb)
+
+  let cache_for t ~user = (shard_for t user).cache
+
+  let zero_stats : Perso.Perso_cache.stats =
+    {
+      hits = 0;
+      incremental = 0;
+      misses = 0;
+      bypasses = 0;
+      evictions = 0;
+      invalidations = 0;
+      entries = 0;
+      bytes = 0;
+    }
+
+  let cache_stats t =
+    Array.fold_left
+      (fun (acc : Perso.Perso_cache.stats) sh ->
+        match sh.cache with
+        | None -> acc
+        | Some c ->
+            let s = Perso.Perso_cache.stats c in
+            {
+              Perso.Perso_cache.hits = acc.hits + s.hits;
+              incremental = acc.incremental + s.incremental;
+              misses = acc.misses + s.misses;
+              bypasses = acc.bypasses + s.bypasses;
+              evictions = acc.evictions + s.evictions;
+              invalidations = acc.invalidations + s.invalidations;
+              entries = acc.entries + s.entries;
+              bytes = acc.bytes + s.bytes;
+            })
+      zero_stats t.shards
+
+  let lock_states t =
+    Array.to_list (Array.map (fun sh -> Rl.holders sh.lock) t.shards)
+
+  let merge_back t =
+    let rows =
+      Array.to_list t.shards |> List.concat_map (fun sh -> profile_rows sh.sdb)
+    in
+    Perso.Profile_store.install t.main;
+    let tbl = Database.table t.main Perso.Profile_store.table_name in
+    Table.clear tbl;
+    List.iter (Table.insert tbl) rows
+end

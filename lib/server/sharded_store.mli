@@ -1,0 +1,69 @@
+(** A user-id-sharded profile store for the serve path.
+
+    With one database rwlock, every [PROFILE SAVE] excludes every
+    concurrent [PERSONALIZE] — even for unrelated users — because the
+    profiles table lives in the shared catalog.  This module splits the
+    profile storage across [N] shard databases, each a mini catalog
+    holding only the profiles table, each behind its own
+    {!Rwlock.Make} instance and (optionally) its own {!Perso.Perso_cache}
+    bound to the shard via [~store_db].  A save then takes only its
+    shard's write lock: queries keep flowing, and saves for users on
+    other shards proceed concurrently.
+
+    Sharding is by [Hashtbl.hash] of the lowercased username — the same
+    normalization {!Perso.Profile_store} applies — so every operation
+    for a user deterministically lands on one shard.
+
+    Rows are copied {e raw} between the main catalog and the shards
+    (seeding at {!Make.create}, consolidation at {!Make.merge_back}),
+    not through profile parsing: unparseable rows — which the store
+    surfaces as typed [Error.Profile] values at load time — survive the
+    round trip and keep producing the same typed errors they would in
+    an unsharded server.
+
+    Lock order (documented in DESIGN.md §5g): main database rwlock
+    (outer, queries) → shard rwlock (inner, profile access) → cache
+    lock (innermost).  Nothing takes them in any other order. *)
+
+module Make (R : Runtime.S) : sig
+  type t
+
+  val create :
+    ?cache:(store_db:Relal.Database.t -> Perso.Perso_cache.t) ->
+    shards:int ->
+    Relal.Database.t ->
+    t
+  (** [create ?cache ~shards main] builds [max 1 shards] shard
+      databases, seeds them by raw-copying the main catalog's profiles
+      table (rows with a malformed username column go to shard 0 so
+      nothing is dropped), and — when [cache] is given — builds one
+      per-shard cache with the shard database as its [store_db].  The
+      main catalog's profiles table is left untouched until
+      {!merge_back}. *)
+
+  val shard_count : t -> int
+
+  val with_user_read : t -> user:string -> (Relal.Database.t -> 'a) -> 'a
+  (** Run [f shard_db] holding the user's shard read lock. *)
+
+  val with_user_write : t -> user:string -> (Relal.Database.t -> 'a) -> 'a
+  (** Run [f shard_db] holding the user's shard write lock. *)
+
+  val cache_for : t -> user:string -> Perso.Perso_cache.t option
+  (** The user's shard cache ([None] when built without [?cache]). *)
+
+  val cache_stats : t -> Perso.Perso_cache.stats
+  (** Field-wise sum of every shard cache's counters — the HEALTH
+      ledger view.  All zeros when built without [?cache]. *)
+
+  val lock_states : t -> (int * bool) list
+  (** [(active_readers, writer_active)] per shard, in shard order — the
+      exclusion probes for the simulation's invariant audit. *)
+
+  val merge_back : t -> unit
+  (** Raw-copy every shard's profile rows (in shard order) back into
+      the main catalog's profiles table, replacing its contents.  For
+      quiesced servers only — the caller must guarantee no concurrent
+      shard access; {!Server_core.Make.stop} runs it after the workers
+      have joined, before the crash-safe dump. *)
+end

@@ -256,13 +256,22 @@ let run ~seed steps =
   in
   Fun.protect ~finally:restore @@ fun () ->
   let main () =
-    let core = Core.create server_config db in
+    (* Shard count derives from the seed so the sweep exercises the
+       sharded store at several widths, deterministically. *)
+    let core =
+      Core.create { server_config with shards = 1 + (seed mod 3) } db
+    in
     Sched.add_probe (fun () ->
-        let readers, writer = Core.lock_state core in
-        if writer && readers > 0 then
-          Sched.fail
-            (Printf.sprintf
-               "rwlock-exclusion: writer active with %d reader(s)" readers));
+        (* Main database rwlock and every profile-shard rwlock must
+           each satisfy exclusion — the cross-shard audit. *)
+        List.iteri
+          (fun i (readers, writer) ->
+            if writer && readers > 0 then
+              Sched.fail
+                (Printf.sprintf
+                   "rwlock-exclusion: lock %d writer active with %d reader(s)"
+                   i readers))
+          (Core.lock_states core));
     let mailboxes =
       Array.init n_clients (fun _ ->
           {

@@ -1,0 +1,153 @@
+(* A small fixed pool of worker domains executing indexed chunks.
+
+   The pool exists for data-parallel loops with a *deterministic merge*:
+   a caller splits work into [n] chunks, every chunk [i] computes a
+   value independently, and the caller gets the results back as an
+   array indexed by chunk — so concatenating them reproduces the
+   sequential order no matter which domain ran which chunk, or in what
+   interleaving.  Scheduling is a shared atomic cursor (cheap work
+   stealing: fast domains drain more chunks), which randomizes timing
+   but never placement of results.
+
+   Exceptions are deterministic too: if several chunks raise, the one
+   with the smallest chunk index is re-raised — the same exception a
+   sequential left-to-right run would have hit first.
+
+   One parallel region runs at a time.  [try_map] takes the region slot
+   with [Mutex.try_lock]; a caller finding the pool busy (e.g. two
+   server threads racing into the executor) gets [None] and runs its
+   loop sequentially — safe exactly because parallel output is
+   byte-identical to sequential.  Worker domains park on a condition
+   variable between regions, so an idle pool costs nothing. *)
+
+type job = {
+  epoch : int;
+  nchunks : int;
+  next : int Atomic.t;  (* cursor: next chunk index to claim *)
+  completed : int Atomic.t;
+  run : int -> unit;  (* never raises; captures its own faults *)
+}
+
+type t = {
+  domains : int;  (* total lanes including the caller *)
+  m : Mutex.t;
+  work : Condition.t;  (* workers park here between regions *)
+  done_ : Condition.t;  (* the caller parks here awaiting completion *)
+  region : Mutex.t;  (* serializes parallel regions across threads *)
+  mutable job : job option;
+  mutable epoch : int;
+  mutable shutdown : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let size t = t.domains
+
+let run_chunks job =
+  let rec go () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.nchunks then begin
+      job.run i;
+      ignore (Atomic.fetch_and_add job.completed 1 : int);
+      go ()
+    end
+  in
+  go ()
+
+let worker t =
+  let last = ref 0 in
+  let rec loop () =
+    Mutex.lock t.m;
+    while
+      (not t.shutdown)
+      && (match t.job with None -> true | Some j -> j.epoch = !last)
+    do
+      Condition.wait t.work t.m
+    done;
+    if t.shutdown then Mutex.unlock t.m
+    else begin
+      let j = match t.job with Some j -> j | None -> assert false in
+      last := j.epoch;
+      Mutex.unlock t.m;
+      run_chunks j;
+      (* Wake a caller possibly parked on completion.  Harmless when
+         this worker claimed no chunk at all. *)
+      Mutex.lock t.m;
+      Condition.broadcast t.done_;
+      Mutex.unlock t.m;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~domains =
+  let domains = max 1 domains in
+  let t =
+    {
+      domains;
+      m = Mutex.create ();
+      work = Condition.create ();
+      done_ = Condition.create ();
+      region = Mutex.create ();
+      job = None;
+      epoch = 0;
+      shutdown = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (domains - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  let ws = t.workers in
+  t.workers <- [];
+  t.shutdown <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  List.iter Domain.join ws
+
+(* Run [n] chunks through the pool, caller participating.  The region
+   lock is held by the caller; [f] is the raw (possibly raising) chunk
+   body. *)
+let map_locked t n f =
+  let results = Array.make n None in
+  let faults = Array.make n None in
+  let run i =
+    match f i with
+    | v -> results.(i) <- Some v
+    | exception e -> faults.(i) <- Some e
+  in
+  Mutex.lock t.m;
+  t.epoch <- t.epoch + 1;
+  let j =
+    { epoch = t.epoch; nchunks = n; next = Atomic.make 0;
+      completed = Atomic.make 0; run }
+  in
+  t.job <- Some j;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  run_chunks j;
+  Mutex.lock t.m;
+  while Atomic.get j.completed < n do
+    Condition.wait t.done_ t.m
+  done;
+  t.job <- None;
+  Mutex.unlock t.m;
+  (* Deterministic fault propagation: lowest chunk index wins, as a
+     sequential left-to-right run would have raised it first. *)
+  Array.iter (function Some e -> raise e | None -> ()) faults;
+  Array.map (function Some v -> v | None -> assert false) results
+
+let seq_map n f = Array.init n f
+
+let try_map t n f =
+  if n <= 0 then Some [||]
+  else if t.domains <= 1 || n = 1 then Some (seq_map n f)
+  else if not (Mutex.try_lock t.region) then None
+  else
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.region)
+      (fun () -> Some (map_locked t n f))
+
+let map t n f =
+  match try_map t n f with Some r -> r | None -> seq_map n f

@@ -1,0 +1,43 @@
+(** A reusable pool of worker domains for data-parallel loops with a
+    deterministic, chunk-indexed merge.
+
+    [create ~domains:n] spawns [n - 1] worker domains; the caller of
+    {!map} is the [n]-th lane.  A parallel region splits work into
+    chunks [0 .. n-1]; domains claim chunk indices from a shared atomic
+    cursor (fast domains drain more — cheap work stealing), and results
+    come back as an array indexed by chunk.  Concatenating the array
+    therefore reproduces the sequential left-to-right order regardless
+    of scheduling — the property the executor's byte-identical
+    parallelism rests on.
+
+    If several chunks raise, the exception from the {e smallest} chunk
+    index is re-raised after the region completes: the same fault a
+    sequential run would have hit first.
+
+    One region runs at a time; {!try_map} returns [None] instead of
+    blocking when another thread holds the pool, so callers can fall
+    back to their sequential loop (which by construction produces the
+    same bytes). *)
+
+type t
+
+val create : domains:int -> t
+(** [create ~domains:n] spawns [max 1 n - 1] worker domains.  The pool
+    is usable from any systhread; regions are serialized internally. *)
+
+val size : t -> int
+(** Total parallel lanes, caller included (= the [domains] argument,
+    clamped to at least 1). *)
+
+val try_map : t -> int -> (int -> 'a) -> 'a array option
+(** [try_map t n f] computes [Array.init n f] with chunks distributed
+    over the pool's domains, or returns [None] without blocking if
+    another region is in flight.  [f] may raise; see the module header
+    for fault determinism.  A pool of size 1 (or [n <= 1]) computes
+    inline and never returns [None]. *)
+
+val map : t -> int -> (int -> 'a) -> 'a array
+(** {!try_map} with an inline sequential fallback instead of [None]. *)
+
+val shutdown : t -> unit
+(** Join the worker domains.  The pool must be idle; idempotent. *)

@@ -47,6 +47,7 @@ accounted for (5 data-plane requests: 4 ok, 1 parse error):
 
   $ perso_cli call --socket ./perso.sock HEALTH
   state running
+  shards 1
   queue_depth 0
   in_flight 0
   workers 2

@@ -274,6 +274,67 @@ let test_clear_and_invalidate_user () =
   Alcotest.(check int) "clear empties" 0
     (Perso_cache.stats cache).Perso_cache.entries
 
+(* ------------------------ size estimate ----------------------------- *)
+
+(* The structural estimate that replaced [Obj.reachable_words] in the
+   byte accounting must stay within 2× of the exact measure (either
+   direction) on representative outcomes: small persona profiles on the
+   tiny db and generated 10–20-selection profiles on a datagen db,
+   under both integration methods and several K. *)
+let test_size_estimate () =
+  let word_bytes = Sys.word_size / 8 in
+  let exact key profile outcome =
+    Obj.reachable_words (Obj.repr (key, profile, outcome)) * word_bytes
+  in
+  let cases = ref 0 in
+  let check_case name db profile params sql =
+    let outcome =
+      Personalize.personalize ~params db profile (Sql_parser.parse sql)
+    in
+    let key = "julie\x01mq|top#5\x01" ^ sql in
+    let est = Size_est.entry_bytes ~key profile outcome in
+    let ex = exact key profile outcome in
+    let ratio = float_of_int est /. float_of_int (max 1 ex) in
+    incr cases;
+    (if Sys.getenv_opt "SIZE_EST_DEBUG" <> None then
+       Printf.eprintf "%s: est=%d exact=%d ratio=%.2f\n%!" name est ex ratio);
+    if ratio < 0.5 || ratio > 2.0 then
+      Alcotest.failf "%s: estimate %dB vs exact %dB (ratio %.2f) out of 2x"
+        name est ex ratio
+  in
+  let tiny = Moviedb.Personas.tiny_db () in
+  let julie = Moviedb.Personas.julie () in
+  let p ?(k = 5) method_ =
+    { Personalize.default_params with k = Criteria.top_r k; method_ }
+  in
+  check_case "tiny mq" tiny julie (p `MQ) motivating_sql;
+  check_case "tiny sq" tiny julie (p `SQ) motivating_sql;
+  check_case "tiny mq k1" tiny julie (p ~k:1 `MQ) motivating_sql;
+  let db = Moviedb.Datagen.(generate (scale ~seed:7 120)) in
+  let rng = Putil.Rng.create 99 in
+  for seed = 1 to 6 do
+    let profile =
+      Moviedb.Profile_gen.generate db
+        { Moviedb.Profile_gen.default with seed; n_selections = 4 * seed }
+    in
+    let sql =
+      Sql_print.query_to_string (Moviedb.Workload.random_query db rng)
+    in
+    check_case
+      (Printf.sprintf "datagen seed %d mq" seed)
+      db profile
+      (p ~k:(3 + seed) `MQ)
+      sql;
+    check_case
+      (Printf.sprintf "datagen seed %d sq" seed)
+      db profile
+      (p ~k:(3 + seed) `SQ)
+      sql
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "representative cases covered (%d)" !cases)
+    true (!cases >= 10)
+
 (* -------------------- oracle sweep: 100 seeded runs ----------------- *)
 
 let test_oracle_sweep () =
@@ -317,6 +378,11 @@ let () =
             test_invalidation_on_save_and_delete;
           Alcotest.test_case "clear / invalidate_user" `Quick
             test_clear_and_invalidate_user;
+        ] );
+      ( "size-estimate",
+        [
+          Alcotest.test_case "within 2x of reachable_words" `Quick
+            test_size_estimate;
         ] );
       ( "incremental",
         [
