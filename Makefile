@@ -4,12 +4,13 @@
 
 BENCH_JSON := /tmp/bench_exec_smoke.json
 BENCH_PERSO_JSON := /tmp/bench_perso_smoke.json
+BENCH_STORE_JSON := /tmp/bench_store_smoke.json
 CHAOS_SEED ?= 1337
 
 SIM_SEED ?= 42
 SIM_RUNS ?= 8
 
-.PHONY: all build test bench bench-par chaos serve-smoke sim check clean
+.PHONY: all build test bench bench-par chaos crash-recovery serve-smoke sim check clean
 
 all: build
 
@@ -28,6 +29,15 @@ bench: build
 chaos: build
 	@CHAOS_SEED=$(CHAOS_SEED) dune exec test/test_chaos.exe || \
 	  { echo "chaos: FAILED — replay with CHAOS_SEED=$(CHAOS_SEED) make chaos"; exit 1; }
+
+# Deterministic crash-recovery sweep: replay the durable-store workload
+# killing the process at every seeded storage chaos point (torn write,
+# short write, fsync failure, hard crash at each WAL/manifest/compaction
+# crossing), reopen, and require the recovered state to equal the
+# committed prefix.  Runs as part of `dune runtest` too; this target is
+# the direct entry point.
+crash-recovery: build
+	dune exec test/test_store_crash.exe
 
 # The server smoke test: start `perso serve` on a Unix socket, drive
 # RUN / PROFILE SAVE / PERSONALIZE / HEALTH / SHUTDOWN through
@@ -60,11 +70,15 @@ bench-par: build
 	sys.exit(0 if c < 4 else (0 if s >= 2 else sys.stderr.write('bench-par: %.2fx at 4 domains on %d cores (< 2x)\n' % (s, c)) or 1)); \
 	" && echo "bench-par: OK (see $(BENCH_JSON): parallel + sharded_store)"
 
-check: build test chaos serve-smoke sim bench-par
+check: build test chaos crash-recovery serve-smoke sim bench-par
 	BENCH_SCALE=quick BENCH_PERSO_OUT=$(BENCH_PERSO_JSON) dune exec bench/main.exe -- perso
 	python3 -m json.tool $(BENCH_PERSO_JSON) > /dev/null
 	@python3 -c "import json,sys; d=json.load(open('$(BENCH_PERSO_JSON)')); s=d['speedup_warm']; sys.exit(0 if s >= 5 else sys.stderr.write('plan cache: warm speedup %.1fx < 5x\n' % s) or 1)"
-	@echo "check: OK ($(BENCH_JSON), $(BENCH_PERSO_JSON) valid; plan-cache warm >= 5x)"
+	BENCH_SCALE=quick BENCH_STORE_OUT=$(BENCH_STORE_JSON) dune exec bench/main.exe -- store
+	python3 -m json.tool $(BENCH_STORE_JSON) > /dev/null
+	@python3 -c "import json,sys; d=json.load(open('$(BENCH_STORE_JSON)')); \
+	r=d['recovery']; sys.exit(0 if r['records'] > 0 and r['reopen_ms'] >= 0 and d['sizes'] else 1)"
+	@echo "check: OK ($(BENCH_JSON), $(BENCH_PERSO_JSON), $(BENCH_STORE_JSON) valid; plan-cache warm >= 5x)"
 
 clean:
 	dune clean

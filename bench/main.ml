@@ -979,6 +979,123 @@ let bench_perso () =
   Printf.printf "# wrote %s\n%!" path
 
 (* --------------------------------------------------------------------- *)
+(* Durable store benchmark — machine-readable (BENCH_STORE.json)         *)
+(* --------------------------------------------------------------------- *)
+
+(* The I/O face of Figure 6: profile size drives record size, which
+   drives save (WAL append + fsync) and point-load latency.  Also times
+   what only a durable tier has — cold recovery (reopen replaying
+   sealed segments + WAL) and compaction.  Writes BENCH_STORE.json
+   (override with BENCH_STORE_OUT); `make check` validates it. *)
+let bench_store () =
+  let module Store = Perso_store.Store in
+  Printf.printf "\n== store: durable profile tier (scale=%s) ==\n%!"
+    scale.label;
+  let movies = max 200 (scale.movies / 4) in
+  let db = Moviedb.Datagen.(generate (Moviedb.Datagen.scale ~seed:3 movies)) in
+  let sizes, users_per_size =
+    match scale.label with
+    | "quick" -> ([ 8; 32 ], 48)
+    | "paper" -> ([ 8; 32; 128; 512 ], 256)
+    | _ -> ([ 8; 32; 128 ], 96)
+  in
+  let dir = Filename.temp_file "bench_store" "" in
+  Sys.remove dir;
+  (* Small segments so the workload crosses rotation and compaction. *)
+  let config =
+    { Store.default_config with segment_bytes = 64 * 1024 }
+  in
+  let s = ref (Store.open_ ~config dir) in
+  let rev = ref 0 in
+  let rows =
+    List.map
+      (fun n_selections ->
+        let entries =
+          List.init users_per_size (fun i ->
+              Perso.Profile_store.entries_of_profile
+                (Moviedb.Profile_gen.generate db
+                   { Moviedb.Profile_gen.default with seed = i; n_selections }))
+        in
+        let usernames =
+          List.mapi (fun i _ -> Printf.sprintf "s%d-u%03d" n_selections i)
+            entries
+        in
+        let (), save_ms =
+          time (fun () ->
+              List.iter2
+                (fun user es ->
+                  incr rev;
+                  Store.save !s ~user ~revision:!rev es)
+                usernames entries)
+        in
+        let (), load_ms =
+          time (fun () ->
+              List.iter
+                (fun user -> ignore (Store.load !s ~user))
+                usernames)
+        in
+        let ops = float_of_int users_per_size in
+        Printf.printf
+          "  size %3d: save %.3f ms/op (%.0f ops/s), load %.3f ms/op\n%!"
+          n_selections (save_ms /. ops)
+          (1000. /. (save_ms /. ops))
+          (load_ms /. ops);
+        (n_selections, save_ms /. ops, load_ms /. ops))
+      sizes
+  in
+  let work = Store.stats !s in
+  let appends = work.Store.appends in
+  Store.close !s;
+  let s', reopen_ms = time (fun () -> Store.open_ ~config dir) in
+  s := s';
+  let before = Store.stats !s in
+  let (), compact_ms = time (fun () -> Store.compact_now !s) in
+  let after = Store.stats !s in
+  Printf.printf
+    "  recovery: %d records replayed in %.1f ms; compaction %d -> %d \
+     segments in %.1f ms\n%!"
+    appends reopen_ms before.Store.segments after.Store.segments compact_ms;
+  (* recovery of the compacted store *)
+  Store.close !s;
+  let s'', reopen2_ms = time (fun () -> Store.open_ ~config dir) in
+  let live = (Store.stats s'').Store.live_users in
+  Store.close s'';
+  let path =
+    Option.value ~default:"BENCH_STORE.json" (Sys.getenv_opt "BENCH_STORE_OUT")
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"store\",\n\
+    \  \"scale\": %S,\n\
+    \  \"movies\": %d,\n\
+    \  \"users_per_size\": %d,\n\
+    \  \"sizes\": [\n"
+    scale.label movies users_per_size;
+  List.iteri
+    (fun i (n, save_ms, load_ms) ->
+      Printf.fprintf oc
+        "    {\"selections\": %d, \"save_ms_per_op\": %.4f, \
+         \"load_ms_per_op\": %.4f}%s\n"
+        n save_ms load_ms
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc
+    "  ],\n\
+    \  \"workload\": {\"appends\": %d, \"rotations\": %d, \
+     \"compactions\": %d},\n\
+    \  \"recovery\": {\"records\": %d, \"reopen_ms\": %.3f, \
+     \"reopen_compacted_ms\": %.3f, \"live_users\": %d},\n\
+    \  \"compaction\": {\"segments_before\": %d, \"segments_after\": %d, \
+     \"ms\": %.3f}\n\
+     }\n"
+    appends work.Store.rotations work.Store.compactions appends reopen_ms
+    reopen2_ms live before.Store.segments after.Store.segments compact_ms;
+  close_out oc;
+  ignore (Sys.command ("rm -rf " ^ Filename.quote dir));
+  Printf.printf "# wrote %s\n%!" path
+
+(* --------------------------------------------------------------------- *)
 (* Driver                                                                *)
 (* --------------------------------------------------------------------- *)
 
@@ -989,6 +1106,7 @@ let all_figs =
     ("perso", bench_perso); ("kernels", kernels);
     ("ablation-funcs", ablation_funcs); ("ablation-topn", ablation_topn);
     ("ablation-index", ablation_index); ("ablation-planner", ablation_planner);
+    ("store", bench_store);
   ]
 
 let () =

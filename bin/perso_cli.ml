@@ -53,6 +53,26 @@ let handle_error e =
 let guarded f =
   match Perso.Error.guard f with Ok code -> code | Error e -> handle_error e
 
+(* ---------------- flag validation ---------------- *)
+
+(* Out-of-range flags are [Usage] errors (family "usage", exit code 6)
+   reported before any work starts, not assertion failures deep in the
+   server.  [pos_int]/[pos_float] yield a complaint when a flag is
+   nonsensical; [validated] reports the first complaint or runs the
+   command. *)
+let pos_int name v =
+  if v > 0 then None
+  else Some (Printf.sprintf "--%s must be positive (got %d)" name v)
+
+let pos_float name v =
+  if v > 0. then None
+  else Some (Printf.sprintf "--%s must be positive (got %g)" name v)
+
+let validated checks k =
+  match List.find_map Fun.id checks with
+  | Some msg -> handle_error (Perso.Error.Usage msg)
+  | None -> k ()
+
 (* ---------------- query budgets ---------------- *)
 
 let deadline_arg =
@@ -120,6 +140,7 @@ let demo_cmd =
 (* ---------------- run-sql ---------------- *)
 
 let run_sql movies seed data_dir deadline max_rows max_expansions domains sql =
+  validated [ pos_int "domains" domains ] @@ fun () ->
   guarded (fun () ->
       with_pool domains (fun () ->
           let db = db_of ?data_dir ~movies ~seed () in
@@ -140,6 +161,7 @@ let run_sql_cmd =
 
 let personalize movies seed data_dir deadline max_rows max_expansions domains
     profile_path sql k l m method_ topn semantic =
+  validated [ pos_int "domains" domains ] @@ fun () ->
   guarded (fun () ->
       with_pool domains @@ fun () ->
       let db = db_of ?data_dir ~movies ~seed () in
@@ -353,9 +375,32 @@ let dot_cmd =
 
 (* ---------------- serve ---------------- *)
 
+(* "--store memory" or "--store disk:DIR"; anything else is a Usage
+   complaint (returned, not raised, so [validated] can report it). *)
+let parse_store = function
+  | "memory" -> Ok None
+  | s when String.length s > 5 && String.sub s 0 5 = "disk:" ->
+      Ok (Some (String.sub s 5 (String.length s - 5)))
+  | s ->
+      Error
+        (Printf.sprintf "--store must be 'memory' or 'disk:DIR' (got %S)" s)
+
 let serve movies seed data_dir deadline max_rows max_expansions socket tcp
     workers queue drain_ms breaker_threshold breaker_cooldown dump_dir
-    chaos_seed chaos_p no_cache cache_entries cache_mb domains shards =
+    chaos_seed chaos_p no_cache cache_entries cache_mb domains shards store =
+  let store_dir = parse_store store in
+  validated
+    [
+      (match store_dir with Error m -> Some m | Ok _ -> None);
+      pos_int "workers" workers;
+      pos_int "queue" queue;
+      pos_int "cache-entries" cache_entries;
+      pos_float "cache-mb" cache_mb;
+      pos_int "domains" domains;
+      pos_int "shards" shards;
+    ]
+  @@ fun () ->
+  let store_dir = Result.get_ok store_dir in
   guarded (fun () ->
       with_pool domains @@ fun () ->
       let db = db_of ?data_dir ~movies ~seed () in
@@ -381,6 +426,7 @@ let serve movies seed data_dir deadline max_rows max_expansions socket tcp
           cache_entries;
           cache_mb;
           shards;
+          store_dir;
         }
       in
       let t = Perso_server.Server.start cfg db in
@@ -470,6 +516,15 @@ let shards_arg =
   in
   Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
 
+let store_arg =
+  let doc =
+    "Profile-store backend: $(b,memory) (default, profiles live only in \
+     the catalog) or $(b,disk:DIR) — a crash-consistent log-structured \
+     store rooted at DIR with one store per shard; on startup a non-empty \
+     DIR is authoritative and its write-ahead logs are replayed."
+  in
+  Arg.(value & opt string "memory" & info [ "store" ] ~docv:"BACKEND" ~doc)
+
 let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
@@ -481,7 +536,8 @@ let serve_cmd =
       $ max_rows_arg $ max_expansions_arg $ socket_arg $ tcp_arg $ workers_arg
       $ queue_arg $ drain_arg $ breaker_threshold_arg $ breaker_cooldown_arg
       $ dump_dir_arg $ chaos_seed_arg $ chaos_p_arg $ no_cache_arg
-      $ cache_entries_arg $ cache_mb_arg $ domains_arg $ shards_arg)
+      $ cache_entries_arg $ cache_mb_arg $ domains_arg $ shards_arg
+      $ store_arg)
 
 (* ---------------- sim ---------------- *)
 

@@ -7,6 +7,7 @@ type t =
   | Storage of string
   | Resource_exhausted of Relal.Governor.progress
   | Overloaded of string
+  | Usage of string
   | Internal of string
 
 let no_progress exhausted =
@@ -32,10 +33,21 @@ let of_exn = function
       in
       match point with
       | Relal.Chaos.Profile_load | Relal.Chaos.Persist_write
-      | Relal.Chaos.Store_mutate ->
+      | Relal.Chaos.Store_mutate | Relal.Chaos.Wal_append
+      | Relal.Chaos.Wal_fsync | Relal.Chaos.Manifest_write
+      | Relal.Chaos.Compact_write | Relal.Chaos.Compact_rename ->
           Some (Storage msg)
       | Relal.Chaos.Scan | Relal.Chaos.Join_build | Relal.Chaos.Join_probe ->
           Some (Internal msg))
+  | Relal.Chaos.Crashed { point } ->
+      Some
+        (Storage
+           (Printf.sprintf "simulated crash at %s"
+              (Relal.Chaos.point_name point)))
+  | Perso_store.Store.Store_error e ->
+      Some (Storage (Perso_store.Store.error_to_string e))
+  | Perso_store.Codec.Decode_error e ->
+      Some (Storage ("profile record: " ^ e))
   | Stack_overflow -> Some (Resource_exhausted (no_progress "stack"))
   | Out_of_memory -> Some (Resource_exhausted (no_progress "memory"))
   | Invalid_argument e -> Some (Internal ("invalid argument: " ^ e))
@@ -60,6 +72,7 @@ let to_string = function
   | Resource_exhausted p ->
       "resource exhausted: " ^ Relal.Governor.progress_to_string p
   | Overloaded e -> "overloaded: " ^ e
+  | Usage e -> "usage error: " ^ e
   | Internal e -> "internal error: " ^ e
 
 let pp fmt t = Format.pp_print_string fmt (to_string t)
@@ -73,6 +86,7 @@ let family_name = function
   | Storage _ -> "storage"
   | Resource_exhausted _ -> "resource-exhausted"
   | Overloaded _ -> "overloaded"
+  | Usage _ -> "usage"
   | Internal _ -> "internal"
 
 (* One exit code per family, so scripts can branch: user errors are
@@ -85,3 +99,4 @@ let exit_code = function
   | Resource_exhausted _ -> 3
   | Internal _ -> 4
   | Overloaded _ -> 5
+  | Usage _ -> 6

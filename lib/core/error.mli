@@ -29,6 +29,11 @@ type t =
           draining, or a circuit breaker open for the operation.  The
           request is safe to retry elsewhere or later — no work was
           started. *)
+  | Usage of string
+      (** a malformed request at the interface boundary: out-of-range
+          CLI flags (zero/negative shard or domain counts, empty cache
+          budgets), unparseable [--store] specs.  Fix the invocation
+          and retry. *)
   | Internal of string  (** engine invariant violations, unknown exceptions *)
 
 val of_exn : exn -> t option
@@ -53,8 +58,8 @@ val pp : Format.formatter -> t -> unit
 val family_name : t -> string
 (** Short stable family tag for wire protocols and logs: ["parse"],
     ["lex"], ["bind"], ["not-conjunctive"], ["profile"], ["storage"],
-    ["resource-exhausted"], ["overloaded"], ["internal"]. *)
+    ["resource-exhausted"], ["overloaded"], ["usage"], ["internal"]. *)
 
 val exit_code : t -> int
 (** Process exit code per family: user errors 1, storage 2, resource 3,
-    internal 4, overloaded 5.  Never 0. *)
+    internal 4, overloaded 5, usage 6.  Never 0. *)

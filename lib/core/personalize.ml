@@ -102,7 +102,7 @@ let degradable = function
   | Error.Resource_exhausted _ | Error.Internal _ | Error.Not_conjunctive _ ->
       true
   | Error.Parse _ | Error.Lex _ | Error.Bind _ | Error.Profile _
-  | Error.Storage _ | Error.Overloaded _ ->
+  | Error.Storage _ | Error.Overloaded _ | Error.Usage _ ->
       false
 
 let personalize_r_with ?(params = default_params) ?(budget = Governor.unlimited)

@@ -1,6 +1,7 @@
 open Relal
 
 let table_name = "profiles"
+let revs_table_name = "profile_revs"
 
 (* ------------------------- revisions and hooks ----------------------
 
@@ -22,10 +23,30 @@ type reg = {
   reg_db : Database.t;
   revs : int SMap.t Atomic.t;
   hooks : (user:string -> event -> unit) list Atomic.t;
+  backend : Perso_store.Backend.t option Atomic.t;
 }
 
 let registry : reg list Atomic.t = Atomic.make []
 let registry_cap = 16
+
+(* The revision high-water marks persist as an ordinary catalog table,
+
+     PROFILE_REVS(username string, revision int)
+
+   rewritten on every effective mutation, so they travel with CSV dumps
+   exactly like the profiles themselves.  A fresh registry entry seeds
+   from that table: a reloaded server resumes {e above} the old marks
+   instead of restarting at 0 and silently revalidating stale
+   [Perso_cache] keys. *)
+let initial_revs db =
+  match Database.find_table db revs_table_name with
+  | None -> SMap.empty
+  | Some t ->
+      Table.fold t ~init:SMap.empty ~f:(fun acc row ->
+          match (row.(0), row.(1)) with
+          | Value.Str user, Value.Int rev when rev > 0 ->
+              SMap.add user (max rev (Option.value ~default:0 (SMap.find_opt user acc))) acc
+          | _ -> acc)
 
 let rec reg_for db =
   let regs = Atomic.get registry in
@@ -33,7 +54,12 @@ let rec reg_for db =
   | Some r -> r
   | None ->
       let r =
-        { reg_db = db; revs = Atomic.make SMap.empty; hooks = Atomic.make [] }
+        {
+          reg_db = db;
+          revs = Atomic.make (initial_revs db);
+          hooks = Atomic.make [];
+          backend = Atomic.make None;
+        }
       in
       (* Newest first; drop the oldest beyond the cap so long-lived
          processes cycling through throwaway databases (tests, sim
@@ -51,12 +77,57 @@ let revision db ~user =
   | Some r -> r
   | None -> 0
 
+let revisions db = SMap.bindings (Atomic.get (reg_for db).revs)
+
 let subscribe db hook = atomic_update (reg_for db).hooks (fun hs -> hook :: hs)
+
+let install_revs db =
+  if not (Database.mem_table db revs_table_name) then
+    Database.add_table db
+      (Schema.make ~name:revs_table_name
+         ~cols:[ ("username", Value.TStr); ("revision", Value.TInt) ]
+         ())
+
+(* Raw rewrite — deliberately no chaos crossings: the revision table is
+   bookkeeping riding on a mutation whose fault points already fired. *)
+let write_revs_rows db rows =
+  install_revs db;
+  let t = Database.table db revs_table_name in
+  Table.clear t;
+  List.iter
+    (fun (user, rev) -> Table.insert t [| Value.Str user; Value.Int rev |])
+    rows
+
+let set_rev_row db user rev =
+  install_revs db;
+  let t = Database.table db revs_table_name in
+  let others =
+    List.filter
+      (fun row -> not (Value.equal row.(0) (Value.Str user)))
+      (Table.to_list t)
+  in
+  Table.clear t;
+  List.iter (Table.insert t) others;
+  Table.insert t [| Value.Str user; Value.Int rev |]
+
+let seed_revisions db pairs =
+  let r = reg_for db in
+  atomic_update r.revs (fun m ->
+      List.fold_left
+        (fun m (user, rev) ->
+          if rev > max 0 (Option.value ~default:0 (SMap.find_opt user m)) then
+            SMap.add user rev m
+          else m)
+        m pairs);
+  write_revs_rows db (SMap.bindings (Atomic.get r.revs))
 
 let notify db ~user event =
   let r = reg_for db in
   atomic_update r.revs (fun m ->
       SMap.add user (1 + Option.value ~default:0 (SMap.find_opt user m)) m);
+  (match SMap.find_opt user (Atomic.get r.revs) with
+  | Some rev -> set_rev_row db user rev
+  | None -> ());
   List.iter (fun hook -> hook ~user event) (Atomic.get r.hooks)
 
 let install db =
@@ -109,6 +180,39 @@ let rows_of db user = rows_for db user true
 let row_equal a b =
   Array.length a = Array.length b && Array.for_all2 Value.equal a b
 
+(* Raw rollback used when a durable-backend append fails after the
+   table rewrite: restore the exact previous rows without crossing
+   chaos points again (the failure being handled may itself be an
+   injected fault; the rollback must not roll a second coin). *)
+let restore_rows db rows =
+  let t = Database.table db table_name in
+  Table.clear t;
+  List.iter (Table.insert t) rows
+
+let entries_of_profile profile =
+  List.map
+    (fun (atom, deg) ->
+      { Perso_store.Codec.cond = Atom.to_string atom;
+        degree = Degree.to_float deg })
+    (Profile.entries profile)
+
+let attach db backend = Atomic.set (reg_for db).backend (Some backend)
+let attached db = Atomic.get (reg_for db).backend
+
+(* Write-through: the in-memory table mutates first (it rolls itself
+   back on faults), then the WAL append makes the mutation durable,
+   then the revision bump + hooks acknowledge it.  A backend failure
+   unwinds the table so memory never claims what the disk refused. *)
+let backend_apply db ~user before f =
+  match Atomic.get (reg_for db).backend with
+  | None -> ()
+  | Some b -> (
+      let next = 1 + revision db ~user in
+      try f b ~next
+      with e ->
+        restore_rows db before;
+        raise e)
+
 let save db ~user profile =
   install db;
   let user = String.lowercase_ascii user in
@@ -126,7 +230,11 @@ let save db ~user profile =
      rewrite (so no dump churn), no revision bump (so cached plans for
      the user stay valid). *)
   if not (List.equal row_equal (rows_of db user) mine) then begin
+    let before = Table.to_list (Database.table db table_name) in
     rewrite db (rows_except db user @ mine);
+    backend_apply db ~user before (fun b ~next ->
+        b.Perso_store.Backend.save ~user ~revision:next
+          (entries_of_profile profile));
     notify db ~user Saved
   end
 
@@ -176,6 +284,58 @@ let users db =
 let delete db ~user =
   let user = String.lowercase_ascii user in
   if Database.mem_table db table_name && rows_of db user <> [] then begin
+    let before = Table.to_list (Database.table db table_name) in
     rewrite db (rows_except db user);
+    backend_apply db ~user before (fun b ~next ->
+        b.Perso_store.Backend.delete ~user ~revision:next);
     notify db ~user Deleted
   end
+
+(* ------------------------- durable backends ------------------------- *)
+
+let malformed_export user =
+  raise
+    (Perso_store.Store.Store_error
+       (Perso_store.Store.Malformed
+          {
+            file = table_name;
+            detail =
+              Printf.sprintf
+                "profile row for %S is not (string, string, float) — refusing \
+                 to export it to a durable store"
+                user;
+          }))
+
+let export db backend =
+  let groups : (string, Perso_store.Codec.entry list) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  (match Database.find_table db table_name with
+  | None -> ()
+  | Some t ->
+      Table.iter t (fun row ->
+          match (row.(0), row.(1), row.(2)) with
+          | Value.Str user, Value.Str cond, Value.Float degree ->
+              let prev = Option.value ~default:[] (Hashtbl.find_opt groups user) in
+              Hashtbl.replace groups user
+                (prev @ [ { Perso_store.Codec.cond; degree } ])
+          | Value.Str user, _, _ -> malformed_export user
+          | _ -> malformed_export "<non-string username>"));
+  Hashtbl.fold (fun user entries acc -> (user, entries) :: acc) groups []
+  |> List.sort compare
+  |> List.iter (fun (user, entries) ->
+         backend.Perso_store.Backend.save ~user
+           ~revision:(revision db ~user)
+           entries)
+
+let restore db backend =
+  install db;
+  let t = Database.table db table_name in
+  backend.Perso_store.Backend.iter (fun ~user ~revision:_ entries ->
+      List.iter
+        (fun { Perso_store.Codec.cond; degree } ->
+          Table.insert t
+            [| Value.Str user; Value.Str cond; Value.Float degree |])
+        entries);
+  seed_revisions db (backend.Perso_store.Backend.revisions ());
+  attach db backend

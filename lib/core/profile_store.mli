@@ -14,6 +14,11 @@
 val table_name : string
 (** ["profiles"]. *)
 
+val revs_table_name : string
+(** ["profile_revs"] — the revision high-water marks as a catalog table,
+    [PROFILE_REVS(username string, revision int)], rewritten on every
+    effective mutation so it travels with CSV dumps.  See {!revision}. *)
+
 val install : Relal.Database.t -> unit
 (** Create the profiles table if absent (idempotent). *)
 
@@ -46,17 +51,63 @@ val delete : Relal.Database.t -> user:string -> unit
     Every {e effective} mutation ([save] with a changed profile,
     [delete] of an existing user) bumps a per-(database, user)
     monotonic revision counter and fires subscriber hooks — the cache
-    invalidation signal consumed by {!Perso_cache}.  Revision state is
-    keyed by physical database identity in a small bounded registry
-    outside the catalog, so it does not travel with CSV dumps; a
-    reloaded database starts back at revision 0, which is safe because
-    its caches start empty too. *)
+    invalidation signal consumed by {!Perso_cache}.  Live revision
+    state is keyed by physical database identity in a small bounded
+    registry outside the catalog; each bump is also mirrored into the
+    {!revs_table_name} catalog table, and a fresh registry entry seeds
+    from that table, so the high-water marks survive dump/reload and
+    process restarts — a reloaded server can never hand out a revision
+    number an earlier incarnation already used for a different profile
+    (the [Perso_cache]-key validity contract). *)
 
 type event = Saved | Deleted
 
 val revision : Relal.Database.t -> user:string -> int
-(** Current revision for the user; [0] before any effective mutation. *)
+(** Current revision for the user; [0] before any effective mutation
+    (in this process {e or} any dumped-and-reloaded predecessor). *)
+
+val revisions : Relal.Database.t -> (string * int) list
+(** All known (user, revision) pairs, sorted; deleted users included. *)
+
+val seed_revisions : Relal.Database.t -> (string * int) list -> unit
+(** Raise the registry's high-water marks to at least the given values
+    (never lowers) and rewrite the {!revs_table_name} table to match —
+    how shard revisions are merged back into the main database at server
+    shutdown. *)
 
 val subscribe : Relal.Database.t -> (user:string -> event -> unit) -> unit
 (** Register a hook fired (in the mutating thread, after the revision
     bump) on each effective [save]/[delete] against this database. *)
+
+(** {1 Durable backends}
+
+    A database can be attached to a {!Perso_store.Backend.t}; every
+    effective [save]/[delete] then writes through to it {e between} the
+    table rewrite and the revision bump, with the table rolled back if
+    the append fails — memory never acknowledges what the disk refused.
+    The in-memory table remains the read path (it is the paper's own
+    storage model and the executor scans it); the backend is the
+    durable tier. *)
+
+val attach : Relal.Database.t -> Perso_store.Backend.t -> unit
+(** Write-through from now on.  Does not copy existing rows — use
+    {!export} (memory → backend) or {!restore} (backend → memory)
+    first. *)
+
+val attached : Relal.Database.t -> Perso_store.Backend.t option
+
+val export : Relal.Database.t -> Perso_store.Backend.t -> unit
+(** Push every stored profile into the backend at its current
+    registry revision (sorted user order).
+    @raise Perso_store.Store.Store_error on a profile row that is not
+    [(string, string, float)] — hand-edited dumps must fail fast rather
+    than be silently dropped from the durable tier. *)
+
+val restore : Relal.Database.t -> Perso_store.Backend.t -> unit
+(** Load every profile and revision from the backend into the database
+    ({!install}ing tables as needed), seed the revision registry, and
+    {!attach}.  The recovery path at server startup. *)
+
+val entries_of_profile : Profile.t -> Perso_store.Codec.entry list
+(** The codec-row rendering of a profile (condition text + degree),
+    matching the in-database table rows byte-for-byte. *)

@@ -5,6 +5,11 @@ type point =
   | Profile_load
   | Store_mutate
   | Persist_write
+  | Wal_append
+  | Wal_fsync
+  | Manifest_write
+  | Compact_write
+  | Compact_rename
 
 let point_name = function
   | Scan -> "scan"
@@ -13,8 +18,58 @@ let point_name = function
   | Profile_load -> "profile-load"
   | Store_mutate -> "store-mutate"
   | Persist_write -> "persist-write"
+  | Wal_append -> "wal-append"
+  | Wal_fsync -> "wal-fsync"
+  | Manifest_write -> "manifest-write"
+  | Compact_write -> "compact-write"
+  | Compact_rename -> "compact-rename"
 
 exception Injected of { point : point; transient : bool }
+
+(* --------------------- deterministic storage faults --------------------- *)
+
+type storage_fault =
+  | Torn_write of float
+  | Short_write of float
+  | Fsync_fail
+  | Crash
+
+exception Crashed of { point : point }
+
+type fault_plan = {
+  faults : (point * int * storage_fault) list;
+  counts : (point, int) Hashtbl.t;
+}
+
+let plan_state : fault_plan option ref = ref None
+
+let plan faults =
+  List.iter
+    (fun (_, _, f) ->
+      match f with
+      | Torn_write frac | Short_write frac ->
+          if frac < 0. || frac >= 1. then
+            invalid_arg "Chaos.plan: torn/short fraction must be in [0, 1)"
+      | Fsync_fail | Crash -> ())
+    faults;
+  plan_state := Some { faults; counts = Hashtbl.create 8 }
+
+let unplan () = plan_state := None
+
+let take_fault pt =
+  match !plan_state with
+  | None -> None
+  | Some p ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt p.counts pt) in
+      Hashtbl.replace p.counts pt (n + 1);
+      List.find_map
+        (fun (pt', k, f) -> if pt' = pt && k = n then Some f else None)
+        p.faults
+
+let crossings pt =
+  match !plan_state with
+  | None -> 0
+  | Some p -> Option.value ~default:0 (Hashtbl.find_opt p.counts pt)
 
 type stats = {
   mutable evaluations : int;

@@ -21,10 +21,62 @@ type point =
       (** in-place mutation of an in-database store (e.g. the
           profile-table rewrite a [PROFILE SAVE] performs) *)
   | Persist_write  (** writing a table dump *)
+  | Wal_append  (** appending a CRC-framed record to a write-ahead log *)
+  | Wal_fsync  (** fsyncing a write-ahead log after an append *)
+  | Manifest_write  (** replacing a store manifest (tmp + rename) *)
+  | Compact_write  (** copying one live record during compaction *)
+  | Compact_rename  (** committing a compaction (manifest swap) *)
 
 val point_name : point -> string
 
 exception Injected of { point : point; transient : bool }
+
+(** {1 Deterministic storage faults}
+
+    Orthogonal to the probabilistic layer: a {e plan} arms an exact
+    schedule of storage faults, each firing at the [k]-th crossing
+    (0-based, counted per point) of a named fault point.  Storage code
+    consults {!take_fault} at each site and simulates the returned
+    fault; the crash-recovery harness uses the crossing counters to
+    enumerate every kill site for a given operation sequence and then
+    replays with a fault planted at each one in turn. *)
+
+type storage_fault =
+  | Torn_write of float
+      (** write only a strict-prefix fraction of the payload, then die
+          mid-write (simulated by {!Crashed}); fraction in [0, 1) *)
+  | Short_write of float
+      (** a partial write that the caller {e observes} as a transient
+          error (the storage layer must roll it back); fraction in
+          [0, 1) *)
+  | Fsync_fail
+      (** the write lands but fsync reports a transient failure — the
+          record must not be acknowledged *)
+  | Crash  (** die before the operation touches the disk *)
+
+exception Crashed of { point : point }
+(** The simulated kill.  Storage code raising this must {e not} clean
+    up (no truncate-on-error, no temp-file removal) — that is the whole
+    point: recovery has to cope with whatever was left behind. *)
+
+val plan : (point * int * storage_fault) list -> unit
+(** Arm a deterministic fault schedule: [(pt, k, f)] fires fault [f] at
+    the [k]-th crossing of [pt].  Replaces any previous plan and resets
+    the crossing counters.
+    @raise Invalid_argument on a torn/short fraction outside [0, 1). *)
+
+val unplan : unit -> unit
+(** Drop the plan (storage fault sites become free of overhead again). *)
+
+val take_fault : point -> storage_fault option
+(** Consulted by storage code at each fault site.  Increments the
+    point's crossing counter and returns the planned fault for this
+    crossing, if any.  Always [None] when no plan is armed. *)
+
+val crossings : point -> int
+(** How many times {!take_fault} has been consulted for [point] under
+    the current plan (0 when no plan is armed).  Run an operation
+    sequence under an empty plan ([plan []]) to count kill sites. *)
 
 type stats = {
   mutable evaluations : int;  (** coin flips (points crossed) *)

@@ -296,10 +296,16 @@ let verify_manifest ~dir =
     if Digest.to_hex (Digest.string contents) <> digest then
       err "checksum mismatch on %s" name
   in
-  In_channel.with_open_bin path In_channel.input_all
-  |> String.split_on_char '\n'
-  |> List.filter (fun l -> l <> "")
-  |> List.iteri (fun i l -> check (parse_line i l))
+  let lines =
+    In_channel.with_open_bin path In_channel.input_all
+    |> String.split_on_char '\n'
+    |> List.filter (fun l -> l <> "")
+  in
+  (* Saves always list at least schema.ddl, so an empty manifest can
+     only be a truncated write — reject it instead of "verifying"
+     nothing and then trusting whatever files happen to be present. *)
+  if lines = [] then err "empty manifest";
+  List.iteri (fun i l -> check (parse_line i l)) lines
 
 let load_db_r ~dir =
   let recover () =

@@ -42,7 +42,18 @@ type load_error =
 val load_error_to_string : load_error -> string
 
 val manifest_file : string
-(** ["manifest.sum"] — one [<md5hex> <size> <filename>] line per file. *)
+(** ["manifest.sum"] — one [<md5hex> <size> <filename>] line per file.
+    An existing but {e empty} manifest is treated as torn: real saves
+    always list at least [schema.ddl]. *)
+
+val write_file_sync : string -> string -> unit
+(** Write [contents] to a fresh file (create/truncate) and fsync it
+    before closing — the durability primitive the dump writer and the
+    log-structured profile store share.  Unix errors propagate. *)
+
+val fsync_dir : string -> unit
+(** Fsync a directory so renames/creates inside it are durable.
+    Filesystems that refuse directory fsync are tolerated silently. *)
 
 val save_db_r : dir:string -> Database.t -> (unit, string) result
 (** Atomically (re)write the dump at [dir]: temp directory + fsync +

@@ -22,6 +22,7 @@ type config = Server_core.config = {
   cache_entries : int;
   cache_mb : float;
   shards : int;
+  store_dir : string option;
 }
 
 let default_config = Server_core.default_config

@@ -54,6 +54,9 @@ type config = {
   cache_entries : int;  (** LRU entry bound (split across shards) *)
   cache_mb : float;  (** LRU byte bound (approximate accounting) *)
   shards : int;  (** user-id shards for the profile store (>= 1) *)
+  store_dir : string option;
+      (** log-structured durable profile store root ([--store disk:DIR]);
+          [None] keeps profiles in memory only *)
 }
 
 val default_config : socket_path:string -> config

@@ -16,6 +16,7 @@ type config = {
   cache_entries : int;
   cache_mb : float;
   shards : int;
+  store_dir : string option;
 }
 
 let default_config ~socket_path =
@@ -35,6 +36,7 @@ let default_config ~socket_path =
     cache_entries = 512;
     cache_mb = 32.;
     shards = 1;
+    store_dir = None;
   }
 
 type reply =
@@ -416,10 +418,15 @@ module Make (R : Runtime.S) = struct
 
   let health t =
     let cache_stats = Store.cache_stats t.store in
+    let store_stats = Store.store_stats t.store in
+    let sstat f = string_of_int (match store_stats with None -> 0 | Some s -> f s) in
     locked t.qm (fun () ->
         [
           ("state", phase_name t.phase);
           ("shards", string_of_int (Store.shard_count t.store));
+          ("store_backend", if store_stats = None then "memory" else "disk");
+          ("store_appends", sstat (fun s -> s.Perso_store.Store.appends));
+          ("store_compactions", sstat (fun s -> s.Perso_store.Store.compactions));
           ("queue_depth", string_of_int (Queue.length t.queue));
           ("in_flight", string_of_int t.in_flight);
           ("workers", string_of_int t.cfg.workers);
@@ -501,7 +508,7 @@ module Make (R : Runtime.S) = struct
     let store =
       Store.create
         ?cache:(if cfg.cache then Some mk_cache else None)
-        ~shards:cfg.shards db
+        ?persist:cfg.store_dir ~shards:cfg.shards db
     in
     let t =
       {

@@ -46,10 +46,16 @@ type config = {
       (** user-id shards for the profile store ({!Sharded_store}): a
           PROFILE SAVE takes only its shard's write lock, so queries and
           saves for other users keep flowing *)
+  store_dir : string option;
+      (** durable profile tier: a log-structured {!Perso_store.Store}
+          root with one store per shard ([--store disk:DIR]).  [None]
+          (the default) keeps profiles purely in memory.  On open, a
+          non-empty store is authoritative — crash recovery replays its
+          WALs and the catalog's profile rows are ignored *)
 }
 
 val default_config : socket_path:string -> config
-(** Cache on, 512 entries, 32 MiB, 1 shard. *)
+(** Cache on, 512 entries, 32 MiB, 1 shard, in-memory store. *)
 
 type reply =
   | R_rows of { notes : string list; result : Relal.Exec.result }

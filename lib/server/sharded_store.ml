@@ -7,38 +7,65 @@ module Make (R : Runtime.S) = struct
     sdb : Database.t;  (* mini catalog holding only the profiles table *)
     lock : Rl.t;
     cache : Perso.Perso_cache.t option;
+    store : Perso_store.Store.t option;  (* durable tier when persisted *)
   }
 
   type t = { shards : shard array; main : Database.t }
 
   let shard_count t = Array.length t.shards
 
+  let shard_index ~shards user =
+    if shards = 1 then 0
+    else Hashtbl.hash (String.lowercase_ascii user) mod shards
+
   let shard_for t user =
-    let n = Array.length t.shards in
-    if n = 1 then t.shards.(0)
-    else t.shards.(Hashtbl.hash (String.lowercase_ascii user) mod n)
+    t.shards.(shard_index ~shards:(Array.length t.shards) user)
 
   let profile_rows db =
     match Database.find_table db Perso.Profile_store.table_name with
     | None -> []
     | Some tbl -> Table.to_list tbl
 
-  let create ?cache ~shards main =
-    let n = max 1 shards in
-    let mk _ =
-      let sdb = Database.create () in
-      Perso.Profile_store.install sdb;
-      {
-        sdb;
-        lock = Rl.create ();
-        cache = Option.map (fun f -> f ~store_db:sdb) cache;
-      }
-    in
-    let t = { shards = Array.init n mk; main } in
-    (* Seed by raw row copy: unparseable rows keep their bytes (and
-       their typed load errors); no revision bumps — fresh shard
-       databases start at revision 0 with empty caches, which is
-       consistent. *)
+  (* Shard layout marker inside a persisted store root.  The hash
+     placement of every record depends on the shard count, so reopening
+     with a different [--shards] would silently route users to shards
+     that do not hold their profiles — refuse instead. *)
+  let shards_marker = "SHARDS"
+
+  let check_shard_marker root n =
+    let path = Filename.concat root shards_marker in
+    if Sys.file_exists path then begin
+      let text =
+        String.trim (In_channel.with_open_bin path In_channel.input_all)
+      in
+      match String.split_on_char ' ' text with
+      | [ "perso-shards"; count ] when int_of_string_opt count <> None ->
+          let stored = Option.get (int_of_string_opt count) in
+          if stored <> n then
+            raise
+              (Perso_store.Store.Store_error
+                 (Perso_store.Store.Malformed
+                    {
+                      file = path;
+                      detail =
+                        Printf.sprintf
+                          "store was created with %d shards; restart with \
+                           --shards %d (resharding migration is not \
+                           implemented)"
+                          stored stored;
+                    }))
+      | _ ->
+          raise
+            (Perso_store.Store.Store_error
+               (Perso_store.Store.Malformed
+                  { file = path; detail = "unreadable shard marker" }))
+    end
+    else begin
+      Relal.Csv.write_file_sync path (Printf.sprintf "perso-shards %d\n" n);
+      Relal.Csv.fsync_dir root
+    end
+
+  let raw_copy_rows t rows =
     List.iter
       (fun row ->
         let sh =
@@ -49,7 +76,75 @@ module Make (R : Runtime.S) = struct
         Table.insert
           (Database.table sh.sdb Perso.Profile_store.table_name)
           (Array.copy row))
-      (profile_rows main);
+      rows
+
+  let create ?cache ?persist ~shards main =
+    let n = max 1 shards in
+    let stores =
+      match persist with
+      | None -> Array.make n None
+      | Some root ->
+          if not (Sys.file_exists root) then Sys.mkdir root 0o755;
+          check_shard_marker root n;
+          Array.init n (fun i ->
+              Some
+                (Perso_store.Store.open_
+                   (Filename.concat root (Printf.sprintf "shard-%02d" i))))
+    in
+    let mk i =
+      let sdb = Database.create () in
+      Perso.Profile_store.install sdb;
+      {
+        sdb;
+        lock = Rl.create ();
+        cache = Option.map (fun f -> f ~store_db:sdb) cache;
+        store = stores.(i);
+      }
+    in
+    let t = { shards = Array.init n mk; main } in
+    let stores_empty =
+      Array.for_all
+        (function
+          | None -> true
+          | Some s -> Perso_store.Store.revisions s = [])
+        stores
+    in
+    if stores_empty then begin
+      (* Seed by raw row copy: unparseable rows keep their bytes (and
+         their typed load errors); revision high-water marks follow
+         their users so shard counters continue above any
+         dumped-and-reloaded predecessor. *)
+      raw_copy_rows t (profile_rows main);
+      let revs = Perso.Profile_store.revisions main in
+      Array.iteri
+        (fun i sh ->
+          let mine =
+            List.filter (fun (u, _) -> shard_index ~shards:n u = i) revs
+          in
+          if mine <> [] then Perso.Profile_store.seed_revisions sh.sdb mine;
+          match sh.store with
+          | None -> ()
+          | Some s ->
+              (* First open of this store: make the seeded state durable,
+                 then write through from here on. *)
+              let b = Perso_store.Backend.of_store s in
+              Perso.Profile_store.export sh.sdb b;
+              Perso.Profile_store.attach sh.sdb b)
+        t.shards
+    end
+    else
+      (* The durable tier has data: it is authoritative, recovered
+         as-of the last acknowledged mutation.  The main catalog's
+         profile rows (from an older dump, or absent entirely) are
+         ignored — merge_back will refresh them at shutdown. *)
+      Array.iter
+        (fun sh ->
+          match sh.store with
+          | None -> ()
+          | Some s ->
+              Perso.Profile_store.restore sh.sdb
+                (Perso_store.Backend.of_store s))
+        t.shards;
     t
 
   let with_user_read t ~user f =
@@ -96,6 +191,41 @@ module Make (R : Runtime.S) = struct
   let lock_states t =
     Array.to_list (Array.map (fun sh -> Rl.holders sh.lock) t.shards)
 
+  let persisted t = Array.exists (fun sh -> sh.store <> None) t.shards
+
+  let store_stats t =
+    if not (persisted t) then None
+    else
+      Some
+        (Array.fold_left
+           (fun (acc : Perso_store.Store.stats) sh ->
+             match sh.store with
+             | None -> acc
+             | Some s ->
+                 let st = Perso_store.Store.stats s in
+                 {
+                   Perso_store.Store.appends = acc.appends + st.appends;
+                   rotations = acc.rotations + st.rotations;
+                   compactions = acc.compactions + st.compactions;
+                   compact_failures =
+                     acc.compact_failures + st.compact_failures;
+                   torn_truncated = acc.torn_truncated + st.torn_truncated;
+                   segments = acc.segments + st.segments;
+                   live_users = acc.live_users + st.live_users;
+                   wal_bytes = acc.wal_bytes + st.wal_bytes;
+                 })
+           {
+             Perso_store.Store.appends = 0;
+             rotations = 0;
+             compactions = 0;
+             compact_failures = 0;
+             torn_truncated = 0;
+             segments = 0;
+             live_users = 0;
+             wal_bytes = 0;
+           }
+           t.shards)
+
   let merge_back t =
     let rows =
       Array.to_list t.shards |> List.concat_map (fun sh -> profile_rows sh.sdb)
@@ -103,5 +233,18 @@ module Make (R : Runtime.S) = struct
     Perso.Profile_store.install t.main;
     let tbl = Database.table t.main Perso.Profile_store.table_name in
     Table.clear tbl;
-    List.iter (Table.insert tbl) rows
+    List.iter (Table.insert tbl) rows;
+    (* Revisions merge back too, so a dump of the main catalog carries
+       every shard's high-water mark into the next incarnation. *)
+    let revs =
+      Array.to_list t.shards
+      |> List.concat_map (fun sh -> Perso.Profile_store.revisions sh.sdb)
+    in
+    if revs <> [] then Perso.Profile_store.seed_revisions t.main revs;
+    Array.iter
+      (fun sh ->
+        match sh.store with
+        | None -> ()
+        | Some s -> Perso_store.Store.close s)
+      t.shards
 end

@@ -30,16 +30,30 @@ module Make (R : Runtime.S) : sig
 
   val create :
     ?cache:(store_db:Relal.Database.t -> Perso.Perso_cache.t) ->
+    ?persist:string ->
     shards:int ->
     Relal.Database.t ->
     t
-  (** [create ?cache ~shards main] builds [max 1 shards] shard
+  (** [create ?cache ?persist ~shards main] builds [max 1 shards] shard
       databases, seeds them by raw-copying the main catalog's profiles
       table (rows with a malformed username column go to shard 0 so
-      nothing is dropped), and — when [cache] is given — builds one
-      per-shard cache with the shard database as its [store_db].  The
-      main catalog's profiles table is left untouched until
-      {!merge_back}. *)
+      nothing is dropped) along with its revision high-water marks, and
+      — when [cache] is given — builds one per-shard cache with the
+      shard database as its [store_db].  The main catalog's profiles
+      table is left untouched until {!merge_back}.
+
+      [persist] names a store root directory: each shard gets its own
+      log-structured {!Perso_store.Store} under [root/shard-NN],
+      attached write-through.  On first open (all stores empty) the
+      main catalog's profiles are exported into the stores; afterwards
+      the stores are authoritative — crash recovery replays them and
+      the main catalog's profile rows are ignored.  A [SHARDS] marker
+      in the root pins the shard count; reopening with a different
+      [--shards] raises a typed [Store_error] (resharding migration is
+      a documented non-goal for now).
+      @raise Perso_store.Store.Store_error on recovery failure, a shard
+      count mismatch, or (first open only) a profile row too malformed
+      to export. *)
 
   val shard_count : t -> int
 
@@ -60,10 +74,20 @@ module Make (R : Runtime.S) : sig
   (** [(active_readers, writer_active)] per shard, in shard order — the
       exclusion probes for the simulation's invariant audit. *)
 
+  val persisted : t -> bool
+  (** Whether the shards carry durable stores ([?persist] was given). *)
+
+  val store_stats : t -> Perso_store.Store.stats option
+  (** Field-wise sum of every shard store's counters, [None] for the
+      in-memory backend — the HEALTH ledger view. *)
+
   val merge_back : t -> unit
   (** Raw-copy every shard's profile rows (in shard order) back into
-      the main catalog's profiles table, replacing its contents.  For
-      quiesced servers only — the caller must guarantee no concurrent
-      shard access; {!Server_core.Make.stop} runs it after the workers
-      have joined, before the crash-safe dump. *)
+      the main catalog's profiles table, replacing its contents, merge
+      the shard revision high-water marks into the main registry (and
+      its [profile_revs] table, so dumps carry them), and sync + close
+      any durable stores.  For quiesced servers only — the caller must
+      guarantee no concurrent shard access; {!Server_core.Make.stop}
+      runs it after the workers have joined, before the crash-safe
+      dump. *)
 end

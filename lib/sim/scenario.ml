@@ -197,6 +197,30 @@ let server_config =
     dump_dir = None;
   }
 
+(* Fresh per-run store roots for the durable-tier sweep.  Uniqueness
+   comes from pid + a counter, so two runs of the same seed never share
+   a directory; the path itself stays out of digests and audit
+   messages, keeping same-seed runs byte-identical. *)
+let dir_counter = ref 0
+
+let fresh_store_root () =
+  incr dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "perso-sim-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  Sys.mkdir dir 0o700;
+  dir
+
+let rec rm_rf path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
 type mailbox = {
   mm : Sched.mutex;
   mc : Sched.cond;
@@ -224,6 +248,9 @@ let run ~seed steps =
         0 steps_arr
   in
   let db = Moviedb.Personas.tiny_db () in
+  (* Even seeds run the durable profile tier under the scenario, so the
+     sweep alternates memory and disk backends deterministically. *)
+  let store_root = if seed land 1 = 0 then Some (fresh_store_root ()) else None in
   let sqls =
     Moviedb.Workload.queries db ~n:n_queries ~seed:(seed + 17)
     |> List.map Relal.Sql_print.query_to_string
@@ -252,14 +279,17 @@ let run ~seed steps =
     Relal.Governor.set_clock Relal.Governor.real_clock;
     Relal.Chaos.set_sleep ignore;
     Relal.Chaos.disarm ();
-    Server_core.mutate_drop_completed_ok := prev_mutate
+    Server_core.mutate_drop_completed_ok := prev_mutate;
+    Option.iter rm_rf store_root
   in
   Fun.protect ~finally:restore @@ fun () ->
   let main () =
     (* Shard count derives from the seed so the sweep exercises the
        sharded store at several widths, deterministically. *)
     let core =
-      Core.create { server_config with shards = 1 + (seed mod 3) } db
+      Core.create
+        { server_config with shards = 1 + (seed mod 3); store_dir = store_root }
+        db
     in
     Sched.add_probe (fun () ->
         (* Main database rwlock and every profile-shard rwlock must
@@ -469,7 +499,76 @@ let run ~seed steps =
     let bound = (server_config.Server_core.drain_ms /. 1000.) +. 0.5 in
     if !stop_elapsed > bound then
       audit "drain-bound" "stop took %.3fs of virtual time (bound %.3fs)"
-        !stop_elapsed bound
+        !stop_elapsed bound;
+    (* Durable-tier audit: after stop (merge_back has synced and closed
+       the stores), reopen every shard store cold — running the same
+       crash-recovery path a restart would — and require agreement with
+       the main catalog: entries per live user, and the revision
+       high-water marks.  Detail strings avoid the per-run directory
+       path so a failure is still digest-deterministic. *)
+    Option.iter
+      (fun root ->
+        let n = 1 + (seed mod 3) in
+        let catalog_rows_of user =
+          match Relal.Database.find_table db Perso.Profile_store.table_name with
+          | None -> []
+          | Some t ->
+              Relal.Table.to_list t
+              |> List.filter_map (fun row ->
+                     match (row.(0), row.(1), row.(2)) with
+                     | ( Relal.Value.Str u,
+                         Relal.Value.Str c,
+                         Relal.Value.Float d )
+                       when u = user ->
+                         Some (c, d)
+                     | _ -> None)
+        in
+        let main_revs = Perso.Profile_store.revisions db in
+        let store_revs = ref [] in
+        for i = 0 to n - 1 do
+          let s =
+            Perso_store.Store.open_
+              (Filename.concat root (Printf.sprintf "shard-%02d" i))
+          in
+          Fun.protect ~finally:(fun () -> Perso_store.Store.close s)
+          @@ fun () ->
+          store_revs := !store_revs @ Perso_store.Store.revisions s;
+          List.iter
+            (fun user ->
+              let got =
+                Perso_store.Store.load s ~user
+                |> Option.value ~default:[]
+                |> List.map (fun e ->
+                       (e.Perso_store.Codec.cond, e.Perso_store.Codec.degree))
+              in
+              let want = catalog_rows_of user in
+              if got <> want then
+                audit "persistence"
+                  "shard %d user %s: %d recovered entries <> %d catalog rows"
+                  i user (List.length got) (List.length want))
+            (Perso_store.Store.users s)
+        done;
+        (* The registry's marks must all be in the store at the same
+           value; the store may additionally hold revision-0 records
+           for seeded, never-saved users. *)
+        List.iter
+          (fun (u, r) ->
+            match List.assoc_opt u !store_revs with
+            | Some r' when r' = r -> ()
+            | Some r' ->
+                audit "persistence" "user %s: store revision %d <> catalog %d"
+                  u r' r
+            | None ->
+                audit "persistence" "user %s: revision %d missing from store" u
+                  r)
+          main_revs;
+        List.iter
+          (fun (u, r) ->
+            if r > 0 && List.assoc_opt u main_revs <> Some r then
+              audit "persistence"
+                "user %s: store revision %d not in catalog registry" u r)
+          !store_revs)
+      store_root
   in
   let verdict = try Ok (audits ()) with Audit f -> Error f in
   let summary = Buffer.create 256 in

@@ -1,0 +1,71 @@
+type t = {
+  name : string;
+  save : user:string -> revision:int -> Codec.entry list -> unit;
+  delete : user:string -> revision:int -> unit;
+  load : user:string -> Codec.entry list option;
+  revision : user:string -> int;
+  revisions : unit -> (string * int) list;
+  users : unit -> string list;
+  iter : (user:string -> revision:int -> Codec.entry list -> unit) -> unit;
+  stats : unit -> Store.stats option;
+  sync : unit -> unit;
+  close : unit -> unit;
+}
+
+let memory () =
+  (* user -> (revision, live entries or None for a tombstone) *)
+  let tbl : (string, int * Codec.entry list option) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let sorted pred =
+    Hashtbl.fold (fun u v acc -> if pred v then u :: acc else acc) tbl []
+    |> List.sort compare
+  in
+  {
+    name = "memory";
+    save =
+      (fun ~user ~revision entries ->
+        Hashtbl.replace tbl user (revision, Some entries));
+    delete = (fun ~user ~revision -> Hashtbl.replace tbl user (revision, None));
+    load =
+      (fun ~user ->
+        match Hashtbl.find_opt tbl user with
+        | Some (_, entries) -> entries
+        | None -> None);
+    revision =
+      (fun ~user ->
+        match Hashtbl.find_opt tbl user with Some (r, _) -> r | None -> 0);
+    revisions =
+      (fun () ->
+        Hashtbl.fold (fun u (r, _) acc -> (u, r) :: acc) tbl []
+        |> List.sort compare);
+    users = (fun () -> sorted (fun (_, e) -> e <> None));
+    iter =
+      (fun f ->
+        List.iter
+          (fun user ->
+            match Hashtbl.find_opt tbl user with
+            | Some (revision, Some entries) -> f ~user ~revision entries
+            | _ -> ())
+          (sorted (fun (_, e) -> e <> None)));
+    stats = (fun () -> None);
+    sync = ignore;
+    close = ignore;
+  }
+
+let of_store s =
+  {
+    name = "disk";
+    save = (fun ~user ~revision entries -> Store.save s ~user ~revision entries);
+    delete = (fun ~user ~revision -> Store.delete s ~user ~revision);
+    load = (fun ~user -> Store.load s ~user);
+    revision = (fun ~user -> Store.revision s ~user);
+    revisions = (fun () -> Store.revisions s);
+    users = (fun () -> Store.users s);
+    iter = (fun f -> Store.iter s f);
+    stats = (fun () -> Some (Store.stats s));
+    sync = (fun () -> Store.sync s);
+    close = (fun () -> Store.close s);
+  }
+
+let disk ?config dirname = of_store (Store.open_ ?config dirname)

@@ -1,0 +1,35 @@
+(** Typed profile-storage backend interface.
+
+    A backend is a record of functions — the [persistent.ml]
+    table/decode/bind shape — so the profile registry can write through
+    to {e something} without knowing whether it is a Hashtbl (the
+    in-memory oracle the crash harness diffs against) or a
+    log-structured disk store.  Revisions ride along with every
+    mutation: a backend's [revisions] after reopen is the contract that
+    lets [Perso_cache] keys stay valid across restarts. *)
+
+type t = {
+  name : string;  (** "memory" or "disk" — surfaced in HEALTH *)
+  save : user:string -> revision:int -> Codec.entry list -> unit;
+  delete : user:string -> revision:int -> unit;
+  load : user:string -> Codec.entry list option;
+  revision : user:string -> int;  (** 0 when never seen *)
+  revisions : unit -> (string * int) list;
+      (** all (user, revision), deleted users included, sorted *)
+  users : unit -> string list;  (** live users, sorted *)
+  iter : (user:string -> revision:int -> Codec.entry list -> unit) -> unit;
+      (** live profiles, sorted user order *)
+  stats : unit -> Store.stats option;  (** [None] for memory *)
+  sync : unit -> unit;
+  close : unit -> unit;
+}
+
+val memory : unit -> t
+(** Volatile backend: exact same observable semantics as [disk] minus
+    durability, which makes it the differential oracle. *)
+
+val of_store : Store.t -> t
+
+val disk : ?config:Store.config -> string -> t
+(** Open (or create) a {!Store.t} at the directory and wrap it.
+    @raise Store.Store_error on recovery failure. *)

@@ -1,0 +1,558 @@
+module Chaos = Relal.Chaos
+module Csv = Relal.Csv
+
+type config = { segment_bytes : int; compact_segments : int; fsync : bool }
+
+let default_config =
+  { segment_bytes = 4 lsl 20; compact_segments = 4; fsync = true }
+
+type error =
+  | Torn_log of { file : string; detail : string }
+  | Bad_crc of { file : string; detail : string }
+  | Malformed of { file : string; detail : string }
+
+exception Store_error of error
+
+let error_to_string = function
+  | Torn_log { file; detail } ->
+      Printf.sprintf "torn log %s: %s" file detail
+  | Bad_crc { file; detail } ->
+      Printf.sprintf "bad checksum in %s: %s" file detail
+  | Malformed { file; detail } ->
+      Printf.sprintf "malformed store file %s: %s" file detail
+
+let store_err e = raise (Store_error e)
+
+(* Index entry: where the user's latest record lives.  [loc = None] is
+   a tombstone — the user is deleted but the revision high-water mark
+   must survive (compaction rewrites tombstones, never drops them). *)
+type meta = {
+  loc : (int * int) option;  (* frame (offset, full length) in [file] *)
+  revision : int;
+  file : string;
+}
+
+type t = {
+  dirname : string;
+  cfg : config;
+  m : Mutex.t;
+  index : (string, meta) Hashtbl.t;
+  mutable wal : Wal.t;
+  mutable wal_name : string;
+  mutable sealed : (string * int) list;  (* (file, bytes), oldest first *)
+  mutable seq : int;  (* last file sequence number handed out *)
+  mutable closed : bool;
+  mutable n_appends : int;
+  mutable n_rotations : int;
+  mutable n_compactions : int;
+  mutable n_compact_failures : int;
+  mutable n_torn : int;
+}
+
+let dir t = t.dirname
+
+let manifest_name = "MANIFEST"
+let manifest_tmp = "MANIFEST.tmp"
+let wal_file seq = Printf.sprintf "wal-%06d.log" seq
+let seg_file seq = Printf.sprintf "seg-%06d.dat" seq
+let in_dir t name = Filename.concat t.dirname name
+
+let is_store_file name =
+  name = manifest_tmp
+  || (String.length name >= 4
+     && (String.sub name 0 4 = "wal-" || String.sub name 0 4 = "seg-"))
+
+(* ----------------------------- manifest ----------------------------- *)
+
+let manifest_text ~sealed ~wal =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "perso-store 1\n";
+  List.iter
+    (fun (name, size) ->
+      Buffer.add_string b (Printf.sprintf "segment %s %d\n" name size))
+    sealed;
+  Buffer.add_string b (Printf.sprintf "wal %s\n" wal);
+  Buffer.contents b
+
+let parse_manifest ~file text =
+  let malformed detail = store_err (Malformed { file; detail }) in
+  match String.split_on_char '\n' text |> List.filter (fun l -> l <> "") with
+  | [] -> malformed "empty manifest"
+  | header :: lines ->
+      if header <> "perso-store 1" then
+        malformed (Printf.sprintf "unknown header %S" header);
+      let sealed = ref [] and wal = ref None in
+      List.iter
+        (fun line ->
+          match String.split_on_char ' ' line with
+          | [ "segment"; name; size ] -> (
+              match int_of_string_opt size with
+              | Some size -> sealed := (name, size) :: !sealed
+              | None -> malformed (Printf.sprintf "bad segment line %S" line))
+          | [ "wal"; name ] ->
+              if !wal <> None then malformed "duplicate wal line";
+              wal := Some name
+          | _ -> malformed (Printf.sprintf "unparseable line %S" line))
+        lines;
+      let wal =
+        match !wal with Some w -> w | None -> malformed "no wal line"
+      in
+      (List.rev !sealed, wal)
+
+(* Manifest replacement is the commit point of rotation and compaction:
+   tmp + fsync + atomic rename, the same discipline as [Csv.save_db_r].
+   The deterministic fault plan can kill or fail it. *)
+let write_manifest t ~sealed ~wal =
+  (match Chaos.take_fault Chaos.Manifest_write with
+  | None -> ()
+  | Some Chaos.Crash -> raise (Chaos.Crashed { point = Chaos.Manifest_write })
+  | Some (Chaos.Torn_write frac) ->
+      let text = manifest_text ~sealed ~wal in
+      let keep =
+        max 0 (min (String.length text - 1)
+                 (int_of_float (frac *. float_of_int (String.length text))))
+      in
+      (try Csv.write_file_sync (in_dir t manifest_tmp) (String.sub text 0 keep)
+       with _ -> ());
+      raise (Chaos.Crashed { point = Chaos.Manifest_write })
+  | Some (Chaos.Short_write _) | Some Chaos.Fsync_fail ->
+      raise (Chaos.Injected { point = Chaos.Manifest_write; transient = true }));
+  Chaos.point Chaos.Manifest_write;
+  Csv.write_file_sync (in_dir t manifest_tmp) (manifest_text ~sealed ~wal);
+  Sys.rename (in_dir t manifest_tmp) (in_dir t manifest_name);
+  Csv.fsync_dir t.dirname
+
+(* ----------------------------- recovery ----------------------------- *)
+
+let seq_of_name name =
+  match int_of_string_opt (String.sub name 4 6) with
+  | Some n -> n
+  | None -> 0
+  | exception Invalid_argument _ -> 0
+
+let apply_record index ~file ~pos payload =
+  match Codec.decode_record payload with
+  | Error detail ->
+      store_err
+        (Malformed
+           { file; detail = Printf.sprintf "record at %d: %s" pos detail })
+  | Ok (Codec.Put { user; revision; _ }) ->
+      Hashtbl.replace index user
+        { loc = Some (pos, Wal.header_bytes + String.length payload);
+          revision; file }
+  | Ok (Codec.Delete { user; revision }) ->
+      Hashtbl.replace index user { loc = None; revision; file }
+
+let scan_apply index ~file data =
+  let _, ending =
+    Wal.scan_string data (fun ~pos payload ->
+        apply_record index ~file ~pos payload)
+  in
+  ending
+
+let replay_sealed ~dirname ~index (name, promised) =
+  let path = Filename.concat dirname name in
+  if not (Sys.file_exists path) then
+    store_err (Torn_log { file = name; detail = "sealed segment missing" });
+  let data = In_channel.with_open_bin path In_channel.input_all in
+  if String.length data <> promised then
+    store_err
+      (Torn_log
+         {
+           file = name;
+           detail =
+             Printf.sprintf "%d bytes on disk, manifest says %d"
+               (String.length data) promised;
+         });
+  match scan_apply index ~file:name data with
+  | Wal.Clean -> ()
+  | Wal.Torn { at; detail } ->
+      store_err
+        (Torn_log
+           { file = name; detail = Printf.sprintf "at %d: %s" at detail })
+  | Wal.Corrupt { at; detail } ->
+      store_err
+        (Bad_crc
+           { file = name; detail = Printf.sprintf "at %d: %s" at detail })
+
+let truncate_file path len =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0o644 in
+  Fun.protect
+    ~finally:(fun () -> Unix.close fd)
+    (fun () ->
+      Unix.ftruncate fd len;
+      Unix.fsync fd)
+
+(* Returns the number of torn tails truncated (0 or 1). *)
+let replay_wal ~dirname ~index name =
+  let path = Filename.concat dirname name in
+  if not (Sys.file_exists path) then
+    (* Rotation creates the file before committing the manifest, so a
+       named-but-missing WAL only happens when someone deleted it by
+       hand; an empty active log is the correct recovered state. *)
+    0
+  else begin
+    let data = In_channel.with_open_bin path In_channel.input_all in
+    match scan_apply index ~file:name data with
+    | Wal.Clean -> 0
+    | Wal.Torn { at; detail = _ } ->
+        (* The crash signature: an append died mid-frame.  Everything
+           before [at] was acknowledged (or is replay-equivalent);
+           nothing after ever was.  Truncate and count. *)
+        truncate_file path at;
+        1
+    | Wal.Corrupt { at; detail } ->
+        store_err
+          (Bad_crc
+             { file = name; detail = Printf.sprintf "at %d: %s" at detail })
+  end
+
+let remove_strays t ~keep =
+  Array.iter
+    (fun name ->
+      if is_store_file name && not (List.mem name keep) then
+        try Sys.remove (in_dir t name) with Sys_error _ -> ())
+    (Sys.readdir t.dirname)
+
+let fresh ?(config = default_config) dirname =
+  let t =
+    {
+      dirname;
+      cfg = config;
+      m = Mutex.create ();
+      index = Hashtbl.create 64;
+      wal = Wal.open_append ~fsync:config.fsync
+              (Filename.concat dirname (wal_file 1));
+      wal_name = wal_file 1;
+      sealed = [];
+      seq = 1;
+      closed = false;
+      n_appends = 0;
+      n_rotations = 0;
+      n_compactions = 0;
+      n_compact_failures = 0;
+      n_torn = 0;
+    }
+  in
+  write_manifest t ~sealed:[] ~wal:t.wal_name;
+  t
+
+let open_ ?(config = default_config) dirname =
+  if not (Sys.file_exists dirname) then Sys.mkdir dirname 0o755;
+  if not (Sys.is_directory dirname) then
+    store_err
+      (Malformed { file = dirname; detail = "store path is not a directory" });
+  let manifest_path = Filename.concat dirname manifest_name in
+  if not (Sys.file_exists manifest_path) then begin
+    (* No manifest: either a fresh directory or a crash during init,
+       before anything was acknowledged.  Sealed segments can only
+       exist after a committed manifest, so their presence without one
+       means the manifest was deleted — refuse to guess. *)
+    let entries = Sys.readdir dirname in
+    Array.iter
+      (fun name ->
+        if String.length name >= 4 && String.sub name 0 4 = "seg-" then
+          store_err
+            (Malformed
+               {
+                 file = manifest_name;
+                 detail =
+                   Printf.sprintf
+                     "missing manifest but sealed segment %s present" name;
+               }))
+      entries;
+    Array.iter
+      (fun name ->
+        if is_store_file name then
+          try Sys.remove (Filename.concat dirname name) with Sys_error _ -> ())
+      entries;
+    fresh ~config dirname
+  end
+  else begin
+    let text = In_channel.with_open_bin manifest_path In_channel.input_all in
+    let sealed, wal_name = parse_manifest ~file:manifest_name text in
+    let index = Hashtbl.create 64 in
+    List.iter (replay_sealed ~dirname ~index) sealed;
+    let torn = replay_wal ~dirname ~index wal_name in
+    let t =
+      {
+        dirname;
+        cfg = config;
+        m = Mutex.create ();
+        index;
+        wal =
+          Wal.open_append ~fsync:config.fsync
+            (Filename.concat dirname wal_name);
+        wal_name;
+        sealed;
+        seq =
+          List.fold_left
+            (fun acc (name, _) -> max acc (seq_of_name name))
+            (seq_of_name wal_name) sealed;
+        closed = false;
+        n_appends = 0;
+        n_rotations = 0;
+        n_compactions = 0;
+        n_compact_failures = 0;
+        n_torn = torn;
+      }
+    in
+    remove_strays t ~keep:(wal_name :: List.map fst sealed);
+    t
+  end
+
+let open_r ?config dirname =
+  match open_ ?config dirname with
+  | t -> Ok t
+  | exception Store_error e -> Error e
+
+let check_open t = if t.closed then invalid_arg "Store: handle is closed"
+
+(* ----------------------------- rotation ----------------------------- *)
+
+(* Disk first, memory after: the new WAL file is created and the
+   manifest committed before any in-memory state changes, so a failure
+   at any point leaves the handle consistent with the old manifest. *)
+let rotate t =
+  Wal.sync t.wal;
+  let new_seq = t.seq + 1 in
+  let new_name = wal_file new_seq in
+  let new_wal = Wal.open_append ~fsync:t.cfg.fsync (in_dir t new_name) in
+  let sealed' = t.sealed @ [ (t.wal_name, Wal.size t.wal) ] in
+  (try write_manifest t ~sealed:sealed' ~wal:new_name
+   with e ->
+     (match e with
+     | Chaos.Crashed _ -> ()
+     | _ ->
+         Wal.close new_wal;
+         (try Sys.remove (in_dir t new_name) with Sys_error _ -> ()));
+     raise e);
+  let old = t.wal in
+  t.sealed <- sealed';
+  t.wal <- new_wal;
+  t.wal_name <- new_name;
+  t.seq <- new_seq;
+  t.n_rotations <- t.n_rotations + 1;
+  Wal.close old
+
+(* ---------------------------- compaction ---------------------------- *)
+
+(* Rewrite the latest record of every user whose record lives in a
+   sealed segment into one fresh segment — tombstones included, so
+   revision high-water marks survive — then commit by manifest swap and
+   delete the old segments.  Records whose latest version is in the
+   active WAL are left alone: the WAL replays after sealed segments, so
+   it wins on reopen regardless. *)
+let compact t =
+  if t.sealed <> [] then begin
+    let sealed_names = List.map fst t.sealed in
+    let victims =
+      Hashtbl.fold
+        (fun user m acc ->
+          if List.mem m.file sealed_names then (user, m) :: acc else acc)
+        t.index []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    let new_seq = t.seq + 1 in
+    let seg_name = seg_file new_seq in
+    let seg_path = in_dir t seg_name in
+    let out = Wal.open_append ~fsync:false seg_path in
+    let moved = ref [] in
+    (try
+       List.iter
+         (fun (user, m) ->
+           let payload =
+             match m.loc with
+             | Some (off, len) -> (
+                 match
+                   Wal.read_frame ~path:(in_dir t m.file) ~off ~len
+                 with
+                 | Ok p -> p
+                 | Error detail ->
+                     store_err (Bad_crc { file = m.file; detail }))
+             | None ->
+                 Codec.encode_record
+                   (Codec.Delete { user; revision = m.revision })
+           in
+           let off = Wal.append ~point:Chaos.Compact_write out payload in
+           let loc =
+             match m.loc with
+             | Some _ -> Some (off, Wal.header_bytes + String.length payload)
+             | None -> None
+           in
+           moved := (user, { loc; revision = m.revision; file = seg_name })
+                    :: !moved)
+         victims;
+       Wal.sync out;
+       (match Chaos.take_fault Chaos.Compact_rename with
+       | None -> ()
+       | Some Chaos.Crash | Some (Chaos.Torn_write _) ->
+           raise (Chaos.Crashed { point = Chaos.Compact_rename })
+       | Some (Chaos.Short_write _) | Some Chaos.Fsync_fail ->
+           raise
+             (Chaos.Injected { point = Chaos.Compact_rename; transient = true }));
+       Chaos.point Chaos.Compact_rename;
+       write_manifest t
+         ~sealed:[ (seg_name, Wal.size out) ]
+         ~wal:t.wal_name
+     with e ->
+       (try Wal.close out with Unix.Unix_error _ -> ());
+       (match e with
+       | Chaos.Crashed _ -> ()
+       | _ -> ( try Sys.remove seg_path with Sys_error _ -> ()));
+       raise e);
+    (* Committed: swap in-memory state and drop the old segments. *)
+    let seg_size = Wal.size out in
+    Wal.close out;
+    List.iter
+      (fun (name, _) ->
+        try Sys.remove (in_dir t name) with Sys_error _ -> ())
+      t.sealed;
+    t.sealed <- [ (seg_name, seg_size) ];
+    t.seq <- new_seq;
+    List.iter (fun (user, m) -> Hashtbl.replace t.index user m) !moved;
+    t.n_compactions <- t.n_compactions + 1
+  end
+
+(* Auto-compaction rides on an already-acknowledged append, so a
+   transient injected fault must not fail the save it rode on: note it
+   and try again after the next rotation.  Simulated crashes and real
+   corruption still propagate. *)
+let maybe_compact t =
+  if List.length t.sealed >= t.cfg.compact_segments then
+    try compact t
+    with Chaos.Injected _ ->
+      t.n_compact_failures <- t.n_compact_failures + 1
+
+(* ------------------------------ writes ------------------------------ *)
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let append_record t record =
+  check_open t;
+  if Wal.size t.wal >= t.cfg.segment_bytes then rotate t;
+  let payload = Codec.encode_record record in
+  let off = Wal.append t.wal payload in
+  t.n_appends <- t.n_appends + 1;
+  let user = Codec.record_user record in
+  let revision = Codec.record_revision record in
+  let loc =
+    match record with
+    | Codec.Put _ -> Some (off, Wal.header_bytes + String.length payload)
+    | Codec.Delete _ -> None
+  in
+  Hashtbl.replace t.index user { loc; revision; file = t.wal_name };
+  maybe_compact t
+
+let save t ~user ~revision entries =
+  locked t (fun () ->
+      append_record t (Codec.Put { user; revision; entries }))
+
+let delete t ~user ~revision =
+  locked t (fun () -> append_record t (Codec.Delete { user; revision }))
+
+(* ------------------------------- reads ------------------------------- *)
+
+let load_locked t ~user =
+  match Hashtbl.find_opt t.index user with
+  | None | Some { loc = None; _ } -> None
+  | Some { loc = Some (off, len); file; _ } -> (
+      match Wal.read_frame ~path:(in_dir t file) ~off ~len with
+      | Error detail -> store_err (Bad_crc { file; detail })
+      | Ok payload -> (
+          match Codec.decode_record payload with
+          | Ok (Codec.Put { entries; _ }) -> Some entries
+          | Ok (Codec.Delete _) ->
+              store_err
+                (Malformed
+                   { file; detail = "tombstone where a profile was indexed" })
+          | Error detail -> store_err (Malformed { file; detail })))
+
+let load t ~user =
+  locked t (fun () ->
+      check_open t;
+      load_locked t ~user)
+
+let revision t ~user =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.index user with
+      | None -> 0
+      | Some m -> m.revision)
+
+let sorted_keys t pred =
+  Hashtbl.fold (fun u m acc -> if pred m then u :: acc else acc) t.index []
+  |> List.sort compare
+
+let revisions t =
+  locked t (fun () ->
+      Hashtbl.fold (fun u m acc -> (u, m.revision) :: acc) t.index []
+      |> List.sort compare)
+
+let users t = locked t (fun () -> sorted_keys t (fun m -> m.loc <> None))
+
+let iter t f =
+  locked t (fun () ->
+      check_open t;
+      List.iter
+        (fun user ->
+          match Hashtbl.find_opt t.index user with
+          | Some { loc = Some _; revision; _ } -> (
+              match load_locked t ~user with
+              | Some entries -> f ~user ~revision entries
+              | None -> ())
+          | _ -> ())
+        (sorted_keys t (fun m -> m.loc <> None)))
+
+(* ------------------------------- admin ------------------------------- *)
+
+type stats = {
+  appends : int;
+  rotations : int;
+  compactions : int;
+  compact_failures : int;
+  torn_truncated : int;
+  segments : int;
+  live_users : int;
+  wal_bytes : int;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        appends = t.n_appends;
+        rotations = t.n_rotations;
+        compactions = t.n_compactions;
+        compact_failures = t.n_compact_failures;
+        torn_truncated = t.n_torn;
+        segments = List.length t.sealed;
+        live_users =
+          Hashtbl.fold
+            (fun _ m acc -> if m.loc <> None then acc + 1 else acc)
+            t.index 0;
+        wal_bytes = Wal.size t.wal;
+      })
+
+let compact_now t =
+  locked t (fun () ->
+      check_open t;
+      if Wal.size t.wal > 0 then rotate t;
+      compact t)
+
+let sync t = locked t (fun () -> if not t.closed then Wal.sync t.wal)
+
+let close t =
+  locked t (fun () ->
+      if not t.closed then begin
+        Wal.sync t.wal;
+        Wal.close t.wal;
+        t.closed <- true
+      end)
+
+let abandon t =
+  locked t (fun () ->
+      if not t.closed then begin
+        (try Wal.close t.wal with Unix.Unix_error _ -> ());
+        t.closed <- true
+      end)

@@ -1,0 +1,116 @@
+(** Log-structured on-disk profile store.
+
+    Layout of a store directory:
+
+    {v
+    MANIFEST            committed file set (tmp + fsync + atomic rename)
+    wal-000007.log      active write-ahead log (CRC-framed records)
+    seg-000005.dat      sealed segments, replayed oldest-first
+    v}
+
+    Every mutation is one {!Codec.record} appended to the active WAL and
+    fsynced before it is acknowledged.  When the WAL passes
+    [segment_bytes] it is sealed into the segment list and a fresh one
+    started; when enough sealed segments pile up they are compacted into
+    a single segment holding each user's latest record — including
+    [Delete] tombstones, which must survive compaction so revision
+    high-water marks outlive restarts and deletions.
+
+    {b Recovery} ([open_]) replays sealed segments oldest-first, then
+    the active WAL.  Sealed segments were fsynced before the manifest
+    named them, so any damage there is real corruption: a short or torn
+    segment surfaces as {!Torn_log}, a checksum mismatch as {!Bad_crc}.
+    The active WAL's tail is different — a crash mid-append legitimately
+    leaves a partial frame, so a torn tail is truncated (counted in
+    {!stats}) and everything before it replayed; a CRC mismatch {e not}
+    at the tail is still {!Bad_crc}.  Files in the directory that the
+    manifest does not name (crash leftovers from rotation, compaction,
+    or init) are removed.
+
+    All operations are serialized by an internal mutex; concurrency
+    comes from sharding (one store per shard), not from intra-store
+    parallelism. *)
+
+type config = {
+  segment_bytes : int;  (** seal the active WAL beyond this size *)
+  compact_segments : int;  (** compact when this many sealed segments *)
+  fsync : bool;  (** fsync each acknowledged append (tests turn off) *)
+}
+
+val default_config : config
+(** 4 MiB segments, compaction at 4 sealed segments, fsync on. *)
+
+type error =
+  | Torn_log of { file : string; detail : string }
+      (** a sealed segment is shorter than the manifest promises or
+          ends mid-frame — durable data went missing *)
+  | Bad_crc of { file : string; detail : string }
+      (** a structurally complete frame failed its checksum *)
+  | Malformed of { file : string; detail : string }
+      (** manifest or record contents unparseable *)
+
+exception Store_error of error
+
+val error_to_string : error -> string
+
+type t
+
+val open_r : ?config:config -> string -> (t, error) result
+(** Open (creating the directory and an empty store if needed) and run
+    recovery.  Unix errors raise; structural damage returns [Error]. *)
+
+val open_ : ?config:config -> string -> t
+(** {!open_r}, raising {!Store_error}. *)
+
+val dir : t -> string
+
+val save : t -> user:string -> revision:int -> Codec.entry list -> unit
+(** Append a [Put] and fsync.  On return the record is durable; on any
+    exception it is guaranteed absent (failed appends truncate back),
+    except under a simulated crash where recovery enforces the same
+    all-or-nothing outcome. *)
+
+val delete : t -> user:string -> revision:int -> unit
+(** Append a [Delete] tombstone (revision is kept across restarts). *)
+
+val load : t -> user:string -> Codec.entry list option
+(** Point lookup by re-reading the record's frame from disk (CRC
+    verified on every read).  [None] for absent or deleted users. *)
+
+val revision : t -> user:string -> int
+(** Last acknowledged revision for the user, 0 if never seen. *)
+
+val revisions : t -> (string * int) list
+(** All known (user, revision) pairs, deleted users included, sorted. *)
+
+val users : t -> string list
+(** Live (non-deleted) users, sorted. *)
+
+val iter : t -> (user:string -> revision:int -> Codec.entry list -> unit) -> unit
+(** Iterate live profiles in sorted user order (reads each from disk). *)
+
+type stats = {
+  appends : int;  (** acknowledged WAL appends since open *)
+  rotations : int;
+  compactions : int;
+  compact_failures : int;  (** auto-compactions aborted by faults *)
+  torn_truncated : int;  (** torn WAL tails truncated at recovery *)
+  segments : int;  (** sealed segments currently on disk *)
+  live_users : int;
+  wal_bytes : int;  (** size of the active WAL *)
+}
+
+val stats : t -> stats
+
+val compact_now : t -> unit
+(** Seal the active WAL (if non-empty) and compact everything into a
+    single segment.  Benchmarks and tests; the serve path relies on the
+    automatic trigger. *)
+
+val sync : t -> unit
+val close : t -> unit
+
+val abandon : t -> unit
+(** Drop the handle without syncing — closes descriptors and nothing
+    else, simulating a process kill for the crash-recovery harness.
+    The next {!open_} sees exactly what a real crash would leave. *)

@@ -98,3 +98,14 @@ A hand-written Figure-2-style profile with the semantic filter:
    1. GENRE.genre = 'comedy'                                                 doi=0.9  (via g)
   mandatory: 0, optional: 1
   selection stats: 4 pops, 4 pushes, 2 expansions, 0 conflicts discarded, 1 cycles pruned, max queue 2
+
+Out-of-range flags fail fast as typed usage errors (exit code 6),
+before any database is built:
+
+  $ perso_cli run-sql --movies 0 --domains 0 "select m.title from movie m"
+  usage error: --domains must be positive (got 0)
+  [6]
+
+  $ perso_cli personalize --movies 0 --profile julie.profile --domains=-2 "select m.title from movie m"
+  usage error: --domains must be positive (got -2)
+  [6]

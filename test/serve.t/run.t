@@ -48,6 +48,9 @@ accounted for (5 data-plane requests: 4 ok, 1 parse error):
   $ perso_cli call --socket ./perso.sock HEALTH
   state running
   shards 1
+  store_backend memory
+  store_appends 0
+  store_compactions 0
   queue_depth 0
   in_flight 0
   workers 2
@@ -81,3 +84,54 @@ the server exits 0 having shed nothing:
   $ cat serve.log
   serving on ./perso.sock (workers=2 queue=8)
   drained=true shed_at_stop=0
+
+Durable profiles: --store disk:DIR puts the profile store on a
+crash-consistent log-structured store (one per shard).  Save a profile,
+drain, restart on the same directory — the profile and its revision
+survive the restart because recovery replays the write-ahead logs:
+
+  $ perso_cli serve --movies 0 --socket ./perso.sock --workers 2 --shards 2 --store disk:./pstore 2>serve2.log &
+
+  $ perso_cli call --socket ./perso.sock --wait-ms 5000 "PROFILE SAVE julie [ GENRE.genre = 'drama', 0.8 ] [ MOVIE.mid = GENRE.mid, 0.9 ]"
+  saved user=julie entries=2
+
+  $ perso_cli call --socket ./perso.sock HEALTH | grep store
+  store_backend disk
+  store_appends 1
+  store_compactions 0
+
+  $ perso_cli call --socket ./perso.sock SHUTDOWN
+  draining
+
+  $ wait
+
+  $ perso_cli serve --movies 0 --socket ./perso.sock --workers 2 --shards 2 --store disk:./pstore 2>serve3.log &
+
+  $ perso_cli call --socket ./perso.sock --wait-ms 5000 "PROFILE LOAD julie"
+  condition | degree
+  'MOVIE.mid = GENRE.mid' | 0.9
+  'GENRE.genre = ''drama''' | 0.8
+  (2 rows)
+
+  $ perso_cli call --socket ./perso.sock SHUTDOWN
+  draining
+
+  $ wait
+
+Reopening with a different shard count is refused with a typed storage
+error — record placement depends on the shard count:
+
+  $ perso_cli serve --movies 0 --socket ./perso.sock --shards 3 --store disk:./pstore
+  storage error: malformed store file ./pstore/SHARDS: store was created with 2 shards; restart with --shards 2 (resharding migration is not implemented)
+  [2]
+
+Out-of-range flags are usage errors (their own family and exit code),
+caught before the server starts:
+
+  $ perso_cli serve --movies 0 --socket ./perso.sock --shards 0
+  usage error: --shards must be positive (got 0)
+  [6]
+
+  $ perso_cli serve --movies 0 --socket ./perso.sock --store disk
+  usage error: --store must be 'memory' or 'disk:DIR' (got "disk")
+  [6]

@@ -96,6 +96,33 @@ let test_old_dir_recovered () =
         (Table.cardinality (Database.table db' "movie")));
   Alcotest.(check bool) "dump restored in place" true (Sys.file_exists dir)
 
+let test_empty_manifest () =
+  (* A zero-length (or whitespace-only) manifest can only be a
+     truncated write: saves always list at least schema.ddl.  It must
+     read as torn, not as "nothing to verify". *)
+  let _, dir = saved_tiny () in
+  write_file (Filename.concat dir Csv.manifest_file) "";
+  expect_torn (Csv.load_db_r ~dir);
+  write_file (Filename.concat dir Csv.manifest_file) "\n\n";
+  expect_torn (Csv.load_db_r ~dir)
+
+let test_dir_wins_over_old () =
+  (* If both <dir> and <dir>.old exist (crash after the second rename's
+     first half), the committed dump in <dir> is authoritative; the
+     parked copy must not clobber it. *)
+  let db, dir = saved_tiny () in
+  let old = dir ^ ".old" in
+  Unix.mkdir old 0o755;
+  write_file (Filename.concat old "marker") "stale";
+  (match Csv.load_db_r ~dir with
+  | Error e -> Alcotest.failf "load failed: %s" (Csv.load_error_to_string e)
+  | Ok db' ->
+      Alcotest.(check int) "rows from committed dump"
+        (Table.cardinality (Database.table db "movie"))
+        (Table.cardinality (Database.table db' "movie")));
+  Alcotest.(check bool) "parked copy untouched" true
+    (Sys.file_exists (Filename.concat old "marker"))
+
 let test_interrupted_save_keeps_previous () =
   (* Fail every persistence write: the save reports an error and the
      existing dump stays fully loadable. *)
@@ -189,6 +216,9 @@ let () =
           Alcotest.test_case "checksum mismatch" `Quick test_checksum_mismatch;
           Alcotest.test_case "missing dump" `Quick test_missing_dump;
           Alcotest.test_case ".old recovered" `Quick test_old_dir_recovered;
+          Alcotest.test_case "empty manifest" `Quick test_empty_manifest;
+          Alcotest.test_case "dir wins over .old" `Quick
+            test_dir_wins_over_old;
         ] );
       ( "legacy + wrappers",
         [

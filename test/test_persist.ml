@@ -175,6 +175,35 @@ let test_db_roundtrip_on_disk () =
   Alcotest.(check bool) "personalization works on loaded db" true
     (outcome.Perso.Personalize.selected <> [] && res.Exec.rows <> [])
 
+(* ------------------- revision high-water marks -------------------- *)
+
+let test_revisions_survive_dump () =
+  (* The profile registry's revision counters live in the profile_revs
+     catalog table, so a dump + reload "restart" continues the counters
+     instead of resetting them — cached plans for a pre-restart
+     revision can never be mistaken for fresh ones. *)
+  let db = Moviedb.Personas.tiny_db () in
+  let julie = Moviedb.Personas.julie () in
+  Perso.Profile_store.save db ~user:"julie" julie;
+  Perso.Profile_store.save db ~user:"julie" (Moviedb.Personas.rob ());
+  Perso.Profile_store.save db ~user:"bob" julie;
+  Perso.Profile_store.delete db ~user:"bob";
+  Alcotest.(check int) "julie at 2" 2
+    (Perso.Profile_store.revision db ~user:"julie");
+  Alcotest.(check int) "bob tombstone at 2" 2
+    (Perso.Profile_store.revision db ~user:"bob");
+  let dir = tmpdir () in
+  Csv.save_db ~dir db;
+  let db2 = Csv.load_db ~dir in
+  Alcotest.(check (list (pair string int)))
+    "marks survive the restart"
+    [ ("bob", 2); ("julie", 2) ]
+    (Perso.Profile_store.revisions db2);
+  (* and the counters continue above the high-water mark *)
+  Perso.Profile_store.save db2 ~user:"julie" julie;
+  Alcotest.(check int) "monotone across restart" 3
+    (Perso.Profile_store.revision db2 ~user:"julie")
+
 (* Randomized CSV round-trip over generated tables of every type. *)
 let prop_csv_roundtrip =
   let gen_value ty =
@@ -231,6 +260,11 @@ let () =
           Alcotest.test_case "unique/aliases" `Quick test_ddl_unique_and_aliases;
           Alcotest.test_case "errors" `Quick test_ddl_errors;
           Alcotest.test_case "round-trip" `Quick test_ddl_roundtrip;
+        ] );
+      ( "revisions",
+        [
+          Alcotest.test_case "survive dump + reload" `Quick
+            test_revisions_survive_dump;
         ] );
       ( "csv",
         [

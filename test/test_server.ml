@@ -498,6 +498,89 @@ let test_hammer () =
       Alcotest.(check bool) "drains clean after the hammer" true
         outcome.Server.drained)
 
+(* ------------------------ durable store parity ----------------------- *)
+
+let fresh_store_root =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat
+        (Filename.get_temp_dir_name ())
+        (Printf.sprintf "perso_test_store_%d_%d" (Unix.getpid ()) !n)
+    in
+    dir
+
+let render_response = function
+  | Ok (Protocol.Rows { notes; cols; rows }) ->
+      String.concat "\n"
+        (notes @ [ String.concat "|" cols ] @ List.map (String.concat "|") rows)
+  | Ok (Protocol.Stats kvs) ->
+      String.concat "\n" (List.map (fun (k, v) -> k ^ "=" ^ v) kvs)
+  | Ok (Protocol.Message m) -> "msg:" ^ m
+  | Ok (Protocol.Failed { family; code; message }) ->
+      Printf.sprintf "failed:%s:%d:%s" family code message
+  | Error e -> "err:" ^ e
+
+let pers_sql =
+  "select mv.title from movie mv, play pl where mv.mid = pl.mid and pl.date \
+   = '2003-07-02'"
+
+let parity_script =
+  [
+    "PROFILE SAVE julie [ GENRE.genre = 'comedy', 0.9 ] [ MOVIE.mid = \
+     GENRE.mid, 0.9 ]";
+    "PROFILE SAVE bob [ ACTOR.name = 'N. Kidman', 0.7 ] [ CAST.aid = \
+     ACTOR.aid, 0.9 ] [ MOVIE.mid = CAST.mid, 0.9 ]";
+    "PERSONALIZE julie " ^ pers_sql;
+    "PROFILE LOAD julie";
+    "PROFILE SAVE julie [ GENRE.genre = 'drama', 0.8 ] [ MOVIE.mid = \
+     GENRE.mid, 0.9 ]";
+    "PERSONALIZE julie " ^ pers_sql;
+    "PERSONALIZE bob " ^ pers_sql;
+    "PROFILE LOAD bob";
+    "PROFILE LOAD nobody";
+    "RUN select count(*) as n from movie m";
+    "PROFILE SAVE julie [ not a condition, 2 ]";
+  ]
+
+let run_script socket script =
+  let c = Client.connect socket in
+  Fun.protect
+    ~finally:(fun () -> Client.close c)
+    (fun () -> List.map (fun cmd -> render_response (Client.request c cmd)) script)
+
+let test_disk_memory_differential () =
+  (* The same traffic over the disk backend answers byte-identically to
+     the memory backend, and the saved state survives a restart. *)
+  let mem =
+    with_server
+      (fun cfg -> { cfg with Server.shards = 2 })
+      (fun _t socket -> run_script socket parity_script)
+  in
+  let root = fresh_store_root () in
+  Fun.protect ~finally:(fun () -> ignore (Sys.command ("rm -rf " ^ Filename.quote root)))
+  @@ fun () ->
+  let dsk =
+    with_server
+      (fun cfg -> { cfg with Server.shards = 2; store_dir = Some root })
+      (fun _t socket -> run_script socket parity_script)
+  in
+  List.iter2
+    (fun m d -> Alcotest.(check string) "memory/disk parity" m d)
+    mem dsk;
+  (* Restart on the same root: recovery replays the WALs; the last
+     acknowledged profile is served, the in-memory-only run's state is
+     gone with its process. *)
+  let after_restart =
+    with_server
+      (fun cfg -> { cfg with Server.shards = 2; store_dir = Some root })
+      (fun _t socket ->
+        run_script socket [ "PROFILE LOAD julie"; "PERSONALIZE julie " ^ pers_sql ])
+  in
+  Alcotest.(check string) "personalize after restart" (List.nth mem 5)
+    (List.nth after_restart 1)
+
 let () =
   Alcotest.run "server"
     [
@@ -532,4 +615,9 @@ let () =
       ( "hammer",
         [ Alcotest.test_case "mixed load under 5% faults" `Quick test_hammer ]
       );
+      ( "durable-store",
+        [
+          Alcotest.test_case "memory/disk parity + restart" `Quick
+            test_disk_memory_differential;
+        ] );
     ]

@@ -1,0 +1,417 @@
+(* The log-structured profile store: codec round trips, WAL tail
+   classification, rotation, compaction, recovery, and damage
+   detection. *)
+
+open Perso_store
+
+let fresh_dir () =
+  let f = Filename.temp_file "store" "" in
+  Sys.remove f;
+  f
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let e cond degree = { Codec.cond; degree }
+
+let entries_t =
+  Alcotest.testable
+    (fun ppf l ->
+      List.iter (fun { Codec.cond; degree } ->
+          Format.fprintf ppf "(%s,%g)" cond degree)
+        l)
+    (List.equal (fun a b ->
+         a.Codec.cond = b.Codec.cond && a.Codec.degree = b.Codec.degree))
+
+(* ------------------------------- crc32 ------------------------------ *)
+
+let test_crc_vector () =
+  (* CRC-32/IEEE check value. *)
+  Alcotest.(check int) "123456789" 0xCBF43926 (Crc32.string "123456789");
+  Alcotest.(check int) "sub matches slice" (Crc32.string "456")
+    (Crc32.sub "123456789" ~pos:3 ~len:3);
+  Alcotest.(check bool) "damage changes crc" true
+    (Crc32.string "123456788" <> Crc32.string "123456789")
+
+(* ------------------------------- codec ------------------------------ *)
+
+let roundtrip c v =
+  match Codec.decode c (Codec.encode c v) with
+  | Ok v' -> v'
+  | Error msg -> Alcotest.failf "decode failed: %s" msg
+
+let test_codec_roundtrip () =
+  List.iter
+    (fun n -> Alcotest.(check int) "varint" n (roundtrip Codec.varint n))
+    [ 0; 1; 127; 128; 300; 1 lsl 20; max_int ];
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "float bit-exact" true
+        (Int64.equal
+           (Int64.bits_of_float f)
+           (Int64.bits_of_float (roundtrip Codec.float64 f))))
+    [ 0.; 0.1; -1.5; infinity; 0.9; 1e-300 ];
+  let r =
+    Codec.Put
+      {
+        user = "julie";
+        revision = 7;
+        entries = [ e "GENRE.genre = 'comedy'" 0.9; e "" 0.5 ];
+      }
+  in
+  (match Codec.decode_record (Codec.encode_record r) with
+  | Ok r' -> Alcotest.(check bool) "record" true (r = r')
+  | Error msg -> Alcotest.failf "record decode: %s" msg);
+  let d = Codec.Delete { user = "bob"; revision = 3 } in
+  match Codec.decode_record (Codec.encode_record d) with
+  | Ok d' -> Alcotest.(check bool) "tombstone" true (d = d')
+  | Error msg -> Alcotest.failf "tombstone decode: %s" msg
+
+let test_codec_rejects_damage () =
+  let s = Codec.encode_record (Codec.Put { user = "u"; revision = 1; entries = [] }) in
+  (* truncation *)
+  (match Codec.decode_record (String.sub s 0 (String.length s - 1)) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "truncated record decoded");
+  (* trailing garbage *)
+  (match Codec.decode_record (s ^ "x") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "trailing bytes accepted");
+  (* unknown tag *)
+  match Codec.decode_record "\xff" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bad tag accepted"
+
+(* -------------------------------- wal ------------------------------- *)
+
+let test_wal_scan_classification () =
+  let f1 = Wal.frame "hello" and f2 = Wal.frame "world!" in
+  let whole = f1 ^ f2 in
+  let collect data =
+    let got = ref [] in
+    let len, fin = Wal.scan_string data (fun ~pos:_ p -> got := p :: !got) in
+    (List.rev !got, len, fin)
+  in
+  (* clean *)
+  (match collect whole with
+  | [ "hello"; "world!" ], len, Wal.Clean ->
+      Alcotest.(check int) "clean length" (String.length whole) len
+  | _, _, _ -> Alcotest.fail "clean scan misparsed");
+  (* torn: partial header of the second frame *)
+  (match collect (String.sub whole 0 (String.length f1 + 3)) with
+  | [ "hello" ], len, Wal.Torn { at; _ } ->
+      Alcotest.(check int) "valid prefix" (String.length f1) len;
+      Alcotest.(check int) "torn at" (String.length f1) at
+  | _ -> Alcotest.fail "partial header not Torn");
+  (* torn: payload cut short *)
+  (match collect (String.sub whole 0 (String.length whole - 2)) with
+  | [ "hello" ], _, Wal.Torn _ -> ()
+  | _ -> Alcotest.fail "short payload not Torn");
+  (* corrupt: flip a payload byte in a complete frame *)
+  let b = Bytes.of_string whole in
+  Bytes.set b (Wal.header_bytes + 1) 'X';
+  (match collect (Bytes.to_string b) with
+  | [], 0, Wal.Corrupt { at = 0; _ } -> ()
+  | _ -> Alcotest.fail "bad CRC not Corrupt at 0");
+  (* corrupt: absurd length field is corruption, not a torn tail *)
+  let b = Bytes.of_string whole in
+  Bytes.set_int32_le b 0 0x7fffffffl;
+  match collect (Bytes.to_string b) with
+  | [], 0, Wal.Corrupt _ -> ()
+  | _ -> Alcotest.fail "absurd length not Corrupt"
+
+let test_wal_append_read () =
+  let dir = fresh_dir () in
+  Sys.mkdir dir 0o755;
+  let path = Filename.concat dir "w.log" in
+  let w = Wal.open_append path in
+  let off1 = Wal.append w "one" in
+  let off2 = Wal.append w "twotwo" in
+  Wal.close w;
+  Alcotest.(check int) "first at 0" 0 off1;
+  Alcotest.(check (result string string))
+    "read back"
+    (Ok "twotwo")
+    (Wal.read_frame ~path ~off:off2 ~len:(Wal.header_bytes + 6));
+  (* reopening appends after the existing frames *)
+  let w = Wal.open_append path in
+  let off3 = Wal.append w "three" in
+  Wal.close w;
+  Alcotest.(check bool) "appends at end" true (off3 > off2)
+
+(* ------------------------------- store ------------------------------ *)
+
+let small_config =
+  { Store.default_config with segment_bytes = 128; fsync = false }
+
+let test_store_basics () =
+  let dir = fresh_dir () in
+  let s = Store.open_ ~config:small_config dir in
+  Alcotest.(check (option entries_t)) "absent" None (Store.load s ~user:"u");
+  Store.save s ~user:"julie" ~revision:1 [ e "a" 0.9 ];
+  Store.save s ~user:"bob" ~revision:1 [ e "b" 0.5 ];
+  Store.save s ~user:"julie" ~revision:2 [ e "a" 0.9; e "c" 0.4 ];
+  Alcotest.(check (option entries_t))
+    "latest wins"
+    (Some [ e "a" 0.9; e "c" 0.4 ])
+    (Store.load s ~user:"julie");
+  Alcotest.(check int) "revision" 2 (Store.revision s ~user:"julie");
+  Alcotest.(check (list string)) "users" [ "bob"; "julie" ] (Store.users s);
+  Store.delete s ~user:"bob" ~revision:2;
+  Alcotest.(check (option entries_t)) "deleted" None (Store.load s ~user:"bob");
+  Alcotest.(check (list string)) "live users" [ "julie" ] (Store.users s);
+  Alcotest.(check (list (pair string int)))
+    "revisions keep tombstones"
+    [ ("bob", 2); ("julie", 2) ]
+    (Store.revisions s);
+  Store.close s
+
+let test_reopen_replays () =
+  let dir = fresh_dir () in
+  let s = Store.open_ ~config:small_config dir in
+  (* enough traffic to force several rotations *)
+  for i = 1 to 40 do
+    Store.save s
+      ~user:(Printf.sprintf "u%02d" (i mod 7))
+      ~revision:i
+      [ e (String.make 20 'x') (float_of_int i) ]
+  done;
+  Store.delete s ~user:"u03" ~revision:41;
+  let want_users = Store.users s in
+  let want_revs = Store.revisions s in
+  let rotations = (Store.stats s).Store.rotations in
+  Store.close s;
+  Alcotest.(check bool) "rotated" true (rotations > 0);
+  let s' = Store.open_ ~config:small_config dir in
+  Alcotest.(check (list string)) "users survive" want_users (Store.users s');
+  Alcotest.(check (list (pair string int)))
+    "revisions survive" want_revs (Store.revisions s');
+  Alcotest.(check (option entries_t)) "tombstone survives" None
+    (Store.load s' ~user:"u03");
+  Store.close s'
+
+let test_compaction () =
+  let dir = fresh_dir () in
+  let s = Store.open_ ~config:small_config dir in
+  for i = 1 to 60 do
+    Store.save s
+      ~user:(Printf.sprintf "u%d" (i mod 3))
+      ~revision:i
+      [ e (String.make 24 'y') 0.5 ]
+  done;
+  Store.delete s ~user:"u0" ~revision:61;
+  Store.compact_now s;
+  let st = Store.stats s in
+  Alcotest.(check int) "one sealed segment" 1 st.Store.segments;
+  Alcotest.(check bool) "compacted" true (st.Store.compactions > 0);
+  Alcotest.(check (list string)) "live users" [ "u1"; "u2" ] (Store.users s);
+  Store.close s;
+  (* the compacted state recovers *)
+  let s' = Store.open_ ~config:small_config dir in
+  Alcotest.(check int) "u0 tombstone revision survives compaction" 61
+    (Store.revision s' ~user:"u0");
+  Alcotest.(check (option entries_t)) "u0 stays deleted" None
+    (Store.load s' ~user:"u0");
+  Alcotest.(check bool) "u1 content intact" true
+    (Store.load s' ~user:"u1" <> None);
+  Store.close s'
+
+(* ------------------------------ damage ------------------------------ *)
+
+let sealed_segment dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun n -> String.length n >= 4 && String.sub n 0 4 = "seg-")
+  |> function
+  | [] -> Alcotest.fail "no sealed segment on disk"
+  | n :: _ -> Filename.concat dir n
+
+let store_with_sealed () =
+  let dir = fresh_dir () in
+  let s = Store.open_ ~config:small_config dir in
+  for i = 1 to 20 do
+    Store.save s ~user:(Printf.sprintf "u%d" i) ~revision:i
+      [ e (String.make 24 'z') 0.5 ]
+  done;
+  Store.close s;
+  dir
+
+let test_sealed_bad_crc () =
+  let dir = store_with_sealed () in
+  let victim = sealed_segment dir in
+  let b = Bytes.of_string (read_file victim) in
+  Bytes.set b (Wal.header_bytes + 2)
+    (if Bytes.get b (Wal.header_bytes + 2) = 'z' then 'q' else 'z');
+  write_file victim (Bytes.to_string b);
+  match Store.open_r ~config:small_config dir with
+  | Error (Store.Bad_crc _) -> ()
+  | Error e -> Alcotest.failf "expected Bad_crc: %s" (Store.error_to_string e)
+  | Ok _ -> Alcotest.fail "corrupt sealed segment opened"
+
+let test_sealed_truncated () =
+  let dir = store_with_sealed () in
+  let victim = sealed_segment dir in
+  let contents = read_file victim in
+  write_file victim (String.sub contents 0 (String.length contents - 3));
+  match Store.open_r ~config:small_config dir with
+  | Error (Store.Torn_log _) -> ()
+  | Error e -> Alcotest.failf "expected Torn_log: %s" (Store.error_to_string e)
+  | Ok _ -> Alcotest.fail "truncated sealed segment opened"
+
+let test_wal_torn_tail_truncated () =
+  let dir = fresh_dir () in
+  let s = Store.open_ ~config:small_config dir in
+  Store.save s ~user:"keep" ~revision:1 [ e "a" 0.9 ];
+  Store.close s;
+  (* simulate a crash mid-append: a partial frame at the WAL tail *)
+  let wal =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun n -> String.length n >= 4 && String.sub n 0 4 = "wal-")
+    |> function
+    | [ n ] -> Filename.concat dir n
+    | _ -> Alcotest.fail "expected one wal file"
+  in
+  let torn = Wal.frame (Codec.encode_record
+      (Codec.Put { user = "lost"; revision = 2; entries = [] }))
+  in
+  write_file wal (read_file wal ^ String.sub torn 0 (String.length torn - 2));
+  let s' = Store.open_ ~config:small_config dir in
+  Alcotest.(check int) "tail truncated" 1 (Store.stats s').Store.torn_truncated;
+  Alcotest.(check (option entries_t)) "prefix kept" (Some [ e "a" 0.9 ])
+    (Store.load s' ~user:"keep");
+  Alcotest.(check int) "unacknowledged record gone" 0
+    (Store.revision s' ~user:"lost");
+  (* and the truncation is durable: the next open is clean *)
+  Store.close s';
+  let s'' = Store.open_ ~config:small_config dir in
+  Alcotest.(check int) "no torn tail second time" 0
+    (Store.stats s'').Store.torn_truncated;
+  Store.close s''
+
+let test_wal_mid_corruption_fatal () =
+  let dir = fresh_dir () in
+  let s = Store.open_ ~config:small_config dir in
+  Store.save s ~user:"a" ~revision:1 [ e "x" 0.1 ];
+  Store.save s ~user:"b" ~revision:2 [ e "y" 0.2 ];
+  Store.close s;
+  let wal =
+    Sys.readdir dir |> Array.to_list
+    |> List.find (fun n -> String.length n >= 4 && String.sub n 0 4 = "wal-")
+  in
+  let path = Filename.concat dir wal in
+  let b = Bytes.of_string (read_file path) in
+  (* flip a byte inside the FIRST frame: not a tail, so not torn *)
+  Bytes.set b (Wal.header_bytes)
+    (Char.chr (Char.code (Bytes.get b Wal.header_bytes) lxor 1));
+  write_file path (Bytes.to_string b);
+  match Store.open_r ~config:small_config dir with
+  | Error (Store.Bad_crc _) -> ()
+  | Error e -> Alcotest.failf "expected Bad_crc: %s" (Store.error_to_string e)
+  | Ok _ -> Alcotest.fail "mid-log corruption silently dropped"
+
+let test_strays_removed () =
+  let dir = store_with_sealed () in
+  let stray_wal = Filename.concat dir "wal-999999.log" in
+  let stray_tmp = Filename.concat dir "MANIFEST.tmp" in
+  write_file stray_wal "leftover";
+  write_file stray_tmp "leftover";
+  let s = Store.open_ ~config:small_config dir in
+  Alcotest.(check bool) "stray wal removed" false (Sys.file_exists stray_wal);
+  Alcotest.(check bool) "stray tmp removed" false (Sys.file_exists stray_tmp);
+  Store.close s
+
+let test_missing_manifest () =
+  (* with sealed segments: refuse *)
+  let dir = store_with_sealed () in
+  Sys.remove (Filename.concat dir "MANIFEST");
+  (match Store.open_r ~config:small_config dir with
+  | Error (Store.Malformed _) -> ()
+  | Error e -> Alcotest.failf "expected Malformed: %s" (Store.error_to_string e)
+  | Ok _ -> Alcotest.fail "manifest-less store with segments opened");
+  (* with only wal files: crash during init, nothing acknowledged —
+     re-initialize fresh *)
+  let dir2 = fresh_dir () in
+  Sys.mkdir dir2 0o755;
+  write_file (Filename.concat dir2 "wal-000001.log") "partial init";
+  let s = Store.open_ ~config:small_config dir2 in
+  Alcotest.(check (list string)) "fresh store" [] (Store.users s);
+  Store.close s
+
+let test_empty_manifest_malformed () =
+  let dir = fresh_dir () in
+  let s = Store.open_ ~config:small_config dir in
+  Store.close s;
+  write_file (Filename.concat dir "MANIFEST") "";
+  match Store.open_r ~config:small_config dir with
+  | Error (Store.Malformed _) -> ()
+  | Error e -> Alcotest.failf "expected Malformed: %s" (Store.error_to_string e)
+  | Ok _ -> Alcotest.fail "empty manifest accepted"
+
+(* ------------------------------ backend ----------------------------- *)
+
+let test_backend_parity () =
+  let dir = fresh_dir () in
+  let mem = Backend.memory () in
+  let dsk = Backend.disk ~config:small_config dir in
+  let ops b =
+    b.Backend.save ~user:"u1" ~revision:1 [ e "a" 0.9 ];
+    b.Backend.save ~user:"u2" ~revision:1 [ e "b" 0.8 ];
+    b.Backend.save ~user:"u1" ~revision:2 [ e "c" 0.7 ];
+    b.Backend.delete ~user:"u2" ~revision:2
+  in
+  ops mem;
+  ops dsk;
+  List.iter
+    (fun (b, name) ->
+      Alcotest.(check (option entries_t))
+        (name ^ " u1") (Some [ e "c" 0.7 ])
+        (b.Backend.load ~user:"u1");
+      Alcotest.(check (option entries_t)) (name ^ " u2") None
+        (b.Backend.load ~user:"u2");
+      Alcotest.(check (list (pair string int)))
+        (name ^ " revisions")
+        [ ("u1", 2); ("u2", 2) ]
+        (b.Backend.revisions ()))
+    [ (mem, "memory"); (dsk, "disk") ];
+  dsk.Backend.close ();
+  mem.Backend.close ()
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "crc32",
+        [ Alcotest.test_case "check vector" `Quick test_crc_vector ] );
+      ( "codec",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "rejects damage" `Quick test_codec_rejects_damage;
+        ] );
+      ( "wal",
+        [
+          Alcotest.test_case "scan classification" `Quick
+            test_wal_scan_classification;
+          Alcotest.test_case "append + read_frame" `Quick test_wal_append_read;
+        ] );
+      ( "store",
+        [
+          Alcotest.test_case "basics" `Quick test_store_basics;
+          Alcotest.test_case "reopen replays" `Quick test_reopen_replays;
+          Alcotest.test_case "compaction" `Quick test_compaction;
+        ] );
+      ( "damage",
+        [
+          Alcotest.test_case "sealed bad crc" `Quick test_sealed_bad_crc;
+          Alcotest.test_case "sealed truncated" `Quick test_sealed_truncated;
+          Alcotest.test_case "wal torn tail truncated" `Quick
+            test_wal_torn_tail_truncated;
+          Alcotest.test_case "wal mid corruption fatal" `Quick
+            test_wal_mid_corruption_fatal;
+          Alcotest.test_case "strays removed" `Quick test_strays_removed;
+          Alcotest.test_case "missing manifest" `Quick test_missing_manifest;
+          Alcotest.test_case "empty manifest" `Quick
+            test_empty_manifest_malformed;
+        ] );
+      ( "backend",
+        [ Alcotest.test_case "memory/disk parity" `Quick test_backend_parity ] );
+    ]

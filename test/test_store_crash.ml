@@ -1,0 +1,209 @@
+(* Deterministic crash-recovery harness for the log-structured store.
+
+   A fixed operation sequence runs once under an empty fault plan to
+   count every crossing of every storage fault point; then, for each
+   (point, crossing, fault-kind) triple, the sequence replays in a
+   fresh directory with exactly that fault planted.  A simulated kill
+   ([Chaos.Crashed]) abandons the handle mid-flight — no sync, no
+   cleanup — and recovery must produce a state equal to the
+   acknowledged-operations oracle, with the in-flight operation either
+   fully present or fully absent (atomicity), never half of it.  The
+   run then continues on the recovered handle and the final state must
+   match the oracle again after one more clean reopen. *)
+
+open Perso_store
+module Chaos = Relal.Chaos
+module SMap = Map.Make (String)
+
+let fresh_dir () =
+  let f = Filename.temp_file "storecrash" "" in
+  Sys.remove f;
+  f
+
+let config = { Store.segment_bytes = 96; compact_segments = 2; fsync = false }
+
+let e cond degree = { Codec.cond; degree }
+
+(* ------------------------------ workload ----------------------------- *)
+
+type op =
+  | Save of string * int * Codec.entry list
+  | Delete of string * int
+  | Compact
+
+let ops =
+  let pad i = e (Printf.sprintf "COND.%02d = 'x'" i) (0.1 +. (0.01 *. float_of_int i)) in
+  [
+    Save ("julie", 1, [ pad 1; pad 2 ]);
+    Save ("bob", 1, [ pad 3 ]);
+    Save ("julie", 2, [ pad 4 ]);
+    Save ("ann", 1, [ pad 5; pad 6; pad 7 ]);
+    Save ("bob", 2, [ pad 8 ]);
+    Delete ("ann", 2);
+    Save ("carl", 1, [ pad 9 ]);
+    Save ("julie", 3, [ pad 10; pad 11 ]);
+    Compact;
+    Save ("dana", 1, [ pad 12 ]);
+    Delete ("bob", 3);
+    Save ("ann", 3, [ pad 13 ]);
+    Save ("carl", 2, [ pad 14; pad 15 ]);
+    Save ("dana", 2, [ pad 16 ]);
+    Save ("julie", 4, [ pad 17 ]);
+    Compact;
+    Save ("erin", 1, [ pad 18 ]);
+    Delete ("carl", 3);
+    Save ("erin", 2, [ pad 19; pad 20 ]);
+  ]
+
+(* The oracle: user -> (revision, live entries option), exactly the
+   memory backend's semantics. *)
+let apply oracle = function
+  | Save (u, r, es) -> SMap.add u (r, Some es) oracle
+  | Delete (u, r) -> SMap.add u (r, None) oracle
+  | Compact -> oracle
+
+let run_op s = function
+  | Save (u, r, es) -> Store.save s ~user:u ~revision:r es
+  | Delete (u, r) -> Store.delete s ~user:u ~revision:r
+  | Compact -> Store.compact_now s
+
+(* Observable store state, fully re-read from disk. *)
+let state_of s =
+  ( Store.revisions s,
+    List.map (fun u -> (u, Store.load s ~user:u)) (Store.users s) )
+
+let state_of_oracle oracle =
+  ( SMap.bindings oracle |> List.map (fun (u, (r, _)) -> (u, r)),
+    SMap.bindings oracle
+    |> List.filter_map (fun (u, (_, es)) ->
+           match es with Some es -> Some (u, Some es) | None -> None) )
+
+let fault_points =
+  [ Chaos.Wal_append; Chaos.Manifest_write; Chaos.Compact_write;
+    Chaos.Compact_rename ]
+
+let fault_kinds =
+  [
+    Chaos.Torn_write 0.3;
+    Chaos.Torn_write 0.9;
+    Chaos.Short_write 0.5;
+    Chaos.Fsync_fail;
+    Chaos.Crash;
+  ]
+
+let kind_name = function
+  | Chaos.Torn_write f -> Printf.sprintf "torn(%g)" f
+  | Chaos.Short_write f -> Printf.sprintf "short(%g)" f
+  | Chaos.Fsync_fail -> "fsync-fail"
+  | Chaos.Crash -> "crash"
+
+(* Count kill sites: one clean run under an empty plan. *)
+let count_crossings () =
+  let dir = fresh_dir () in
+  Chaos.plan [];
+  Fun.protect ~finally:Chaos.unplan @@ fun () ->
+  let s = Store.open_ ~config dir in
+  List.iter (run_op s) ops;
+  Store.close s;
+  List.map (fun pt -> (pt, Chaos.crossings pt)) fault_points
+
+let check_state ~ctx s expected =
+  let got = state_of s in
+  if got <> expected then
+    Alcotest.failf "%s: recovered state diverges from oracle" ctx
+
+(* One replay with a single planted fault.  Returns unit or fails the
+   test with a [ctx]-labelled divergence. *)
+let replay pt k kind =
+  let ctx =
+    Printf.sprintf "%s#%d %s" (Chaos.point_name pt) k (kind_name kind)
+  in
+  let dir = fresh_dir () in
+  Chaos.plan [ (pt, k, kind) ];
+  Fun.protect ~finally:Chaos.unplan @@ fun () ->
+  (* The init manifest write is itself a kill site. *)
+  let handle = ref None in
+  let oracle = ref SMap.empty in
+  let reopen () =
+    Chaos.unplan ();
+    let s = Store.open_ ~config dir in
+    check_state ~ctx:(ctx ^ " (recovery)") s (state_of_oracle !oracle);
+    handle := Some s
+  in
+  (match Store.open_ ~config dir with
+  | s -> handle := Some s
+  | exception Chaos.Crashed _ -> reopen ()
+  | exception Chaos.Injected _ ->
+      Chaos.unplan ();
+      handle := Some (Store.open_ ~config dir));
+  List.iter
+    (fun op ->
+      let s = Option.get !handle in
+      match run_op s op with
+      | () -> oracle := apply !oracle op
+      | exception Chaos.Injected _ ->
+          (* Transient: the store rolled the operation back and stays
+             usable; the oracle must not advance. *)
+          check_state ~ctx:(ctx ^ " (after transient)") s
+            (state_of_oracle !oracle)
+      | exception Chaos.Crashed _ ->
+          (* Simulated kill: drop the handle cold and recover.  The
+             in-flight operation must be all-or-nothing: the recovered
+             state equals the oracle with or without it. *)
+          Store.abandon s;
+          Chaos.unplan ();
+          let s' = Store.open_ ~config dir in
+          let without = state_of_oracle !oracle in
+          let with_op = state_of_oracle (apply !oracle op) in
+          let got = state_of s' in
+          if got = without then ()
+          else if got = with_op then oracle := apply !oracle op
+          else
+            Alcotest.failf
+              "%s: recovered state is neither pre- nor post-operation" ctx;
+          handle := Some s')
+    ops;
+  let s = Option.get !handle in
+  check_state ~ctx:(ctx ^ " (final)") s (state_of_oracle !oracle);
+  Store.close s;
+  (* Durability: one more cold open must see the same state. *)
+  let s' = Store.open_ ~config dir in
+  check_state ~ctx:(ctx ^ " (reopen)") s' (state_of_oracle !oracle);
+  Store.close s'
+
+let test_every_kill_site () =
+  let crossings = count_crossings () in
+  let total = List.fold_left (fun a (_, n) -> a + n) 0 crossings in
+  Alcotest.(check bool)
+    (Printf.sprintf "found kill sites (%d)" total)
+    true (total > 0);
+  List.iter
+    (fun (pt, n) ->
+      for k = 0 to n - 1 do
+        List.iter (fun kind -> replay pt k kind) fault_kinds
+      done)
+    crossings
+
+(* A fault-free replay of the same workload agrees with the oracle —
+   the harness's own control. *)
+let test_clean_control () =
+  let dir = fresh_dir () in
+  let s = Store.open_ ~config dir in
+  let oracle = List.fold_left apply SMap.empty ops in
+  List.iter (run_op s) ops;
+  check_state ~ctx:"control" s (state_of_oracle oracle);
+  Store.close s;
+  let s' = Store.open_ ~config dir in
+  check_state ~ctx:"control reopen" s' (state_of_oracle oracle);
+  Store.close s'
+
+let () =
+  Alcotest.run "store-crash"
+    [
+      ( "crash-recovery",
+        [
+          Alcotest.test_case "clean control" `Quick test_clean_control;
+          Alcotest.test_case "every kill site x every fault" `Quick
+            test_every_kill_site;
+        ] );
+    ]
