@@ -10,7 +10,7 @@ CHAOS_SEED ?= 1337
 SIM_SEED ?= 42
 SIM_RUNS ?= 8
 
-.PHONY: all build test bench bench-par chaos crash-recovery serve-smoke sim check clean
+.PHONY: all build test bench bench-par chaos crash-recovery scrub-sweep serve-smoke sim check clean
 
 all: build
 
@@ -38,6 +38,17 @@ chaos: build
 # the direct entry point.
 crash-recovery: build
 	dune exec test/test_store_crash.exe
+
+# Deterministic corruption sweep over the replicated tier: every
+# committed store file x every corruption kind (early/late byte flip,
+# torn tail) x replica counts 1-3.  Single copies must fail with the
+# typed error (or count the torn-tail truncation); replicated roots
+# must recover byte-identical members serving the exact oracle state,
+# with the repair accounted in the failover/quarantine/catchup ledger.
+# Runs as part of `dune runtest` too; this target is the direct entry
+# point.
+scrub-sweep: build
+	dune exec test/test_scrub_sweep.exe
 
 # The server smoke test: start `perso serve` on a Unix socket, drive
 # RUN / PROFILE SAVE / PERSONALIZE / HEALTH / SHUTDOWN through
@@ -70,7 +81,7 @@ bench-par: build
 	sys.exit(0 if c < 4 else (0 if s >= 2 else sys.stderr.write('bench-par: %.2fx at 4 domains on %d cores (< 2x)\n' % (s, c)) or 1)); \
 	" && echo "bench-par: OK (see $(BENCH_JSON): parallel + sharded_store)"
 
-check: build test chaos crash-recovery serve-smoke sim bench-par
+check: build test chaos crash-recovery scrub-sweep serve-smoke sim bench-par
 	BENCH_SCALE=quick BENCH_PERSO_OUT=$(BENCH_PERSO_JSON) dune exec bench/main.exe -- perso
 	python3 -m json.tool $(BENCH_PERSO_JSON) > /dev/null
 	@python3 -c "import json,sys; d=json.load(open('$(BENCH_PERSO_JSON)')); s=d['speedup_warm']; sys.exit(0 if s >= 5 else sys.stderr.write('plan cache: warm speedup %.1fx < 5x\n' % s) or 1)"

@@ -10,6 +10,9 @@ type point =
   | Manifest_write
   | Compact_write
   | Compact_rename
+  | Ship_append
+  | Scrub_read
+  | Promote
 
 let point_name = function
   | Scan -> "scan"
@@ -23,6 +26,9 @@ let point_name = function
   | Manifest_write -> "manifest-write"
   | Compact_write -> "compact-write"
   | Compact_rename -> "compact-rename"
+  | Ship_append -> "ship-append"
+  | Scrub_read -> "scrub-read"
+  | Promote -> "promote"
 
 exception Injected of { point : point; transient : bool }
 
@@ -33,6 +39,7 @@ type storage_fault =
   | Short_write of float
   | Fsync_fail
   | Crash
+  | Flip_byte of float
 
 exception Crashed of { point : point }
 
@@ -47,9 +54,9 @@ let plan faults =
   List.iter
     (fun (_, _, f) ->
       match f with
-      | Torn_write frac | Short_write frac ->
+      | Torn_write frac | Short_write frac | Flip_byte frac ->
           if frac < 0. || frac >= 1. then
-            invalid_arg "Chaos.plan: torn/short fraction must be in [0, 1)"
+            invalid_arg "Chaos.plan: torn/short/flip fraction must be in [0, 1)"
       | Fsync_fail | Crash -> ())
     faults;
   plan_state := Some { faults; counts = Hashtbl.create 8 }
@@ -70,6 +77,31 @@ let crossings pt =
   match !plan_state with
   | None -> 0
   | Some p -> Option.value ~default:0 (Hashtbl.find_opt p.counts pt)
+
+(* The corruption primitive behind [Flip_byte]: damage one byte of a
+   file in place, at [frac] of its size.  Storage code applies it to
+   the file it is processing when a planned [Flip_byte] fires; the
+   corruption-sweep harness also calls it directly to damage chosen
+   segments.  No-op on an empty or missing file. *)
+let flip_byte_in_file path frac =
+  match (Unix.stat path).Unix.st_size with
+  | 0 -> ()
+  | size ->
+      let off =
+        max 0 (min (size - 1) (int_of_float (frac *. float_of_int size)))
+      in
+      let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          ignore (Unix.lseek fd off Unix.SEEK_SET);
+          let b = Bytes.create 1 in
+          if Unix.read fd b 0 1 = 1 then begin
+            Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0xFF));
+            ignore (Unix.lseek fd off Unix.SEEK_SET);
+            ignore (Unix.write fd b 0 1)
+          end)
+  | exception Unix.Unix_error _ -> ()
 
 type stats = {
   mutable evaluations : int;

@@ -26,6 +26,9 @@ type point =
   | Manifest_write  (** replacing a store manifest (tmp + rename) *)
   | Compact_write  (** copying one live record during compaction *)
   | Compact_rename  (** committing a compaction (manifest swap) *)
+  | Ship_append  (** replicating an acknowledged record to a follower *)
+  | Scrub_read  (** scrubber verifying one store file's frames *)
+  | Promote  (** failing over to the freshest healthy replica *)
 
 val point_name : point -> string
 
@@ -53,6 +56,11 @@ type storage_fault =
       (** the write lands but fsync reports a transient failure — the
           record must not be acknowledged *)
   | Crash  (** die before the operation touches the disk *)
+  | Flip_byte of float
+      (** silent corruption: one byte of the file being processed is
+          flipped in place, at this fraction of its size (in [0, 1));
+          the operation itself proceeds — damage surfaces later, at the
+          CRC check of whichever read path touches the byte *)
 
 exception Crashed of { point : point }
 (** The simulated kill.  Storage code raising this must {e not} clean
@@ -77,6 +85,12 @@ val crossings : point -> int
 (** How many times {!take_fault} has been consulted for [point] under
     the current plan (0 when no plan is armed).  Run an operation
     sequence under an empty plan ([plan []]) to count kill sites. *)
+
+val flip_byte_in_file : string -> float -> unit
+(** [flip_byte_in_file path frac] XOR-flips the byte at [frac] of the
+    file's size (clamped to a real offset) — the corruption primitive
+    behind {!Flip_byte}, also called directly by the corruption-sweep
+    harness.  No-op on an empty or missing file. *)
 
 type stats = {
   mutable evaluations : int;  (** coin flips (points crossed) *)

@@ -1,0 +1,92 @@
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  entries : int;
+}
+
+type entry = { revision : int; profile : Perso.Profile.t; mutable tick : int }
+
+type t = {
+  capacity : int;
+  lock : Perso.Perso_cache.locker;
+  tbl : (string, entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+}
+
+let create ?(lock = Perso.Perso_cache.no_lock) ~capacity () =
+  {
+    capacity = max 0 capacity;
+    lock;
+    tbl = Hashtbl.create 64;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+  }
+
+let capacity t = t.capacity
+
+let find t ~user ~revision =
+  t.lock.with_lock @@ fun () ->
+  match Hashtbl.find_opt t.tbl user with
+  | Some e when e.revision = revision ->
+      t.clock <- t.clock + 1;
+      e.tick <- t.clock;
+      t.hits <- t.hits + 1;
+      Some e.profile
+  | Some _ ->
+      (* Stale revision: a mutation beat the invalidation hook to the
+         shard (or the entry predates a restart) — drop it now. *)
+      Hashtbl.remove t.tbl user;
+      t.misses <- t.misses + 1;
+      None
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let evict_lru t =
+  let victim =
+    Hashtbl.fold
+      (fun user e acc ->
+        match acc with
+        | Some (_, tick) when tick <= e.tick -> acc
+        | _ -> Some (user, e.tick))
+      t.tbl None
+  in
+  match victim with
+  | Some (user, _) ->
+      Hashtbl.remove t.tbl user;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let put t ~user ~revision profile =
+  if t.capacity > 0 then
+    t.lock.with_lock @@ fun () ->
+    if (not (Hashtbl.mem t.tbl user)) && Hashtbl.length t.tbl >= t.capacity
+    then evict_lru t;
+    t.clock <- t.clock + 1;
+    Hashtbl.replace t.tbl user { revision; profile; tick = t.clock }
+
+let remove t ~user =
+  t.lock.with_lock @@ fun () ->
+  if Hashtbl.mem t.tbl user then begin
+    Hashtbl.remove t.tbl user;
+    t.invalidations <- t.invalidations + 1
+  end
+
+let stats t =
+  t.lock.with_lock @@ fun () ->
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    invalidations = t.invalidations;
+    entries = Hashtbl.length t.tbl;
+  }

@@ -23,6 +23,8 @@ type config = Server_core.config = {
   cache_mb : float;
   shards : int;
   store_dir : string option;
+  replicas : int;
+  profile_lru_entries : int;
 }
 
 let default_config = Server_core.default_config

@@ -57,6 +57,13 @@ type config = {
   store_dir : string option;
       (** log-structured durable profile store root ([--store disk:DIR]);
           [None] keeps profiles in memory only *)
+  replicas : int;
+      (** replica-set members per shard store ([--replicas N], >= 1):
+          saves ship to every member, recovery scrubs/salvages/fails
+          over among them *)
+  profile_lru_entries : int;
+      (** hot parsed-profile LRU entries, split across shards
+          ([--profile-lru N], 0 disables) *)
 }
 
 val default_config : socket_path:string -> config

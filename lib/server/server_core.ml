@@ -17,6 +17,8 @@ type config = {
   cache_mb : float;
   shards : int;
   store_dir : string option;
+  replicas : int;
+  profile_lru_entries : int;  (* 0 disables the hot-profile LRU *)
 }
 
 let default_config ~socket_path =
@@ -37,6 +39,8 @@ let default_config ~socket_path =
     cache_mb = 32.;
     shards = 1;
     store_dir = None;
+    replicas = 1;
+    profile_lru_entries = 512;
   }
 
 type reply =
@@ -200,7 +204,7 @@ module Make (R : Runtime.S) = struct
     let outcome =
       if Breaker.allow t.breaker then
         Store.with_user_read t.store ~user (fun sdb ->
-            match Perso.Profile_store.load_r sdb ~user with
+            match Store.load_profile t.store ~user sdb with
             | Ok p -> (
                 Breaker.success t.breaker;
                 let r, src =
@@ -419,14 +423,34 @@ module Make (R : Runtime.S) = struct
   let health t =
     let cache_stats = Store.cache_stats t.store in
     let store_stats = Store.store_stats t.store in
+    let replica_stats = Store.replica_stats t.store in
+    let plru_stats = Store.plru_stats t.store in
     let sstat f = string_of_int (match store_stats with None -> 0 | Some s -> f s) in
+    let rstat f =
+      string_of_int (match replica_stats with None -> 0 | Some s -> f s)
+    in
+    let backend_name =
+      if store_stats = None then "memory"
+      else if Store.replica_count t.store > 1 then "replicated"
+      else "disk"
+    in
     locked t.qm (fun () ->
         [
           ("state", phase_name t.phase);
           ("shards", string_of_int (Store.shard_count t.store));
-          ("store_backend", if store_stats = None then "memory" else "disk");
+          ("store_backend", backend_name);
+          ("store_replicas", string_of_int (Store.replica_count t.store));
           ("store_appends", sstat (fun s -> s.Perso_store.Store.appends));
           ("store_compactions", sstat (fun s -> s.Perso_store.Store.compactions));
+          ( "store_torn_truncated",
+            sstat (fun s -> s.Perso_store.Store.torn_truncated) );
+          ("store_failover", rstat (fun s -> s.Perso_store.Replica.failovers));
+          ("store_salvaged", rstat (fun s -> s.Perso_store.Replica.salvaged));
+          ( "store_quarantined",
+            rstat (fun s -> s.Perso_store.Replica.quarantined) );
+          ("store_catchups", rstat (fun s -> s.Perso_store.Replica.catchups));
+          ( "store_ship_errors",
+            rstat (fun s -> s.Perso_store.Replica.ship_errors) );
           ("queue_depth", string_of_int (Queue.length t.queue));
           ("in_flight", string_of_int t.in_flight);
           ("workers", string_of_int t.cfg.workers);
@@ -448,6 +472,8 @@ module Make (R : Runtime.S) = struct
           ("cache_incremental", string_of_int t.c.cache_incremental);
           ("cache_bypass", string_of_int t.c.cache_bypass);
           ("cache_invalidate", string_of_int cache_stats.invalidations);
+          ("profile_lru_hit", string_of_int plru_stats.Profile_lru.hits);
+          ("profile_lru_miss", string_of_int plru_stats.Profile_lru.misses);
         ])
 
   (* ---------------------------- stop / drain ------------------------- *)
@@ -478,6 +504,9 @@ module Make (R : Runtime.S) = struct
     if cfg.queue_capacity < 1 then
       invalid_arg "Server: queue_capacity must be >= 1";
     if cfg.shards < 1 then invalid_arg "Server: shards must be >= 1";
+    if cfg.replicas < 1 then invalid_arg "Server: replicas must be >= 1";
+    if cfg.profile_lru_entries < 0 then
+      invalid_arg "Server: profile_lru_entries must be >= 0";
     (* One cache per shard, each bound to its shard database via
        [store_db] (revision reads and invalidation events) while
        queries still run against the main database.  Each cache
@@ -505,10 +534,29 @@ module Make (R : Runtime.S) = struct
              (int_of_float (cfg.cache_mb *. 1024. *. 1024.) / cfg.shards))
         ~store_db db
     in
+    (* One hot-profile LRU per shard, behind the same runtime-mutex
+       locker shape as the plan cache (innermost lock level).  The
+       configured entry budget is split across the shards. *)
+    let mk_plru () =
+      let lm = R.mutex_create () in
+      let lock =
+        {
+          Perso.Perso_cache.with_lock =
+            (fun f ->
+              R.lock lm;
+              Fun.protect ~finally:(fun () -> R.unlock lm) f);
+        }
+      in
+      Profile_lru.create ~lock
+        ~capacity:(max 1 (cfg.profile_lru_entries / cfg.shards))
+        ()
+    in
     let store =
       Store.create
         ?cache:(if cfg.cache then Some mk_cache else None)
-        ?persist:cfg.store_dir ~shards:cfg.shards db
+        ?profile_lru:
+          (if cfg.profile_lru_entries > 0 then Some mk_plru else None)
+        ?persist:cfg.store_dir ~replicas:cfg.replicas ~shards:cfg.shards db
     in
     let t =
       {

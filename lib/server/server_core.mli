@@ -52,10 +52,19 @@ type config = {
           (the default) keeps profiles purely in memory.  On open, a
           non-empty store is authoritative — crash recovery replays its
           WALs and the catalog's profile rows are ignored *)
+  replicas : int;
+      (** members per shard replica set ({!Perso_store.Replica},
+          [--replicas N]): every save ships to N byte-identical copies;
+          recovery scrubs, salvages, and fails over among them.  [1]
+          (the default) is the plain single-copy store *)
+  profile_lru_entries : int;
+      (** hot parsed-profile LRU entry bound, split across shards
+          ({!Profile_lru}); [0] disables it *)
 }
 
 val default_config : socket_path:string -> config
-(** Cache on, 512 entries, 32 MiB, 1 shard, in-memory store. *)
+(** Cache on, 512 entries, 32 MiB, 1 shard, in-memory store,
+    1 replica, 512 hot-profile LRU entries. *)
 
 type reply =
   | R_rows of { notes : string list; result : Relal.Exec.result }

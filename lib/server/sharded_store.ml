@@ -7,10 +7,11 @@ module Make (R : Runtime.S) = struct
     sdb : Database.t;  (* mini catalog holding only the profiles table *)
     lock : Rl.t;
     cache : Perso.Perso_cache.t option;
-    store : Perso_store.Store.t option;  (* durable tier when persisted *)
+    store : Perso_store.Replica.t option;  (* durable tier when persisted *)
+    plru : Profile_lru.t option;  (* hot parsed-profile cache *)
   }
 
-  type t = { shards : shard array; main : Database.t }
+  type t = { shards : shard array; main : Database.t; replicas : int }
 
   let shard_count t = Array.length t.shards
 
@@ -78,8 +79,9 @@ module Make (R : Runtime.S) = struct
           (Array.copy row))
       rows
 
-  let create ?cache ?persist ~shards main =
+  let create ?cache ?profile_lru ?persist ?(replicas = 1) ~shards main =
     let n = max 1 shards in
+    let r = max 1 replicas in
     let stores =
       match persist with
       | None -> Array.make n None
@@ -88,25 +90,35 @@ module Make (R : Runtime.S) = struct
           check_shard_marker root n;
           Array.init n (fun i ->
               Some
-                (Perso_store.Store.open_
+                (Perso_store.Replica.open_ ~replicas:r
                    (Filename.concat root (Printf.sprintf "shard-%02d" i))))
     in
     let mk i =
       let sdb = Database.create () in
       Perso.Profile_store.install sdb;
+      let plru = Option.map (fun f -> f ()) profile_lru in
+      (* Eager invalidation: any effective save/delete on the shard
+         drops the user's hot entry (the revision key already protects
+         against staleness; this keeps dead profiles from lingering). *)
+      Option.iter
+        (fun lru ->
+          Perso.Profile_store.subscribe sdb (fun ~user _ ->
+              Profile_lru.remove lru ~user))
+        plru;
       {
         sdb;
         lock = Rl.create ();
         cache = Option.map (fun f -> f ~store_db:sdb) cache;
         store = stores.(i);
+        plru;
       }
     in
-    let t = { shards = Array.init n mk; main } in
+    let t = { shards = Array.init n mk; main; replicas = r } in
     let stores_empty =
       Array.for_all
         (function
           | None -> true
-          | Some s -> Perso_store.Store.revisions s = [])
+          | Some s -> Perso_store.Replica.revisions s = [])
         stores
     in
     if stores_empty then begin
@@ -127,7 +139,7 @@ module Make (R : Runtime.S) = struct
           | Some s ->
               (* First open of this store: make the seeded state durable,
                  then write through from here on. *)
-              let b = Perso_store.Backend.of_store s in
+              let b = Perso_store.Backend.of_replica s in
               Perso.Profile_store.export sh.sdb b;
               Perso.Profile_store.attach sh.sdb b)
         t.shards
@@ -143,7 +155,7 @@ module Make (R : Runtime.S) = struct
           | None -> ()
           | Some s ->
               Perso.Profile_store.restore sh.sdb
-                (Perso_store.Backend.of_store s))
+                (Perso_store.Backend.of_replica s))
         t.shards;
     t
 
@@ -156,6 +168,49 @@ module Make (R : Runtime.S) = struct
     Rl.with_write sh.lock (fun () -> f sh.sdb)
 
   let cache_for t ~user = (shard_for t user).cache
+
+  (* Profile load for the serve path: probe the shard's hot LRU at the
+     user's current registry revision before falling back to the table
+     scan + parse.  A hit skips the re-parse, {e not} the fault point:
+     the breaker must observe exactly the failure stream the uncached
+     path produces, so the hit still crosses [Profile_load].  Caller
+     holds the user's shard read lock. *)
+  let load_profile t ~user db =
+    let sh = shard_for t user in
+    match sh.plru with
+    | None -> Perso.Profile_store.load_r db ~user
+    | Some lru -> (
+        let revision = Perso.Profile_store.revision db ~user in
+        match Profile_lru.find lru ~user ~revision with
+        | Some p ->
+            Perso.Error.guard (fun () ->
+                Chaos.point Chaos.Profile_load;
+                p)
+        | None -> (
+            match Perso.Profile_store.load_r db ~user with
+            | Ok p ->
+                Profile_lru.put lru ~user ~revision p;
+                Ok p
+            | Error _ as e -> e))
+
+  let zero_plru_stats : Profile_lru.stats =
+    { hits = 0; misses = 0; evictions = 0; invalidations = 0; entries = 0 }
+
+  let plru_stats t =
+    Array.fold_left
+      (fun (acc : Profile_lru.stats) sh ->
+        match sh.plru with
+        | None -> acc
+        | Some lru ->
+            let s = Profile_lru.stats lru in
+            {
+              Profile_lru.hits = acc.hits + s.hits;
+              misses = acc.misses + s.misses;
+              evictions = acc.evictions + s.evictions;
+              invalidations = acc.invalidations + s.invalidations;
+              entries = acc.entries + s.entries;
+            })
+      zero_plru_stats t.shards
 
   let zero_stats : Perso.Perso_cache.stats =
     {
@@ -192,6 +247,7 @@ module Make (R : Runtime.S) = struct
     Array.to_list (Array.map (fun sh -> Rl.holders sh.lock) t.shards)
 
   let persisted t = Array.exists (fun sh -> sh.store <> None) t.shards
+  let replica_count t = t.replicas
 
   let store_stats t =
     if not (persisted t) then None
@@ -202,7 +258,7 @@ module Make (R : Runtime.S) = struct
              match sh.store with
              | None -> acc
              | Some s ->
-                 let st = Perso_store.Store.stats s in
+                 let st = Perso_store.Replica.stats s in
                  {
                    Perso_store.Store.appends = acc.appends + st.appends;
                    rotations = acc.rotations + st.rotations;
@@ -226,6 +282,32 @@ module Make (R : Runtime.S) = struct
            }
            t.shards)
 
+  let replica_stats t =
+    if not (persisted t) then None
+    else
+      Some
+        (Array.fold_left
+           (fun (acc : Perso_store.Replica.rstats) sh ->
+             match sh.store with
+             | None -> acc
+             | Some s ->
+                 let rs = Perso_store.Replica.rstats s in
+                 {
+                   Perso_store.Replica.failovers = acc.failovers + rs.failovers;
+                   salvaged = acc.salvaged + rs.salvaged;
+                   quarantined = acc.quarantined + rs.quarantined;
+                   catchups = acc.catchups + rs.catchups;
+                   ship_errors = acc.ship_errors + rs.ship_errors;
+                 })
+           {
+             Perso_store.Replica.failovers = 0;
+             salvaged = 0;
+             quarantined = 0;
+             catchups = 0;
+             ship_errors = 0;
+           }
+           t.shards)
+
   let merge_back t =
     let rows =
       Array.to_list t.shards |> List.concat_map (fun sh -> profile_rows sh.sdb)
@@ -245,6 +327,6 @@ module Make (R : Runtime.S) = struct
       (fun sh ->
         match sh.store with
         | None -> ()
-        | Some s -> Perso_store.Store.close s)
+        | Some s -> Perso_store.Replica.close s)
       t.shards
 end

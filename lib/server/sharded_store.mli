@@ -30,30 +30,40 @@ module Make (R : Runtime.S) : sig
 
   val create :
     ?cache:(store_db:Relal.Database.t -> Perso.Perso_cache.t) ->
+    ?profile_lru:(unit -> Profile_lru.t) ->
     ?persist:string ->
+    ?replicas:int ->
     shards:int ->
     Relal.Database.t ->
     t
-  (** [create ?cache ?persist ~shards main] builds [max 1 shards] shard
-      databases, seeds them by raw-copying the main catalog's profiles
-      table (rows with a malformed username column go to shard 0 so
-      nothing is dropped) along with its revision high-water marks, and
-      — when [cache] is given — builds one per-shard cache with the
-      shard database as its [store_db].  The main catalog's profiles
-      table is left untouched until {!merge_back}.
+  (** [create ?cache ?profile_lru ?persist ?replicas ~shards main]
+      builds [max 1 shards] shard databases, seeds them by raw-copying
+      the main catalog's profiles table (rows with a malformed username
+      column go to shard 0 so nothing is dropped) along with its
+      revision high-water marks, and — when [cache] is given — builds
+      one per-shard cache with the shard database as its [store_db].
+      The main catalog's profiles table is left untouched until
+      {!merge_back}.
+
+      [profile_lru] builds one hot parsed-profile LRU per shard
+      (consulted by {!load_profile}), wired to the shard's
+      {!Perso.Profile_store.subscribe} hook for eager invalidation.
 
       [persist] names a store root directory: each shard gets its own
-      log-structured {!Perso_store.Store} under [root/shard-NN],
-      attached write-through.  On first open (all stores empty) the
-      main catalog's profiles are exported into the stores; afterwards
-      the stores are authoritative — crash recovery replays them and
-      the main catalog's profile rows are ignored.  A [SHARDS] marker
-      in the root pins the shard count; reopening with a different
-      [--shards] raises a typed [Store_error] (resharding migration is
-      a documented non-goal for now).
-      @raise Perso_store.Store.Store_error on recovery failure, a shard
-      count mismatch, or (first open only) a profile row too malformed
-      to export. *)
+      replica set ({!Perso_store.Replica}, [max 1 replicas] members)
+      under [root/shard-NN], attached write-through.  On first open
+      (all stores empty) the main catalog's profiles are exported into
+      the stores; afterwards the stores are authoritative — crash
+      recovery replays them and the main catalog's profile rows are
+      ignored.  A [SHARDS] marker in the root pins the shard count;
+      reopening with a different [--shards] raises a typed
+      [Store_error] (resharding migration is a documented non-goal for
+      now); each replica set's [REPLSTATE] likewise pins the replica
+      count.
+      @raise Perso_store.Store.Store_error on recovery failure (every
+      replica of some shard damaged), a shard or replica count
+      mismatch, or (first open only) a profile row too malformed to
+      export. *)
 
   val shard_count : t -> int
 
@@ -66,6 +76,22 @@ module Make (R : Runtime.S) : sig
   val cache_for : t -> user:string -> Perso.Perso_cache.t option
   (** The user's shard cache ([None] when built without [?cache]). *)
 
+  val load_profile :
+    t ->
+    user:string ->
+    Relal.Database.t ->
+    (Perso.Profile.t, Perso.Error.t) result
+  (** {!Perso.Profile_store.load_r} with the shard's hot LRU in front
+      (when built with [?profile_lru]): probe by (user, current registry
+      revision); a hit returns the already-parsed profile while still
+      crossing the [Profile_load] fault point, so breaker behavior is
+      unchanged.  Call with the user's shard database, under the shard
+      read lock. *)
+
+  val plru_stats : t -> Profile_lru.stats
+  (** Field-wise sum of every shard's hot-profile LRU counters — the
+      HEALTH view.  All zeros when built without [?profile_lru]. *)
+
   val cache_stats : t -> Perso.Perso_cache.stats
   (** Field-wise sum of every shard cache's counters — the HEALTH
       ledger view.  All zeros when built without [?cache]. *)
@@ -77,9 +103,17 @@ module Make (R : Runtime.S) : sig
   val persisted : t -> bool
   (** Whether the shards carry durable stores ([?persist] was given). *)
 
+  val replica_count : t -> int
+  (** Members per shard replica set (1 when unreplicated). *)
+
   val store_stats : t -> Perso_store.Store.stats option
   (** Field-wise sum of every shard store's counters, [None] for the
       in-memory backend — the HEALTH ledger view. *)
+
+  val replica_stats : t -> Perso_store.Replica.rstats option
+  (** Field-wise sum of every shard replica set's failover, salvage,
+      quarantine, catch-up, and ship-error counters; [None] for the
+      in-memory backend. *)
 
   val merge_back : t -> unit
   (** Raw-copy every shard's profile rows (in shard order) back into

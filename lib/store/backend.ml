@@ -69,3 +69,18 @@ let of_store s =
   }
 
 let disk ?config dirname = of_store (Store.open_ ?config dirname)
+
+let of_replica r =
+  {
+    name = "replicated";
+    save = (fun ~user ~revision entries -> Replica.save r ~user ~revision entries);
+    delete = (fun ~user ~revision -> Replica.delete r ~user ~revision);
+    load = (fun ~user -> Replica.load r ~user);
+    revision = (fun ~user -> Replica.revision r ~user);
+    revisions = (fun () -> Replica.revisions r);
+    users = (fun () -> Replica.users r);
+    iter = (fun f -> Replica.iter r f);
+    stats = (fun () -> Some (Replica.stats r));
+    sync = (fun () -> Replica.sync r);
+    close = (fun () -> Replica.close r);
+  }

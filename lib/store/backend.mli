@@ -33,3 +33,7 @@ val of_store : Store.t -> t
 val disk : ?config:Store.config -> string -> t
 (** Open (or create) a {!Store.t} at the directory and wrap it.
     @raise Store.Store_error on recovery failure. *)
+
+val of_replica : Replica.t -> t
+(** Wrap a replica set ("replicated" in HEALTH): saves ship to every
+    member, reads fail over from a damaged primary automatically. *)

@@ -1,0 +1,569 @@
+module Chaos = Relal.Chaos
+module Csv = Relal.Csv
+
+type rstats = {
+  failovers : int;
+  salvaged : int;
+  quarantined : int;
+  catchups : int;
+  ship_errors : int;
+}
+
+type member = {
+  dir : string;
+  mutable store : Store.t option;  (* None = offline (damage unrepaired) *)
+}
+
+type t = {
+  root : string;
+  cfg : Store.config;
+  n : int;
+  m : Mutex.t;
+  members : member array;
+  mutable primary : int;
+  mutable closed : bool;
+  mutable n_failovers : int;
+  mutable n_salvaged : int;
+  mutable n_quarantined : int;
+  mutable n_catchups : int;
+  mutable n_ship_errors : int;
+  mutable n_torn : int;  (* torn WAL tails truncated, summed over member opens *)
+}
+
+let root t = t.root
+let replicas t = t.n
+let primary_index t = t.primary
+
+let member_dir root i = Filename.concat root (Printf.sprintf "r%d" i)
+let replstate_name = "REPLSTATE"
+
+let locked t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let check_open t = if t.closed then invalid_arg "Replica: handle is closed"
+
+let error_file = function
+  | Store.Torn_log { file; _ } | Store.Bad_crc { file; _ }
+  | Store.Malformed { file; _ } ->
+      Filename.basename file
+
+(* Freshness: the sum of every user's revision high-water mark.  Each
+   mark is monotone, so a member that missed any shipped record sums
+   strictly lower — and unlike the REPLSTATE watermarks this is derived
+   from recovered bytes, never from bookkeeping that could be stale. *)
+let watermark s =
+  List.fold_left (fun acc (_, r) -> acc + r) 0 (Store.revisions s)
+
+(* ----------------------------- REPLSTATE ----------------------------- *)
+
+(* Pins the replica count (placement of quarantine/catch-up decisions
+   assumes a stable member set) and records the last promotion plus
+   per-member shipped watermarks for operators.  Promotion decisions
+   re-derive freshness from the stores; only the count and primary
+   index are load-bearing here. *)
+
+let replstate_text t =
+  let b = Buffer.create 128 in
+  Buffer.add_string b (Printf.sprintf "perso-replicas %d\n" t.n);
+  Buffer.add_string b (Printf.sprintf "primary %d\n" t.primary);
+  Array.iteri
+    (fun i mem ->
+      let w = match mem.store with Some s -> watermark s | None -> -1 in
+      Buffer.add_string b (Printf.sprintf "shipped %d %d\n" i w))
+    t.members;
+  Buffer.contents b
+
+let write_replstate t =
+  let path = Filename.concat t.root replstate_name in
+  try
+    Csv.write_file_sync (path ^ ".tmp") (replstate_text t);
+    Sys.rename (path ^ ".tmp") path;
+    Csv.fsync_dir t.root
+  with Sys_error _ | Unix.Unix_error _ -> ()
+
+let read_replstate root =
+  let path = Filename.concat root replstate_name in
+  if not (Sys.file_exists path) then None
+  else begin
+    let malformed detail =
+      raise (Store.Store_error (Store.Malformed { file = path; detail }))
+    in
+    let lines =
+      In_channel.with_open_bin path In_channel.input_all
+      |> String.split_on_char '\n'
+      |> List.filter (fun l -> String.trim l <> "")
+    in
+    match lines with
+    | header :: rest -> (
+        match String.split_on_char ' ' header with
+        | [ "perso-replicas"; n ] -> (
+            match int_of_string_opt n with
+            | Some n when n >= 1 ->
+                let primary = ref 0 in
+                List.iter
+                  (fun line ->
+                    match String.split_on_char ' ' line with
+                    | [ "primary"; p ] -> (
+                        match int_of_string_opt p with
+                        | Some p -> primary := p
+                        | None -> malformed ("bad primary line: " ^ line))
+                    | "shipped" :: _ -> ()
+                    | _ -> malformed ("unparseable line: " ^ line))
+                  rest;
+                Some (n, !primary)
+            | _ -> malformed ("bad replica count: " ^ header))
+        | _ -> malformed ("unknown header: " ^ header))
+    | [] -> malformed "empty REPLSTATE"
+  end
+
+(* Pre-replication layouts put the store files directly in the root.
+   Adopt them as member 0: data files first, the manifest last, so a
+   crash mid-migration leaves the root's manifest in place and the next
+   open resumes the move. *)
+let migrate_legacy root =
+  if Sys.file_exists (Filename.concat root Store.manifest_file) then begin
+    let r0 = member_dir root 0 in
+    if not (Sys.file_exists r0) then Sys.mkdir r0 0o755;
+    let move name =
+      let src = Filename.concat root name in
+      if Sys.file_exists src then Sys.rename src (Filename.concat r0 name)
+    in
+    Array.iter
+      (fun name -> if Store.is_store_file name then move name)
+      (Sys.readdir root);
+    move Store.manifest_file;
+    Csv.fsync_dir r0;
+    Csv.fsync_dir root
+  end
+
+(* ------------------------- repair primitives ------------------------- *)
+
+let abandon_member mem =
+  (match mem.store with
+  | Some s -> ( try Store.abandon s with Unix.Unix_error _ -> ())
+  | None -> ());
+  mem.store <- None
+
+let reopen_member t mem =
+  match Store.open_r ~config:t.cfg mem.dir with
+  | Ok s ->
+      t.n_torn <- t.n_torn + (Store.stats s).Store.torn_truncated;
+      mem.store <- Some s
+  | Error _ -> mem.store <- None
+
+(* Rebuild a member as a byte-identical clone of the current primary.
+   A failure leaves it offline — the next open retries the repair. *)
+let clone_from_primary t i =
+  let mem = t.members.(i) in
+  abandon_member mem;
+  (try Scrub.clone ~src:t.members.(t.primary).dir ~dst:mem.dir
+   with Sys_error _ | Unix.Unix_error _ -> ());
+  reopen_member t mem
+
+(* Quarantine-and-salvage one damaged member, then rebuild it from the
+   primary: credit the records its valid prefix still decodes, move the
+   damaged file out of the way (preserved, never deleted), clone. *)
+let repair_damaged t i error =
+  let mem = t.members.(i) in
+  abandon_member mem;
+  let file = error_file error in
+  t.n_salvaged <-
+    t.n_salvaged + Scrub.salvageable (Filename.concat mem.dir file);
+  Scrub.quarantine ~dir:mem.dir ~file;
+  t.n_quarantined <- t.n_quarantined + 1;
+  clone_from_primary t i;
+  if mem.store <> None then t.n_catchups <- t.n_catchups + 1
+
+(* ------------------------------ promotion ---------------------------- *)
+
+let promote_point () =
+  (match Chaos.take_fault Chaos.Promote with
+  | None | Some (Chaos.Flip_byte _) -> ()
+  | Some Chaos.Crash | Some (Chaos.Torn_write _) ->
+      raise (Chaos.Crashed { point = Chaos.Promote })
+  | Some (Chaos.Short_write _) | Some Chaos.Fsync_fail ->
+      raise (Chaos.Injected { point = Chaos.Promote; transient = true }));
+  Chaos.point Chaos.Promote
+
+(* The freshest healthy member other than [except]: highest watermark,
+   ties broken by lowest index — deterministic, so every replica of the
+   decision (re-runs, the sweep's oracle) promotes identically. *)
+let member_watermark t i =
+  match t.members.(i).store with Some s -> watermark s | None -> -1
+
+let freshest t ~except =
+  let best = ref None in
+  Array.iteri
+    (fun i mem ->
+      if i <> except then
+        match mem.store with
+        | None -> ()
+        | Some s -> (
+            let w = watermark s in
+            match !best with
+            | Some (_, w') when w' >= w -> ()
+            | _ -> best := Some (i, w)))
+    t.members;
+  Option.map fst !best
+
+let promote t ~damaged =
+  promote_point ();
+  match freshest t ~except:t.primary with
+  | None -> (
+      (* No replica has a clean copy: surface the damage as the same
+         typed fatal error a single-copy store raises. *)
+      match damaged with
+      | Some e -> raise (Store.Store_error e)
+      | None ->
+          raise
+            (Store.Store_error
+               (Store.Malformed
+                  {
+                    file = replstate_name;
+                    detail = "no healthy replica to promote";
+                  })))
+  | Some i ->
+      let old = t.primary in
+      t.primary <- i;
+      t.n_failovers <- t.n_failovers + 1;
+      (match damaged with
+      | Some e -> repair_damaged t old e
+      | None -> clone_from_primary t old);
+      write_replstate t
+
+(* Run a read against the primary, failing over on typed damage until
+   it succeeds or every member has been tried.  Bounded: promotion
+   never returns to the member it just demoted within one operation's
+   attempts, and [t.n] attempts exhaust the set. *)
+let with_failover t f =
+  let rec go attempts =
+    match t.members.(t.primary).store with
+    | None ->
+        if attempts = 0 then
+          raise
+            (Store.Store_error
+               (Store.Malformed
+                  { file = replstate_name; detail = "no healthy replica" }))
+        else begin
+          promote t ~damaged:None;
+          go (attempts - 1)
+        end
+    | Some s -> (
+        match f s with
+        | v -> v
+        | exception Store.Store_error e ->
+            if t.n = 1 || attempts = 0 then raise (Store.Store_error e)
+            else begin
+              promote t ~damaged:(Some e);
+              go (attempts - 1)
+            end)
+  in
+  go t.n
+
+(* -------------------------------- open -------------------------------- *)
+
+let open_ ?(config = Store.default_config) ?replicas root =
+  (match replicas with
+  | Some n when n < 1 -> invalid_arg "Replica.open_: replicas must be >= 1"
+  | _ -> ());
+  if not (Sys.file_exists root) then Sys.mkdir root 0o755;
+  if not (Sys.is_directory root) then
+    raise
+      (Store.Store_error
+         (Store.Malformed
+            { file = root; detail = "replica root is not a directory" }));
+  migrate_legacy root;
+  let stored = read_replstate root in
+  let replicas =
+    match (replicas, stored) with
+    | Some n, Some (sn, _) when sn <> n ->
+        raise
+          (Store.Store_error
+             (Store.Malformed
+                {
+                  file = Filename.concat root replstate_name;
+                  detail =
+                    Printf.sprintf
+                      "store was created with %d replicas; restart with \
+                       --replicas %d"
+                      sn sn;
+                }))
+    | Some n, _ -> n
+    | None, Some (sn, _) -> sn
+    | None, None -> 1
+  in
+  let primary0 =
+    match stored with
+    | Some (_, p) when p >= 0 && p < replicas -> p
+    | _ -> 0
+  in
+  let t =
+    {
+      root;
+      cfg = config;
+      n = replicas;
+      m = Mutex.create ();
+      members =
+        Array.init replicas (fun i ->
+            { dir = member_dir root i; store = None });
+      primary = primary0;
+      closed = false;
+      n_failovers = 0;
+      n_salvaged = 0;
+      n_quarantined = 0;
+      n_catchups = 0;
+      n_ship_errors = 0;
+      n_torn = 0;
+    }
+  in
+  let opens =
+    Array.map (fun mem -> Store.open_r ~config:t.cfg mem.dir) t.members
+  in
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok s ->
+          t.n_torn <- t.n_torn + (Store.stats s).Store.torn_truncated;
+          t.members.(i).store <- Some s
+      | Error _ -> ())
+    opens;
+  if Array.for_all (fun mem -> mem.store = None) t.members then
+    (* Every copy is damaged: no salvage donor exists, so recovery
+       surfaces exactly what a single-copy store would have raised —
+       the primary's typed error. *)
+    raise
+      (Store.Store_error
+         (match opens.(primary0) with Error e -> e | Ok _ -> assert false));
+  (* Automatic failover at open: a damaged primary hands off to the
+     freshest healthy member before any repair clones from it.  So does
+     a primary that recovered strictly {e behind} a follower — latent
+     corruption in its WAL tail truncates like a crash signature, so the
+     member opens fine but acknowledged records now live only on the
+     freshest copy. *)
+  (match (t.members.(t.primary).store, freshest t ~except:(-1)) with
+  | None, Some i ->
+      promote_point ();
+      t.primary <- i;
+      t.n_failovers <- t.n_failovers + 1
+  | Some ps, Some i when i <> t.primary && watermark ps < member_watermark t i ->
+      promote_point ();
+      t.primary <- i;
+      t.n_failovers <- t.n_failovers + 1
+  | _, _ -> ());
+  (* Scrub-and-salvage every damaged member from the healthy primary. *)
+  Array.iteri
+    (fun i r ->
+      match r with
+      | Ok _ -> ()
+      | Error e -> if i <> t.primary then repair_damaged t i e)
+    opens;
+  (* Divergence check: per-file (name, size, crc) rollups must agree
+     with the primary's; a follower that restarted behind (or carries
+     latent damage the manifest sizes cannot see) is caught up by a
+     deterministic clone. *)
+  let primary_rollup = Scrub.rollup t.members.(t.primary).dir in
+  Array.iteri
+    (fun i mem ->
+      if i <> t.primary && mem.store <> None then
+        let r = try Scrub.rollup mem.dir with Store.Store_error _ -> [] in
+        if r <> primary_rollup then begin
+          clone_from_primary t i;
+          if mem.store <> None then t.n_catchups <- t.n_catchups + 1
+        end)
+    t.members;
+  write_replstate t;
+  t
+
+let open_r ?config ?replicas root =
+  match open_ ?config ?replicas root with
+  | t -> Ok t
+  | exception Store.Store_error e -> Error e
+
+(* ------------------------------- writes ------------------------------- *)
+
+let apply s = function
+  | Codec.Put { user; revision; entries } -> Store.save s ~user ~revision entries
+  | Codec.Delete { user; revision } -> Store.delete s ~user ~revision
+
+(* Primary first — its fsynced append is the acknowledgement — then
+   ship the same record to every follower.  Follower failures never
+   fail an acknowledged save: the member is marked behind and caught up
+   by a clone before the call returns (transient faults), or left for
+   recovery's divergence check (simulated crashes). *)
+let mutate t record =
+  locked t @@ fun () ->
+  check_open t;
+  if t.n > 1 then Chaos.point Chaos.Ship_append;
+  (match t.members.(t.primary).store with
+  | None -> with_failover t (fun _ -> ())
+  | Some _ -> ());
+  (match t.members.(t.primary).store with
+  | Some s -> apply s record
+  | None -> assert false);
+  if t.n > 1 then begin
+    let behind = ref [] in
+    Array.iteri
+      (fun i mem ->
+        if i <> t.primary then
+          match mem.store with
+          | None -> behind := i :: !behind
+          | Some s -> (
+              match Chaos.take_fault Chaos.Ship_append with
+              | Some Chaos.Crash | Some (Chaos.Torn_write _) ->
+                  raise (Chaos.Crashed { point = Chaos.Ship_append })
+              | Some (Chaos.Short_write _) | Some Chaos.Fsync_fail ->
+                  t.n_ship_errors <- t.n_ship_errors + 1;
+                  behind := i :: !behind
+              | Some (Chaos.Flip_byte frac) ->
+                  (* The ship lands, then latent corruption hits the
+                     follower's WAL — for the divergence check or a
+                     later failover to find. *)
+                  apply s record;
+                  let wal, _ = Store.active_wal s in
+                  Chaos.flip_byte_in_file (Filename.concat mem.dir wal) frac
+              | None -> (
+                  match apply s record with
+                  | () -> ()
+                  | exception (Chaos.Crashed _ as e) -> raise e
+                  | exception _ ->
+                      t.n_ship_errors <- t.n_ship_errors + 1;
+                      behind := i :: !behind)))
+      t.members;
+    List.iter
+      (fun i ->
+        clone_from_primary t i;
+        if t.members.(i).store <> None then
+          t.n_catchups <- t.n_catchups + 1)
+      (List.rev !behind)
+  end
+
+let save t ~user ~revision entries =
+  mutate t (Codec.Put { user; revision; entries })
+
+let delete t ~user ~revision = mutate t (Codec.Delete { user; revision })
+
+(* -------------------------------- reads ------------------------------- *)
+
+let load t ~user =
+  locked t (fun () ->
+      check_open t;
+      with_failover t (fun s -> Store.load s ~user))
+
+let revision t ~user =
+  locked t (fun () ->
+      check_open t;
+      with_failover t (fun s -> Store.revision s ~user))
+
+let revisions t =
+  locked t (fun () ->
+      check_open t;
+      with_failover t (fun s -> Store.revisions s))
+
+let users t =
+  locked t (fun () ->
+      check_open t;
+      with_failover t (fun s -> Store.users s))
+
+let iter t f =
+  locked t (fun () ->
+      check_open t;
+      with_failover t (fun s -> Store.iter s f))
+
+(* ------------------------------- admin -------------------------------- *)
+
+let stats t =
+  locked t (fun () ->
+      let base =
+        with_failover t (fun s -> Store.stats s)
+      in
+      { base with Store.torn_truncated = t.n_torn })
+
+let rstats t =
+  locked t (fun () ->
+      {
+        failovers = t.n_failovers;
+        salvaged = t.n_salvaged;
+        quarantined = t.n_quarantined;
+        catchups = t.n_catchups;
+        ship_errors = t.n_ship_errors;
+      })
+
+let scrub_now t =
+  locked t @@ fun () ->
+  check_open t;
+  let reports = Array.map (fun mem -> Scrub.scan_dir mem.dir) t.members in
+  let damaged i = reports.(i).Scrub.damaged <> [] in
+  let clean_exists =
+    Array.exists
+      (fun i -> t.members.(i).store <> None && not (damaged i))
+      (Array.init t.n Fun.id)
+  in
+  (if not clean_exists then begin
+     (* No clean copy anywhere: the typed fatal error, as ever. *)
+     match
+       Array.find_opt (fun i -> damaged i) (Array.init t.n Fun.id)
+     with
+     | Some i -> raise (Store.Store_error (List.hd reports.(i).Scrub.damaged).Scrub.error)
+     | None -> ()
+   end
+   else begin
+     (* Failover away from a damaged primary before repairs clone. *)
+     if damaged t.primary || t.members.(t.primary).store = None then begin
+       promote_point ();
+       (match
+          ( freshest t ~except:t.primary,
+            Array.find_opt
+              (fun i ->
+                i <> t.primary && t.members.(i).store <> None && not (damaged i))
+              (Array.init t.n Fun.id) )
+        with
+       | _, Some i | Some i, None -> t.primary <- i
+       | None, None -> assert false);
+       t.n_failovers <- t.n_failovers + 1
+     end;
+     Array.iteri
+       (fun i mem ->
+         if i <> t.primary then
+           if damaged i then
+             repair_damaged t i (List.hd reports.(i).Scrub.damaged).Scrub.error
+           else if mem.store = None then begin
+             clone_from_primary t i;
+             if mem.store <> None then t.n_catchups <- t.n_catchups + 1
+           end)
+       t.members;
+     write_replstate t
+   end);
+  Array.to_list reports
+
+let compact_now t =
+  locked t (fun () ->
+      check_open t;
+      Array.iter
+        (fun mem ->
+          match mem.store with Some s -> Store.compact_now s | None -> ())
+        t.members)
+
+let sync t =
+  locked t (fun () ->
+      Array.iter
+        (fun mem -> match mem.store with Some s -> Store.sync s | None -> ())
+        t.members)
+
+let close t =
+  locked t (fun () ->
+      if not t.closed then begin
+        write_replstate t;
+        Array.iter
+          (fun mem ->
+            match mem.store with Some s -> Store.close s | None -> ())
+          t.members;
+        t.closed <- true
+      end)
+
+let abandon t =
+  locked t (fun () ->
+      if not t.closed then begin
+        Array.iter abandon_member t.members;
+        t.closed <- true
+      end)

@@ -1,0 +1,110 @@
+(** Replicated profile tier: N byte-identical copies of one
+    log-structured store under a single root.
+
+    {v
+    root/
+      REPLSTATE      replica count, primary index, shipped watermarks
+      r0/ r1/ ...    one Store directory per member
+      rK/quarantine/ damaged files preserved by salvage, never deleted
+    v}
+
+    {b WAL shipping.}  Every mutation is applied to the primary first —
+    its fsynced append is the acknowledgement — then shipped to each
+    follower through the same CRC-framed codec (the follower's own
+    append path).  A follower that misses a ship (fault, crash, latent
+    corruption) is caught up by a deterministic byte-identical clone of
+    the primary's committed file set, either before the call returns or
+    by recovery's divergence check, which compares per-file
+    (name, size, crc) rollups at every open.
+
+    {b Scrub-and-salvage.}  A member whose recovery surfaces typed
+    damage is repaired, not abandoned: the records its valid prefix
+    still decodes are credited as salvaged, the damaged file is moved to
+    [quarantine/] for post-mortem, and the lost suffix is rebuilt by
+    cloning a healthy replica.  Only when {e no} member has a clean copy
+    does the tier raise the same typed fatal {!Store.Store_error} a
+    single-copy store would.
+
+    {b Automatic failover.}  Reads run against the primary; typed
+    damage triggers promotion of the freshest healthy follower (highest
+    revision watermark, ties to the lowest index — deterministic) and
+    repair of the demoted member.  With [replicas = 1] every behavior
+    collapses to the bare store's, fatal errors included.
+
+    All operations are serialized by an internal mutex, mirroring
+    {!Store}; concurrency comes from sharding (one replica set per
+    shard). *)
+
+type t
+
+type rstats = {
+  failovers : int;  (** promotions (at open, on read damage, by scrub) *)
+  salvaged : int;  (** records credited from damaged files' valid prefixes *)
+  quarantined : int;  (** damaged files moved into [quarantine/] *)
+  catchups : int;  (** followers rebuilt by cloning the primary *)
+  ship_errors : int;  (** follower ships that failed (save still acked) *)
+}
+
+val open_ : ?config:Store.config -> ?replicas:int -> string -> t
+(** Open (creating members as needed) and recover: open every member,
+    fail over if the recorded primary is damaged, quarantine-and-
+    salvage damaged members from the healthy primary, and re-clone any
+    follower whose rollup diverges.  A pre-replication layout (store
+    files directly in the root) is migrated to member 0 first.
+
+    Omitting [replicas] adopts the root's recorded count ([REPLSTATE];
+    1 for a fresh root) — the scrub CLI and offline audits open
+    existing roots this way.
+    @raise Store.Store_error when no member recovers cleanly (the
+    primary's error — exactly the single-copy behavior), or when the
+    root's [REPLSTATE] pins a replica count different from an explicit
+    [replicas].
+    @raise Invalid_argument if [replicas < 1]. *)
+
+val open_r :
+  ?config:Store.config -> ?replicas:int -> string -> (t, Store.error) result
+
+val root : t -> string
+val replicas : t -> int
+
+val primary_index : t -> int
+(** Current primary member (reads are routed here). *)
+
+(** {1 Mutations} — primary-acknowledged, then shipped to followers.
+    Follower failures never fail an acknowledged save. *)
+
+val save : t -> user:string -> revision:int -> Codec.entry list -> unit
+val delete : t -> user:string -> revision:int -> unit
+
+(** {1 Reads} — from the primary, failing over on typed damage until a
+    healthy member answers or the set is exhausted. *)
+
+val load : t -> user:string -> Codec.entry list option
+val revision : t -> user:string -> int
+val revisions : t -> (string * int) list
+val users : t -> string list
+val iter : t -> (user:string -> revision:int -> Codec.entry list -> unit) -> unit
+
+(** {1 Administration} *)
+
+val stats : t -> Store.stats
+(** The primary's stats, with [torn_truncated] summed over every member
+    open performed by this handle. *)
+
+val rstats : t -> rstats
+
+val scrub_now : t -> Scrub.report list
+(** Scrub every member's committed file set (one report per member, in
+    member order), then repair: fail over from a damaged primary,
+    quarantine-and-salvage damaged followers, re-clone offline ones.
+    @raise Store.Store_error when no member scans clean. *)
+
+val compact_now : t -> unit
+(** Compact every member (compaction is deterministic, so members stay
+    byte-identical). *)
+
+val sync : t -> unit
+val close : t -> unit
+
+val abandon : t -> unit
+(** Drop all handles without syncing — the crash harness's kill. *)

@@ -1,0 +1,199 @@
+module Chaos = Relal.Chaos
+module Csv = Relal.Csv
+
+type file_status =
+  | File_ok
+  | File_torn_tail of int
+  | File_damaged of Store.error
+
+type file_report = {
+  file : string;
+  size : int;
+  crc : int;
+  records : int;
+  status : file_status;
+}
+
+type damage = { file : string; error : Store.error; salvageable : int }
+
+type report = { dir : string; files : file_report list; damaged : damage list }
+
+let status_name = function
+  | File_ok -> "ok"
+  | File_torn_tail at -> Printf.sprintf "torn-tail@%d" at
+  | File_damaged e -> Store.error_to_string e
+
+(* Whole-file CRC by chunked reads — the per-file rollup entry the
+   replica divergence check compares.  Streamed so a scrub never holds
+   a segment as one string. *)
+let crc_of_file path =
+  In_channel.with_open_bin path (fun ic ->
+      let buf = Bytes.create 65536 in
+      let rec go state size =
+        match In_channel.input ic buf 0 (Bytes.length buf) with
+        | 0 -> (size, Crc32.finish state)
+        | n ->
+            go
+              (Crc32.update state (Bytes.unsafe_to_string buf) ~pos:0 ~len:n)
+              (size + n)
+      in
+      go Crc32.init 0)
+
+let salvageable path =
+  if not (Sys.file_exists path) then 0
+  else begin
+    let n = ref 0 in
+    (try ignore (Wal.scan_file path (fun ~pos:_ _ -> incr n))
+     with Sys_error _ -> ());
+    !n
+  end
+
+(* One file under the scrubber's lens.  [promised = Some bytes] for
+   sealed segments (the manifest's size is part of the contract);
+   [None] for the active WAL, whose torn tail is a legitimate crash
+   signature rather than damage. *)
+let scan_file ~dir ~promised name =
+  let path = Filename.concat dir name in
+  (match Chaos.take_fault Chaos.Scrub_read with
+  | None -> ()
+  | Some (Chaos.Flip_byte frac) ->
+      (* Latent disk corruption surfacing exactly when the scrubber
+         looks: flip first, then verify — the scrub must catch it. *)
+      Chaos.flip_byte_in_file path frac
+  | Some Chaos.Crash -> raise (Chaos.Crashed { point = Chaos.Scrub_read })
+  | Some (Chaos.Torn_write _ | Chaos.Short_write _) | Some Chaos.Fsync_fail ->
+      raise (Chaos.Injected { point = Chaos.Scrub_read; transient = true }));
+  Chaos.point Chaos.Scrub_read;
+  if not (Sys.file_exists path) then
+    {
+      file = name;
+      size = 0;
+      crc = 0;
+      records = 0;
+      status =
+        File_damaged (Store.Torn_log { file = name; detail = "file missing" });
+    }
+  else begin
+    let data = In_channel.with_open_bin path In_channel.input_all in
+    let size = String.length data in
+    let crc = Crc32.string data in
+    let records = ref 0 in
+    let _, ending = Wal.scan_string data (fun ~pos:_ _ -> incr records) in
+    let status =
+      match promised with
+      | Some p when size <> p ->
+          File_damaged
+            (Store.Torn_log
+               {
+                 file = name;
+                 detail =
+                   Printf.sprintf "%d bytes on disk, manifest says %d" size p;
+               })
+      | _ -> (
+          match ending with
+          | Wal.Clean -> File_ok
+          | Wal.Torn { at; detail } ->
+              if promised = None then File_torn_tail at
+              else
+                File_damaged
+                  (Store.Torn_log
+                     {
+                       file = name;
+                       detail = Printf.sprintf "at %d: %s" at detail;
+                     })
+          | Wal.Corrupt { at; detail } ->
+              File_damaged
+                (Store.Bad_crc
+                   {
+                     file = name;
+                     detail = Printf.sprintf "at %d: %s" at detail;
+                   }))
+    in
+    { file = name; size; crc; records = !records; status }
+  end
+
+let scan_dir dir =
+  match Store.read_manifest dir with
+  | None -> { dir; files = []; damaged = [] }
+  | Some (sealed, wal) ->
+      let files =
+        List.map (fun (n, sz) -> scan_file ~dir ~promised:(Some sz) n) sealed
+        @
+        if Sys.file_exists (Filename.concat dir wal) then
+          [ scan_file ~dir ~promised:None wal ]
+        else []
+      in
+      let damaged =
+        List.filter_map
+          (fun fr ->
+            match fr.status with
+            | File_damaged e ->
+                Some { file = fr.file; error = e; salvageable = fr.records }
+            | File_ok | File_torn_tail _ -> None)
+          files
+      in
+      { dir; files; damaged }
+
+let rollup dir =
+  match Store.read_manifest dir with
+  | None -> []
+  | Some (sealed, wal) ->
+      List.filter_map
+        (fun name ->
+          let path = Filename.concat dir name in
+          if Sys.file_exists path then
+            let size, crc = crc_of_file path in
+            Some (name, size, crc)
+          else None)
+        (List.map fst sealed @ [ wal ])
+
+(* ------------------------- repair primitives ------------------------- *)
+
+let quarantine_dirname = "quarantine"
+
+let quarantine ~dir ~file =
+  let src = Filename.concat dir file in
+  if Sys.file_exists src then begin
+    let qdir = Filename.concat dir quarantine_dirname in
+    if not (Sys.file_exists qdir) then Sys.mkdir qdir 0o755;
+    let rec target k =
+      let name = if k = 0 then file else Printf.sprintf "%s.%d" file k in
+      let p = Filename.concat qdir name in
+      if Sys.file_exists p then target (k + 1) else p
+    in
+    Sys.rename src (target 0);
+    Csv.fsync_dir dir
+  end
+
+let clear_store_files dir =
+  if Sys.file_exists dir && Sys.is_directory dir then begin
+    (* Manifest first: a crash mid-clear must not leave a manifest
+       naming files that are already gone. *)
+    (try Sys.remove (Filename.concat dir Store.manifest_file)
+     with Sys_error _ -> ());
+    Array.iter
+      (fun name ->
+        if Store.is_store_file name then
+          try Sys.remove (Filename.concat dir name) with Sys_error _ -> ())
+      (Sys.readdir dir)
+  end
+
+let copy_file ~src ~dst = Csv.write_file_sync dst (In_channel.with_open_bin src In_channel.input_all)
+
+let clone ~src ~dst =
+  if not (Sys.file_exists dst) then Sys.mkdir dst 0o755;
+  clear_store_files dst;
+  (match Store.read_manifest src with
+  | None -> ()
+  | Some (sealed, wal) ->
+      let copy name =
+        let from = Filename.concat src name in
+        if Sys.file_exists from then
+          copy_file ~src:from ~dst:(Filename.concat dst name)
+      in
+      List.iter copy (List.map fst sealed);
+      copy wal;
+      (* The manifest lands last — the clone's commit point, mirroring
+         rotation and compaction. *)
+      copy Store.manifest_file);
+  Csv.fsync_dir dst

@@ -103,8 +103,10 @@ let parse_manifest ~file text =
    tmp + fsync + atomic rename, the same discipline as [Csv.save_db_r].
    The deterministic fault plan can kill or fail it. *)
 let write_manifest t ~sealed ~wal =
+  let flip = ref None in
   (match Chaos.take_fault Chaos.Manifest_write with
   | None -> ()
+  | Some (Chaos.Flip_byte frac) -> flip := Some frac
   | Some Chaos.Crash -> raise (Chaos.Crashed { point = Chaos.Manifest_write })
   | Some (Chaos.Torn_write frac) ->
       let text = manifest_text ~sealed ~wal in
@@ -120,7 +122,10 @@ let write_manifest t ~sealed ~wal =
   Chaos.point Chaos.Manifest_write;
   Csv.write_file_sync (in_dir t manifest_tmp) (manifest_text ~sealed ~wal);
   Sys.rename (in_dir t manifest_tmp) (in_dir t manifest_name);
-  Csv.fsync_dir t.dirname
+  Csv.fsync_dir t.dirname;
+  Option.iter
+    (fun frac -> Chaos.flip_byte_in_file (in_dir t manifest_name) frac)
+    !flip
 
 (* ----------------------------- recovery ----------------------------- *)
 
@@ -306,6 +311,23 @@ let open_r ?config dirname =
   | t -> Ok t
   | exception Store_error e -> Error e
 
+(* -------------------- file-set introspection -------------------- *)
+
+(* The scrubber and the replica tier work on the committed file set
+   without opening a handle: the manifest names exactly the files whose
+   bytes matter (plus the active WAL, whose tail may legitimately be
+   torn). *)
+
+let manifest_file = manifest_name
+
+let read_manifest dirname =
+  let path = Filename.concat dirname manifest_name in
+  if not (Sys.file_exists path) then None
+  else
+    Some
+      (parse_manifest ~file:manifest_name
+         (In_channel.with_open_bin path In_channel.input_all))
+
 let check_open t = if t.closed then invalid_arg "Store: handle is closed"
 
 (* ----------------------------- rotation ----------------------------- *)
@@ -386,6 +408,10 @@ let compact t =
        Wal.sync out;
        (match Chaos.take_fault Chaos.Compact_rename with
        | None -> ()
+       | Some (Chaos.Flip_byte frac) ->
+           (* Latent sealed-segment corruption: the compaction commits,
+              but the fresh segment carries a flipped byte. *)
+           Chaos.flip_byte_in_file seg_path frac
        | Some Chaos.Crash | Some (Chaos.Torn_write _) ->
            raise (Chaos.Crashed { point = Chaos.Compact_rename })
        | Some (Chaos.Short_write _) | Some Chaos.Fsync_fail ->
@@ -429,6 +455,9 @@ let maybe_compact t =
 let locked t f =
   Mutex.lock t.m;
   Fun.protect ~finally:(fun () -> Mutex.unlock t.m) f
+
+let sealed_segments t = locked t (fun () -> t.sealed)
+let active_wal t = locked t (fun () -> (t.wal_name, Wal.size t.wal))
 
 let append_record t record =
   check_open t;

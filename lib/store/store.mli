@@ -64,6 +64,31 @@ val open_ : ?config:config -> string -> t
 
 val dir : t -> string
 
+(** {1 File-set introspection}
+
+    The scrubber ({!Scrub}) and the replica tier ({!Replica}) reason
+    about a store directory's committed file set without opening a
+    handle. *)
+
+val manifest_file : string
+(** The manifest's file name ("MANIFEST"). *)
+
+val is_store_file : string -> bool
+(** Whether a directory-entry name belongs to the store (WAL, segment,
+    or manifest temp file — the files recovery may remove as strays). *)
+
+val read_manifest : string -> ((string * int) list * string) option
+(** [read_manifest dirname] parses the committed manifest:
+    [(sealed (name, size) list, active wal name)], or [None] when the
+    directory has no manifest (fresh or never-initialized).
+    @raise Store_error ([Malformed]) on an unparseable manifest. *)
+
+val sealed_segments : t -> (string * int) list
+(** Sealed [(file, bytes)] list of an open store, oldest first. *)
+
+val active_wal : t -> string * int
+(** Active WAL's [(file, acknowledged bytes)]. *)
+
 val save : t -> user:string -> revision:int -> Codec.entry list -> unit
 (** Append a [Put] and fsync.  On return the record is durable; on any
     exception it is guaranteed absent (failed appends truncate back),

@@ -54,8 +54,13 @@ let append ?(point = Chaos.Wal_append) t payload =
   let fr = frame payload in
   let off = t.size in
   ignore (Unix.lseek t.fd off Unix.SEEK_SET);
+  let flip = ref None in
   (match Chaos.take_fault point with
   | None -> ()
+  | Some (Chaos.Flip_byte frac) ->
+      (* Latent corruption: the append itself succeeds; one byte of the
+         file is damaged in place afterwards, for a CRC check to find. *)
+      flip := Some frac
   | Some Chaos.Crash -> raise (Chaos.Crashed { point })
   | Some (Chaos.Torn_write frac) ->
       (try write_all t.fd fr 0 (torn_len frac (String.length fr))
@@ -79,6 +84,7 @@ let append ?(point = Chaos.Wal_append) t payload =
   with
   | () ->
       t.size <- off + String.length fr;
+      Option.iter (fun frac -> Chaos.flip_byte_in_file t.path frac) !flip;
       off
   | exception e ->
       (match e with Chaos.Crashed _ -> () | _ -> undo t off);

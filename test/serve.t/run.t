@@ -49,8 +49,15 @@ accounted for (5 data-plane requests: 4 ok, 1 parse error):
   state running
   shards 1
   store_backend memory
+  store_replicas 1
   store_appends 0
   store_compactions 0
+  store_torn_truncated 0
+  store_failover 0
+  store_salvaged 0
+  store_quarantined 0
+  store_catchups 0
+  store_ship_errors 0
   queue_depth 0
   in_flight 0
   workers 2
@@ -72,6 +79,8 @@ accounted for (5 data-plane requests: 4 ok, 1 parse error):
   cache_incremental 0
   cache_bypass 0
   cache_invalidate 0
+  profile_lru_hit 0
+  profile_lru_miss 1
 
 Graceful drain: SHUTDOWN stops admission, in-flight work finishes, and
 the server exits 0 having shed nothing:
@@ -97,8 +106,15 @@ survive the restart because recovery replays the write-ahead logs:
 
   $ perso_cli call --socket ./perso.sock HEALTH | grep store
   store_backend disk
+  store_replicas 1
   store_appends 1
   store_compactions 0
+  store_torn_truncated 0
+  store_failover 0
+  store_salvaged 0
+  store_quarantined 0
+  store_catchups 0
+  store_ship_errors 0
 
   $ perso_cli call --socket ./perso.sock SHUTDOWN
   draining
@@ -135,3 +151,90 @@ caught before the server starts:
   $ perso_cli serve --movies 0 --socket ./perso.sock --store disk
   usage error: --store must be 'memory' or 'disk:DIR' (got "disk")
   [6]
+
+Replication: --replicas N keeps N byte-identical copies of every shard
+store (WAL shipping).  Saves ship to all members and the replica
+counters surface in HEALTH:
+
+  $ perso_cli serve --movies 0 --socket ./perso.sock --workers 2 --queue 8 --store disk:./pstore2 --replicas 3 2>serve4.log &
+
+  $ perso_cli call --socket ./perso.sock --wait-ms 5000 "PROFILE SAVE julie [ GENRE.genre = 'comedy', 0.9 ]"
+  saved user=julie entries=1
+
+  $ perso_cli call --socket ./perso.sock HEALTH | grep -E "store_backend|store_replicas|store_failover"
+  store_backend replicated
+  store_replicas 3
+  store_failover 0
+
+  $ perso_cli call --socket ./perso.sock SHUTDOWN
+  draining
+
+  $ wait
+
+  $ cat serve4.log
+  serving on ./perso.sock (workers=2 queue=8)
+  drained=true shed_at_stop=0
+
+The offline scrubber re-verifies every member's records:
+
+  $ perso_cli scrub ./pstore2
+  shard-00/r0/wal-000001.log: ok (1 records)
+  shard-00/r1/wal-000001.log: ok (1 records)
+  shard-00/r2/wal-000001.log: ok (1 records)
+
+Corrupt one byte of the primary member's write-ahead log; the scrubber
+catches the checksum mismatch and exits 2:
+
+  $ printf '\377' | dd of=./pstore2/shard-00/r0/wal-000001.log bs=1 seek=12 conv=notrunc status=none
+
+  $ perso_cli scrub ./pstore2
+  shard-00/r0/wal-000001.log: bad checksum in wal-000001.log: at 0: frame checksum mismatch (0 records)
+  shard-00/r1/wal-000001.log: ok (1 records)
+  shard-00/r2/wal-000001.log: ok (1 records)
+  scrub: 1 damaged file(s)
+  [2]
+
+Restarting fails over to the freshest healthy follower, quarantines the
+damaged file, rebuilds the member by cloning, and serves the profile
+from the promoted copy — same answers, exit codes unchanged:
+
+  $ perso_cli serve --movies 0 --socket ./perso.sock --workers 2 --queue 8 --store disk:./pstore2 --replicas 3 2>serve5.log &
+
+  $ perso_cli call --socket ./perso.sock --wait-ms 5000 "PROFILE LOAD julie"
+  condition | degree
+  'GENRE.genre = ''comedy''' | 0.9
+  (1 rows)
+
+  $ perso_cli call --socket ./perso.sock HEALTH | grep -E "store_failover|store_salvaged|store_quarantined|store_catchups"
+  store_failover 1
+  store_salvaged 0
+  store_quarantined 1
+  store_catchups 1
+
+  $ perso_cli call --socket ./perso.sock SHUTDOWN
+  draining
+
+  $ wait
+
+  $ cat serve5.log
+  recovery: failover=1 quarantined=1 salvaged=0 catchups=1
+  serving on ./perso.sock (workers=2 queue=8)
+  drained=true shed_at_stop=0
+
+The repaired store scans clean again, and the damaged bytes are
+preserved under quarantine/ for post-mortem, never deleted:
+
+  $ perso_cli scrub ./pstore2
+  shard-00/r0/wal-000001.log: ok (1 records)
+  shard-00/r1/wal-000001.log: ok (1 records)
+  shard-00/r2/wal-000001.log: ok (1 records)
+
+  $ ls ./pstore2/shard-00/r0/quarantine
+  wal-000001.log
+
+Reopening with a different replica count is refused with a typed
+storage error, like --shards:
+
+  $ perso_cli serve --movies 0 --socket ./perso.sock --store disk:./pstore2 --replicas 2
+  storage error: malformed store file ./pstore2/shard-00/REPLSTATE: store was created with 3 replicas; restart with --replicas 3
+  [2]

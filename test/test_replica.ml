@@ -1,0 +1,403 @@
+(* The replicated profile tier: WAL shipping, scrub-and-salvage,
+   automatic failover, legacy migration, the hot-profile LRU, and the
+   streaming CRC the divergence check is built on. *)
+
+open Perso_store
+
+let fresh_dir () =
+  let f = Filename.temp_file "replica" "" in
+  Sys.remove f;
+  f
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc s)
+
+let e cond degree = { Codec.cond; degree }
+
+let member root i = Filename.concat root (Printf.sprintf "r%d" i)
+
+(* XOR-flip one byte of a file in place (deterministic corruption). *)
+let flip_at path off =
+  let b = Bytes.of_string (read_file path) in
+  Bytes.set b off (Char.chr (Char.code (Bytes.get b off) lxor 0xFF));
+  write_file path (Bytes.to_string b)
+
+(* Cut [n] bytes off the end of a file (a torn tail). *)
+let truncate_by path n =
+  let s = read_file path in
+  write_file path (String.sub s 0 (String.length s - n))
+
+let active_wal_of root i =
+  match Store.read_manifest (member root i) with
+  | Some (_, wal) -> Filename.concat (member root i) wal
+  | None -> Alcotest.fail "member has no manifest"
+
+let rollups_equal root n =
+  let r0 = Scrub.rollup (member root 0) in
+  let rec go i = i >= n || (Scrub.rollup (member root i) = r0 && go (i + 1)) in
+  go 1
+
+let no_fsync = { Store.default_config with fsync = false }
+
+(* ------------------------------ streaming crc ----------------------------- *)
+
+let test_crc_stream_vector () =
+  (* whole buffer in one update *)
+  let s = "123456789" in
+  Alcotest.(check int) "one chunk" 0xCBF43926
+    (Crc32.finish (Crc32.update Crc32.init s ~pos:0 ~len:9));
+  (* known split *)
+  let st = Crc32.update Crc32.init s ~pos:0 ~len:4 in
+  let st = Crc32.update st s ~pos:4 ~len:5 in
+  Alcotest.(check int) "two chunks" 0xCBF43926 (Crc32.finish st);
+  (* empty chunks are identity *)
+  let st = Crc32.update Crc32.init s ~pos:0 ~len:0 in
+  let st = Crc32.update st s ~pos:0 ~len:9 in
+  let st = Crc32.update st s ~pos:9 ~len:0 in
+  Alcotest.(check int) "empty chunks" 0xCBF43926 (Crc32.finish st);
+  Alcotest.(check int) "empty string" (Crc32.string "")
+    (Crc32.finish Crc32.init)
+
+(* For any split of [s] into consecutive chunks, folding [update] over
+   them equals the whole-buffer CRC — the property the per-file rollup
+   relies on. *)
+let prop_crc_incremental =
+  QCheck.Test.make ~count:300 ~name:"incremental crc = whole-buffer crc"
+    QCheck.(pair (string_of_size Gen.(0 -- 300)) (small_list small_nat))
+    (fun (s, cuts) ->
+      let n = String.length s in
+      let cuts = List.map (fun c -> c mod (n + 1)) cuts in
+      let bounds = List.sort_uniq compare ((0 :: n :: cuts) : int list) in
+      let rec go st = function
+        | a :: (b :: _ as rest) -> go (Crc32.update st s ~pos:a ~len:(b - a)) rest
+        | _ -> st
+      in
+      Crc32.finish (go Crc32.init bounds) = Crc32.string s)
+
+(* ------------------------------ replica basics ---------------------------- *)
+
+let test_basics_shipping () =
+  let root = fresh_dir () in
+  let t = Replica.open_ ~config:no_fsync ~replicas:3 root in
+  Alcotest.(check int) "replicas" 3 (Replica.replicas t);
+  Alcotest.(check int) "primary" 0 (Replica.primary_index t);
+  Replica.save t ~user:"julie" ~revision:1 [ e "GENRE.genre = 'comedy'" 0.9 ];
+  Replica.save t ~user:"bob" ~revision:1 [ e "MOVIE.year > 1990" 0.4 ];
+  Replica.save t ~user:"julie" ~revision:2 [ e "GENRE.genre = 'drama'" 0.8 ];
+  Replica.delete t ~user:"bob" ~revision:2;
+  Alcotest.(check (list string)) "users" [ "julie" ] (Replica.users t);
+  Alcotest.(check int) "revision" 2 (Replica.revision t ~user:"julie");
+  (match Replica.load t ~user:"julie" with
+  | Some [ { Codec.cond = "GENRE.genre = 'drama'"; _ } ] -> ()
+  | _ -> Alcotest.fail "load after ship");
+  Replica.close t;
+  Alcotest.(check bool) "members byte-identical" true (rollups_equal root 3);
+  (* reopen adopts the recorded count; a clean reopen repairs nothing *)
+  let t = Replica.open_ ~config:no_fsync root in
+  Alcotest.(check int) "adopted count" 3 (Replica.replicas t);
+  let r = Replica.rstats t in
+  Alcotest.(check int) "clean failovers" 0 r.failovers;
+  Alcotest.(check int) "clean quarantined" 0 r.quarantined;
+  Alcotest.(check int) "clean catchups" 0 r.catchups;
+  Alcotest.(check (list (pair string int)))
+    "revisions survive" [ ("bob", 2); ("julie", 2) ] (Replica.revisions t);
+  Replica.close t
+
+let test_replstate_mismatch () =
+  let root = fresh_dir () in
+  Replica.close (Replica.open_ ~config:no_fsync ~replicas:3 root);
+  match Replica.open_r ~config:no_fsync ~replicas:2 root with
+  | Error (Store.Malformed _) -> ()
+  | Error err ->
+      Alcotest.failf "wrong error: %s" (Store.error_to_string err)
+  | Ok _ -> Alcotest.fail "count mismatch accepted"
+
+let test_legacy_migration () =
+  let root = fresh_dir () in
+  (* a pre-replication layout: store files directly in the root *)
+  let s = Store.open_ ~config:no_fsync root in
+  Store.save s ~user:"julie" ~revision:1 [ e "GENRE.genre = 'comedy'" 0.9 ];
+  Store.close s;
+  Alcotest.(check bool) "flat manifest" true
+    (Sys.file_exists (Filename.concat root Store.manifest_file));
+  let t = Replica.open_ ~config:no_fsync ~replicas:2 root in
+  Alcotest.(check bool) "migrated to r0" true
+    (Sys.file_exists (Filename.concat (member root 0) Store.manifest_file));
+  Alcotest.(check bool) "flat manifest gone" false
+    (Sys.file_exists (Filename.concat root Store.manifest_file));
+  Alcotest.(check (list string)) "data survives" [ "julie" ] (Replica.users t);
+  Replica.close t;
+  Alcotest.(check bool) "follower cloned" true (rollups_equal root 2)
+
+(* ------------------------------- failover --------------------------------- *)
+
+let test_failover_bad_crc () =
+  let root = fresh_dir () in
+  let t = Replica.open_ ~config:no_fsync ~replicas:2 root in
+  Replica.save t ~user:"julie" ~revision:1 [ e "GENRE.genre = 'comedy'" 0.9 ];
+  Replica.close t;
+  (* a mid-payload flip in the primary's WAL: structurally complete
+     frame, bad checksum — real damage, not a torn tail *)
+  flip_at (active_wal_of root 0) 12;
+  let t = Replica.open_ ~config:no_fsync root in
+  Alcotest.(check int) "promoted" 1 (Replica.primary_index t);
+  (match Replica.load t ~user:"julie" with
+  | Some [ { Codec.cond = "GENRE.genre = 'comedy'"; _ } ] -> ()
+  | _ -> Alcotest.fail "load after failover");
+  let r = Replica.rstats t in
+  Alcotest.(check int) "failovers" 1 r.failovers;
+  Alcotest.(check int) "quarantined" 1 r.quarantined;
+  Alcotest.(check int) "salvaged (nothing before the damage)" 0 r.salvaged;
+  Alcotest.(check int) "catchups" 1 r.catchups;
+  Alcotest.(check bool) "quarantine preserved" true
+    (Sys.file_exists (Filename.concat (member root 0) Scrub.quarantine_dirname));
+  Replica.close t;
+  Alcotest.(check bool) "repaired byte-identical" true (rollups_equal root 2)
+
+let test_salvage_credits_prefix () =
+  let root = fresh_dir () in
+  let t = Replica.open_ ~config:no_fsync ~replicas:2 root in
+  Replica.save t ~user:"julie" ~revision:1 [ e "GENRE.genre = 'comedy'" 0.9 ];
+  Replica.save t ~user:"bob" ~revision:1 [ e "MOVIE.year > 1990" 0.4 ];
+  Replica.close t;
+  (* damage the last frame: the first record is still decodable and is
+     credited as salvaged before the suffix is rebuilt from r1 *)
+  let wal = active_wal_of root 0 in
+  flip_at wal (String.length (read_file wal) - 1);
+  let t = Replica.open_ ~config:no_fsync root in
+  let r = Replica.rstats t in
+  Alcotest.(check int) "failovers" 1 r.failovers;
+  Alcotest.(check int) "salvaged" 1 r.salvaged;
+  Alcotest.(check int) "quarantined" 1 r.quarantined;
+  Alcotest.(check (list string)) "both users intact" [ "bob"; "julie" ]
+    (Replica.users t);
+  Replica.close t
+
+let test_watermark_promotion () =
+  let root = fresh_dir () in
+  let t = Replica.open_ ~config:no_fsync ~replicas:2 root in
+  Replica.save t ~user:"julie" ~revision:1 [ e "GENRE.genre = 'comedy'" 0.9 ];
+  Replica.save t ~user:"bob" ~revision:1 [ e "MOVIE.year > 1990" 0.4 ];
+  Replica.close t;
+  (* tear the primary's WAL tail: it reopens fine (truncation is the
+     legitimate crash signature) but silently lost an acked record —
+     the follower's higher watermark must win the open-time election *)
+  truncate_by (active_wal_of root 0) 3;
+  let t = Replica.open_ ~config:no_fsync root in
+  Alcotest.(check int) "freshest promoted" 1 (Replica.primary_index t);
+  Alcotest.(check (list string)) "acked record served" [ "bob"; "julie" ]
+    (Replica.users t);
+  let r = Replica.rstats t in
+  Alcotest.(check int) "failovers" 1 r.failovers;
+  Alcotest.(check int) "torn member re-cloned" 1 r.catchups;
+  Alcotest.(check int) "no quarantine (no bad frame)" 0 r.quarantined;
+  Replica.close t;
+  Alcotest.(check bool) "members byte-identical" true (rollups_equal root 2)
+
+let test_no_healthy_replica_fatal () =
+  let root = fresh_dir () in
+  let t = Replica.open_ ~config:no_fsync ~replicas:2 root in
+  Replica.save t ~user:"julie" ~revision:1 [ e "GENRE.genre = 'comedy'" 0.9 ];
+  Replica.close t;
+  flip_at (active_wal_of root 0) 12;
+  flip_at (active_wal_of root 1) 12;
+  (* both copies damaged: the tier must raise the same typed fatal a
+     single-copy store would *)
+  match Replica.open_r ~config:no_fsync root with
+  | Error (Store.Bad_crc _) -> ()
+  | Error err -> Alcotest.failf "wrong error: %s" (Store.error_to_string err)
+  | Ok _ -> Alcotest.fail "opened with every replica damaged"
+
+let test_single_replica_fatal () =
+  let root = fresh_dir () in
+  let t = Replica.open_ ~config:no_fsync ~replicas:1 root in
+  Replica.save t ~user:"julie" ~revision:1 [ e "GENRE.genre = 'comedy'" 0.9 ];
+  Replica.close t;
+  flip_at (active_wal_of root 0) 12;
+  match Replica.open_r ~config:no_fsync root with
+  | Error (Store.Bad_crc _) -> ()
+  | Error err -> Alcotest.failf "wrong error: %s" (Store.error_to_string err)
+  | Ok _ -> Alcotest.fail "single-copy damage not fatal"
+
+(* ------------------------------ ship faults ------------------------------- *)
+
+let with_plan plan f =
+  Relal.Chaos.plan plan;
+  Fun.protect ~finally:Relal.Chaos.unplan f
+
+let test_ship_error_never_fails_save () =
+  let root = fresh_dir () in
+  let t = Replica.open_ ~config:no_fsync ~replicas:2 root in
+  with_plan [ (Relal.Chaos.Ship_append, 0, Relal.Chaos.Fsync_fail) ] (fun () ->
+      (* the follower's ship fails; the save is still acknowledged and
+         the follower caught up before the call returns *)
+      Replica.save t ~user:"julie" ~revision:1 [ e "GENRE.genre = 'comedy'" 0.9 ]);
+  let r = Replica.rstats t in
+  Alcotest.(check int) "ship_errors" 1 r.ship_errors;
+  Alcotest.(check int) "catchups" 1 r.catchups;
+  Alcotest.(check int) "failovers" 0 r.failovers;
+  Alcotest.(check int) "revision acked" 1 (Replica.revision t ~user:"julie");
+  Replica.close t;
+  Alcotest.(check bool) "converged" true (rollups_equal root 2)
+
+let test_latent_follower_corruption () =
+  let root = fresh_dir () in
+  let t = Replica.open_ ~config:no_fsync ~replicas:2 root in
+  with_plan [ (Relal.Chaos.Ship_append, 0, Relal.Chaos.Flip_byte 0.5) ] (fun () ->
+      (* the ship lands but a byte of the follower's WAL is silently
+         flipped — damage surfaces only at the next recovery *)
+      Replica.save t ~user:"julie" ~revision:1 [ e "GENRE.genre = 'comedy'" 0.9 ]);
+  Replica.save t ~user:"bob" ~revision:1 [ e "MOVIE.year > 1990" 0.4 ];
+  Replica.close t;
+  let t = Replica.open_ ~config:no_fsync root in
+  Alcotest.(check int) "primary untouched" 0 (Replica.primary_index t);
+  let r = Replica.rstats t in
+  Alcotest.(check int) "no failover" 0 r.failovers;
+  Alcotest.(check int) "follower quarantined" 1 r.quarantined;
+  Alcotest.(check int) "follower re-cloned" 1 r.catchups;
+  Alcotest.(check (list string)) "data intact" [ "bob"; "julie" ]
+    (Replica.users t);
+  Replica.close t;
+  Alcotest.(check bool) "repaired byte-identical" true (rollups_equal root 2)
+
+(* -------------------------------- scrub ----------------------------------- *)
+
+let test_scrub_clean_and_repair () =
+  let root = fresh_dir () in
+  let t = Replica.open_ ~config:no_fsync ~replicas:2 root in
+  Replica.save t ~user:"julie" ~revision:1 [ e "GENRE.genre = 'comedy'" 0.9 ];
+  (* clean scrub: one report per member, nothing damaged *)
+  let reports = Replica.scrub_now t in
+  Alcotest.(check int) "report per member" 2 (List.length reports);
+  List.iter
+    (fun rep -> Alcotest.(check int) "no damage" 0 (List.length rep.Scrub.damaged))
+    reports;
+  (* damage the follower on disk; the scrub must find and repair it *)
+  flip_at (active_wal_of root 1) 12;
+  let reports = Replica.scrub_now t in
+  let damaged = List.concat_map (fun rep -> rep.Scrub.damaged) reports in
+  Alcotest.(check int) "damage found" 1 (List.length damaged);
+  let r = Replica.rstats t in
+  Alcotest.(check int) "quarantined" 1 r.quarantined;
+  Alcotest.(check int) "re-cloned" 1 r.catchups;
+  Alcotest.(check int) "primary kept" 0 (Replica.primary_index t);
+  (* post-repair scrub is clean again *)
+  let reports = Replica.scrub_now t in
+  List.iter
+    (fun rep -> Alcotest.(check int) "clean again" 0 (List.length rep.Scrub.damaged))
+    reports;
+  Replica.close t;
+  Alcotest.(check bool) "byte-identical" true (rollups_equal root 2)
+
+let test_scrub_fails_over_damaged_primary () =
+  let root = fresh_dir () in
+  let t = Replica.open_ ~config:no_fsync ~replicas:2 root in
+  Replica.save t ~user:"julie" ~revision:1 [ e "GENRE.genre = 'comedy'" 0.9 ];
+  flip_at (active_wal_of root 0) 12;
+  ignore (Replica.scrub_now t);
+  Alcotest.(check int) "promoted away from damage" 1 (Replica.primary_index t);
+  let r = Replica.rstats t in
+  Alcotest.(check int) "failover" 1 r.failovers;
+  Alcotest.(check int) "quarantined" 1 r.quarantined;
+  (match Replica.load t ~user:"julie" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "load after scrub failover");
+  Replica.close t
+
+(* ---------------------------- hot-profile LRU ------------------------------ *)
+
+let plru_stats_check name lru ~hits ~misses ~evictions ~invalidations ~entries =
+  let s = Perso_server.Profile_lru.stats lru in
+  Alcotest.(check int) (name ^ " hits") hits s.hits;
+  Alcotest.(check int) (name ^ " misses") misses s.misses;
+  Alcotest.(check int) (name ^ " evictions") evictions s.evictions;
+  Alcotest.(check int) (name ^ " invalidations") invalidations s.invalidations;
+  Alcotest.(check int) (name ^ " entries") entries s.entries
+
+let test_profile_lru () =
+  let module L = Perso_server.Profile_lru in
+  let lru = L.create ~capacity:2 () in
+  let p = Perso.Profile.empty in
+  Alcotest.(check bool) "cold miss" true (L.find lru ~user:"a" ~revision:1 = None);
+  L.put lru ~user:"a" ~revision:1 p;
+  Alcotest.(check bool) "hit" true (L.find lru ~user:"a" ~revision:1 <> None);
+  plru_stats_check "warm" lru ~hits:1 ~misses:1 ~evictions:0 ~invalidations:0
+    ~entries:1;
+  (* a save bumped the registry revision: the old entry is stale — it
+     stops matching and is dropped *)
+  Alcotest.(check bool) "stale revision misses" true
+    (L.find lru ~user:"a" ~revision:2 = None);
+  plru_stats_check "stale" lru ~hits:1 ~misses:2 ~evictions:0 ~invalidations:0
+    ~entries:0;
+  (* capacity pressure evicts the least recently used *)
+  L.put lru ~user:"a" ~revision:2 p;
+  L.put lru ~user:"b" ~revision:1 p;
+  ignore (L.find lru ~user:"a" ~revision:2);
+  L.put lru ~user:"c" ~revision:1 p;
+  Alcotest.(check bool) "lru evicted" true (L.find lru ~user:"b" ~revision:1 = None);
+  Alcotest.(check bool) "recent kept" true (L.find lru ~user:"a" ~revision:2 <> None);
+  plru_stats_check "evict" lru ~hits:3 ~misses:3 ~evictions:1 ~invalidations:0
+    ~entries:2;
+  (* eager subscriber-hook invalidation *)
+  L.remove lru ~user:"a";
+  L.remove lru ~user:"nope";
+  plru_stats_check "invalidate" lru ~hits:3 ~misses:3 ~evictions:1
+    ~invalidations:1 ~entries:1
+
+let test_profile_lru_disabled () =
+  let module L = Perso_server.Profile_lru in
+  let lru = L.create ~capacity:0 () in
+  L.put lru ~user:"a" ~revision:1 Perso.Profile.empty;
+  Alcotest.(check bool) "capacity 0 never hits" true
+    (L.find lru ~user:"a" ~revision:1 = None);
+  let s = L.stats lru in
+  Alcotest.(check int) "no entries" 0 s.entries
+
+let () =
+  Alcotest.run "replica"
+    [
+      ( "crc-stream",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc_stream_vector;
+          QCheck_alcotest.to_alcotest prop_crc_incremental;
+        ] );
+      ( "replica",
+        [
+          Alcotest.test_case "basics + shipping" `Quick test_basics_shipping;
+          Alcotest.test_case "replstate mismatch" `Quick test_replstate_mismatch;
+          Alcotest.test_case "legacy migration" `Quick test_legacy_migration;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "bad crc promotes" `Quick test_failover_bad_crc;
+          Alcotest.test_case "salvage credits prefix" `Quick
+            test_salvage_credits_prefix;
+          Alcotest.test_case "watermark promotion" `Quick
+            test_watermark_promotion;
+          Alcotest.test_case "no healthy replica fatal" `Quick
+            test_no_healthy_replica_fatal;
+          Alcotest.test_case "single replica fatal" `Quick
+            test_single_replica_fatal;
+        ] );
+      ( "shipping-faults",
+        [
+          Alcotest.test_case "ship error never fails save" `Quick
+            test_ship_error_never_fails_save;
+          Alcotest.test_case "latent follower corruption" `Quick
+            test_latent_follower_corruption;
+        ] );
+      ( "scrub",
+        [
+          Alcotest.test_case "clean + repair" `Quick test_scrub_clean_and_repair;
+          Alcotest.test_case "fails over damaged primary" `Quick
+            test_scrub_fails_over_damaged_primary;
+        ] );
+      ( "profile-lru",
+        [
+          Alcotest.test_case "hit/miss/evict/invalidate" `Quick test_profile_lru;
+          Alcotest.test_case "capacity 0 disables" `Quick
+            test_profile_lru_disabled;
+        ] );
+    ]

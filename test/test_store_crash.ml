@@ -96,6 +96,7 @@ let kind_name = function
   | Chaos.Short_write f -> Printf.sprintf "short(%g)" f
   | Chaos.Fsync_fail -> "fsync-fail"
   | Chaos.Crash -> "crash"
+  | Chaos.Flip_byte f -> Printf.sprintf "flip(%g)" f
 
 (* Count kill sites: one clean run under an empty plan. *)
 let count_crossings () =
