@@ -5,12 +5,13 @@
 BENCH_JSON := /tmp/bench_exec_smoke.json
 BENCH_PERSO_JSON := /tmp/bench_perso_smoke.json
 BENCH_STORE_JSON := /tmp/bench_store_smoke.json
+BENCH_SERVE_JSON := /tmp/bench_serve_smoke.json
 CHAOS_SEED ?= 1337
 
 SIM_SEED ?= 42
 SIM_RUNS ?= 8
 
-.PHONY: all build test bench bench-par chaos crash-recovery scrub-sweep serve-smoke sim check clean
+.PHONY: all build test bench bench-par bench-serve chaos crash-recovery scrub-sweep serve-smoke sim check clean
 
 all: build
 
@@ -81,7 +82,21 @@ bench-par: build
 	sys.exit(0 if c < 4 else (0 if s >= 2 else sys.stderr.write('bench-par: %.2fx at 4 domains on %d cores (< 2x)\n' % (s, c)) or 1)); \
 	" && echo "bench-par: OK (see $(BENCH_JSON): parallel + sharded_store)"
 
-check: build test chaos crash-recovery scrub-sweep serve-smoke sim bench-par
+# Serve-path load benchmark: open-loop Poisson arrivals with Zipf users
+# through a real socket, once per I/O runtime (threads and evloop).  The
+# gate is sanity, never absolute throughput (this may be a 1-core box):
+# the JSON must parse, both runtimes' client tallies must reconcile
+# exactly with the server's HEALTH ledger delta (ledger_balanced), and
+# the latency quantiles must be monotone (p999 >= p50 > 0).
+bench-serve: build
+	BENCH_SCALE=quick BENCH_SERVE_OUT=$(BENCH_SERVE_JSON) dune exec bench/main.exe -- serve
+	python3 -m json.tool $(BENCH_SERVE_JSON) > /dev/null
+	@python3 -c "import json,sys; d=json.load(open('$(BENCH_SERVE_JSON)')); rs=d['runtimes']; \
+	bad=[r['io'] for r in rs if not (r['ledger_balanced'] and r['req_per_s'] > 0 and 0 < r['p50_us'] <= r['p99_us'] <= r['p999_us'])]; \
+	sys.exit(0 if len(rs) == 2 and not bad else sys.stderr.write('bench-serve: failed sanity for %s\n' % (bad or 'missing runtimes')) or 1); \
+	" && echo "bench-serve: OK (see $(BENCH_SERVE_JSON): threads + evloop)"
+
+check: build test chaos crash-recovery scrub-sweep serve-smoke sim bench-par bench-serve
 	BENCH_SCALE=quick BENCH_PERSO_OUT=$(BENCH_PERSO_JSON) dune exec bench/main.exe -- perso
 	python3 -m json.tool $(BENCH_PERSO_JSON) > /dev/null
 	@python3 -c "import json,sys; d=json.load(open('$(BENCH_PERSO_JSON)')); s=d['speedup_warm']; sys.exit(0 if s >= 5 else sys.stderr.write('plan cache: warm speedup %.1fx < 5x\n' % s) or 1)"

@@ -1096,6 +1096,213 @@ let bench_store () =
   Printf.printf "# wrote %s\n%!" path
 
 (* --------------------------------------------------------------------- *)
+(* Serve-path benchmark — machine-readable (BENCH_SERVE.json)            *)
+(* --------------------------------------------------------------------- *)
+
+(* End-to-end: a real [perso_cli serve]-shaped server (socket and all),
+   driven by {!Perso_server.Loadgen}'s open-loop Poisson arrivals with
+   Zipf-skewed users, once per I/O runtime (`threads` and `evloop`).
+   Latency quantiles come from the mergeable log-bucketed histogram;
+   every client-side tally is cross-checked against the server's own
+   HEALTH ledger delta, so a dropped or double-counted request anywhere
+   in either runtime fails the ledger_balanced gate in `make check`.
+
+   On a one-core container threads-vs-evloop throughput is noise — the
+   client threads and the server share the core — so the JSON records
+   the host's core count and `make check` gates only on sanity
+   (ledger balance, quantile monotonicity), never absolute numbers.
+   Writes BENCH_SERVE.json; override with BENCH_SERVE_OUT. *)
+
+let bench_serve () =
+  let open Perso_server in
+  let rate, requests, clients, users =
+    match scale.label with
+    | "quick" -> (300., 600, 4, 50)
+    | "paper" -> (800., 10_000, 8, 200)
+    | _ -> (400., 2_000, 4, 100)
+  in
+  let movies = min 500 scale.movies in
+  let sdb = Moviedb.Datagen.generate (Moviedb.Datagen.scale ~seed:11 movies) in
+  let sqls =
+    Moviedb.Workload.queries sdb ~n:6 ~seed:77
+    |> List.map Relal.Sql_print.query_to_string
+    |> Array.of_list
+  in
+  (* Wire-format profile entry lists (one line) for PROFILE SAVE. *)
+  let profile_wires =
+    Array.init 4 (fun i ->
+        Moviedb.Profile_gen.generate sdb
+          { Moviedb.Profile_gen.default with seed = 50 + i; n_selections = 15 }
+        |> Perso.Profile.to_string
+        |> String.split_on_char '\n'
+        |> List.map String.trim
+        |> List.filter (fun l -> l <> "")
+        |> String.concat " ")
+  in
+  let health_of c =
+    match Client.request c "HEALTH" with
+    | Ok (Protocol.Stats kvs) -> kvs
+    | _ -> failwith "bench serve: HEALTH request failed"
+  in
+  let stat kvs k =
+    match List.assoc_opt k kvs with
+    | Some v -> ( match int_of_string_opt v with Some i -> i | None -> 0)
+    | None -> 0
+  in
+  let run_io (io, start_server) =
+    let socket_path = Filename.temp_file "bench_serve" ".sock" in
+    Sys.remove socket_path;
+    let cfg =
+      {
+        (Server.default_config ~socket_path) with
+        Server.workers = 4;
+        queue_capacity = 64;
+        shards = 4;
+        deadline_ms = None;
+      }
+    in
+    let stop_server = start_server cfg in
+    Fun.protect ~finally:stop_server (fun () ->
+        (* Preseed every user's profile so PERSONALIZE and PROFILE LOAD
+           hit real data, then snapshot the ledger: the benchmark is
+           reconciled against the delta, not absolute counters. *)
+        let c = Client.connect ~wait_ms:5_000. socket_path in
+        for u = 0 to users - 1 do
+          match
+            Client.request c
+              (Printf.sprintf "PROFILE SAVE u%d %s" u
+                 profile_wires.(u mod Array.length profile_wires))
+          with
+          | Ok (Protocol.Message _) -> ()
+          | _ -> failwith "bench serve: preseed save failed"
+        done;
+        let h0 = health_of c in
+        Client.close c;
+        let lcfg =
+          {
+            (Loadgen.default_config ~socket_path) with
+            Loadgen.rate;
+            requests;
+            clients;
+            users;
+            seed = 1234;
+          }
+        in
+        let r =
+          match Loadgen.run lcfg ~sqls ~profiles:profile_wires with
+          | Ok r -> r
+          | Error e -> failwith ("bench serve: " ^ Perso.Error.to_string e)
+        in
+        let c = Client.connect ~wait_ms:5_000. socket_path in
+        let h1 = health_of c in
+        Client.close c;
+        let d k = stat h1 k - stat h0 k in
+        (* Client tallies vs the server's ledger delta.  HEALTH probes
+           are control-plane (answered off-queue), hence data_sent;
+           shed_breaker replies are errors the server also counts in
+           completed_err, hence the subtraction. *)
+        let shed_total =
+          d "shed_queue_full" + d "shed_expired" + d "shed_draining"
+          + d "shed_breaker"
+        in
+        let checks =
+          [
+            ("ok = completed_ok", r.Loadgen.ok, d "completed_ok");
+            ("overloaded = sheds", r.Loadgen.err_overloaded, shed_total);
+            ( "err_other = completed_err - shed_breaker",
+              r.Loadgen.err_other,
+              d "completed_err" - d "shed_breaker" );
+            ( "data_sent = accepted + pre-admission sheds",
+              r.Loadgen.data_sent,
+              d "accepted" + d "shed_queue_full" + d "shed_draining" );
+            ("hist count = sent", Putil.Histogram.count r.Loadgen.hist,
+              r.Loadgen.sent);
+            ("no transport errors", r.Loadgen.err_transport, 0);
+          ]
+        in
+        let balanced =
+          List.for_all
+            (fun (what, got, want) ->
+              if got <> want then
+                Printf.printf "# LEDGER MISMATCH (%s): %s: client %d vs server %d\n%!"
+                  io what got want;
+              got = want)
+            checks
+        in
+        let q p = Putil.Histogram.quantile r.Loadgen.hist p in
+        let row =
+          Printf.sprintf
+            "    {\"io\": %S, \"req_per_s\": %.1f, \"elapsed_s\": %.3f, \
+             \"sent\": %d, \"ok\": %d, \"ok_health\": %d, \
+             \"err_overloaded\": %d, \"err_other\": %d, \
+             \"err_transport\": %d, \"p50_us\": %d, \"p99_us\": %d, \
+             \"p999_us\": %d, \"max_us\": %d, \"mean_us\": %.1f, \
+             \"shed_queue_full\": %d, \"shed_expired\": %d, \
+             \"shed_draining\": %d, \"shed_breaker\": %d, \
+             \"ledger_balanced\": %b}"
+            io
+            (float_of_int r.Loadgen.sent /. r.Loadgen.elapsed_s)
+            r.Loadgen.elapsed_s r.Loadgen.sent r.Loadgen.ok
+            r.Loadgen.ok_health r.Loadgen.err_overloaded r.Loadgen.err_other
+            r.Loadgen.err_transport (q 0.50) (q 0.99) (q 0.999)
+            (Putil.Histogram.max_value r.Loadgen.hist)
+            (Putil.Histogram.mean r.Loadgen.hist)
+            (d "shed_queue_full") (d "shed_expired") (d "shed_draining")
+            (d "shed_breaker") balanced
+        in
+        Printf.printf
+          "%-8s %9.1f %9.1f %9.3f %9.3f %9.3f %6d %6d %6s\n%!" io rate
+          (float_of_int r.Loadgen.sent /. r.Loadgen.elapsed_s)
+          (float_of_int (q 0.50) /. 1e3)
+          (float_of_int (q 0.99) /. 1e3)
+          (float_of_int (q 0.999) /. 1e3)
+          r.Loadgen.ok r.Loadgen.err_overloaded
+          (if balanced then "yes" else "NO");
+        row)
+  in
+  Printf.printf
+    "\n\
+     ## Serve benchmark — open-loop Poisson @ %.0f req/s, %d requests, %d \
+     clients, %d Zipf users\n"
+    rate requests clients users;
+  Printf.printf "%-8s %9s %9s %9s %9s %9s %6s %6s %6s\n" "io" "offered"
+    "achieved" "p50_ms" "p99_ms" "p999_ms" "ok" "shed" "ledger";
+  let rows =
+    List.map run_io
+      [
+        ("threads", fun cfg ->
+            let t = Server.start cfg sdb in
+            fun () -> ignore (Server.stop t : Server.drain_outcome));
+        ("evloop", fun cfg ->
+            let t = Server_ev.start cfg sdb in
+            fun () -> ignore (Server_ev.stop t : Server_ev.drain_outcome));
+      ]
+  in
+  let path =
+    Option.value ~default:"BENCH_SERVE.json" (Sys.getenv_opt "BENCH_SERVE_OUT")
+  in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"serve\",\n\
+    \  \"scale\": %S,\n\
+    \  \"cores\": %d,\n\
+    \  \"movies\": %d,\n\
+    \  \"rate\": %.1f,\n\
+    \  \"requests\": %d,\n\
+    \  \"clients\": %d,\n\
+    \  \"users\": %d,\n\
+    \  \"zipf_s\": 1.1,\n\
+    \  \"runtimes\": [\n%s\n  ]\n\
+     }\n"
+    scale.label
+    (Domain.recommended_domain_count ())
+    movies rate requests clients users
+    (String.concat ",\n" rows);
+  close_out oc;
+  Printf.printf "# wrote %s\n%!" path
+
+(* --------------------------------------------------------------------- *)
 (* Driver                                                                *)
 (* --------------------------------------------------------------------- *)
 
@@ -1106,7 +1313,7 @@ let all_figs =
     ("perso", bench_perso); ("kernels", kernels);
     ("ablation-funcs", ablation_funcs); ("ablation-topn", ablation_topn);
     ("ablation-index", ablation_index); ("ablation-planner", ablation_planner);
-    ("store", bench_store);
+    ("store", bench_store); ("serve", bench_serve);
   ]
 
 let () =

@@ -33,6 +33,12 @@ let connect_tcp ?wait_ms ~port () =
     (fun () -> Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0)
     (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
 
+(* A receive deadline on the socket itself: a wedged server turns into
+   a failed read instead of a hung client.  What [Loadgen] arms before
+   ever trusting a server with a benchmark. *)
+let set_receive_timeout t seconds =
+  Unix.setsockopt_float t.fd Unix.SO_RCVTIMEO (Float.max 0. seconds)
+
 let request ?deadline_ms ?max_rows ?max_expansions t command =
   match
     Option.iter (Printf.fprintf t.oc "DEADLINE-MS %g\n") deadline_ms;

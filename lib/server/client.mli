@@ -12,6 +12,11 @@ val connect : ?wait_ms:float -> string -> t
 val connect_tcp : ?wait_ms:float -> port:int -> unit -> t
 (** Connect to 127.0.0.1:[port]. *)
 
+val set_receive_timeout : t -> float -> unit
+(** Arm [SO_RCVTIMEO] (seconds): a read with no reply past the deadline
+    raises instead of blocking forever.  Used by {!Loadgen} so a server
+    that accepts but never answers yields a typed error, not a hang. *)
+
 val request :
   ?deadline_ms:float ->
   ?max_rows:int ->

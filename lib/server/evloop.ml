@@ -1,0 +1,407 @@
+(* A single-domain event-loop runtime built on OCaml effects — the same
+   scheduler shape as the simulator's [Sched] (parked waiters, a deep
+   handler per task, a central loop), but aimed at production serving
+   rather than race exploration:
+
+   - the run queue is FIFO, not seeded: no interleaving randomization;
+   - blocked tasks park on timers or on fd readiness, and the idle loop
+     waits in [Unix.select] over every parked fd with a timeout equal to
+     the nearest timer — a poll/epoll-style readiness loop;
+   - mutex/cond/unlock take fast paths without suspending when nothing
+     contends, because on one domain with no preemption a task owns the
+     scheduler state between suspension points anyway.
+
+   Under [`Virtual] the clock never touches the OS: idle steps jump
+   virtual time to the next timer, and any fd wait is an error.  That is
+   what lets the sim run [Server_core.Make (Evloop.R)] — the full
+   worker-pool/admission/drain machinery on this runtime — under
+   deterministic virtual time before the runtime ever faces a socket. *)
+
+exception Failed of string
+
+type waiter = { wtid : int; wname : string; resume : unit -> unit }
+
+type task = {
+  tid : int;
+  name : string;
+  mutable finished : bool;
+  mutable joiners : waiter list;
+}
+
+type mutex = {
+  mutable owner : int option;
+  mutable mwaiters : waiter list;  (* FIFO: tail-append, head-grant *)
+}
+
+type cond = { mutable cwaiters : (mutex * waiter) list }
+type clock = [ `Real | `Virtual ]
+
+type fd_wait = {
+  fd : Unix.file_descr;
+  kind : [ `Read | `Write ];
+  fw_deadline : float option;  (* absolute; None = wait forever *)
+  fired : bool ref;  (* true = readiness, false = timeout *)
+  fw : waiter;
+}
+
+type t = {
+  clock : clock;
+  mutable vnow : float;  (* virtual clock only *)
+  runq : waiter Queue.t;
+  mutable timers : (float * waiter) list;  (* ascending by fire time *)
+  mutable fdwaits : fd_wait list;
+  mutable alive : int;
+  mutable cur : int;  (* tid currently executing *)
+  mutable next_tid : int;
+  mutable steps : int;
+  max_steps : int;
+  mutable probes : (unit -> unit) list;
+  mutable blocked_names : (int * string) list;
+}
+
+type _ Effect.t += Suspend : string * (t -> waiter -> unit) -> unit Effect.t
+
+let current : t option ref = ref None
+
+let sch () =
+  match !current with
+  | Some s -> s
+  | None -> raise (Failed "Evloop primitive used outside Evloop.run")
+
+let now_of s =
+  match s.clock with `Real -> Unix.gettimeofday () | `Virtual -> s.vnow
+
+let block_at s tid label =
+  s.blocked_names <- (tid, label) :: List.remove_assoc tid s.blocked_names
+
+let unblock s tid = s.blocked_names <- List.remove_assoc tid s.blocked_names
+
+let push_runnable s (w : waiter) =
+  unblock s w.wtid;
+  Queue.push w s.runq
+
+let add_timer s at w =
+  block_at s w.wtid "sleep";
+  let rec insert = function
+    | [] -> [ (at, w) ]
+    | (at', _) :: _ as l when at < at' -> (at, w) :: l
+    | e :: rest -> e :: insert rest
+  in
+  s.timers <- insert s.timers
+
+(* ------------------------------ suspension --------------------------- *)
+
+let suspend label park = Effect.perform (Suspend (label, park))
+let yield () = suspend "yield" push_runnable
+
+let sleep d =
+  suspend "sleep" (fun s w -> add_timer s (now_of s +. Float.max d 0.) w)
+
+let now () = now_of (sch ())
+
+let add_probe p =
+  let s = sch () in
+  s.probes <- s.probes @ [ p ]
+
+(* ------------------------------ fd waits ----------------------------- *)
+
+let wait_fd kind ?timeout fd =
+  let s = sch () in
+  if s.clock = `Virtual then
+    raise (Failed "Evloop: fd wait under the virtual clock");
+  let fired = ref false in
+  suspend "fdwait" (fun s w ->
+      block_at s w.wtid
+        (match kind with `Read -> "read-ready" | `Write -> "write-ready");
+      let fw_deadline =
+        Option.map (fun d -> now_of s +. Float.max d 0.) timeout
+      in
+      s.fdwaits <- { fd; kind; fw_deadline; fired; fw = w } :: s.fdwaits);
+  !fired
+
+let wait_readable ?timeout fd = wait_fd `Read ?timeout fd
+let wait_writable ?timeout fd = wait_fd `Write ?timeout fd
+
+(* -------------------------------- tasks ------------------------------ *)
+
+let finish_task s task =
+  task.finished <- true;
+  s.alive <- s.alive - 1;
+  List.iter (push_runnable s) task.joiners;
+  task.joiners <- []
+
+(* The deep handler installed at task start stays in force across every
+   [continue], so each suspension unwinds to the scheduler loop.  An
+   escaped exception is fatal to the whole loop: server tasks catch
+   their own I/O errors, so anything that reaches here is a bug. *)
+let first_waiter s task (body : unit -> unit) : waiter =
+  let open Effect.Deep in
+  let handler =
+    {
+      retc = (fun () -> finish_task s task);
+      exnc =
+        (fun e ->
+          finish_task s task;
+          match e with
+          | Failed _ -> raise e
+          | e ->
+              raise
+                (Failed
+                   (Printf.sprintf "task %s crashed: %s" task.name
+                      (Printexc.to_string e))));
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend (_label, park) ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  park s
+                    {
+                      wtid = task.tid;
+                      wname = task.name;
+                      resume = (fun () -> continue k ());
+                    })
+          | _ -> None);
+    }
+  in
+  {
+    wtid = task.tid;
+    wname = task.name;
+    resume = (fun () -> match_with body () handler);
+  }
+
+let spawn ?name body =
+  let s = sch () in
+  let tid = s.next_tid in
+  s.next_tid <- tid + 1;
+  let name =
+    match name with Some n -> n | None -> Printf.sprintf "task-%d" tid
+  in
+  let task = { tid; name; finished = false; joiners = [] } in
+  s.alive <- s.alive + 1;
+  push_runnable s (first_waiter s task body);
+  task
+
+let join task =
+  if not task.finished then
+    suspend "join" (fun s w ->
+        if task.finished then push_runnable s w
+        else begin
+          block_at s w.wtid ("join " ^ task.name);
+          task.joiners <- task.joiners @ [ w ]
+        end)
+
+(* ------------------------- mutexes and condvars ---------------------- *)
+(* Fast paths mutate scheduler state directly: between suspension points
+   a task has exclusive use of the domain, so an uncontended lock (or
+   any unlock/signal) needs no suspension at all. *)
+
+let mutex_create () = { owner = None; mwaiters = [] }
+
+let lock m =
+  let s = sch () in
+  match m.owner with
+  | None -> m.owner <- Some s.cur
+  | Some _ ->
+      suspend "lock" (fun s w ->
+          match m.owner with
+          | None ->
+              m.owner <- Some w.wtid;
+              push_runnable s w
+          | Some _ ->
+              block_at s w.wtid "lock";
+              m.mwaiters <- m.mwaiters @ [ w ])
+
+(* FIFO handoff: ownership transfers before the waiter runs, so late
+   lockers queue behind it. *)
+let grant s m =
+  m.owner <- None;
+  match m.mwaiters with
+  | [] -> ()
+  | w :: rest ->
+      m.mwaiters <- rest;
+      m.owner <- Some w.wtid;
+      push_runnable s w
+
+let unlock m =
+  let s = sch () in
+  if m.owner <> Some s.cur then
+    raise (Failed "Evloop: unlock of a mutex the task does not hold");
+  grant s m
+
+let cond_create () = { cwaiters = [] }
+
+let wait c m =
+  suspend "wait" (fun s w ->
+      if m.owner <> Some w.wtid then
+        raise (Failed (w.wname ^ ": wait without holding the mutex"));
+      grant s m;
+      block_at s w.wtid "wait";
+      c.cwaiters <- c.cwaiters @ [ (m, w) ])
+
+(* A woken waiter re-acquires its mutex before running. *)
+let wake s (m, w) =
+  match m.owner with
+  | None ->
+      m.owner <- Some w.wtid;
+      push_runnable s w
+  | Some _ ->
+      block_at s w.wtid "relock";
+      m.mwaiters <- m.mwaiters @ [ w ]
+
+let signal c =
+  let s = sch () in
+  match c.cwaiters with
+  | [] -> ()
+  | entry :: rest ->
+      c.cwaiters <- rest;
+      wake s entry
+
+let broadcast c =
+  let s = sch () in
+  let waiters = c.cwaiters in
+  c.cwaiters <- [];
+  List.iter (wake s) waiters
+
+(* -------------------------------- run -------------------------------- *)
+
+let deadlock_report s =
+  let blocked =
+    s.blocked_names
+    |> List.rev_map (fun (tid, at) -> Printf.sprintf "t%d@%s" tid at)
+    |> String.concat ", "
+  in
+  Printf.sprintf "deadlock: %d task(s) blocked with nothing pending [%s]"
+    s.alive blocked
+
+(* Fire everything due at [nowt]; true when anything became runnable. *)
+let fire_due s nowt =
+  let due, rest = List.partition (fun (at, _) -> at <= nowt) s.timers in
+  s.timers <- rest;
+  List.iter (fun (_, w) -> push_runnable s w) due;
+  let expired, keep =
+    List.partition
+      (fun fw ->
+        match fw.fw_deadline with Some d -> d <= nowt | None -> false)
+      s.fdwaits
+  in
+  s.fdwaits <- keep;
+  List.iter
+    (fun fw ->
+      fw.fired := false;
+      push_runnable s fw.fw)
+    expired;
+  due <> [] || expired <> []
+
+let fds_of s kind =
+  List.filter_map (fun fw -> if fw.kind = kind then Some fw.fd else None)
+    s.fdwaits
+  |> List.sort_uniq compare
+
+(* Idle under the real clock: block in select over every parked fd until
+   readiness or the nearest timer/deadline. *)
+let step_real s =
+  let nowt = Unix.gettimeofday () in
+  if fire_due s nowt then ()
+  else begin
+    let next_at =
+      List.fold_left min infinity
+        (List.filter_map (fun fw -> fw.fw_deadline) s.fdwaits
+        @ List.map fst s.timers)
+    in
+    (* Cap the wait so an externally-signalled stop flag (checked by a
+       supervisor timer task) is never starved even with no fds. *)
+    let timeout =
+      if next_at = infinity then 0.05
+      else Float.min 0.05 (Float.max 0. (next_at -. nowt))
+    in
+    match Unix.select (fds_of s `Read) (fds_of s `Write) [] timeout with
+    | rready, wready, _ ->
+        let is_ready fw =
+          match fw.kind with
+          | `Read -> List.mem fw.fd rready
+          | `Write -> List.mem fw.fd wready
+        in
+        let fire, keep = List.partition is_ready s.fdwaits in
+        s.fdwaits <- keep;
+        List.iter
+          (fun fw ->
+            fw.fired := true;
+            push_runnable s fw.fw)
+          fire
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  end
+
+(* Idle under the virtual clock: jump time to the next timer. *)
+let step_virtual s =
+  match s.timers with
+  | [] -> ()
+  | (at, _) :: _ ->
+      s.vnow <- Float.max s.vnow at;
+      ignore (fire_due s s.vnow)
+
+let run ?(clock = `Real) ?(max_steps = max_int) main =
+  let s =
+    {
+      clock;
+      vnow = 0.;
+      runq = Queue.create ();
+      timers = [];
+      fdwaits = [];
+      alive = 0;
+      cur = -1;
+      next_tid = 0;
+      steps = 0;
+      max_steps;
+      probes = [];
+      blocked_names = [];
+    }
+  in
+  let prev = !current in
+  current := Some s;
+  Fun.protect ~finally:(fun () -> current := prev) @@ fun () ->
+  try
+    ignore (spawn ~name:"main" main);
+    let rec loop () =
+      List.iter (fun p -> p ()) s.probes;
+      if s.steps >= s.max_steps then
+        Error (Printf.sprintf "step budget exceeded (%d)" s.max_steps)
+      else
+        match Queue.take_opt s.runq with
+        | Some w ->
+            s.steps <- s.steps + 1;
+            s.cur <- w.wtid;
+            w.resume ();
+            loop ()
+        | None ->
+            if s.timers = [] && s.fdwaits = [] then
+              if s.alive > 0 then Error (deadlock_report s) else Ok ()
+            else begin
+              (match s.clock with
+              | `Real -> step_real s
+              | `Virtual -> step_virtual s);
+              loop ()
+            end
+    in
+    loop ()
+  with Failed msg -> Error msg
+
+(* --------------------------- Runtime instance ------------------------ *)
+
+module R : Runtime.S with type thread = task = struct
+  type thread = task
+  type nonrec mutex = mutex
+  type nonrec cond = cond
+
+  let now = now
+  let sleep = sleep
+  let spawn f = spawn f
+  let join = join
+  let mutex_create = mutex_create
+  let lock = lock
+  let unlock = unlock
+  let cond_create = cond_create
+  let wait = wait
+  let signal = signal
+  let broadcast = broadcast
+end

@@ -1,0 +1,246 @@
+(* Open-loop load generator for the serve path.
+
+   Open loop means arrivals are scheduled, not paced by responses: a
+   seeded Poisson process fixes every request's absolute send time up
+   front, and a slow server makes requests pile up behind their arrival
+   times instead of silently throttling the offered rate — the
+   coordinated-omission-free way to measure a latency distribution.
+   Users are Zipf-skewed over a fixed population (the paper's workload
+   shape: a few hot users dominate), and the request mix covers
+   PERSONALIZE / RUN / PROFILE SAVE / PROFILE LOAD / HEALTH.
+
+   Latencies are recorded in microseconds into one {!Putil.Histogram}
+   per client thread and merged at the end — the merge is exact, that is
+   the histogram's design contract. *)
+
+type config = {
+  socket_path : string;
+  rate : float;  (* offered load, requests/second *)
+  requests : int;
+  clients : int;  (* persistent connections, one OS thread each *)
+  seed : int;
+  users : int;  (* Zipf population: u0 (hottest) .. u<users-1> *)
+  zipf_s : float;
+  deadline_ms : float option;  (* per-request budget header *)
+  connect_timeout_ms : float;  (* handshake bound, see {!handshake} *)
+  receive_timeout_s : float;  (* per-reply bound once running *)
+}
+
+let default_config ~socket_path =
+  {
+    socket_path;
+    rate = 200.;
+    requests = 1_000;
+    clients = 4;
+    seed = 42;
+    users = 100;
+    zipf_s = 1.1;
+    deadline_ms = None;
+    connect_timeout_ms = 2_000.;
+    receive_timeout_s = 30.;
+  }
+
+type kind = Personalize | Run_sql | Save | Load | Health
+
+let kind_name = function
+  | Personalize -> "personalize"
+  | Run_sql -> "run"
+  | Save -> "save"
+  | Load -> "load"
+  | Health -> "health"
+
+type report = {
+  hist : Putil.Histogram.t;  (* all request latencies, µs *)
+  elapsed_s : float;  (* first send to last reply *)
+  sent : int;
+  data_sent : int;  (* sent minus control-plane (HEALTH) *)
+  ok : int;  (* data-plane successes *)
+  ok_health : int;
+  err_overloaded : int;  (* ERR replies in the overloaded family *)
+  err_other : int;  (* ERR replies of any other family *)
+  err_transport : int;  (* lost/garbled connections *)
+  by_kind : (string * int) list;  (* sent per request kind *)
+}
+
+(* ------------------------------ handshake ---------------------------- *)
+
+(* Never hang on a server that is not actually serving.  Two distinct
+   failure shapes are bounded here:
+   - nothing listens (no socket file / ECONNREFUSED): connect retries
+     stop at [connect_timeout_ms];
+   - something listens but never accepts or answers (a full backlog
+     looks exactly like a healthy server to connect(2)): a receive
+     deadline on a PING turns the silence into an error. *)
+let handshake cfg : (unit, Perso.Error.t) result =
+  match Client.connect ~wait_ms:cfg.connect_timeout_ms cfg.socket_path with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error
+        (Perso.Error.Overloaded
+           (Printf.sprintf "bench serve: no server at %s within %.0f ms (%s)"
+              cfg.socket_path cfg.connect_timeout_ms (Unix.error_message e)))
+  | c ->
+      let verdict =
+        try
+          Client.set_receive_timeout c
+            (Float.max 0.05 (cfg.connect_timeout_ms /. 1000.));
+          match Client.request c "PING" with
+          | Ok (Protocol.Message _) -> Ok ()
+          | Ok _ ->
+              Error
+                (Perso.Error.Internal "bench serve: unexpected PING reply shape")
+          | Error msg ->
+              Error
+                (Perso.Error.Overloaded
+                   (Printf.sprintf
+                      "bench serve: %s accepted but PING failed within %.0f \
+                       ms: %s"
+                      cfg.socket_path cfg.connect_timeout_ms msg))
+        with Unix.Unix_error _ | Sys_error _ | Sys_blocked_io | End_of_file ->
+          Error
+            (Perso.Error.Overloaded
+               (Printf.sprintf
+                  "bench serve: %s accepted but never answered PING within \
+                   %.0f ms"
+                  cfg.socket_path cfg.connect_timeout_ms))
+      in
+      Client.close c;
+      verdict
+
+(* ------------------------------- script ------------------------------ *)
+
+type slot = { at : float; line : string; kind : kind }
+
+(* The whole arrival process and request mix precomputed from the seed:
+   exponential inter-arrival gaps at [rate], Zipf-ranked users, and a
+   55/20/10/10/5 PERSONALIZE/RUN/SAVE/LOAD/HEALTH mix. *)
+let make_script cfg ~sqls ~profiles =
+  if sqls = [||] then invalid_arg "Loadgen: no queries";
+  if profiles = [||] then invalid_arg "Loadgen: no profiles";
+  let rng = Putil.Rng.create cfg.seed in
+  let zipf = Putil.Zipf.create ~n:cfg.users ~s:cfg.zipf_s in
+  let t = ref 0. in
+  Array.init cfg.requests (fun _ ->
+      (* Inverse-CDF exponential; 1-u keeps the log argument nonzero. *)
+      let u = Putil.Rng.float rng 1. in
+      t := !t +. (-.log (1. -. u) /. cfg.rate);
+      let user = Printf.sprintf "u%d" (Putil.Zipf.sample zipf rng) in
+      let kind =
+        match Putil.Rng.int rng 100 with
+        | x when x < 55 -> Personalize
+        | x when x < 75 -> Run_sql
+        | x when x < 85 -> Save
+        | x when x < 95 -> Load
+        | _ -> Health
+      in
+      let line =
+        match kind with
+        | Personalize ->
+            Printf.sprintf "PERSONALIZE %s %s" user
+              sqls.(Putil.Rng.int rng (Array.length sqls))
+        | Run_sql ->
+            Printf.sprintf "RUN %s"
+              sqls.(Putil.Rng.int rng (Array.length sqls))
+        | Save ->
+            Printf.sprintf "PROFILE SAVE %s %s" user
+              profiles.(Putil.Rng.int rng (Array.length profiles))
+        | Load -> Printf.sprintf "PROFILE LOAD %s" user
+        | Health -> "HEALTH"
+      in
+      { at = !t; line; kind })
+
+(* -------------------------------- run -------------------------------- *)
+
+type tally = {
+  mutable t_ok : int;
+  mutable t_ok_health : int;
+  mutable t_overloaded : int;
+  mutable t_other : int;
+  mutable t_transport : int;
+}
+
+let overloaded_family = Perso.Error.family_name (Perso.Error.Overloaded "")
+
+let run cfg ~sqls ~profiles : (report, Perso.Error.t) result =
+  match handshake cfg with
+  | Error e -> Error e
+  | Ok () ->
+      let script = make_script cfg ~sqls ~profiles in
+      let n = Array.length script in
+      let clients = max 1 cfg.clients in
+      let hists = Array.init clients (fun _ -> Putil.Histogram.create ()) in
+      let tallies =
+        Array.init clients (fun _ ->
+            {
+              t_ok = 0;
+              t_ok_health = 0;
+              t_overloaded = 0;
+              t_other = 0;
+              t_transport = 0;
+            })
+      in
+      let start = Unix.gettimeofday () +. 0.05 in
+      let worker w =
+        let conn = Client.connect ~wait_ms:cfg.connect_timeout_ms cfg.socket_path in
+        Client.set_receive_timeout conn cfg.receive_timeout_s;
+        let hist = hists.(w) and tally = tallies.(w) in
+        Fun.protect
+          ~finally:(fun () -> Client.close conn)
+          (fun () ->
+            let i = ref w in
+            while !i < n do
+              let slot = script.(!i) in
+              let due = start +. slot.at in
+              let d = due -. Unix.gettimeofday () in
+              if d > 0. then Thread.delay d;
+              let t0 = Unix.gettimeofday () in
+              (match
+                 Client.request ?deadline_ms:cfg.deadline_ms conn slot.line
+               with
+              | Ok (Protocol.Stats _) -> tally.t_ok_health <- tally.t_ok_health + 1
+              | Ok (Protocol.Rows _ | Protocol.Message _) ->
+                  tally.t_ok <- tally.t_ok + 1
+              | Ok (Protocol.Failed { family; _ }) ->
+                  if family = overloaded_family then
+                    tally.t_overloaded <- tally.t_overloaded + 1
+                  else tally.t_other <- tally.t_other + 1
+              | Error _ -> tally.t_transport <- tally.t_transport + 1
+              | exception (Unix.Unix_error _ | Sys_error _ | Sys_blocked_io) ->
+                  tally.t_transport <- tally.t_transport + 1);
+              let us =
+                int_of_float ((Unix.gettimeofday () -. t0) *. 1e6 +. 0.5)
+              in
+              Putil.Histogram.record hist us;
+              i := !i + clients
+            done)
+      in
+      let threads =
+        Array.init clients (fun w -> Thread.create worker w)
+      in
+      Array.iter Thread.join threads;
+      let elapsed_s = Unix.gettimeofday () -. start in
+      let hist = Putil.Histogram.create () in
+      Array.iter (fun h -> Putil.Histogram.merge_into ~dst:hist h) hists;
+      let sum f = Array.fold_left (fun a t -> a + f t) 0 tallies in
+      let by_kind =
+        List.map
+          (fun k ->
+            ( kind_name k,
+              Array.fold_left
+                (fun a s -> if s.kind = k then a + 1 else a)
+                0 script ))
+          [ Personalize; Run_sql; Save; Load; Health ]
+      in
+      let health_sent = List.assoc (kind_name Health) by_kind in
+      Ok
+        {
+          hist;
+          elapsed_s;
+          sent = n;
+          data_sent = n - health_sent;
+          ok = sum (fun t -> t.t_ok);
+          ok_health = sum (fun t -> t.t_ok_health);
+          err_overloaded = sum (fun t -> t.t_overloaded);
+          err_other = sum (fun t -> t.t_other);
+          err_transport = sum (fun t -> t.t_transport);
+          by_kind;
+        }

@@ -1,0 +1,66 @@
+(** Open-loop load generator for the serve path ([bench serve]).
+
+    Arrivals follow a seeded Poisson process at a configured offered
+    rate — scheduled in absolute time before the run starts, so a slow
+    server delays replies, never the offered load (no coordinated
+    omission).  Users are Zipf-skewed over a fixed population; the mix
+    is 55% PERSONALIZE, 20% RUN, 10% PROFILE SAVE, 10% PROFILE LOAD,
+    5% HEALTH.  Latencies land in one mergeable {!Putil.Histogram} per
+    client thread (microseconds).
+
+    {!handshake} runs first and turns the two silent-server shapes into
+    typed errors instead of hangs: connect retries are bounded by a
+    deadline, and a listening-but-never-accepting socket is caught by a
+    receive-deadlined PING. *)
+
+type config = {
+  socket_path : string;
+  rate : float;  (** offered requests/second *)
+  requests : int;
+  clients : int;  (** persistent connections, one OS thread each *)
+  seed : int;
+  users : int;  (** Zipf population size *)
+  zipf_s : float;  (** Zipf exponent (1.1 ≈ the paper's skew) *)
+  deadline_ms : float option;  (** DEADLINE-MS header per request *)
+  connect_timeout_ms : float;
+  receive_timeout_s : float;
+}
+
+val default_config : socket_path:string -> config
+(** 200 req/s, 1000 requests, 4 clients, 100 users at s = 1.1, 2 s
+    connect bound, 30 s receive bound, no deadline header. *)
+
+type kind = Personalize | Run_sql | Save | Load | Health
+
+val kind_name : kind -> string
+
+type report = {
+  hist : Putil.Histogram.t;  (** every request latency, µs *)
+  elapsed_s : float;
+  sent : int;
+  data_sent : int;  (** [sent] minus control-plane HEALTH probes *)
+  ok : int;  (** data-plane OK replies (= server [completed_ok]) *)
+  ok_health : int;
+  err_overloaded : int;  (** typed sheds (= server shed counters) *)
+  err_other : int;
+  err_transport : int;
+  by_kind : (string * int) list;
+}
+
+val handshake : config -> (unit, Perso.Error.t) result
+(** Bounded liveness probe: typed [Overloaded] error when nothing
+    listens within [connect_timeout_ms], or when a listener accepts (or
+    backlogs) the connection but never answers a PING. *)
+
+type slot = { at : float; line : string; kind : kind }
+
+val make_script : config -> sqls:string array -> profiles:string array -> slot array
+(** The precomputed arrival schedule — exposed for tests. *)
+
+val run :
+  config ->
+  sqls:string array ->
+  profiles:string array ->
+  (report, Perso.Error.t) result
+(** Handshake, then drive the full script and aggregate.  [profiles] are
+    wire-format entry strings for PROFILE SAVE. *)

@@ -91,36 +91,47 @@ let one_line s =
   String.concat "; "
     (List.filter (fun l -> l <> "") (String.split_on_char '\n' s))
 
-let write_rows oc ~notes (res : Relal.Exec.result) =
-  Printf.fprintf oc "OK rows=%d\n" (List.length res.Relal.Exec.rows);
-  List.iter (fun n -> Printf.fprintf oc "NOTE %s\n" (one_line n)) notes;
-  Printf.fprintf oc "COLS %s\n"
+(* Responses render into a Buffer first: the thread shell writes the
+   buffer to an out_channel, the event-loop shell writes the same bytes
+   to a nonblocking fd in one batch.  Byte-identity across runtimes is
+   by construction — there is exactly one renderer. *)
+
+let bprint_rows b ~notes (res : Relal.Exec.result) =
+  Printf.bprintf b "OK rows=%d\n" (List.length res.Relal.Exec.rows);
+  List.iter (fun n -> Printf.bprintf b "NOTE %s\n" (one_line n)) notes;
+  Printf.bprintf b "COLS %s\n"
     (String.concat "\t" (Array.to_list res.Relal.Exec.cols));
   List.iter
     (fun row ->
-      Printf.fprintf oc "ROW %s\n"
+      Printf.bprintf b "ROW %s\n"
         (String.concat "\t"
            (Array.to_list (Array.map Relal.Value.to_string row))))
     res.Relal.Exec.rows;
-  Printf.fprintf oc "END\n";
-  flush oc
+  Buffer.add_string b "END\n"
 
-let write_stats oc stats =
-  Printf.fprintf oc "OK health\n";
-  List.iter (fun (k, v) -> Printf.fprintf oc "STAT %s %s\n" k v) stats;
-  Printf.fprintf oc "END\n";
-  flush oc
+let bprint_stats b stats =
+  Buffer.add_string b "OK health\n";
+  List.iter (fun (k, v) -> Printf.bprintf b "STAT %s %s\n" k v) stats;
+  Buffer.add_string b "END\n"
 
-let write_message oc msg =
-  Printf.fprintf oc "OK %s\nEND\n" (one_line msg);
-  flush oc
+let bprint_message b msg = Printf.bprintf b "OK %s\nEND\n" (one_line msg)
 
-let write_error oc err =
-  Printf.fprintf oc "ERR %s %d %s\n"
+let bprint_error b err =
+  Printf.bprintf b "ERR %s %d %s\n"
     (Perso.Error.family_name err)
     (Perso.Error.exit_code err)
-    (one_line (Perso.Error.to_string err));
+    (one_line (Perso.Error.to_string err))
+
+let via_buffer render oc =
+  let b = Buffer.create 256 in
+  render b;
+  Buffer.output_buffer oc b;
   flush oc
+
+let write_rows oc ~notes res = via_buffer (fun b -> bprint_rows b ~notes res) oc
+let write_stats oc stats = via_buffer (fun b -> bprint_stats b stats) oc
+let write_message oc msg = via_buffer (fun b -> bprint_message b msg) oc
+let write_error oc err = via_buffer (fun b -> bprint_error b err) oc
 
 let drop_prefix line p =
   let n = String.length p in

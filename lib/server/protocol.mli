@@ -92,6 +92,15 @@ val one_line : string -> string
 (** Newlines collapsed to ["; "] — everything on a wire line must stay a
     line. *)
 
+val bprint_rows : Buffer.t -> notes:string list -> Relal.Exec.result -> unit
+(** Render a row response into a buffer.  The [write_*] channel writers
+    and the event-loop shell both go through these renderers, so replies
+    are byte-identical across I/O runtimes by construction. *)
+
+val bprint_stats : Buffer.t -> (string * string) list -> unit
+val bprint_message : Buffer.t -> string -> unit
+val bprint_error : Buffer.t -> Perso.Error.t -> unit
+
 val write_rows :
   out_channel -> notes:string list -> Relal.Exec.result -> unit
 

@@ -38,7 +38,7 @@
     answered on the connection thread without queueing, so the server
     stays observable exactly when it is saturated. *)
 
-type config = {
+type config = Server_core.config = {
   socket_path : string;  (** Unix-domain socket to listen on *)
   tcp_port : int option;  (** also listen on 127.0.0.1:port *)
   workers : int;  (** worker-pool size (>= 1) *)
@@ -85,7 +85,7 @@ val request_stop : t -> unit
 
 val draining : t -> bool
 
-type drain_outcome = {
+type drain_outcome = Server_core.drain_outcome = {
   drained : bool;  (** queue and in-flight hit zero within [drain_ms] *)
   shed_at_stop : int;  (** jobs still queued when the deadline passed *)
   dump : (string, string) result option;

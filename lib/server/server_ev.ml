@@ -1,0 +1,304 @@
+(* The event-loop socket front end ([serve --io evloop]).
+
+   Same shape as {!Server} — acceptor, per-connection handlers, and
+   everything behind the wire in {!Server_core} — but every "thread" is
+   a cooperative {!Evloop} task on one domain: connections park on fd
+   readiness instead of blocking an OS thread, and replies render into a
+   buffer ({!Protocol.bprint_rows} and friends — the exact renderers the
+   thread shell uses, so the bytes match by construction) and go out in
+   one batched write.  Worker-pool semantics (bounded admission, typed
+   Overloaded shedding, graceful drain) come from the shared core,
+   unchanged. *)
+
+module Core = Server_core.Make (Evloop.R)
+
+type config = Server_core.config
+type drain_outcome = Server_core.drain_outcome
+
+(* ---------------------------- connections ---------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  rbuf : Bytes.t;
+  mutable pending : string;  (* read but not yet consumed *)
+  mutable eof : bool;
+}
+
+(* One line, parking on readability when the buffer runs dry.  EOF with
+   a partial line returns the partial line — the same contract as
+   [In_channel.input_line] on the thread path. *)
+let rec read_line c =
+  match String.index_opt c.pending '\n' with
+  | Some i ->
+      let line = String.sub c.pending 0 i in
+      c.pending <-
+        String.sub c.pending (i + 1) (String.length c.pending - i - 1);
+      Some line
+  | None ->
+      if c.eof then
+        if c.pending = "" then None
+        else begin
+          let line = c.pending in
+          c.pending <- "";
+          Some line
+        end
+      else begin
+        ignore (Evloop.wait_readable c.fd : bool);
+        (match Unix.read c.fd c.rbuf 0 (Bytes.length c.rbuf) with
+        | 0 -> c.eof <- true
+        | n -> c.pending <- c.pending ^ Bytes.sub_string c.rbuf 0 n
+        | exception
+            Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+          ->
+            ()
+        | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> c.eof <- true);
+        read_line c
+      end
+
+let write_all fd s =
+  let len = String.length s in
+  let rec go off =
+    if off < len then
+      match Unix.write_substring fd s off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          ignore (Evloop.wait_writable fd : bool);
+          go off
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let send c render =
+  let b = Buffer.create 256 in
+  render b;
+  write_all c.fd (Buffer.contents b)
+
+let read_request c =
+  let rec go hdr =
+    match read_line c with
+    | None -> None
+    | Some line ->
+        let line = String.trim line in
+        if line = "" then go hdr
+        else (
+          match Protocol.parse_header_line line with
+          | Some update -> go (update hdr)
+          | None -> Some (hdr, Protocol.parse_command line))
+  in
+  go Protocol.empty_header
+
+type loop_state = {
+  core : Core.t;
+  mutable conns : (Unix.file_descr * Evloop.task) list;
+}
+
+let unregister_conn st fd =
+  st.conns <- List.filter (fun (fd', _) -> fd' <> fd) st.conns
+
+let handle_connection st fd =
+  let c = { fd; rbuf = Bytes.create 8192; pending = ""; eof = false } in
+  let finally () =
+    unregister_conn st fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  Fun.protect ~finally (fun () ->
+      try
+        let rec loop () =
+          match read_request c with
+          | None -> ()
+          | Some (_, Error msg) ->
+              send c (fun b ->
+                  Protocol.bprint_error b (Perso.Error.Parse ("protocol: " ^ msg)));
+              loop ()
+          | Some (_, Ok Protocol.Quit) -> ()
+          | Some (_, Ok Protocol.Ping) ->
+              send c (fun b -> Protocol.bprint_message b "pong");
+              loop ()
+          | Some (_, Ok Protocol.Health) ->
+              send c (fun b -> Protocol.bprint_stats b (Core.health st.core));
+              loop ()
+          | Some (_, Ok Protocol.Shutdown) ->
+              send c (fun b -> Protocol.bprint_message b "draining");
+              Core.request_stop st.core;
+              Core.begin_drain st.core;
+              loop ()
+          | Some (hdr, Ok cmd) ->
+              (match Core.submit st.core hdr cmd with
+              | Server_core.R_rows { notes; result } ->
+                  send c (fun b -> Protocol.bprint_rows b ~notes result)
+              | Server_core.R_message m ->
+                  send c (fun b -> Protocol.bprint_message b m)
+              | Server_core.R_error e ->
+                  send c (fun b -> Protocol.bprint_error b e));
+              loop ()
+        in
+        loop ()
+      with
+      | End_of_file | Sys_error _ -> ()
+      | Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ())
+
+(* ------------------------------ acceptor ----------------------------- *)
+
+(* Accepting continues while draining (control plane must answer, data
+   commands shed with typed errors); only a stopped core ends the loop —
+   identical policy to the thread acceptor. *)
+let accept_loop st lfd =
+  let rec loop () =
+    if Core.stop_requested st.core then Core.begin_drain st.core;
+    if Core.stopped st.core then ()
+    else begin
+      (if Evloop.wait_readable ~timeout:0.05 lfd then
+         match Unix.accept lfd with
+         | fd, _ ->
+             Unix.set_nonblock fd;
+             let task =
+               Evloop.spawn ~name:"conn" (fun () -> handle_connection st fd)
+             in
+             st.conns <- (fd, task) :: st.conns
+         | exception
+             Unix.Unix_error
+               ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
+             ()
+         | exception Unix.Unix_error _ -> ());
+      loop ()
+    end
+  in
+  loop ()
+
+(* ------------------------------- run --------------------------------- *)
+
+let listen_unix path =
+  (match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+  | _ -> ()
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+let run ?(stop_flag = Atomic.make false) ?on_started (cfg : config) db =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listeners =
+    listen_unix cfg.socket_path
+    :: (match cfg.tcp_port with Some p -> [ listen_tcp p ] | None -> [])
+  in
+  List.iter Unix.set_nonblock listeners;
+  let outcome = ref None in
+  let loop_result =
+    Evloop.run (fun () ->
+        let st = { core = Core.create cfg db; conns = [] } in
+        let acceptors =
+          List.map
+            (fun lfd ->
+              Evloop.spawn ~name:"acceptor" (fun () -> accept_loop st lfd))
+            listeners
+        in
+        Option.iter (fun f -> f (Core.health st.core)) on_started;
+        (* Supervisor: wait for an external stop flag (signal handler),
+           a SHUTDOWN command, or anything else that flags the core. *)
+        let rec await () =
+          if Atomic.get stop_flag then Core.request_stop st.core;
+          if Core.stop_requested st.core || Core.draining st.core then ()
+          else begin
+            Evloop.sleep 0.05;
+            await ()
+          end
+        in
+        await ();
+        outcome :=
+          Some
+            (Core.stop st.core ~on_quiesced:(fun () ->
+                 List.iter Evloop.join acceptors;
+                 (* Shutting the connection fds down fires their parked
+                    readers with EOF; each task closes its own fd. *)
+                 let conns = st.conns in
+                 List.iter
+                   (fun (fd, _) ->
+                     try Unix.shutdown fd Unix.SHUTDOWN_ALL
+                     with Unix.Unix_error _ -> ())
+                   conns;
+                 List.iter (fun (_, task) -> Evloop.join task) conns)))
+  in
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    listeners;
+  (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  match (loop_result, !outcome) with
+  | Ok (), Some o -> o
+  | Ok (), None -> failwith "Server_ev: loop ended without an outcome"
+  | Error msg, _ -> failwith ("Server_ev: " ^ msg)
+
+(* --------------------- background handle (tests) --------------------- *)
+
+type t = {
+  stop_flag : bool Atomic.t;
+  mutable th : Thread.t option;
+  mutable outcome : drain_outcome option;
+  mutable error : string option;
+  m : Mutex.t;
+  cv : Condition.t;
+  mutable started : bool;
+}
+
+let start cfg db =
+  let t =
+    {
+      stop_flag = Atomic.make false;
+      th = None;
+      outcome = None;
+      error = None;
+      m = Mutex.create ();
+      cv = Condition.create ();
+      started = false;
+    }
+  in
+  let mark_started () =
+    Mutex.lock t.m;
+    t.started <- true;
+    Condition.broadcast t.cv;
+    Mutex.unlock t.m
+  in
+  let th =
+    Thread.create
+      (fun () ->
+        (try
+           t.outcome <-
+             Some
+               (run ~stop_flag:t.stop_flag
+                  ~on_started:(fun _ -> mark_started ())
+                  cfg db)
+         with e -> t.error <- Some (Printexc.to_string e));
+        (* Unblock the starter even when binding failed. *)
+        mark_started ())
+      ()
+  in
+  t.th <- Some th;
+  Mutex.lock t.m;
+  while not t.started do
+    Condition.wait t.cv t.m
+  done;
+  Mutex.unlock t.m;
+  match t.error with
+  | Some e ->
+      Thread.join th;
+      failwith e
+  | None -> t
+
+let request_stop t = Atomic.set t.stop_flag true
+
+let stop t =
+  request_stop t;
+  Option.iter Thread.join t.th;
+  match (t.error, t.outcome) with
+  | Some e, _ -> failwith e
+  | None, Some o -> o
+  | None, None -> failwith "Server_ev: stopped without an outcome"

@@ -1,0 +1,43 @@
+(** Event-loop socket front end — [serve --io evloop].
+
+    The same server as {!Server} (identical {!Server_core} behind the
+    wire: bounded admission, worker pool, breaker, graceful drain,
+    HEALTH ledger) but on the single-domain {!Evloop} runtime:
+    connections are cooperative tasks parked on fd readiness, and every
+    reply renders through the shared {!Protocol} buffer printers before
+    one batched write, so responses are byte-identical to the thread
+    shell by construction (enforced by [test_serve_io]). *)
+
+type config = Server_core.config
+type drain_outcome = Server_core.drain_outcome
+
+val run :
+  ?stop_flag:bool Atomic.t ->
+  ?on_started:((string * string) list -> unit) ->
+  config ->
+  Relal.Database.t ->
+  drain_outcome
+(** Bind the sockets and run the event loop on the calling thread until
+    something requests a stop: [stop_flag] set true (safe from a signal
+    handler — it is polled every 50 ms), a [SHUTDOWN] command, or a
+    core-level stop.  [on_started] fires once inside the loop with the
+    initial HEALTH counters, after the sockets are accepting.
+    @raise Unix.Unix_error when binding fails
+    @raise Failure when the loop itself fails (a runtime bug) *)
+
+(** {2 Background handle}
+
+    For tests and the bench harness: the loop on a private OS thread,
+    with the same start/stop surface as {!Server}. *)
+
+type t
+
+val start : config -> Relal.Database.t -> t
+(** Returns once the sockets are accepting.  @raise Failure when binding
+    or the loop fails at startup. *)
+
+val request_stop : t -> unit
+(** Idempotent, signal-safe. *)
+
+val stop : t -> drain_outcome
+(** Request a stop, join the loop thread, return the drain outcome. *)

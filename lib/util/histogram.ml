@@ -1,0 +1,106 @@
+(* Log-linear bucket scheme, fixed for every instance (see the .mli for
+   why that makes merge trivially associative/commutative):
+
+     v < 64            -> bucket v                      (width 1, exact)
+     2^e <= v < 2^e+1  -> one of 32 buckets of width 2^(e-5), e >= 6
+
+   Since every bucket's low end is at least 32 widths up its octave,
+   width <= low / 32: the inclusive upper bound reported by [quantile]
+   overshoots a contained sample by at most v/32. *)
+
+let sub_bits = 6
+let sub_count = 1 lsl sub_bits (* 64 *)
+let half = sub_count / 2 (* 32 *)
+
+(* Highest exponent reachable by a non-negative OCaml int (2^62 - 1 on
+   64-bit): msb index <= 61. *)
+let max_exp = 61
+let n_buckets = sub_count + ((max_exp - sub_bits + 1) * half)
+
+let msb v =
+  (* Position of the highest set bit of [v >= 1]. *)
+  let rec go v k = if v <= 1 then k else go (v lsr 1) (k + 1) in
+  go v 0
+
+let index_of v =
+  let v = max v 0 in
+  if v < sub_count then v
+  else begin
+    let e = msb v in
+    let shift = e - sub_bits + 1 in
+    let sub = v lsr shift in
+    (* sub is in [half, sub_count) *)
+    sub_count + ((e - sub_bits) * half) + (sub - half)
+  end
+
+let bounds_of_index i =
+  if i < 0 then invalid_arg "Histogram.bounds_of_index"
+  else if i < sub_count then (i, i)
+  else begin
+    let j = i - sub_count in
+    let e = sub_bits + (j / half) in
+    let sub = half + (j mod half) in
+    let shift = e - sub_bits + 1 in
+    let low = sub lsl shift in
+    (low, low + (1 lsl shift) - 1)
+  end
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable sum : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+let create () =
+  { counts = Array.make n_buckets 0; n = 0; sum = 0; min_v = max_int; max_v = 0 }
+
+let record_n t v n =
+  if n < 0 then invalid_arg "Histogram.record_n: negative multiplicity"
+  else if n > 0 then begin
+    let v = max v 0 in
+    let i = index_of v in
+    t.counts.(i) <- t.counts.(i) + n;
+    t.n <- t.n + n;
+    t.sum <- t.sum + (v * n);
+    if v < t.min_v then t.min_v <- v;
+    if v > t.max_v then t.max_v <- v
+  end
+
+let record t v = record_n t v 1
+let count t = t.n
+let total t = t.sum
+let min_value t = if t.n = 0 then 0 else t.min_v
+let max_value t = t.max_v
+let mean t = if t.n = 0 then Float.nan else float_of_int t.sum /. float_of_int t.n
+
+let quantile t q =
+  if t.n = 0 then 0
+  else begin
+    let q = Float.min 1. (Float.max 0. q) in
+    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int t.n))) in
+    let rank = min rank t.n in
+    let rec walk i seen =
+      let seen = seen + t.counts.(i) in
+      if seen >= rank then snd (bounds_of_index i) else walk (i + 1) seen
+    in
+    walk 0 0
+  end
+
+let merge_into ~dst src =
+  Array.iteri
+    (fun i c -> if c > 0 then dst.counts.(i) <- dst.counts.(i) + c)
+    src.counts;
+  dst.n <- dst.n + src.n;
+  dst.sum <- dst.sum + src.sum;
+  if src.n > 0 then begin
+    if src.min_v < dst.min_v then dst.min_v <- src.min_v;
+    if src.max_v > dst.max_v then dst.max_v <- src.max_v
+  end
+
+let merge a b =
+  let t = create () in
+  merge_into ~dst:t a;
+  merge_into ~dst:t b;
+  t

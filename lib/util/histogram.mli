@@ -1,0 +1,66 @@
+(** Log-bucketed latency histogram (HDR-style), mergeable across
+    threads.
+
+    Values are non-negative integers — by convention microseconds on the
+    serve path.  The bucket scheme is log-linear and {e fixed} (no
+    per-instance configuration): values below {!sub_count} get exact
+    unit-width buckets; above it, each power-of-two octave is divided
+    into [sub_count / 2] equal sub-buckets, bounding the relative
+    quantile error at [2 / sub_count] (≈ 3.1%).  A fixed global scheme
+    is what makes {!merge} a plain counter addition — associative and
+    commutative by construction — so per-client-thread histograms can be
+    combined in any order without re-deriving boundaries.
+
+    Quantiles use the nearest-rank definition and report the containing
+    bucket's inclusive upper bound, so for any recorded sample [v] the
+    reported quantile [q] satisfies [v <= q <= v + v / 32]. *)
+
+type t
+
+val sub_count : int
+(** Sub-buckets per octave (64): unit-width below it, [sub_count / 2]
+    sub-buckets per octave above it. *)
+
+val create : unit -> t
+
+val record : t -> int -> unit
+(** Record one value.  Negative values clamp to 0. *)
+
+val record_n : t -> int -> int -> unit
+(** [record_n t v n] records [v] with multiplicity [n >= 0]. *)
+
+val count : t -> int
+(** Total recorded values. *)
+
+val total : t -> int
+(** Sum of recorded values (for means).  Saturates like native [int]. *)
+
+val min_value : t -> int
+(** Smallest recorded value (exact, not bucketed); 0 when empty. *)
+
+val max_value : t -> int
+(** Largest recorded value (exact, not bucketed); 0 when empty. *)
+
+val mean : t -> float
+(** Arithmetic mean of recorded values; [nan] when empty. *)
+
+val quantile : t -> float -> int
+(** [quantile t q] for [q] in [\[0, 1\]]: the inclusive upper bound of
+    the bucket holding the nearest-rank sample [ceil (q * count)]
+    (rank 1 when [q = 0.]).  0 when empty.  Monotone in [q]. *)
+
+val merge_into : dst:t -> t -> unit
+(** Add every count of the source into [dst]. *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both operands' counts. *)
+
+(** {2 Bucket scheme — exposed for tests} *)
+
+val index_of : int -> int
+(** Bucket index of a value (clamped to 0 below). *)
+
+val bounds_of_index : int -> int * int
+(** [(low, high)] inclusive value range of a bucket. *)
+
+val n_buckets : int

@@ -238,3 +238,33 @@ storage error, like --shards:
   $ perso_cli serve --movies 0 --socket ./perso.sock --store disk:./pstore2 --replicas 2
   storage error: malformed store file ./pstore2/shard-00/REPLSTATE: store was created with 3 replicas; restart with --replicas 3
   [2]
+
+The event-loop runtime (--io evloop): same wire protocol, same drain
+discipline, on a single-domain readiness loop instead of a thread per
+connection.  The serving line names the runtime; SIGTERM drains it:
+
+  $ perso_cli serve --movies 0 --socket ./perso.sock --workers 2 --queue 8 --io evloop 2>serve6.log &
+
+  $ EVPID=$!
+
+  $ perso_cli call --socket ./perso.sock --wait-ms 5000 PING
+  pong
+
+  $ perso_cli call --socket ./perso.sock "RUN select count(*) as n from movie m"
+  n
+  12
+  (1 rows)
+
+  $ kill -TERM $EVPID
+
+  $ wait
+
+  $ cat serve6.log
+  serving on ./perso.sock (workers=2 queue=8) io=evloop
+  drained=true shed_at_stop=0
+
+An unknown runtime is a usage error, caught before anything binds:
+
+  $ perso_cli serve --movies 0 --socket ./perso.sock --io bogus
+  usage error: --io must be 'threads' or 'evloop' (got "bogus")
+  [6]

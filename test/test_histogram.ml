@@ -1,0 +1,247 @@
+(* Latency histogram: log-bucket boundaries, quantile monotonicity and
+   error bound against a sorted-array oracle, and merge algebra
+   (associativity/commutativity as qcheck properties). *)
+
+module H = Putil.Histogram
+
+(* ------------------------- bucket boundaries ------------------------- *)
+
+let test_unit_buckets () =
+  (* Below sub_count every value gets its own exact bucket. *)
+  for v = 0 to H.sub_count - 1 do
+    Alcotest.(check int) (Printf.sprintf "index_of %d" v) v (H.index_of v);
+    Alcotest.(check (pair int int))
+      (Printf.sprintf "bounds %d" v)
+      (v, v)
+      (H.bounds_of_index v)
+  done;
+  Alcotest.(check int) "negative clamps" 0 (H.index_of (-17))
+
+let test_octave_boundaries () =
+  (* Hand-picked vectors across octave edges: (value, low, high). *)
+  let vectors =
+    [
+      (64, 64, 65);
+      (65, 64, 65);
+      (66, 66, 67);
+      (126, 126, 127);
+      (127, 126, 127);
+      (128, 128, 131);
+      (131, 128, 131);
+      (132, 132, 135);
+      (255, 252, 255);
+      (256, 256, 263);
+      (1024, 1024, 1055);
+      (1_000_000, 999_424, 1_015_807);
+    ]
+  in
+  List.iter
+    (fun (v, low, high) ->
+      let l, h = H.bounds_of_index (H.index_of v) in
+      Alcotest.(check (pair int int))
+        (Printf.sprintf "bucket of %d" v)
+        (low, high) (l, h))
+    vectors
+
+let test_index_roundtrip () =
+  (* Every value lies inside its own bucket, and bucket indexes are
+     monotone in the value. *)
+  let rng = Putil.Rng.create 11 in
+  let prev_idx = ref (-1) in
+  let v = ref 0 in
+  while !v < 1 lsl 40 do
+    let i = H.index_of !v in
+    let low, high = H.bounds_of_index i in
+    if not (low <= !v && !v <= high) then
+      Alcotest.failf "%d outside bucket [%d,%d]" !v low high;
+    if i < !prev_idx then Alcotest.failf "index not monotone at %d" !v;
+    prev_idx := i;
+    (* Stride grows with magnitude so the loop terminates quickly while
+       still probing every octave. *)
+    v := !v + 1 + Putil.Rng.int_in rng 0 (max 1 (!v / 7))
+  done
+
+let test_bucket_width_bound () =
+  (* Bucket width never exceeds low/32: the quantile error contract. *)
+  for i = H.sub_count to H.n_buckets - 1 do
+    let low, high = H.bounds_of_index i in
+    if high - low > low / 32 then
+      Alcotest.failf "bucket %d [%d,%d] wider than low/32" i low high
+  done
+
+(* ----------------------- recording + quantiles ----------------------- *)
+
+let test_empty () =
+  let h = H.create () in
+  Alcotest.(check int) "count" 0 (H.count h);
+  Alcotest.(check int) "q50" 0 (H.quantile h 0.5);
+  Alcotest.(check int) "min" 0 (H.min_value h);
+  Alcotest.(check int) "max" 0 (H.max_value h);
+  Alcotest.(check bool) "mean nan" true (Float.is_nan (H.mean h))
+
+let test_single_value () =
+  let h = H.create () in
+  H.record h 42;
+  Alcotest.(check int) "count" 1 (H.count h);
+  List.iter
+    (fun q ->
+      Alcotest.(check int) (Printf.sprintf "q%.3f" q) 42 (H.quantile h q))
+    [ 0.; 0.5; 0.99; 0.999; 1. ];
+  Alcotest.(check int) "min" 42 (H.min_value h);
+  Alcotest.(check int) "max" 42 (H.max_value h);
+  Alcotest.(check int) "total" 42 (H.total h)
+
+let test_exact_small_quantiles () =
+  (* All values < sub_count are bucketed exactly, so quantiles match the
+     nearest-rank definition on the raw data. *)
+  let h = H.create () in
+  List.iter (H.record h) [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ];
+  Alcotest.(check int) "q0" 1 (H.quantile h 0.);
+  Alcotest.(check int) "q10" 1 (H.quantile h 0.10);
+  Alcotest.(check int) "q50" 5 (H.quantile h 0.50);
+  Alcotest.(check int) "q51" 6 (H.quantile h 0.51);
+  Alcotest.(check int) "q100" 10 (H.quantile h 1.)
+
+(* Nearest-rank quantile on a sorted array: rank ceil(q*n), 1-based,
+   clamped to [1,n]. *)
+let oracle_quantile sorted q =
+  let n = Array.length sorted in
+  let rank = max 1 (min n (int_of_float (Float.ceil (q *. float_of_int n)))) in
+  sorted.(rank - 1)
+
+let seeded_samples seed n =
+  let rng = Putil.Rng.create seed in
+  Array.init n (fun _ ->
+      (* Mix magnitudes: unit buckets, mid octaves, and a heavy tail. *)
+      match Putil.Rng.int_in rng 0 3 with
+      | 0 -> Putil.Rng.int_in rng 0 63
+      | 1 -> Putil.Rng.int_in rng 64 5_000
+      | 2 -> Putil.Rng.int_in rng 5_000 1_000_000
+      | _ -> Putil.Rng.int_in rng 1_000_000 200_000_000)
+
+let test_oracle_quantiles () =
+  List.iter
+    (fun seed ->
+      let samples = seeded_samples seed 5_000 in
+      let h = H.create () in
+      Array.iter (H.record h) samples;
+      let sorted = Array.copy samples in
+      Array.sort compare sorted;
+      List.iter
+        (fun q ->
+          let got = H.quantile h q in
+          let want = oracle_quantile sorted q in
+          (* Bucketed answer must sit within the documented error band:
+             oracle <= got <= oracle + oracle/32. *)
+          if not (want <= got && got - want <= want / 32) then
+            Alcotest.failf "seed %d q%.4f: oracle %d, histogram %d" seed q
+              want got)
+        [ 0.; 0.01; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999; 1. ])
+    [ 1; 2; 7; 42 ]
+
+let test_quantile_monotone () =
+  let samples = seeded_samples 99 2_000 in
+  let h = H.create () in
+  Array.iter (H.record h) samples;
+  let prev = ref (-1) in
+  let q = ref 0. in
+  while !q <= 1.0 do
+    let v = H.quantile h !q in
+    if v < !prev then Alcotest.failf "quantile not monotone at q=%.3f" !q;
+    prev := v;
+    q := !q +. 0.001
+  done;
+  Alcotest.(check bool) "q1 upper-bounds max" true
+    (H.quantile h 1. >= H.max_value h)
+
+(* ------------------------------ merging ------------------------------ *)
+
+let hist_of_list vs =
+  let h = H.create () in
+  List.iter (H.record h) vs;
+  h
+
+let hist_equal a b =
+  H.count a = H.count b
+  && H.total a = H.total b
+  && H.min_value a = H.min_value b
+  && H.max_value a = H.max_value b
+  && List.for_all
+       (fun q -> H.quantile a q = H.quantile b q)
+       [ 0.; 0.1; 0.25; 0.5; 0.75; 0.9; 0.99; 0.999; 1. ]
+
+let small_values = QCheck.(list (int_range 0 2_000_000))
+
+let qcheck_merge_commutative =
+  QCheck.Test.make ~name:"merge commutative" ~count:200
+    QCheck.(pair small_values small_values)
+    (fun (xs, ys) ->
+      let a = hist_of_list xs and b = hist_of_list ys in
+      hist_equal (H.merge a b) (H.merge b a))
+
+let qcheck_merge_associative =
+  QCheck.Test.make ~name:"merge associative" ~count:200
+    QCheck.(triple small_values small_values small_values)
+    (fun (xs, ys, zs) ->
+      let a = hist_of_list xs and b = hist_of_list ys and c = hist_of_list zs in
+      hist_equal (H.merge (H.merge a b) c) (H.merge a (H.merge b c)))
+
+let qcheck_merge_is_concat =
+  QCheck.Test.make ~name:"merge = histogram of concatenation" ~count:200
+    QCheck.(pair small_values small_values)
+    (fun (xs, ys) ->
+      hist_equal (H.merge (hist_of_list xs) (hist_of_list ys))
+        (hist_of_list (xs @ ys)))
+
+let test_merge_into_threadlike () =
+  (* The bench's shape: per-client-thread histograms merged into one.
+     Splitting a stream in any way must give the whole-stream answer. *)
+  let samples = seeded_samples 5 3_000 in
+  let whole = H.create () in
+  Array.iter (H.record whole) samples;
+  let parts = Array.init 4 (fun _ -> H.create ()) in
+  Array.iteri (fun i v -> H.record parts.(i mod 4) v) samples;
+  let merged = H.create () in
+  Array.iter (fun p -> H.merge_into ~dst:merged p) parts;
+  Alcotest.(check bool) "merged = whole" true (hist_equal merged whole)
+
+let test_record_n () =
+  let a = H.create () and b = H.create () in
+  H.record_n a 100 5;
+  for _ = 1 to 5 do
+    H.record b 100
+  done;
+  Alcotest.(check bool) "record_n = repeated record" true (hist_equal a b);
+  H.record_n a 7 0;
+  Alcotest.(check int) "zero multiplicity is a no-op" 5 (H.count a)
+
+let qsuite =
+  List.map QCheck_alcotest.to_alcotest
+    [ qcheck_merge_commutative; qcheck_merge_associative; qcheck_merge_is_concat ]
+
+let () =
+  Alcotest.run "histogram"
+    [
+      ( "buckets",
+        [
+          Alcotest.test_case "unit buckets" `Quick test_unit_buckets;
+          Alcotest.test_case "octave boundaries" `Quick test_octave_boundaries;
+          Alcotest.test_case "index roundtrip" `Quick test_index_roundtrip;
+          Alcotest.test_case "width bound" `Quick test_bucket_width_bound;
+        ] );
+      ( "quantiles",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "single value" `Quick test_single_value;
+          Alcotest.test_case "exact below 64" `Quick test_exact_small_quantiles;
+          Alcotest.test_case "sorted-array oracle" `Quick test_oracle_quantiles;
+          Alcotest.test_case "monotone in q" `Quick test_quantile_monotone;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "thread-shaped merge_into" `Quick
+            test_merge_into_threadlike;
+          Alcotest.test_case "record_n" `Quick test_record_n;
+        ] );
+      ("properties", qsuite);
+    ]
